@@ -1,0 +1,71 @@
+// Figure 5 — Bottom-Up: cumulative deployed cost vs number of queries for
+// cluster sizes max_cs in {2,4,8,16,32,64}.
+//
+// Paper setup: 128-node-class GT-ITM topology, 10 source streams, workloads
+// of 20 queries with 2-5 joins each, averaged over several workloads.
+// Paper headline: max_cs = 64 costs ~21% less than max_cs = 8 (fewer
+// hierarchy levels => less approximation).
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace iflow;
+  using namespace iflow::bench;
+  const std::uint64_t seed = seed_from_args(argc, argv);
+  const int kWorkloads = 10;
+  const int kQueries = 20;
+  const std::vector<int> cluster_sizes = {2, 4, 8, 16, 32, 64};
+
+  Prng net_prng(seed);
+  Rig rig(paper_network(net_prng));
+
+  std::vector<int> heights(cluster_sizes.size(), 0);
+  std::vector<std::vector<double>> mean_per_cs;
+  for (std::size_t ci = 0; ci < cluster_sizes.size(); ++ci) {
+    const int cs = cluster_sizes[ci];
+    std::vector<std::vector<double>> curves;
+    for (int w = 0; w < kWorkloads; ++w) {
+      // A fresh clustering per workload averages out k-medoids seeding.
+      Prng hp(seed + static_cast<std::uint64_t>(cs * 100 + w));
+      const cluster::Hierarchy hierarchy =
+          cluster::Hierarchy::build(rig.net, rig.rt, cs, hp);
+      heights[ci] = hierarchy.height();
+      Prng wp_prng(seed + 1000 + static_cast<std::uint64_t>(w));
+      workload::WorkloadParams wp;
+      wp.num_streams = 10;
+      wp.min_joins = 2;
+      wp.max_joins = 5;
+      const workload::Workload wl =
+          workload::make_workload(rig.net, wp, kQueries, wp_prng);
+      curves.push_back(
+          run_incremental(Alg::kBottomUp, rig, &hierarchy, wl, true, seed)
+              .cumulative_cost);
+    }
+    mean_per_cs.push_back(mean_curves(curves));
+  }
+
+  std::cout << "Figure 5: Bottom-Up cumulative cost vs queries, by max_cs\n"
+            << "(" << rig.net.node_count() << "-node network, 10 streams, "
+            << kWorkloads << " workloads x " << kQueries
+            << " queries of 2-5 joins, seed " << seed << ")\n\n";
+  std::vector<std::string> header = {"queries"};
+  for (int cs : cluster_sizes) header.push_back("cs=" + std::to_string(cs));
+  TextTable t(header);
+  for (int qi = 0; qi < kQueries; ++qi) {
+    auto& row = t.row().cell(qi + 1);
+    for (const auto& curve : mean_per_cs) {
+      row.cell(curve[static_cast<std::size_t>(qi)] / 1000.0);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "(cost per unit time, in thousands)\n\n";
+
+  const double cs8 = mean_per_cs[2].back();
+  const double cs64 = mean_per_cs[5].back();
+  std::cout << "cs=64 vs cs=8: " << 100.0 * (1.0 - cs64 / cs8)
+            << "% cheaper (paper: ~21%)\n";
+  for (std::size_t ci = 0; ci < cluster_sizes.size(); ++ci) {
+    std::cout << "  heights: max_cs=" << cluster_sizes[ci] << " -> "
+              << heights[ci] << " levels\n";
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 6 — Top-Down: cumulative deployed cost vs number of queries for
+// cluster sizes max_cs in {2,4,8,16,32,64}.
+//
+// Paper headline: all max_cs > 4 land close together (Top-Down always
+// considers every operator ordering at the top level); very small clusters
+// add levels and therefore approximation error.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace iflow;
+  using namespace iflow::bench;
+  const std::uint64_t seed = seed_from_args(argc, argv);
+  const int kWorkloads = 10;
+  const int kQueries = 20;
+  const std::vector<int> cluster_sizes = {2, 4, 8, 16, 32, 64};
+
+  Prng net_prng(seed);
+  Rig rig(paper_network(net_prng));
+
+  std::vector<std::vector<double>> mean_per_cs;
+  for (std::size_t ci = 0; ci < cluster_sizes.size(); ++ci) {
+    const int cs = cluster_sizes[ci];
+    std::vector<std::vector<double>> curves;
+    for (int w = 0; w < kWorkloads; ++w) {
+      // A fresh clustering per workload averages out k-medoids seeding.
+      Prng hp(seed + static_cast<std::uint64_t>(cs * 100 + w));
+      const cluster::Hierarchy hierarchy =
+          cluster::Hierarchy::build(rig.net, rig.rt, cs, hp);
+      Prng wp_prng(seed + 1000 + static_cast<std::uint64_t>(w));
+      workload::WorkloadParams wp;
+      wp.num_streams = 10;
+      wp.min_joins = 2;
+      wp.max_joins = 5;
+      const workload::Workload wl =
+          workload::make_workload(rig.net, wp, kQueries, wp_prng);
+      curves.push_back(
+          run_incremental(Alg::kTopDown, rig, &hierarchy, wl, true, seed)
+              .cumulative_cost);
+    }
+    mean_per_cs.push_back(mean_curves(curves));
+  }
+
+  std::cout << "Figure 6: Top-Down cumulative cost vs queries, by max_cs\n"
+            << "(" << rig.net.node_count() << "-node network, 10 streams, "
+            << kWorkloads << " workloads x " << kQueries
+            << " queries of 2-5 joins, seed " << seed << ")\n\n";
+  std::vector<std::string> header = {"queries"};
+  for (int cs : cluster_sizes) header.push_back("cs=" + std::to_string(cs));
+  TextTable t(header);
+  for (int qi = 0; qi < kQueries; ++qi) {
+    auto& row = t.row().cell(qi + 1);
+    for (const auto& curve : mean_per_cs) {
+      row.cell(curve[static_cast<std::size_t>(qi)] / 1000.0);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "(cost per unit time, in thousands)\n\n";
+
+  // Spread of the final costs among cs >= 8 relative to their mean: the
+  // paper observes these curves nearly coincide.
+  double lo = 1e300;
+  double hi = 0.0;
+  double sum = 0.0;
+  for (std::size_t ci = 2; ci < cluster_sizes.size(); ++ci) {
+    const double v = mean_per_cs[ci].back();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sum += v;
+  }
+  const double mean = sum / 4.0;
+  std::cout << "spread of final cost across cs in {8,16,32,64}: "
+            << 100.0 * (hi - lo) / mean
+            << "% of mean (paper: curves nearly coincide for cs > 4)\n";
+  std::cout << "cs=2 vs cs=32: "
+            << 100.0 * (mean_per_cs[0].back() / mean_per_cs[4].back() - 1.0)
+            << "% more expensive (paper: small clusters are worse)\n";
+  return 0;
+}

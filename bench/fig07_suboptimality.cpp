@@ -1,0 +1,85 @@
+// Figure 7 — sub-optimality and the effect of operator reuse at max_cs=32.
+//
+// Series: optimal (exhaustive joint search), Top-Down and Bottom-Up each
+// with and without reuse. Paper headlines: reuse saves ~27% (Top-Down) and
+// ~30% (Bottom-Up); with reuse Top-Down is ~10% above optimal and ~19%
+// below Bottom-Up, which sits ~34% above optimal.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace iflow;
+  using namespace iflow::bench;
+  const std::uint64_t seed = seed_from_args(argc, argv);
+  const int kWorkloads = 10;
+  const int kQueries = 20;
+
+  Prng net_prng(seed);
+  Rig rig(paper_network(net_prng));
+  Prng hp(seed + 32);
+  const cluster::Hierarchy hierarchy =
+      cluster::Hierarchy::build(rig.net, rig.rt, 32, hp);
+
+  struct Series {
+    std::string name;
+    Alg alg;
+    bool reuse;
+    std::vector<std::vector<double>> curves;
+  };
+  std::vector<Series> series = {
+      {"td-noreuse", Alg::kTopDown, false, {}},
+      {"td+reuse", Alg::kTopDown, true, {}},
+      {"bu-noreuse", Alg::kBottomUp, false, {}},
+      {"bu+reuse", Alg::kBottomUp, true, {}},
+      {"optimal", Alg::kExhaustive, true, {}},
+  };
+
+  for (int w = 0; w < kWorkloads; ++w) {
+    Prng wp_prng(seed + 1000 + static_cast<std::uint64_t>(w));
+    workload::WorkloadParams wp;
+    wp.num_streams = 10;
+    wp.min_joins = 2;
+    wp.max_joins = 5;
+    const workload::Workload wl =
+        workload::make_workload(rig.net, wp, kQueries, wp_prng);
+    for (Series& s : series) {
+      s.curves.push_back(
+          run_incremental(s.alg, rig, &hierarchy, wl, s.reuse, seed)
+              .cumulative_cost);
+    }
+  }
+
+  std::cout << "Figure 7: sub-optimality and effect of reuse (max_cs=32)\n"
+            << "(" << rig.net.node_count() << "-node network, " << kWorkloads
+            << " workloads x " << kQueries << " queries, seed " << seed
+            << ")\n\n";
+  std::vector<std::string> header = {"queries"};
+  std::vector<std::vector<double>> means;
+  for (Series& s : series) {
+    header.push_back(s.name);
+    means.push_back(mean_curves(s.curves));
+  }
+  TextTable t(header);
+  for (int qi = 0; qi < kQueries; ++qi) {
+    auto& row = t.row().cell(qi + 1);
+    for (const auto& m : means) row.cell(m[static_cast<std::size_t>(qi)] / 1000.0);
+  }
+  t.print(std::cout);
+  std::cout << "(cost per unit time, in thousands)\n\n";
+
+  const double td_no = means[0].back();
+  const double td = means[1].back();
+  const double bu_no = means[2].back();
+  const double bu = means[3].back();
+  const double opt = means[4].back();
+  std::cout << "reuse saving, top-down : " << 100.0 * (1.0 - td / td_no)
+            << "% (paper: ~27%)\n";
+  std::cout << "reuse saving, bottom-up: " << 100.0 * (1.0 - bu / bu_no)
+            << "% (paper: ~30%)\n";
+  std::cout << "top-down+reuse vs optimal : " << 100.0 * (td / opt - 1.0)
+            << "% above (paper: ~10%)\n";
+  std::cout << "bottom-up+reuse vs optimal: " << 100.0 * (bu / opt - 1.0)
+            << "% above (paper: ~34%)\n";
+  std::cout << "top-down vs bottom-up (with reuse): "
+            << 100.0 * (1.0 - td / bu) << "% cheaper (paper: ~19%)\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 9 — scalability with network size: plans/deployments considered
+// for a single 4-stream query, as the network grows from 128 to 1024 nodes
+// (max_cs = 32).
+//
+// Series: measured Top-Down, measured Bottom-Up, the exhaustive search
+// space (same tree-enumeration semantics: (2K-3)!! * N^(K-1)), the paper's
+// Lemma 1 figure, and the analytical worst-case bound beta * O_exhaustive
+// (Theorems 2 and 4). Paper headlines: both algorithms cut the search space
+// by >= 99%; Bottom-Up examines ~45% fewer plans than Top-Down.
+#include <cmath>
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace iflow;
+  using namespace iflow::bench;
+  const std::uint64_t seed = seed_from_args(argc, argv);
+  const int kQueries = 10;
+  const int kStreams = 100;
+  const int kSourcesPerQuery = 4;
+  const std::vector<int> sizes = {128, 256, 512, 1024};
+
+  std::cout << "Figure 9: plans considered vs network size (4-stream "
+               "queries, max_cs=32, seed "
+            << seed << ")\n\n";
+  TextTable t({"nodes", "top-down", "bottom-up", "exhaustive", "lemma1",
+               "bound(beta*exh)", "td-reduction", "bu/td"});
+
+  double td_total = 0.0;
+  double bu_total = 0.0;
+  double exh_total = 0.0;
+  double ratio_sum = 0.0;
+  for (int size : sizes) {
+    Prng net_prng(seed + static_cast<std::uint64_t>(size));
+    Rig rig(net::make_transit_stub(net::scale_to(size), net_prng));
+    Prng hp(seed + 7);
+    const cluster::Hierarchy hierarchy =
+        cluster::Hierarchy::build(rig.net, rig.rt, 32, hp);
+
+    workload::WorkloadParams wp;
+    wp.num_streams = kStreams;
+    wp.min_joins = kSourcesPerQuery - 1;
+    wp.max_joins = kSourcesPerQuery - 1;
+    Prng wl_prng(seed + 11);
+    const workload::Workload wl =
+        workload::make_workload(rig.net, wp, kQueries, wl_prng);
+
+    // Measured per-query averages (no reuse: the paper measures a single
+    // query's planning).
+    const RunStats td =
+        run_incremental(Alg::kTopDown, rig, &hierarchy, wl, false, seed);
+    const RunStats bu =
+        run_incremental(Alg::kBottomUp, rig, &hierarchy, wl, false, seed);
+    const double td_plans = td.plans / kQueries;
+    const double bu_plans = bu.plans / kQueries;
+
+    const double n = static_cast<double>(rig.net.node_count());
+    const double exhaustive =
+        cluster::bushy_tree_count(kSourcesPerQuery) *
+        std::pow(n, kSourcesPerQuery - 1);
+    const double lemma1 =
+        cluster::lemma1_search_space(kSourcesPerQuery, rig.net.node_count());
+    const double bound = cluster::beta(kSourcesPerQuery, rig.net.node_count(),
+                                       32, hierarchy.height()) *
+                         exhaustive;
+
+    td_total += td_plans;
+    bu_total += bu_plans;
+    exh_total += exhaustive;
+    ratio_sum += bu_plans / td_plans;
+    t.row()
+        .cell(static_cast<std::uint64_t>(rig.net.node_count()))
+        .cell_sci(td_plans)
+        .cell_sci(bu_plans)
+        .cell_sci(exhaustive)
+        .cell_sci(lemma1)
+        .cell_sci(bound)
+        .cell(100.0 * (1.0 - td_plans / exhaustive), 3)
+        .cell(bu_plans / td_plans);
+  }
+  t.print(std::cout);
+  std::cout << "\n(td-reduction: % of exhaustive space eliminated; paper: "
+               ">= 99% for both algorithms)\n";
+  std::cout << "bottom-up vs top-down plans, mean per-size reduction: "
+            << 100.0 * (1.0 - ratio_sum / static_cast<double>(sizes.size()))
+            << "% fewer (paper: ~45%; the gap is widest on the paper's "
+               "primary 128-node size and closes once a two-level hierarchy "
+               "covers the whole network)\n";
+  std::cout << "overall reduction vs exhaustive: top-down "
+            << 100.0 * (1.0 - td_total / exh_total) << "%, bottom-up "
+            << 100.0 * (1.0 - bu_total / exh_total) << "%\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Shared rig for the figure-reproduction benches.
+//
+// Each bench binary builds the paper's experimental setup (GT-ITM
+// transit-stub topologies, uniformly random workloads), runs the algorithms
+// under test, and prints the figure's series as an aligned table plus the
+// headline ratios the paper quotes. Seeds are fixed so output is
+// reproducible; pass a different seed as argv[1] to resample.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/hierarchy.h"
+#include "cluster/theory.h"
+#include "common/prng.h"
+#include "common/table.h"
+#include "net/gtitm.h"
+#include "net/routing.h"
+#include "opt/bottom_up.h"
+#include "opt/exhaustive.h"
+#include "opt/in_network.h"
+#include "opt/plan_then_deploy.h"
+#include "opt/relaxation.h"
+#include "opt/top_down.h"
+#include "workload/generator.h"
+
+namespace iflow::bench {
+
+inline std::uint64_t seed_from_args(int argc, char** argv,
+                                    std::uint64_t fallback = 20070326) {
+  return argc > 1 ? std::strtoull(argv[1], nullptr, 10) : fallback;
+}
+
+/// The paper's main simulation network: 1 transit domain of 4 nodes, 4 stub
+/// domains of 8 nodes per transit node ("128 node network").
+inline net::Network paper_network(Prng& prng) {
+  return net::make_transit_stub(net::TransitStubParams{}, prng);
+}
+
+/// The Emulab prototype testbed shape: 32-node-class transit-stub topology
+/// with 1-60 ms delays and 1 Mbps links.
+inline net::Network emulab_network(Prng& prng) {
+  net::TransitStubParams p = net::scale_to(32);
+  return net::make_transit_stub(p, prng);
+}
+
+struct Rig {
+  net::Network net;
+  net::RoutingTables rt;
+
+  explicit Rig(net::Network n) : net(std::move(n)), rt(net::RoutingTables::build(net)) {}
+};
+
+enum class Alg {
+  kExhaustive,
+  kTopDown,
+  kBottomUp,
+  kBottomUpFast,  // coordinator-pinned placement (no view refinement)
+  kPlanThenDeploy,
+  kRelaxation,
+  kInNetwork,
+};
+
+inline std::unique_ptr<opt::Optimizer> make_optimizer(Alg alg,
+                                                      const opt::OptimizerEnv& env,
+                                                      std::uint64_t seed,
+                                                      int zones = 5) {
+  switch (alg) {
+    case Alg::kExhaustive:
+      return std::make_unique<opt::ExhaustiveOptimizer>(env);
+    case Alg::kTopDown:
+      return std::make_unique<opt::TopDownOptimizer>(env);
+    case Alg::kBottomUp:
+      return std::make_unique<opt::BottomUpOptimizer>(env);
+    case Alg::kBottomUpFast:
+      return std::make_unique<opt::BottomUpOptimizer>(env,
+                                                      /*refine_views=*/false);
+    case Alg::kPlanThenDeploy:
+      return std::make_unique<opt::PlanThenDeployOptimizer>(env);
+    case Alg::kRelaxation:
+      // The paper's experiment built the 3-D cost space with 4 iterations
+      // and ran as many relaxation iterations (§3.3).
+      return std::make_unique<opt::RelaxationOptimizer>(
+          env, seed, /*relax_iterations=*/4, /*embed_iterations=*/4);
+    case Alg::kInNetwork:
+      return std::make_unique<opt::InNetworkOptimizer>(env, seed, zones);
+  }
+  IFLOW_CHECK_MSG(false, "unknown algorithm");
+}
+
+struct RunStats {
+  std::vector<double> cumulative_cost;  // after each query
+  double plans = 0.0;
+  double deploy_time_ms = 0.0;
+};
+
+/// Deploys a workload incrementally through one optimizer (fresh
+/// advertisement registry) and returns the cumulative deployed cost curve.
+inline RunStats run_incremental(Alg alg, const Rig& rig,
+                                const cluster::Hierarchy* hierarchy,
+                                const workload::Workload& wl, bool reuse,
+                                std::uint64_t seed, int zones = 5) {
+  advert::Registry registry;
+  opt::OptimizerEnv env;
+  env.catalog = &wl.catalog;
+  env.network = &rig.net;
+  env.routing = &rig.rt;
+  env.hierarchy = hierarchy;
+  env.registry = &registry;
+  env.reuse = reuse;
+
+  opt::Session session(env, make_optimizer(alg, env, seed, zones));
+  RunStats stats;
+  for (const query::Query& q : wl.queries) {
+    const opt::OptimizeResult r = session.submit(q);
+    IFLOW_CHECK(r.feasible);
+    stats.cumulative_cost.push_back(session.cumulative_cost());
+    stats.plans += r.plans_considered;
+    stats.deploy_time_ms += r.deploy_time_ms;
+  }
+  return stats;
+}
+
+/// Element-wise mean of several cumulative-cost curves.
+inline std::vector<double> mean_curves(
+    const std::vector<std::vector<double>>& curves) {
+  IFLOW_CHECK(!curves.empty());
+  std::vector<double> mean(curves.front().size(), 0.0);
+  for (const auto& c : curves) {
+    IFLOW_CHECK(c.size() == mean.size());
+    for (std::size_t i = 0; i < c.size(); ++i) mean[i] += c[i];
+  }
+  for (double& v : mean) v /= static_cast<double>(curves.size());
+  return mean;
+}
+
+}  // namespace iflow::bench

@@ -1,0 +1,145 @@
+// Microbenchmarks (google-benchmark) for the building blocks: routing table
+// construction, hierarchy clustering, join-tree enumeration, the planner DP,
+// and full Top-Down / Bottom-Up optimizations on the paper's 128-node-class
+// topology.
+#include <benchmark/benchmark.h>
+
+#include "cluster/hierarchy.h"
+#include "net/gtitm.h"
+#include "opt/bottom_up.h"
+#include "opt/exhaustive.h"
+#include "opt/top_down.h"
+#include "opt/view.h"
+#include "query/join_tree.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace iflow;
+
+struct Rig {
+  net::Network net;
+  net::RoutingTables rt;
+  workload::Workload wl;
+
+  Rig()
+      : net([] {
+          Prng prng(1);
+          return net::make_transit_stub(net::TransitStubParams{}, prng);
+        }()),
+        rt(net::RoutingTables::build(net)),
+        wl([this] {
+          Prng prng(2);
+          workload::WorkloadParams wp;
+          wp.num_streams = 10;
+          wp.min_joins = 3;
+          wp.max_joins = 3;
+          return workload::make_workload(net, wp, 4, prng);
+        }()) {}
+};
+
+Rig& rig() {
+  static Rig r;
+  return r;
+}
+
+void BM_RoutingBuild(benchmark::State& state) {
+  Prng prng(3);
+  const net::Network net = net::make_transit_stub(
+      net::scale_to(static_cast<int>(state.range(0))), prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::RoutingTables::build(net));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RoutingBuild)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+void BM_HierarchyBuild(benchmark::State& state) {
+  Rig& r = rig();
+  for (auto _ : state) {
+    Prng prng(4);
+    benchmark::DoNotOptimize(cluster::Hierarchy::build(
+        r.net, r.rt, static_cast<int>(state.range(0)), prng));
+  }
+}
+BENCHMARK(BM_HierarchyBuild)->Arg(4)->Arg(8)->Arg(32);
+
+void BM_TreeEnumeration(benchmark::State& state) {
+  std::vector<query::Mask> masks;
+  for (int i = 0; i < state.range(0); ++i) masks.push_back(query::Mask{1} << i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::enumerate_join_trees(masks));
+  }
+}
+BENCHMARK(BM_TreeEnumeration)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_PlanOptimalFullNetwork(benchmark::State& state) {
+  Rig& r = rig();
+  const query::Query& q = r.wl.queries.front();
+  query::RateModel rates(r.wl.catalog, q);
+  opt::PlannerInput in;
+  in.rates = &rates;
+  in.units = opt::collect_units(rates, nullptr, nullptr);
+  in.target = rates.full();
+  in.delivery = q.sink;
+  for (net::NodeId n = 0; n < r.net.node_count(); ++n) in.sites.push_back(n);
+  in.dist = [&r](net::NodeId a, net::NodeId b) { return r.rt.cost(a, b); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::plan_optimal(in));
+  }
+}
+BENCHMARK(BM_PlanOptimalFullNetwork);
+
+void BM_TopDownOptimize(benchmark::State& state) {
+  Rig& r = rig();
+  Prng prng(5);
+  const cluster::Hierarchy hierarchy = cluster::Hierarchy::build(
+      r.net, r.rt, static_cast<int>(state.range(0)), prng);
+  opt::OptimizerEnv env;
+  env.catalog = &r.wl.catalog;
+  env.network = &r.net;
+  env.routing = &r.rt;
+  env.hierarchy = &hierarchy;
+  env.reuse = false;
+  opt::TopDownOptimizer td(env);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(td.optimize(r.wl.queries.front()));
+  }
+}
+BENCHMARK(BM_TopDownOptimize)->Arg(8)->Arg(32);
+
+void BM_BottomUpOptimize(benchmark::State& state) {
+  Rig& r = rig();
+  Prng prng(6);
+  const cluster::Hierarchy hierarchy = cluster::Hierarchy::build(
+      r.net, r.rt, static_cast<int>(state.range(0)), prng);
+  opt::OptimizerEnv env;
+  env.catalog = &r.wl.catalog;
+  env.network = &r.net;
+  env.routing = &r.rt;
+  env.hierarchy = &hierarchy;
+  env.reuse = false;
+  opt::BottomUpOptimizer bu(env);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bu.optimize(r.wl.queries.front()));
+  }
+}
+BENCHMARK(BM_BottomUpOptimize)->Arg(8)->Arg(32);
+
+void BM_ExhaustiveOptimize(benchmark::State& state) {
+  Rig& r = rig();
+  opt::OptimizerEnv env;
+  env.catalog = &r.wl.catalog;
+  env.network = &r.net;
+  env.routing = &r.rt;
+  env.reuse = false;
+  opt::ExhaustiveOptimizer ex(env);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.optimize(r.wl.queries.front()));
+  }
+}
+BENCHMARK(BM_ExhaustiveOptimize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Distributed network monitoring at scale: many standing queries over
+// shared telemetry streams on a 128-node-class topology.
+//
+// Demonstrates multi-query optimization with operator reuse: 40 monitoring
+// queries over 12 telemetry streams are deployed incrementally with the
+// Top-Down and Bottom-Up algorithms, with and without stream
+// advertisements, and the cumulative communication cost is compared.
+#include <iomanip>
+#include <iostream>
+
+#include "cluster/hierarchy.h"
+#include "common/table.h"
+#include "net/gtitm.h"
+#include "opt/bottom_up.h"
+#include "opt/top_down.h"
+#include "workload/generator.h"
+
+using namespace iflow;
+
+namespace {
+
+double deploy_all(opt::Optimizer& optimizer, opt::OptimizerEnv env,
+                  const workload::Workload& wl, double* plans,
+                  double* deploy_ms) {
+  advert::Registry* registry = env.registry;
+  double total = 0.0;
+  for (const query::Query& q : wl.queries) {
+    const opt::OptimizeResult r = optimizer.optimize(q);
+    IFLOW_CHECK(r.feasible);
+    total += r.actual_cost;
+    *plans += r.plans_considered;
+    *deploy_ms += r.deploy_time_ms;
+    if (env.reuse && registry != nullptr) {
+      query::RateModel rates(*env.catalog, q);
+      advert::advertise_deployment(*registry, r.deployment, rates);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  Prng prng(2024);
+  const net::Network net =
+      net::make_transit_stub(net::TransitStubParams{}, prng);
+  const net::RoutingTables routing = net::RoutingTables::build(net);
+  Prng hier_prng(7);
+  const cluster::Hierarchy hierarchy =
+      cluster::Hierarchy::build(net, routing, 32, hier_prng);
+
+  // Telemetry streams: per-region flow summaries, alerts, latency probes...
+  workload::WorkloadParams wp;
+  wp.num_streams = 12;
+  wp.min_joins = 2;
+  wp.max_joins = 4;
+  Prng wl_prng(99);
+  const workload::Workload wl = workload::make_workload(net, wp, 40, wl_prng);
+
+  std::cout << "network monitoring: " << wl.queries.size()
+            << " standing queries over " << wp.num_streams
+            << " telemetry streams, " << net.node_count() << " nodes\n\n";
+
+  TextTable t({"algorithm", "reuse", "total cost", "plans", "deploy(s)"});
+  struct Row {
+    const char* name;
+    bool top_down;
+    bool reuse;
+  };
+  double baseline = 0.0;
+  for (const Row row : {Row{"top-down", true, false}, Row{"top-down", true, true},
+                        Row{"bottom-up", false, false},
+                        Row{"bottom-up", false, true}}) {
+    advert::Registry registry;
+    opt::OptimizerEnv env;
+    env.catalog = &wl.catalog;
+    env.network = &net;
+    env.routing = &routing;
+    env.hierarchy = &hierarchy;
+    env.registry = &registry;
+    env.reuse = row.reuse;
+    double plans = 0.0;
+    double deploy_ms = 0.0;
+    double total;
+    if (row.top_down) {
+      opt::TopDownOptimizer alg(env);
+      total = deploy_all(alg, env, wl, &plans, &deploy_ms);
+    } else {
+      opt::BottomUpOptimizer alg(env);
+      total = deploy_all(alg, env, wl, &plans, &deploy_ms);
+    }
+    if (!row.reuse && row.top_down) baseline = total;
+    t.row()
+        .cell(std::string(row.name))
+        .cell(std::string(row.reuse ? "yes" : "no"))
+        .cell(total, 0)
+        .cell(plans, 0)
+        .cell(deploy_ms / 1000.0, 2);
+  }
+  t.print(std::cout);
+  std::cout << "\nShared sub-joins across monitoring queries are deployed "
+               "once and advertised;\nlater queries consume the derived "
+               "streams instead of re-shipping base data.\n";
+  (void)baseline;
+  return 0;
+}

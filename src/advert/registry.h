@@ -1,0 +1,90 @@
+// Stream advertisements (paper §2.1.2) with containment-based reuse
+// (paper §5, future work).
+//
+// Every deployed operator (and every sink) is a new *derived* stream source
+// for the sub-query it computes. Advertisements are one-time messages
+// aggregated up the coordinator hierarchy so that each coordinator knows all
+// base and derived streams available in its underlying cluster; this is what
+// enables operator reuse during planning. We model the aggregated state as a
+// single registry queried with a scope predicate (the set of physical nodes
+// under the asking coordinator).
+//
+// Identity and containment: a derived stream is the join of a set of base
+// streams, each filtered by the originating query's selection predicates
+// (recorded as per-stream selectivity factors). A new query can consume it
+//   * exactly, when its filters match the advertisement's; or
+//   * by containment, when its filters are strictly STRONGER — the derived
+//     stream is a superset of what the query needs, and a residual filter
+//     applied at the provider trims it down.
+// A derived stream filtered more strongly than the query needs is unusable
+// (tuples are missing) and is never returned.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "query/plan.h"
+#include "query/query.h"
+
+namespace iflow::advert {
+
+/// A derived stream: the output of a deployed operator, identified by the
+/// set of base catalog streams it joins and the filter factors applied to
+/// them. Identity by (streams, filters) is sound because join selectivities
+/// are global catalog properties.
+struct DerivedStream {
+  std::vector<query::StreamId> streams;  // sorted, >= 1 entries
+  /// Filter selectivity already applied per stream (parallel to streams;
+  /// 1.0 = unfiltered).
+  std::vector<double> filters;
+  net::NodeId location = net::kInvalidNode;
+  double bytes_rate = 0.0;  // as produced (with `filters` applied)
+  double tuple_rate = 0.0;
+  query::QueryId origin = 0;
+};
+
+/// A reuse opportunity resolved against a specific query's filters.
+struct ReuseMatch {
+  const DerivedStream* stream = nullptr;
+  /// Residual filter factor (product over streams of query_filter /
+  /// advertised_filter); 1.0 = exact match, < 1.0 = containment reuse with
+  /// a residual selection applied at the provider.
+  double residual_filter = 1.0;
+};
+
+/// Registry of advertised derived streams. Base streams are advertised via
+/// the Catalog itself (their source nodes are public knowledge).
+class Registry {
+ public:
+  /// Records a new derived stream. Duplicate (streams, filters, location)
+  /// entries are ignored — re-advertising an identical operator adds
+  /// nothing.
+  void advertise(DerivedStream ds);
+
+  /// Derived streams consumable by query `q` (exactly or by containment)
+  /// that join a non-empty subset of its sources and whose provider
+  /// satisfies `in_scope` (null = anywhere). Single-stream deriveds are
+  /// returned only when they carry a filter (an unfiltered single stream is
+  /// just the base stream).
+  std::vector<ReuseMatch> reusable(
+      const query::Query& q,
+      const std::function<bool(net::NodeId)>& in_scope) const;
+
+  /// Evicts advertisements whose provider matches the predicate (e.g.
+  /// operators on a failed node). Returns how many were removed.
+  std::size_t remove_located(const std::function<bool(net::NodeId)>& where);
+
+  std::size_t size() const { return streams_.size(); }
+  void clear() { streams_.clear(); }
+
+ private:
+  std::vector<DerivedStream> streams_;
+};
+
+/// Advertises every operator of a freshly deployed query (and the sink
+/// stream) as derived streams, translating query-local masks to catalog
+/// stream ids and recording the query's filter factors.
+void advertise_deployment(Registry& registry, const query::Deployment& d,
+                          const query::RateModel& rates);
+
+}  // namespace iflow::advert

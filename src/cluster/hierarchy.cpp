@@ -1,0 +1,388 @@
+#include "cluster/hierarchy.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "cluster/kmedoids.h"
+
+namespace iflow::cluster {
+
+namespace {
+
+constexpr std::size_t kNoCluster = std::numeric_limits<std::size_t>::max();
+
+/// Member of `members` minimising the total traversal cost to the rest;
+/// deterministic coordinator (re-)election.
+net::NodeId elect_coordinator(const std::vector<net::NodeId>& members,
+                              const net::RoutingTables& rt) {
+  IFLOW_CHECK(!members.empty());
+  net::NodeId best = members.front();
+  double best_sum = std::numeric_limits<double>::infinity();
+  for (auto c : members) {
+    double sum = 0.0;
+    for (auto m : members) sum += rt.cost(c, m);
+    if (sum < best_sum) {
+      best_sum = sum;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Hierarchy Hierarchy::build(const net::Network& net,
+                           const net::RoutingTables& rt, int max_cs,
+                           Prng& prng) {
+  IFLOW_CHECK_MSG(max_cs >= 2, "max_cs must be at least 2");
+  IFLOW_CHECK(net.node_count() > 0);
+  Hierarchy h;
+  h.max_cs_ = max_cs;
+  h.node_count_ = net.node_count();
+
+  std::vector<std::uint32_t> items(net.node_count());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = static_cast<std::uint32_t>(i);
+  }
+  const DistanceFn dist = [&rt](std::uint32_t a, std::uint32_t b) {
+    return rt.cost(a, b);
+  };
+
+  // Cluster each level's node set until a single cluster covers it; that
+  // single cluster is the top level.
+  while (true) {
+    std::vector<Cluster> level;
+    if (items.size() <= static_cast<std::size_t>(max_cs)) {
+      Cluster top;
+      top.members.assign(items.begin(), items.end());
+      top.coordinator = elect_coordinator(top.members, rt);
+      level.push_back(std::move(top));
+      h.levels_.push_back(std::move(level));
+      break;
+    }
+    const int k = static_cast<int>((items.size() + max_cs - 1) /
+                                   static_cast<std::size_t>(max_cs));
+    KMedoidsResult km = k_medoids(items, k, static_cast<std::size_t>(max_cs),
+                                  dist, prng);
+    IFLOW_CHECK_MSG(km.clusters.size() >= 2,
+                    "clustering must make progress above max_cs nodes");
+    std::vector<std::uint32_t> next;
+    next.reserve(km.clusters.size());
+    for (std::size_t c = 0; c < km.clusters.size(); ++c) {
+      Cluster cl;
+      cl.members.assign(km.clusters[c].begin(), km.clusters[c].end());
+      cl.coordinator = km.medoids[c];
+      next.push_back(cl.coordinator);
+      level.push_back(std::move(cl));
+    }
+    h.levels_.push_back(std::move(level));
+    items = std::move(next);
+  }
+
+  h.rebuild_derived(rt);
+  return h;
+}
+
+const std::vector<Cluster>& Hierarchy::level(int l) const {
+  IFLOW_CHECK(l >= 1 && l <= height());
+  return levels_[static_cast<std::size_t>(l - 1)];
+}
+
+std::vector<net::NodeId> Hierarchy::nodes_at(int l) const {
+  std::vector<net::NodeId> nodes;
+  for (const auto& c : level(l)) {
+    nodes.insert(nodes.end(), c.members.begin(), c.members.end());
+  }
+  return nodes;
+}
+
+net::NodeId Hierarchy::representative(net::NodeId n, int l) const {
+  IFLOW_CHECK(l >= 1 && l <= height());
+  IFLOW_CHECK(n < node_count_);
+  const net::NodeId rep = rep_[static_cast<std::size_t>(l - 1)][n];
+  IFLOW_CHECK_MSG(rep != net::kInvalidNode, "node not in hierarchy");
+  return rep;
+}
+
+std::size_t Hierarchy::cluster_of(net::NodeId member, int l) const {
+  IFLOW_CHECK(l >= 1 && l <= height());
+  IFLOW_CHECK(member < node_count_);
+  const std::size_t idx = cluster_idx_[static_cast<std::size_t>(l - 1)][member];
+  IFLOW_CHECK_MSG(idx != kNoCluster, "node does not participate at level");
+  return idx;
+}
+
+double Hierarchy::d(int l) const {
+  IFLOW_CHECK(l >= 1 && l <= height());
+  return d_[static_cast<std::size_t>(l - 1)];
+}
+
+double Hierarchy::est_cost(net::NodeId a, net::NodeId b, int l) const {
+  IFLOW_CHECK(rt_ != nullptr);
+  return rt_->cost(representative(a, l), representative(b, l));
+}
+
+const std::vector<net::NodeId>& Hierarchy::underlying(net::NodeId coord,
+                                                      int l) const {
+  IFLOW_CHECK(l >= 1 && l <= height());
+  IFLOW_CHECK(coord < node_count_);
+  const auto& u = underlying_[static_cast<std::size_t>(l - 1)][coord];
+  IFLOW_CHECK_MSG(!u.empty(), "node does not participate at level");
+  return u;
+}
+
+void Hierarchy::rebuild_derived(const net::RoutingTables& rt) {
+  rt_ = &rt;
+  node_count_ = rt.node_count();
+  const std::size_t n = node_count_;
+  const std::size_t h = levels_.size();
+
+  cluster_idx_.assign(h, std::vector<std::size_t>(n, kNoCluster));
+  rep_.assign(h, std::vector<net::NodeId>(n, net::kInvalidNode));
+  underlying_.assign(h, std::vector<std::vector<net::NodeId>>(n));
+  d_.assign(h, 0.0);
+
+  for (std::size_t li = 0; li < h; ++li) {
+    for (std::size_t ci = 0; ci < levels_[li].size(); ++ci) {
+      const Cluster& cl = levels_[li][ci];
+      for (auto m : cl.members) {
+        IFLOW_CHECK(m < n);
+        cluster_idx_[li][m] = ci;
+      }
+      for (auto a : cl.members) {
+        for (auto b : cl.members) {
+          d_[li] = std::max(d_[li], rt.cost(a, b));
+        }
+      }
+    }
+  }
+
+  // Representatives: identity at level 1 (for nodes present), then the
+  // coordinator chain.
+  for (const auto& cl : levels_[0]) {
+    for (auto m : cl.members) rep_[0][m] = m;
+  }
+  for (std::size_t li = 1; li < h; ++li) {
+    for (net::NodeId node = 0; node < n; ++node) {
+      const net::NodeId below = rep_[li - 1][node];
+      if (below == net::kInvalidNode) continue;
+      rep_[li][node] =
+          levels_[li - 1][cluster_idx_[li - 1][below]].coordinator;
+    }
+  }
+
+  // Underlying physical sets: singletons at level 1, unions of the level
+  // below for promoted coordinators.
+  for (const auto& cl : levels_[0]) {
+    for (auto m : cl.members) underlying_[0][m] = {m};
+  }
+  for (std::size_t li = 1; li < h; ++li) {
+    for (const auto& cl : levels_[li - 1]) {
+      auto& u = underlying_[li][cl.coordinator];
+      for (auto m : cl.members) {
+        const auto& sub = underlying_[li - 1][m];
+        u.insert(u.end(), sub.begin(), sub.end());
+      }
+    }
+  }
+}
+
+void Hierarchy::add_node(net::NodeId n, const net::RoutingTables& rt,
+                         Prng& prng) {
+  IFLOW_CHECK(n < rt.node_count());
+  // Descend from the top, at each level into the cluster coordinated by the
+  // closest member (paper's join protocol).
+  std::size_t ci = 0;  // the single top-level cluster
+  for (int l = height(); l >= 2; --l) {
+    const Cluster& cl = levels_[static_cast<std::size_t>(l - 1)][ci];
+    net::NodeId closest = cl.members.front();
+    double best = std::numeric_limits<double>::infinity();
+    for (auto m : cl.members) {
+      const double c = rt.cost(n, m);
+      if (c < best) {
+        best = c;
+        closest = m;
+      }
+    }
+    ci = cluster_of(closest, l - 1);
+  }
+  levels_[0][ci].members.push_back(n);
+  handle_overflow(1, ci, rt, prng);
+  rebuild_derived(rt);
+}
+
+void Hierarchy::handle_overflow(int level, std::size_t cluster_index,
+                                const net::RoutingTables& rt, Prng& prng) {
+  auto& clusters = levels_[static_cast<std::size_t>(level - 1)];
+  Cluster& cl = clusters[cluster_index];
+  if (cl.members.size() <= static_cast<std::size_t>(max_cs_)) {
+    return;
+  }
+  const net::NodeId old_coord = cl.coordinator;
+  const DistanceFn dist = [&rt](std::uint32_t a, std::uint32_t b) {
+    return rt.cost(a, b);
+  };
+  KMedoidsResult split = k_medoids(cl.members, 2,
+                                   static_cast<std::size_t>(max_cs_), dist,
+                                   prng);
+  IFLOW_CHECK(split.clusters.size() == 2);
+  cl.members = split.clusters[0];
+  cl.coordinator = split.medoids[0];
+  Cluster sibling;
+  sibling.members = split.clusters[1];
+  sibling.coordinator = split.medoids[1];
+  clusters.push_back(std::move(sibling));
+  const net::NodeId c1 = clusters[cluster_index].coordinator;
+  const net::NodeId c2 = clusters.back().coordinator;
+
+  if (level == height()) {
+    // The (previously single) top cluster split: grow the hierarchy.
+    Cluster top;
+    top.members = {c1, c2};
+    top.coordinator = elect_coordinator(top.members, rt);
+    levels_.push_back({std::move(top)});
+    return;
+  }
+
+  // Patch the parent membership: old_coord's slot becomes c1, c2 is a new
+  // promotion.
+  auto& parent_clusters = levels_[static_cast<std::size_t>(level)];
+  std::size_t pci = kNoCluster;
+  for (std::size_t i = 0; i < parent_clusters.size() && pci == kNoCluster;
+       ++i) {
+    for (auto m : parent_clusters[i].members) {
+      if (m == old_coord) {
+        pci = i;
+        break;
+      }
+    }
+  }
+  IFLOW_CHECK_MSG(pci != kNoCluster, "promoted coordinator missing above");
+  Cluster& parent = parent_clusters[pci];
+  std::replace(parent.members.begin(), parent.members.end(), old_coord, c1);
+  parent.members.push_back(c2);
+  if (parent.coordinator == old_coord && c1 != old_coord) {
+    // The parent's coordinator id is no longer one of its members: re-elect
+    // and repair the promotion chain upward (each level's membership holds
+    // the coordinator promoted from below; when that coordinator changes,
+    // the entry above must change with it, possibly cascading).
+    Cluster* cur = &parent;
+    for (std::size_t li = static_cast<std::size_t>(level) + 1;; ++li) {
+      const net::NodeId old_promoted = cur->coordinator;
+      cur->coordinator = elect_coordinator(cur->members, rt);
+      const net::NodeId new_promoted = cur->coordinator;
+      if (old_promoted == new_promoted || li >= levels_.size()) break;
+      Cluster* next = nullptr;
+      for (auto& anc : levels_[li]) {
+        const auto it =
+            std::find(anc.members.begin(), anc.members.end(), old_promoted);
+        if (it == anc.members.end()) continue;
+        *it = new_promoted;
+        if (anc.coordinator == old_promoted) next = &anc;
+        break;
+      }
+      if (next == nullptr) break;  // chain above is intact
+      cur = next;
+    }
+  }
+  handle_overflow(level + 1, pci, rt, prng);
+}
+
+void Hierarchy::remove_node(net::NodeId n, const net::RoutingTables& rt) {
+  IFLOW_CHECK(n < node_count_);
+  // Walk the promotion chain upward. `present` is the id that occurs in the
+  // current level's membership; `replacement` is what it becomes there
+  // (kInvalidNode = plain erasure, when the cluster below vanished).
+  net::NodeId present = n;
+  net::NodeId replacement = net::kInvalidNode;
+
+  for (std::size_t li = 0; li < levels_.size(); ++li) {
+    auto& clusters = levels_[li];
+    std::size_t idx = kNoCluster;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      if (std::find(clusters[i].members.begin(), clusters[i].members.end(),
+                    present) != clusters[i].members.end()) {
+        idx = i;
+        break;
+      }
+    }
+    IFLOW_CHECK_MSG(idx != kNoCluster || li > 0, "node not in hierarchy");
+    if (idx == kNoCluster) break;  // `present` was never promoted this far
+
+    Cluster& cl = clusters[idx];
+    auto it = std::find(cl.members.begin(), cl.members.end(), present);
+    if (replacement == net::kInvalidNode) {
+      cl.members.erase(it);
+    } else {
+      *it = replacement;
+    }
+
+    if (cl.members.empty()) {
+      // `present` was the sole member, hence also the coordinator; the
+      // cluster vanishes and its promotion above must be erased.
+      clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(idx));
+      replacement = net::kInvalidNode;
+      continue;  // keep walking with the same `present` id
+    }
+    if (cl.coordinator == present) {
+      cl.coordinator = elect_coordinator(cl.members, rt);
+      // Above this level the old promotion carries the id `present`; it
+      // must now read as the freshly elected coordinator.
+      replacement = cl.coordinator;
+      continue;
+    }
+    break;  // coordinator unaffected: memberships above are intact
+  }
+
+  // Drop levels that emptied out entirely, then collapse redundant
+  // singleton tops (a one-cluster level above a one-cluster level carries no
+  // information).
+  while (!levels_.empty() && levels_.back().empty()) levels_.pop_back();
+  IFLOW_CHECK_MSG(!levels_.empty(), "cannot remove the last node");
+  while (levels_.size() > 1 && levels_.back().size() == 1 &&
+         levels_[levels_.size() - 2].size() == 1) {
+    levels_.pop_back();
+  }
+
+  rebuild_derived(rt);
+}
+
+void Hierarchy::validate(const net::Network& net) const {
+  IFLOW_CHECK(!levels_.empty());
+  // Level-1 members are distinct physical nodes, each cluster within
+  // capacity, coordinator a member.
+  std::unordered_set<net::NodeId> seen;
+  for (const auto& levelClusters : levels_) {
+    IFLOW_CHECK(!levelClusters.empty());
+    for (const auto& cl : levelClusters) {
+      IFLOW_CHECK(!cl.members.empty());
+      IFLOW_CHECK(cl.members.size() <= static_cast<std::size_t>(max_cs_));
+      IFLOW_CHECK(std::find(cl.members.begin(), cl.members.end(),
+                            cl.coordinator) != cl.members.end());
+    }
+  }
+  for (const auto& cl : levels_[0]) {
+    for (auto m : cl.members) {
+      IFLOW_CHECK(m < net.node_count());
+      IFLOW_CHECK_MSG(seen.insert(m).second, "node in two level-1 clusters");
+    }
+  }
+  // Members at level l (>= 2) are exactly the coordinators of level l-1.
+  for (std::size_t li = 1; li < levels_.size(); ++li) {
+    std::vector<net::NodeId> promoted;
+    for (const auto& cl : levels_[li - 1]) promoted.push_back(cl.coordinator);
+    std::vector<net::NodeId> members;
+    for (const auto& cl : levels_[li]) {
+      members.insert(members.end(), cl.members.begin(), cl.members.end());
+    }
+    std::sort(promoted.begin(), promoted.end());
+    std::sort(members.begin(), members.end());
+    IFLOW_CHECK_MSG(promoted == members,
+                    "level " << li + 1 << " membership != promotions");
+  }
+  // Exactly one top-level cluster.
+  IFLOW_CHECK(levels_.back().size() == 1);
+}
+
+}  // namespace iflow::cluster

@@ -1,0 +1,111 @@
+// Virtual hierarchical network partitions (paper §2.1.1).
+//
+// Physical nodes are clustered by traversal cost into Level-1 clusters of at
+// most `max_cs` members; each cluster's medoid becomes its coordinator and is
+// promoted to Level 2, where clustering repeats, until a single top-level
+// cluster remains. The hierarchy provides:
+//   * representative(n, l)  — the physical coordinator standing in for n at
+//     level l (n itself at level 1);
+//   * est_cost(a, b, l)     — the level-l cost approximation of Theorem 1;
+//   * d(l)                  — max intra-cluster traversal cost at level l,
+//     the dᵢ of Theorems 1 and 3;
+//   * underlying(c, l)      — the physical nodes beneath a level-l node,
+//     which is the planning domain the Top-Down algorithm recurses into.
+//
+// The structure supports runtime node joins and departures following the
+// paper's join protocol (walk down from the top, at each level descending
+// into the closest child cluster).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/prng.h"
+#include "net/network.h"
+#include "net/routing.h"
+
+namespace iflow::cluster {
+
+/// One cluster at some hierarchy level. `members` are physical node ids
+/// (at levels >= 2 they are coordinators promoted from below).
+struct Cluster {
+  std::vector<net::NodeId> members;
+  net::NodeId coordinator = net::kInvalidNode;
+};
+
+/// Immutable-by-default multi-level clustering of a network; see file
+/// comment. Heights and cluster contents are deterministic given the Prng.
+class Hierarchy {
+ public:
+  /// Builds the full hierarchy bottom-up. `max_cs` >= 2.
+  static Hierarchy build(const net::Network& net, const net::RoutingTables& rt,
+                         int max_cs, Prng& prng);
+
+  /// Number of levels h; levels are numbered 1 (physical) .. h (single
+  /// top-level cluster).
+  int height() const { return static_cast<int>(levels_.size()); }
+
+  int max_cs() const { return max_cs_; }
+
+  /// Clusters at a level (1-based).
+  const std::vector<Cluster>& level(int l) const;
+
+  /// The node ids that participate at level l (all physical nodes at level
+  /// 1; promoted coordinators above).
+  std::vector<net::NodeId> nodes_at(int l) const;
+
+  /// The physical coordinator representing `n` at level l. representative(n,
+  /// 1) == n; at higher levels it is the coordinator chain.
+  net::NodeId representative(net::NodeId n, int l) const;
+
+  /// Index into level(l) of the cluster containing level-l node `member`.
+  std::size_t cluster_of(net::NodeId member, int l) const;
+
+  /// Maximum intra-cluster traversal cost dᵢ at level l (0 for singleton
+  /// clusters).
+  double d(int l) const;
+
+  /// Level-l estimate of the traversal cost between physical nodes a and b:
+  /// the actual cost between their level-l representatives. By Theorem 1,
+  /// actual_cost(a,b) <= est_cost(a,b,l) + sum_{i<l} 2 d(i).
+  double est_cost(net::NodeId a, net::NodeId b, int l) const;
+
+  /// Physical nodes in the subtree under level-l node `coord` (for l == 1,
+  /// just {coord}).
+  const std::vector<net::NodeId>& underlying(net::NodeId coord, int l) const;
+
+  /// Runtime join (paper §2.1.1): the new node, already added to the
+  /// network and routing tables, descends from the top level into the
+  /// closest cluster at each level and lands in a Level-1 cluster. If that
+  /// cluster would exceed max_cs it is split in two. Derived tables are
+  /// refreshed.
+  void add_node(net::NodeId n, const net::RoutingTables& rt, Prng& prng);
+
+  /// Runtime departure: removes a physical node; if it coordinated any
+  /// cluster a replacement is elected and the promotion chain repaired.
+  void remove_node(net::NodeId n, const net::RoutingTables& rt);
+
+  /// Internal consistency check (partitioning, coordinator membership,
+  /// promotion chain); used by tests and after maintenance operations.
+  void validate(const net::Network& net) const;
+
+ private:
+  void rebuild_derived(const net::RoutingTables& rt);
+  void handle_overflow(int level, std::size_t cluster_index,
+                       const net::RoutingTables& rt, Prng& prng);
+
+  int max_cs_ = 0;
+  const net::RoutingTables* rt_ = nullptr;  // non-owning; outlives hierarchy
+  std::size_t node_count_ = 0;
+  std::vector<std::vector<Cluster>> levels_;  // levels_[l-1] = level l
+
+  // Derived lookup tables, refreshed by rebuild_derived().
+  std::vector<double> d_;                              // d_[l-1]
+  std::vector<std::vector<std::size_t>> cluster_idx_;  // per level: node -> cluster
+  std::vector<std::vector<net::NodeId>> rep_;          // per level: node -> representative
+  // underlying_[l-1][coord] — physical nodes beneath a level-l node; stored
+  // sparsely as (node -> vector) keyed by node id in a dense vector.
+  std::vector<std::vector<std::vector<net::NodeId>>> underlying_;
+};
+
+}  // namespace iflow::cluster

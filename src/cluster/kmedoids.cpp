@@ -1,0 +1,131 @@
+#include "cluster/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace iflow::cluster {
+
+namespace {
+
+/// Assigns every item to the nearest medoid that still has room. Items are
+/// processed in order of how strongly they prefer their best medoid, so
+/// capacity conflicts are resolved in favour of the tightest matches.
+std::vector<std::vector<std::uint32_t>> assign_with_capacity(
+    const std::vector<std::uint32_t>& items,
+    const std::vector<std::uint32_t>& medoids, std::size_t capacity,
+    const DistanceFn& dist) {
+  struct Pref {
+    std::uint32_t item;
+    double best;
+  };
+  std::vector<Pref> order;
+  order.reserve(items.size());
+  for (auto item : items) {
+    double best = std::numeric_limits<double>::infinity();
+    for (auto m : medoids) best = std::min(best, dist(item, m));
+    order.push_back({item, best});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Pref& a, const Pref& b) { return a.best < b.best; });
+
+  std::vector<std::vector<std::uint32_t>> clusters(medoids.size());
+  for (const auto& p : order) {
+    std::size_t chosen = medoids.size();
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < medoids.size(); ++c) {
+      if (clusters[c].size() >= capacity) continue;
+      const double d = dist(p.item, medoids[c]);
+      if (d < best) {
+        best = d;
+        chosen = c;
+      }
+    }
+    IFLOW_CHECK_MSG(chosen < medoids.size(), "no cluster with free capacity");
+    clusters[chosen].push_back(p.item);
+  }
+  return clusters;
+}
+
+/// The member of `members` minimising the sum of distances to the rest.
+std::uint32_t medoid_of(const std::vector<std::uint32_t>& members,
+                        const DistanceFn& dist) {
+  IFLOW_CHECK(!members.empty());
+  std::uint32_t best = members.front();
+  double best_sum = std::numeric_limits<double>::infinity();
+  for (auto candidate : members) {
+    double sum = 0.0;
+    for (auto other : members) sum += dist(candidate, other);
+    if (sum < best_sum) {
+      best_sum = sum;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+KMedoidsResult k_medoids(const std::vector<std::uint32_t>& items, int k,
+                         std::size_t capacity, const DistanceFn& dist,
+                         Prng& prng, int max_iterations) {
+  IFLOW_CHECK(k >= 1);
+  IFLOW_CHECK(!items.empty());
+  IFLOW_CHECK_MSG(static_cast<std::size_t>(k) * capacity >= items.size(),
+                  "k * capacity too small for item count");
+
+  // Seed with k distinct random items (k-means++ style spreading: first is
+  // random, each next is the item farthest from the chosen set).
+  std::vector<std::uint32_t> medoids;
+  medoids.reserve(static_cast<std::size_t>(k));
+  medoids.push_back(items[prng.index(items.size())]);
+  while (medoids.size() < static_cast<std::size_t>(k)) {
+    std::uint32_t farthest = medoids.front();
+    double farthest_d = -1.0;
+    for (auto item : items) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (auto m : medoids) nearest = std::min(nearest, dist(item, m));
+      if (nearest > farthest_d) {
+        farthest_d = nearest;
+        farthest = item;
+      }
+    }
+    medoids.push_back(farthest);
+  }
+
+  KMedoidsResult result;
+  result.medoids = medoids;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    result.clusters =
+        assign_with_capacity(items, result.medoids, capacity, dist);
+    bool changed = false;
+    for (std::size_t c = 0; c < result.clusters.size(); ++c) {
+      if (result.clusters[c].empty()) continue;
+      const std::uint32_t next = medoid_of(result.clusters[c], dist);
+      if (next != result.medoids[c]) {
+        result.medoids[c] = next;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  result.clusters =
+      assign_with_capacity(items, result.medoids, capacity, dist);
+
+  // Drop empty clusters (can happen when k over-provisions capacity) and
+  // recompute medoids from the final membership so every medoid is a member
+  // of its own cluster even if capacity conflicts displaced it.
+  for (std::size_t c = result.clusters.size(); c-- > 0;) {
+    if (result.clusters[c].empty()) {
+      result.clusters.erase(result.clusters.begin() +
+                            static_cast<std::ptrdiff_t>(c));
+      result.medoids.erase(result.medoids.begin() +
+                           static_cast<std::ptrdiff_t>(c));
+    } else {
+      result.medoids[c] = medoid_of(result.clusters[c], dist);
+    }
+  }
+  return result;
+}
+
+}  // namespace iflow::cluster

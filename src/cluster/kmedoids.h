@@ -1,0 +1,35 @@
+// Capacity-bounded k-medoids clustering over an arbitrary distance oracle.
+//
+// The paper clusters nodes with K-Means over the inter-node traversal cost
+// (§3). Traversal costs live in a metric space without coordinates, so the
+// natural K-Means analogue is k-medoids (Lloyd iterations where the centre
+// is the member minimising total in-cluster distance). We additionally bound
+// cluster sizes by a capacity, because the hierarchy requires at most
+// `max_cs` nodes per cluster.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace iflow::cluster {
+
+/// Distance oracle between two items (items are caller-defined indices).
+using DistanceFn = std::function<double(std::uint32_t, std::uint32_t)>;
+
+struct KMedoidsResult {
+  /// Clusters as lists of items; every input item appears in exactly one.
+  std::vector<std::vector<std::uint32_t>> clusters;
+  /// Medoid (member chosen as centre) per cluster; this becomes the
+  /// cluster coordinator in the hierarchy.
+  std::vector<std::uint32_t> medoids;
+};
+
+/// Partitions `items` into `k` clusters of at most `capacity` members each.
+/// Requires k * capacity >= items.size(). Deterministic given the Prng.
+KMedoidsResult k_medoids(const std::vector<std::uint32_t>& items, int k,
+                         std::size_t capacity, const DistanceFn& dist,
+                         Prng& prng, int max_iterations = 20);
+
+}  // namespace iflow::cluster

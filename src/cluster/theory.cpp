@@ -1,0 +1,58 @@
+#include "cluster/theory.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace iflow::cluster {
+
+double lemma1_search_space(int k_sources, std::size_t n_nodes) {
+  IFLOW_CHECK(k_sources > 1);
+  IFLOW_CHECK(n_nodes > 0);
+  const double k = k_sources;
+  return k * (k - 1.0) * (k + 1.0) / 6.0 *
+         std::pow(static_cast<double>(n_nodes), k - 1.0);
+}
+
+double bushy_tree_count(int k_sources) {
+  IFLOW_CHECK(k_sources >= 1);
+  double count = 1.0;
+  for (int f = 2 * k_sources - 3; f >= 3; f -= 2) count *= f;
+  return count;
+}
+
+double beta(int k_sources, std::size_t n_nodes, int max_cs, int height) {
+  IFLOW_CHECK(k_sources > 1);
+  IFLOW_CHECK(max_cs >= 1);
+  IFLOW_CHECK(height >= 1);
+  const double ratio =
+      static_cast<double>(max_cs) / static_cast<double>(n_nodes);
+  return static_cast<double>(height) *
+         std::pow(ratio, static_cast<double>(k_sources - 1));
+}
+
+double hierarchical_search_space_bound(int k_sources, std::size_t n_nodes,
+                                       int max_cs, int height) {
+  return beta(k_sources, n_nodes, max_cs, height) *
+         lemma1_search_space(k_sources, n_nodes);
+}
+
+double theorem1_slack(const Hierarchy& h, int level) {
+  IFLOW_CHECK(level >= 1 && level <= h.height());
+  double slack = 0.0;
+  for (int i = 1; i < level; ++i) slack += 2.0 * h.d(i);
+  return slack;
+}
+
+double theorem3_bound(const Hierarchy& h,
+                      const std::vector<double>& edge_rates) {
+  const double slack = theorem1_slack(h, h.height());
+  double bound = 0.0;
+  for (double rate : edge_rates) {
+    IFLOW_CHECK(rate >= 0.0);
+    bound += rate * slack;
+  }
+  return bound;
+}
+
+}  // namespace iflow::cluster

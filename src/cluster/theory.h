@@ -1,0 +1,43 @@
+// Analytic search-space sizes and sub-optimality bounds from the paper.
+//
+// These formulas drive the Fig 9 "analytical bounds" series and are
+// property-tested against the optimizers' measured plan counters.
+#pragma once
+
+#include <cstddef>
+
+#include "cluster/hierarchy.h"
+
+namespace iflow::cluster {
+
+/// Lemma 1: size of the exhaustive plan+deployment space for a query over K
+/// (> 1) sources on an N-node network,
+///   O_exhaustive = K(K-1)(K+1)/6 · N^(K-1).
+double lemma1_search_space(int k_sources, std::size_t n_nodes);
+
+/// Number of distinct unordered bushy join trees over K labelled leaves:
+/// (2K-3)!! = 1·3·5·…·(2K-3). This is what the tree enumerator produces and
+/// what the measured plan counters are built from.
+double bushy_tree_count(int k_sources);
+
+/// Eq. 1: β = h · (max_cs / N)^(K-1), the bound on the ratio of the
+/// hierarchical algorithms' search space to the exhaustive one
+/// (Theorems 2 and 4).
+double beta(int k_sources, std::size_t n_nodes, int max_cs, int height);
+
+/// Theorem 2 / Theorem 4 worst-case search-space bound for the Top-Down and
+/// Bottom-Up algorithms: β · O_exhaustive.
+double hierarchical_search_space_bound(int k_sources, std::size_t n_nodes,
+                                       int max_cs, int height);
+
+/// Theorem 1 slack at level l: sum_{i=1}^{l-1} 2 dᵢ. The actual traversal
+/// cost between two nodes never exceeds the level-l estimate plus this.
+double theorem1_slack(const Hierarchy& h, int level);
+
+/// Theorem 3: upper bound on the Top-Down algorithm's absolute
+/// sub-optimality for a chosen query tree, sum_k rate_k · sum_{i<h} 2 dᵢ,
+/// where `edge_rates` holds the per-unit-time data rate of every edge of the
+/// deployed query tree.
+double theorem3_bound(const Hierarchy& h, const std::vector<double>& edge_rates);
+
+}  // namespace iflow::cluster

@@ -1,0 +1,55 @@
+// Lightweight runtime checking for invariants and argument validation.
+//
+// IFLOW_CHECK is always on (library correctness depends on it and the cost of
+// the checks is negligible next to graph traversals); IFLOW_DCHECK compiles
+// out in release builds and is meant for hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace iflow {
+
+/// Thrown when a checked invariant or precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace iflow
+
+#define IFLOW_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::iflow::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define IFLOW_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream iflow_check_os_;                              \
+      iflow_check_os_ << msg;                                          \
+      ::iflow::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                    iflow_check_os_.str());            \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define IFLOW_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define IFLOW_DCHECK(expr) IFLOW_CHECK(expr)
+#endif

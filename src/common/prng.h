@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (topology generation, workload
+// generation, clustering initialisation, the discrete-event engine) takes an
+// explicit Prng so that experiments are reproducible from a single seed and
+// independent components can be given independent streams (see `fork`).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace iflow {
+
+/// Deterministic random source. Thin wrapper over std::mt19937_64 with the
+/// distribution helpers the library actually uses.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    IFLOW_CHECK(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+  }
+
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n) {
+    IFLOW_CHECK(n > 0);
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    IFLOW_CHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform(0.0, 1.0) < p; }
+
+  /// Exponentially distributed inter-arrival gap with the given rate (per
+  /// second). Used by the engine's Poisson sources.
+  double exponential(double rate) {
+    IFLOW_CHECK(rate > 0.0);
+    return std::exponential_distribution<double>(rate)(gen_);
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    IFLOW_CHECK(!v.empty());
+    return v[index(v.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derive an independent child stream; the (parent seed, salt) pair fully
+  /// determines the child, so forked components stay reproducible.
+  Prng fork(std::uint64_t salt) {
+    const std::uint64_t s = gen_() ^ (salt * 0x9E3779B97F4A7C15ULL);
+    return Prng(s);
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace iflow

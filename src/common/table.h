@@ -1,0 +1,82 @@
+// Plain-text table formatting for the benchmark harness.
+//
+// Every figure-reproduction bench prints its series through TextTable so the
+// output is aligned, diff-able, and easy to paste into EXPERIMENTS.md.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace iflow {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision. Rows are printed with a header rule.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Begin a new row; subsequent `cell` calls fill it left to right.
+  TextTable& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  TextTable& cell(const std::string& s) {
+    IFLOW_CHECK(!rows_.empty());
+    rows_.back().push_back(s);
+    return *this;
+  }
+
+  TextTable& cell(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return cell(os.str());
+  }
+
+  TextTable& cell(std::uint64_t v) { return cell(std::to_string(v)); }
+  TextTable& cell(int v) { return cell(std::to_string(v)); }
+
+  /// Scientific notation, for search-space sizes.
+  TextTable& cell_sci(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << v;
+    return cell(os.str());
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_) {
+      IFLOW_CHECK_MSG(r.size() <= header_.size(), "row wider than header");
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        os << (c ? "  " : "") << std::setw(static_cast<int>(width[c]))
+           << cells[c];
+      }
+      os << '\n';
+    };
+    emit(header_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      rule += width[c] + (c ? 2 : 0);
+    }
+    os << std::string(rule, '-') << '\n';
+    for (const auto& r : rows_) emit(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iflow

@@ -1,0 +1,267 @@
+#include "engine/middleware.h"
+
+#include <algorithm>
+
+#include "query/rates.h"
+
+namespace iflow::engine {
+
+Middleware::Middleware(net::Network& net, query::Catalog& catalog,
+                       int max_cs, Algorithm algorithm, std::uint64_t seed,
+                       double drift_threshold)
+    : net_(&net), catalog_(&catalog), max_cs_(max_cs), algorithm_(algorithm),
+      prng_(seed), drift_threshold_(drift_threshold) {
+  IFLOW_CHECK(drift_threshold > 1.0);
+  rebuild_views();
+}
+
+void Middleware::rebuild_views() {
+  routing_ = std::make_unique<net::RoutingTables>(
+      net::RoutingTables::build(*net_));
+  Prng fork = prng_.fork(net_->version());
+  hierarchy_ = std::make_unique<cluster::Hierarchy>(
+      cluster::Hierarchy::build(*net_, *routing_, max_cs_, fork));
+}
+
+opt::OptimizerEnv Middleware::env() {
+  opt::OptimizerEnv e;
+  e.catalog = catalog_;
+  e.network = net_;
+  e.routing = routing_.get();
+  e.hierarchy = hierarchy_.get();
+  e.registry = &registry_;
+  e.reuse = true;
+  if (!failed_nodes_.empty() || !overloaded_nodes_.empty()) {
+    const auto excluded = [this](net::NodeId n) {
+      return std::find(failed_nodes_.begin(), failed_nodes_.end(), n) !=
+                 failed_nodes_.end() ||
+             std::find(overloaded_nodes_.begin(), overloaded_nodes_.end(),
+                       n) != overloaded_nodes_.end();
+    };
+    for (net::NodeId n = 0; n < net_->node_count(); ++n) {
+      if (!excluded(n)) e.processing_nodes.push_back(n);
+    }
+  }
+  return e;
+}
+
+opt::OptimizeResult Middleware::replan(const Active& a) {
+  // Plan against a registry of everyone else's operators: this query's own
+  // stale advertisements must not be reused.
+  advert::Registry fresh;
+  for (const Active& other : active_) {
+    if (other.q.id == a.q.id) continue;
+    query::RateModel rates(*catalog_, other.q);
+    advert::advertise_deployment(fresh, other.deployment, rates);
+  }
+  if (!failed_nodes_.empty()) {
+    fresh.remove_located([this](net::NodeId n) {
+      return std::find(failed_nodes_.begin(), failed_nodes_.end(), n) !=
+             failed_nodes_.end();
+    });
+  }
+  advert::Registry saved = std::move(registry_);
+  registry_ = std::move(fresh);
+  auto optimizer = make_optimizer();
+  opt::OptimizeResult res = optimizer->optimize(a.q);
+  registry_ = std::move(saved);
+  return res;
+}
+
+std::unique_ptr<opt::Optimizer> Middleware::make_optimizer() {
+  switch (algorithm_) {
+    case Algorithm::kTopDown:
+      return std::make_unique<opt::TopDownOptimizer>(env());
+    case Algorithm::kBottomUp:
+      return std::make_unique<opt::BottomUpOptimizer>(env());
+    case Algorithm::kExhaustive:
+      return std::make_unique<opt::ExhaustiveOptimizer>(env());
+  }
+  IFLOW_CHECK_MSG(false, "unknown algorithm");
+}
+
+opt::OptimizeResult Middleware::deploy(const query::Query& q) {
+  auto optimizer = make_optimizer();
+  opt::OptimizeResult res = optimizer->optimize(q);
+  IFLOW_CHECK(res.feasible);
+  query::RateModel rates(*catalog_, q);
+  advert::advertise_deployment(registry_, res.deployment, rates);
+  active_.push_back(Active{q, res.deployment, res.actual_cost});
+  return res;
+}
+
+void Middleware::set_link_cost(net::NodeId a, net::NodeId b,
+                               double cost_per_byte) {
+  net_->set_link_cost(a, b, cost_per_byte);
+  rebuild_views();
+}
+
+void Middleware::set_stream_rate(query::StreamId stream, double tuple_rate) {
+  catalog_->set_tuple_rate(stream, tuple_rate);
+}
+
+std::vector<Redeployment> Middleware::fail_node(net::NodeId n) {
+  IFLOW_CHECK(n < net_->node_count());
+  for (query::StreamId s = 0; s < catalog_->stream_count(); ++s) {
+    IFLOW_CHECK_MSG(catalog_->stream(s).source != n,
+                    "cannot fail a node hosting stream source "
+                        << catalog_->stream(s).name);
+  }
+  for (const Active& a : active_) {
+    IFLOW_CHECK_MSG(a.q.sink != n, "cannot fail the sink of an active query");
+  }
+  if (std::find(failed_nodes_.begin(), failed_nodes_.end(), n) ==
+      failed_nodes_.end()) {
+    failed_nodes_.push_back(n);
+  }
+  hierarchy_->remove_node(n, *routing_);
+
+  std::vector<Redeployment> redeployed;
+  for (Active& a : active_) {
+    bool affected = false;
+    for (const query::DeployedOp& op : a.deployment.ops) {
+      affected |= (op.node == n);
+    }
+    for (const query::LeafUnit& u : a.deployment.units) {
+      affected |= (u.derived && u.location == n);
+    }
+    if (!affected) continue;
+    const opt::OptimizeResult res = replan(a);
+    IFLOW_CHECK(res.feasible);
+    Redeployment r;
+    r.query = a.q.id;
+    r.planned_cost = a.planned_cost;
+    query::RateModel rates(*catalog_, a.q);
+    r.drifted_cost = query::deployment_cost(a.deployment, rates, *routing_);
+    r.adapted_cost = res.actual_cost;
+    a.deployment = res.deployment;
+    a.planned_cost = res.actual_cost;
+    redeployed.push_back(r);
+  }
+  // Advertisements referencing the failed node (or moved operators) are
+  // stale: rebuild from the surviving deployments.
+  registry_.clear();
+  for (const Active& a : active_) {
+    query::RateModel rates(*catalog_, a.q);
+    advert::advertise_deployment(registry_, a.deployment, rates);
+  }
+  return redeployed;
+}
+
+void Middleware::set_node_capacity(double max_input_bytes_per_s) {
+  IFLOW_CHECK(max_input_bytes_per_s >= 0.0);
+  node_capacity_ = max_input_bytes_per_s;
+}
+
+std::vector<double> Middleware::node_loads() const {
+  std::vector<double> load(net_->node_count(), 0.0);
+  for (const Active& a : active_) {
+    const query::Deployment& d = a.deployment;
+    for (const query::DeployedOp& op : d.ops) {
+      for (int child : {op.left, op.right}) {
+        const double rate =
+            query::child_is_unit(child)
+                ? d.units[static_cast<std::size_t>(
+                              query::child_unit_index(child))]
+                      .bytes_rate
+                : d.ops[static_cast<std::size_t>(child)].out_bytes_rate;
+        load[op.node] += rate;
+      }
+    }
+  }
+  return load;
+}
+
+std::vector<Redeployment> Middleware::rebalance_load() {
+  std::vector<Redeployment> redeployed;
+  if (node_capacity_ <= 0.0) return redeployed;
+  for (std::size_t round = 0; round < net_->node_count(); ++round) {
+    const std::vector<double> load = node_loads();
+    net::NodeId worst = net::kInvalidNode;
+    for (net::NodeId n = 0; n < net_->node_count(); ++n) {
+      if (load[n] > node_capacity_ &&
+          (worst == net::kInvalidNode || load[n] > load[worst])) {
+        worst = n;
+      }
+    }
+    if (worst == net::kInvalidNode) break;
+    if (std::find(overloaded_nodes_.begin(), overloaded_nodes_.end(),
+                  worst) != overloaded_nodes_.end()) {
+      break;  // already shed and its remaining load cannot move
+    }
+    overloaded_nodes_.push_back(worst);
+    for (Active& a : active_) {
+      bool hosted = false;
+      for (const query::DeployedOp& op : a.deployment.ops) {
+        hosted |= (op.node == worst);
+      }
+      if (!hosted) continue;
+      const opt::OptimizeResult res = replan(a);
+      IFLOW_CHECK(res.feasible);
+      Redeployment r;
+      r.query = a.q.id;
+      r.planned_cost = a.planned_cost;
+      query::RateModel rates(*catalog_, a.q);
+      r.drifted_cost = query::deployment_cost(a.deployment, rates, *routing_);
+      r.adapted_cost = res.actual_cost;
+      a.deployment = res.deployment;
+      a.planned_cost = res.actual_cost;
+      redeployed.push_back(r);
+    }
+    // Refresh advertisements after migrations.
+    registry_.clear();
+    for (const Active& a : active_) {
+      query::RateModel rates(*catalog_, a.q);
+      advert::advertise_deployment(registry_, a.deployment, rates);
+    }
+  }
+  return redeployed;
+}
+
+double Middleware::total_current_cost() const {
+  double total = 0.0;
+  for (const Active& a : active_) {
+    query::RateModel rates(*catalog_, a.q);
+    total += query::deployment_cost(a.deployment, rates, *routing_);
+  }
+  return total;
+}
+
+std::vector<Redeployment> Middleware::adapt() {
+  std::vector<Redeployment> redeployed;
+  for (Active& a : active_) {
+    query::RateModel current_rates(*catalog_, a.q);
+    const double current =
+        query::deployment_cost(a.deployment, current_rates, *routing_);
+    if (current <= a.planned_cost * drift_threshold_) continue;
+
+    const opt::OptimizeResult res = replan(a);
+    IFLOW_CHECK(res.feasible);
+
+    Redeployment r;
+    r.query = a.q.id;
+    r.planned_cost = a.planned_cost;
+    r.drifted_cost = current;
+    r.adapted_cost = res.actual_cost;
+    // Only migrate when re-optimization actually helps.
+    if (res.actual_cost < current) {
+      a.deployment = res.deployment;
+      a.planned_cost = res.actual_cost;
+    } else {
+      r.adapted_cost = current;
+      a.planned_cost = current;  // accept the new normal
+    }
+    redeployed.push_back(r);
+  }
+  if (!redeployed.empty()) {
+    // Advertisements may reference moved operators: rebuild them all.
+    registry_.clear();
+    for (const Active& a : active_) {
+      query::RateModel rates(*catalog_, a.q);
+      advert::advertise_deployment(registry_, a.deployment, rates);
+    }
+  }
+  return redeployed;
+}
+
+}  // namespace iflow::engine

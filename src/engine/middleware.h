@@ -1,0 +1,126 @@
+// Self-management layer (paper §2: "Self-adaptivity is incorporated into
+// the system through the Middleware Layer which re-triggers the query
+// optimization algorithm when the changes in network, load or data
+// conditions demand recomputing of query plans and deployments").
+//
+// The Middleware owns the mutable system state — network, routing tables,
+// clustering hierarchy, advertisement registry and the active deployments —
+// and exposes:
+//   * deploy(query)         — optimize + record + advertise;
+//   * set_link_cost(a,b,c)  — a monitored network condition change, which
+//     rebuilds routing and the hierarchy;
+//   * adapt()               — re-optimizes every query whose current cost
+//     drifted past the threshold relative to its planned cost.
+#pragma once
+
+#include <memory>
+
+#include "opt/bottom_up.h"
+#include "opt/exhaustive.h"
+#include "opt/top_down.h"
+
+namespace iflow::engine {
+
+enum class Algorithm { kTopDown, kBottomUp, kExhaustive };
+
+struct Redeployment {
+  query::QueryId query = 0;
+  double planned_cost = 0.0;   // cost at original deployment time
+  double drifted_cost = 0.0;   // cost under the changed network
+  double adapted_cost = 0.0;   // cost after re-optimization
+};
+
+class Middleware {
+ public:
+  /// Takes ownership of nothing: `net` and `catalog` must outlive the
+  /// middleware; both are mutated by the condition-change entry points.
+  Middleware(net::Network& net, query::Catalog& catalog, int max_cs,
+             Algorithm algorithm, std::uint64_t seed,
+             double drift_threshold = 1.2);
+
+  /// Optimizes and records a query; reuse is on (advertisements flow).
+  opt::OptimizeResult deploy(const query::Query& q);
+
+  /// Applies a network condition change and refreshes routing + hierarchy.
+  void set_link_cost(net::NodeId a, net::NodeId b, double cost_per_byte);
+
+  /// Applies a data condition change: a stream's observed rate moved.
+  /// Deployed operators keep carrying the new volume; adapt() re-plans the
+  /// queries whose cost drifted.
+  void set_stream_rate(query::StreamId stream, double tuple_rate);
+
+  /// A node can no longer host operators (overload, maintenance, crash of
+  /// the processing service — links keep forwarding). The node leaves the
+  /// hierarchy, is excluded from future placements, and every deployment
+  /// with an operator or reused provider on it is re-planned immediately.
+  /// Returns the redeployments performed. Throws if a stream source or an
+  /// active sink lives there (those cannot migrate).
+  std::vector<Redeployment> fail_node(net::NodeId n);
+
+  /// Per-node processing capacity, expressed as the total operator INPUT
+  /// byte rate a node may host (the paper's §1.1: "node N2 may be
+  /// overloaded"). 0 = unlimited (default).
+  void set_node_capacity(double max_input_bytes_per_s);
+
+  /// Operator input load currently hosted by each node.
+  std::vector<double> node_loads() const;
+
+  /// Detects nodes over capacity, excludes them from hosting further
+  /// operators, and migrates the deployments whose operators sit there.
+  /// Iterates until no node is overloaded or nothing can move. Exclusions
+  /// are load-shedding only: the node stays in the hierarchy and keeps
+  /// forwarding, sourcing and sinking.
+  std::vector<Redeployment> rebalance_load();
+
+  /// Re-optimizes every active query whose cost drifted beyond the
+  /// threshold; returns what was redeployed.
+  std::vector<Redeployment> adapt();
+
+  /// Current total cost of all active deployments under current routing.
+  double total_current_cost() const;
+
+  const net::RoutingTables& routing() const { return *routing_; }
+  const cluster::Hierarchy& hierarchy() const { return *hierarchy_; }
+  const advert::Registry& registry() const { return registry_; }
+  std::size_t active_queries() const { return active_.size(); }
+
+  /// Current deployments of all active queries (monitoring, diagnostics).
+  std::vector<const query::Deployment*> deployments() const {
+    std::vector<const query::Deployment*> out;
+    out.reserve(active_.size());
+    for (const Active& a : active_) out.push_back(&a.deployment);
+    return out;
+  }
+
+ private:
+  struct Active {
+    query::Query q;
+    query::Deployment deployment;
+    double planned_cost = 0.0;
+  };
+
+  opt::OptimizerEnv env();
+  std::unique_ptr<opt::Optimizer> make_optimizer();
+  void rebuild_views();
+
+  net::Network* net_;
+  query::Catalog* catalog_;
+  int max_cs_;
+  Algorithm algorithm_;
+  Prng prng_;
+  double drift_threshold_;
+
+  /// Re-optimizes one active query against everyone else's operators;
+  /// returns the candidate result (which the caller may accept).
+  opt::OptimizeResult replan(const Active& a);
+
+  std::unique_ptr<net::RoutingTables> routing_;
+  std::unique_ptr<cluster::Hierarchy> hierarchy_;
+  advert::Registry registry_;
+  std::vector<Active> active_;
+  std::vector<net::NodeId> failed_nodes_;
+  std::vector<net::NodeId> overloaded_nodes_;  // load-shed, still forwarding
+  double node_capacity_ = 0.0;                 // 0 = unlimited
+};
+
+}  // namespace iflow::engine

@@ -1,0 +1,421 @@
+#include "engine/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iflow::engine {
+
+namespace {
+
+std::string producer_key(const std::vector<query::StreamId>& streams,
+                         net::NodeId node) {
+  std::string key = std::to_string(node) + ":";
+  for (auto s : streams) key += std::to_string(s) + ",";
+  return key;
+}
+
+std::uint64_t link_key(net::NodeId a, net::NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Simulation::Simulation(const net::Network& net, const net::RoutingTables& rt,
+                       const query::Catalog& catalog, const EngineConfig& cfg,
+                       std::uint64_t seed)
+    : net_(&net), rt_(&rt), catalog_(&catalog), cfg_(cfg), prng_(seed) {
+  IFLOW_CHECK(cfg.duration_s > 0.0);
+  IFLOW_CHECK(cfg.window_s > 0.0);
+  link_bytes_.assign(net.link_count(), 0.0);
+  for (std::size_t i = 0; i < net.link_count(); ++i) {
+    link_index_.emplace(link_key(net.links()[i].a, net.links()[i].b), i);
+  }
+}
+
+std::uint32_t Simulation::key_domain(query::StreamId a,
+                                     query::StreamId b) const {
+  const double sel = catalog_->selectivity(a, b);
+  return static_cast<std::uint32_t>(
+      std::max<long long>(1, std::llround(1.0 / sel)));
+}
+
+double Simulation::composite_width(
+    const std::vector<query::StreamId>& streams) const {
+  double w = 0.0;
+  for (auto s : streams) w += catalog_->stream(s).tuple_width;
+  if (streams.size() > 1) w *= cfg_.projection_factor;
+  return w;
+}
+
+Simulation::InstanceId Simulation::source_for(query::StreamId s) {
+  const auto it = sources_.find(s);
+  if (it != sources_.end()) return it->second;
+  Instance inst;
+  inst.kind = Kind::kSource;
+  inst.node = catalog_->stream(s).source;
+  inst.streams = {s};
+  inst.source_stream = s;
+  instances_.push_back(std::move(inst));
+  const auto id = static_cast<InstanceId>(instances_.size() - 1);
+  sources_.emplace(s, id);
+  // First emission: random phase so colocated sources do not synchronise.
+  const double rate = catalog_->stream(s).tuple_rate;
+  schedule(Event{prng_.uniform(0.0, 1.0 / rate), next_seq_++, id, -1, nullptr});
+  return id;
+}
+
+Simulation::InstanceId Simulation::find_producer(
+    const std::vector<query::StreamId>& streams, net::NodeId node) const {
+  const auto it = producers_.find(producer_key(streams, node));
+  IFLOW_CHECK_MSG(it != producers_.end(),
+                  "no deployed producer for derived stream at node " << node);
+  return it->second;
+}
+
+void Simulation::register_producer(const std::vector<query::StreamId>& streams,
+                                   net::NodeId node, InstanceId id) {
+  producers_.emplace(producer_key(streams, node), id);
+}
+
+void Simulation::deploy(const query::Deployment& d,
+                        const query::RateModel& rates) {
+  IFLOW_CHECK_MSG(!ran_, "deploy before run()");
+  query::validate_deployment(d);
+
+  auto streams_of_mask = [&rates](query::Mask m) {
+    std::vector<query::StreamId> streams;
+    for (int i = 0; i < rates.k(); ++i) {
+      if (m >> i & 1) streams.push_back(rates.stream(i));
+    }
+    std::sort(streams.begin(), streams.end());
+    return streams;
+  };
+
+  // Interposes a selection operator at `node` in front of `producer`.
+  auto filtered = [this](InstanceId producer, net::NodeId node,
+                         double pass_probability) {
+    Instance filter;
+    filter.kind = Kind::kFilter;
+    filter.node = node;
+    filter.streams = instances_[producer].streams;
+    filter.pass_probability = pass_probability;
+    instances_.push_back(std::move(filter));
+    const auto id = static_cast<InstanceId>(instances_.size() - 1);
+    instances_[producer].consumers.push_back(Consumer{id, 0});
+    return id;
+  };
+
+  // Resolve each leaf unit to a producing instance.
+  std::vector<InstanceId> unit_producer;
+  for (const query::LeafUnit& u : d.units) {
+    const auto streams = streams_of_mask(u.mask);
+    if (u.derived) {
+      InstanceId producer = find_producer(streams, u.location);
+      if (u.residual_filter < 1.0) {
+        // Containment reuse: trim the broader stream at the provider.
+        producer = filtered(producer, u.location, u.residual_filter);
+      }
+      unit_producer.push_back(producer);
+    } else {
+      IFLOW_CHECK_MSG(streams.size() == 1,
+                      "non-derived composite unit has no engine producer");
+      InstanceId producer = source_for(streams[0]);
+      // Query selection predicates are applied at the source (§1).
+      const double f = rates.query().filter_on(streams[0]);
+      if (f < 1.0) {
+        producer = filtered(producer, instances_[producer].node, f);
+      }
+      unit_producer.push_back(producer);
+    }
+  }
+
+  // Join operators (arena order = children first).
+  std::vector<InstanceId> op_instance;
+  for (const query::DeployedOp& op : d.ops) {
+    Instance inst;
+    inst.kind = Kind::kJoin;
+    inst.node = op.node;
+    inst.streams = streams_of_mask(op.mask);
+    instances_.push_back(std::move(inst));
+    const auto id = static_cast<InstanceId>(instances_.size() - 1);
+    op_instance.push_back(id);
+    int port = 0;
+    for (int child : {op.left, op.right}) {
+      const InstanceId producer =
+          query::child_is_unit(child)
+              ? unit_producer[static_cast<std::size_t>(
+                    query::child_unit_index(child))]
+              : op_instance[static_cast<std::size_t>(child)];
+      instances_[producer].consumers.push_back(Consumer{id, port++});
+    }
+    register_producer(instances_[id].streams, op.node, id);
+  }
+
+  // Sink.
+  Instance sink;
+  sink.kind = Kind::kSink;
+  sink.node = d.sink;
+  sink.query = d.query;
+  sink.streams = streams_of_mask([&] {
+    query::Mask all = 0;
+    for (const query::LeafUnit& u : d.units) all |= u.mask;
+    return all;
+  }());
+  instances_.push_back(std::move(sink));
+  const auto sink_id = static_cast<InstanceId>(instances_.size() - 1);
+  InstanceId root = d.ops.empty() ? unit_producer[0] : op_instance.back();
+  if (d.aggregate.enabled()) {
+    // Windowed aggregation co-located with the root producer; only the
+    // (smaller) aggregate stream travels to the sink.
+    Instance agg;
+    agg.kind = Kind::kAggregate;
+    agg.node = instances_[root].node;
+    agg.streams = instances_[sink_id].streams;
+    agg.aggregation = d.aggregate;
+    instances_.push_back(std::move(agg));
+    const auto agg_id = static_cast<InstanceId>(instances_.size() - 1);
+    instances_[root].consumers.push_back(Consumer{agg_id, 0});
+    root = agg_id;
+    instances_[root].consumers.push_back(Consumer{sink_id, 0});
+    // Aggregated results are query-specific; they are not re-exported as
+    // derived streams.
+  } else {
+    instances_[root].consumers.push_back(Consumer{sink_id, 0});
+    // The sink re-exports the full result (it is itself a derived source):
+    // tuples arriving there are forwarded to any later subscriber.
+    register_producer(instances_[sink_id].streams, d.sink, sink_id);
+  }
+}
+
+void Simulation::schedule(Event e) { events_.push(std::move(e)); }
+
+TuplePtr Simulation::make_source_tuple(query::StreamId s, double now) {
+  auto t = std::make_shared<Tuple>();
+  t->born = now;
+  t->constituents = {s};
+  const auto n = catalog_->stream_count();
+  t->keys.resize(n);
+  for (query::StreamId other = 0; other < n; ++other) {
+    if (other == s) {
+      t->keys[other] = 0;
+      continue;
+    }
+    t->keys[other] = static_cast<std::uint32_t>(
+        prng_.uniform_int(0, static_cast<std::int64_t>(key_domain(s, other)) - 1));
+  }
+  t->width = composite_width(t->constituents);
+  return t;
+}
+
+bool Simulation::matches(const Tuple& a, const Tuple& b) const {
+  const auto n = catalog_->stream_count();
+  for (std::size_t i = 0; i < a.constituents.size(); ++i) {
+    for (std::size_t j = 0; j < b.constituents.size(); ++j) {
+      const query::StreamId sa = a.constituents[i];
+      const query::StreamId sb = b.constituents[j];
+      if (a.keys[i * n + sb] != b.keys[j * n + sa]) return false;
+    }
+  }
+  return true;
+}
+
+TuplePtr Simulation::join_tuples(const Tuple& a, const Tuple& b) const {
+  const auto n = catalog_->stream_count();
+  auto t = std::make_shared<Tuple>();
+  t->born = std::max(a.born, b.born);
+  // Merge the sorted constituent lists, carrying each one's key row.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.constituents.size() || j < b.constituents.size()) {
+    const bool take_a =
+        j >= b.constituents.size() ||
+        (i < a.constituents.size() && a.constituents[i] < b.constituents[j]);
+    const Tuple& src = take_a ? a : b;
+    const std::size_t idx = take_a ? i++ : j++;
+    t->constituents.push_back(src.constituents[idx]);
+    t->keys.insert(t->keys.end(), src.keys.begin() + static_cast<std::ptrdiff_t>(idx * n),
+                   src.keys.begin() + static_cast<std::ptrdiff_t>((idx + 1) * n));
+  }
+  t->width = composite_width(t->constituents);
+  return t;
+}
+
+void Simulation::send(double now, net::NodeId from, const TuplePtr& tuple,
+                      const Consumer& to, InstanceId producer) {
+  if (producer != kNoProducer) {
+    instances_[producer].tuples_sent += 1;
+    instances_[producer].bytes_sent += tuple->width;
+  }
+  const net::NodeId dest = instances_[to.instance].node;
+  double arrive = now;
+  if (from != dest) {
+    const std::vector<net::NodeId> path = rt_->cost_path(from, dest);
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      const auto it = link_index_.find(link_key(path[h], path[h + 1]));
+      IFLOW_CHECK(it != link_index_.end());
+      const net::Link& link = net_->links()[it->second];
+      link_bytes_[it->second] += tuple->width;
+      arrive += link.delay_ms / 1000.0 + tuple->width * 8.0 / link.bandwidth_bps;
+    }
+  }
+  schedule(Event{arrive, next_seq_++, to.instance, to.port, tuple});
+}
+
+void Simulation::emit_from_source(double now, InstanceId id) {
+  Instance& inst = instances_[id];
+  const TuplePtr t = make_source_tuple(inst.source_stream, now);
+  ++tuples_emitted_;
+  for (const Consumer& c : inst.consumers) send(now, inst.node, t, c, id);
+  const double rate = catalog_->stream(inst.source_stream).tuple_rate;
+  const double gap = cfg_.poisson ? prng_.exponential(rate) : 1.0 / rate;
+  schedule(Event{now + gap, next_seq_++, id, -1, nullptr});
+}
+
+void Simulation::arrive_at(double now, InstanceId id, int port,
+                           const TuplePtr& tuple) {
+  Instance& inst = instances_[id];
+  ++inst.tuples_in;
+  if (inst.kind == Kind::kSink) {
+    ++inst.delivered;
+    inst.latency_sum_s += now - tuple->born;
+    for (const Consumer& c : inst.consumers) {
+      send(now, inst.node, tuple, c, id);
+    }
+    return;
+  }
+  if (inst.kind == Kind::kFilter) {
+    if (prng_.chance(inst.pass_probability)) {
+      for (const Consumer& c : inst.consumers) {
+        send(now, inst.node, tuple, c, id);
+      }
+    }
+    return;
+  }
+  if (inst.kind == Kind::kAggregate) {
+    const auto w = static_cast<std::int64_t>(now / inst.aggregation.window_s);
+    if (w != inst.window_index) {
+      // Window closed: one output tuple per non-empty group.
+      if (inst.window_index >= 0) {
+        for (std::uint64_t group : inst.groups_seen) {
+          auto out = std::make_shared<Tuple>();
+          out->born = now;
+          out->constituents = inst.streams;
+          out->keys.assign(inst.streams.size() * catalog_->stream_count(),
+                           static_cast<std::uint32_t>(group));
+          out->width = inst.aggregation.out_width;
+          for (const Consumer& c : inst.consumers) {
+            send(now, inst.node, out, c, id);
+          }
+        }
+      }
+      inst.groups_seen.clear();
+      inst.window_index = w;
+    }
+    // Group assignment: hash of the tuple's join keys.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::uint32_t k : tuple->keys) {
+      h = (h ^ k) * 1099511628211ULL;
+    }
+    const auto groups =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                       std::llround(inst.aggregation.groups)));
+    inst.groups_seen.insert(h % groups);
+    return;
+  }
+  IFLOW_CHECK(inst.kind == Kind::kJoin);
+  IFLOW_CHECK(port == 0 || port == 1);
+  const int other = 1 - port;
+  // Expire both windows, probe the opposite one, emit matches, store self.
+  for (auto* w : {&inst.window[0], &inst.window[1]}) {
+    while (!w->empty() && w->front().first < now - cfg_.window_s) {
+      w->pop_front();
+    }
+  }
+  for (const auto& [when, candidate] : inst.window[other]) {
+    (void)when;
+    if (!matches(*tuple, *candidate)) continue;
+    const TuplePtr joined = join_tuples(*tuple, *candidate);
+    for (const Consumer& c : inst.consumers) {
+      send(now, inst.node, joined, c, id);
+    }
+  }
+  inst.window[port].emplace_back(now, tuple);
+}
+
+void Simulation::run() {
+  IFLOW_CHECK_MSG(!ran_, "run() may only be called once");
+  ran_ = true;
+  while (!events_.empty()) {
+    const Event e = events_.top();
+    events_.pop();
+    if (e.time >= cfg_.duration_s) break;
+    if (e.port < 0) {
+      emit_from_source(e.time, e.instance);
+    } else {
+      arrive_at(e.time, e.instance, e.port, e.tuple);
+    }
+  }
+}
+
+double Simulation::measured_cost_per_second() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < link_bytes_.size(); ++i) {
+    total += link_bytes_[i] * net_->links()[i].cost_per_byte;
+  }
+  return total / cfg_.duration_s;
+}
+
+double Simulation::link_bytes(std::size_t link_index) const {
+  IFLOW_CHECK(link_index < link_bytes_.size());
+  return link_bytes_[link_index];
+}
+
+std::vector<OperatorStats> Simulation::operator_stats() const {
+  std::vector<OperatorStats> out;
+  out.reserve(instances_.size());
+  for (const Instance& inst : instances_) {
+    OperatorStats st;
+    switch (inst.kind) {
+      case Kind::kSource: st.kind = "source"; break;
+      case Kind::kJoin: st.kind = "join"; break;
+      case Kind::kFilter: st.kind = "filter"; break;
+      case Kind::kAggregate: st.kind = "aggregate"; break;
+      case Kind::kSink: st.kind = "sink"; break;
+    }
+    st.node = inst.node;
+    st.streams = inst.streams;
+    st.tuples_in = inst.tuples_in;
+    st.tuples_sent = inst.tuples_sent;
+    st.bytes_sent = inst.bytes_sent;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+double Simulation::mean_latency_ms(query::QueryId q) const {
+  std::uint64_t delivered = 0;
+  double latency = 0.0;
+  for (const Instance& inst : instances_) {
+    if (inst.kind == Kind::kSink && inst.query == q) {
+      delivered += inst.delivered;
+      latency += inst.latency_sum_s;
+    }
+  }
+  if (delivered == 0) return 0.0;
+  return 1000.0 * latency / static_cast<double>(delivered);
+}
+
+std::uint64_t Simulation::tuples_delivered(query::QueryId q) const {
+  std::uint64_t total = 0;
+  for (const Instance& inst : instances_) {
+    if (inst.kind == Kind::kSink && inst.query == q) total += inst.delivered;
+  }
+  return total;
+}
+
+double Simulation::delivered_rate(query::QueryId q) const {
+  return static_cast<double>(tuples_delivered(q)) / cfg_.duration_s;
+}
+
+}  // namespace iflow::engine

@@ -1,0 +1,210 @@
+// Discrete-event stream-processing engine — the execution substrate standing
+// in for the IFLOW prototype (see DESIGN.md, substitutions).
+//
+// A Simulation instantiates Deployments as operator graphs on the simulated
+// network and executes them: sources emit tuples at their catalog rates,
+// windowed symmetric-hash joins match tuples by synthetic join keys whose
+// collision probability equals the catalog selectivity, and every tuple
+// transfer is routed along the cost-optimal path, charging bytes to each
+// physical link it crosses. The measured per-unit-time cost
+// (sum over links of bytes x link cost / duration) is directly comparable
+// to the optimizer's analytic deployment cost; integration tests assert
+// they agree.
+//
+// Join semantics: both inputs keep a sliding window of `window_s` seconds; a
+// new tuple probes the opposite window and emits one output per matching
+// pair, so a pair matches iff it arrives within `window_s` of each other.
+// With window_s = 0.5 the expected output rate of A ⋈ B is
+// rate_A x rate_B x selectivity — exactly the analytic RateModel.
+//
+// Operator sharing: a Deployment leaf unit marked `derived` binds to the
+// operator of an earlier deployment producing the same stream set at the
+// same node, so reused operators stream their output once per consumer and
+// incur no upstream traffic — the engine-level realisation of the paper's
+// stream advertisements. Containment reuse (LeafUnit::residual_filter < 1)
+// interposes a selection at the provider. Limitation: producers are keyed
+// by (stream set, node); two co-located operators over the same streams
+// with different filters are not distinguished — the first deployment wins.
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "common/prng.h"
+#include "net/routing.h"
+#include "query/plan.h"
+#include "query/rates.h"
+
+namespace iflow::engine {
+
+struct EngineConfig {
+  double duration_s = 30.0;
+  /// Sliding window of the symmetric hash joins. 0.5 s makes measured join
+  /// rates match the analytic model (see file comment).
+  double window_s = 0.5;
+  /// Poisson arrivals when true; evenly spaced (with a random phase)
+  /// otherwise — useful for low-variance model-validation runs.
+  bool poisson = true;
+  /// Must match the RateModel projection used when planning.
+  double projection_factor = 1.0;
+};
+
+/// A tuple flowing through the system: the base streams it joins and, per
+/// constituent, one synthetic join key per catalog stream.
+struct Tuple {
+  std::vector<query::StreamId> constituents;  // sorted
+  std::vector<std::uint32_t> keys;  // constituents.size() × stream_count
+  double width = 0.0;               // bytes
+  /// Simulation time the freshest constituent was emitted; sink arrival
+  /// minus this is the result's end-to-end latency.
+  double born = 0.0;
+};
+
+/// Per-operator runtime counters (observability / load analysis).
+struct OperatorStats {
+  std::string kind;  // source | join | filter | aggregate | sink
+  net::NodeId node = net::kInvalidNode;
+  std::vector<query::StreamId> streams;
+  std::uint64_t tuples_in = 0;
+  std::uint64_t tuples_sent = 0;  // copies shipped to consumers
+  double bytes_sent = 0.0;
+};
+using TuplePtr = std::shared_ptr<const Tuple>;
+
+class Simulation {
+ public:
+  Simulation(const net::Network& net, const net::RoutingTables& rt,
+             const query::Catalog& catalog, const EngineConfig& cfg,
+             std::uint64_t seed);
+
+  /// Instantiates a deployment. Derived leaf units bind to operators of
+  /// earlier deployments (matched by stream set + node); deploying a plan
+  /// whose derived units have no producer throws. Must be called before
+  /// run().
+  void deploy(const query::Deployment& d, const query::RateModel& rates);
+
+  /// Executes the event loop for the configured duration. Call once.
+  void run();
+
+  /// Sum over links of transferred bytes × link cost, per second.
+  double measured_cost_per_second() const;
+
+  /// Bytes carried by a specific link (diagnostics).
+  double link_bytes(std::size_t link_index) const;
+
+  std::uint64_t tuples_delivered(query::QueryId q) const;
+
+  /// Delivered result tuples per second for a query.
+  double delivered_rate(query::QueryId q) const;
+
+  std::uint64_t tuples_emitted() const { return tuples_emitted_; }
+
+  /// Runtime counters for every operator instance.
+  std::vector<OperatorStats> operator_stats() const;
+
+  /// Mean end-to-end result latency (freshest-input emission to sink
+  /// arrival) in milliseconds; 0 when nothing was delivered.
+  double mean_latency_ms(query::QueryId q) const;
+
+ private:
+  using InstanceId = std::uint32_t;
+
+  struct Consumer {
+    InstanceId instance;
+    int port;  // 0/1 for joins; ignored for sinks
+  };
+
+  enum class Kind : std::uint8_t {
+    kSource,
+    kJoin,
+    kFilter,
+    kAggregate,
+    kSink,
+  };
+
+  struct Instance {
+    Kind kind;
+    net::NodeId node = net::kInvalidNode;
+    std::vector<query::StreamId> streams;  // output stream set, sorted
+    std::vector<Consumer> consumers;
+    // Join state.
+    std::deque<std::pair<double, TuplePtr>> window[2];
+    // Source state.
+    query::StreamId source_stream = query::kInvalidStream;
+    // Filter state: selection operators pass tuples with this probability
+    // (query filter predicates are on non-join attributes, so passing is
+    // independent of the synthetic join keys).
+    double pass_probability = 1.0;
+    // Aggregate state: tumbling window; groups are derived by hashing the
+    // tuple's join keys. One output tuple per non-empty group per window;
+    // the final partial window is not flushed (no terminating watermark).
+    query::Aggregation aggregation;
+    std::int64_t window_index = -1;
+    std::set<std::uint64_t> groups_seen;
+    // Sink state.
+    query::QueryId query = 0;
+    std::uint64_t delivered = 0;
+    double latency_sum_s = 0.0;
+    // Counters (all kinds).
+    std::uint64_t tuples_in = 0;
+    std::uint64_t tuples_sent = 0;
+    double bytes_sent = 0.0;
+  };
+
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tie-break
+    InstanceId instance;
+    int port;        // -1 for source self-emission
+    TuplePtr tuple;  // null for source self-emission
+    bool operator>(const Event& o) const {
+      return std::tie(time, seq) > std::tie(o.time, o.seq);
+    }
+  };
+
+  InstanceId source_for(query::StreamId s);
+  InstanceId find_producer(const std::vector<query::StreamId>& streams,
+                           net::NodeId node) const;
+  void register_producer(const std::vector<query::StreamId>& streams,
+                         net::NodeId node, InstanceId id);
+  /// Ships a tuple to a consumer: charges bytes to every link on the
+  /// cost-optimal route and schedules the arrival event.
+  static constexpr InstanceId kNoProducer =
+      std::numeric_limits<InstanceId>::max();
+  void send(double now, net::NodeId from, const TuplePtr& tuple,
+            const Consumer& to, InstanceId producer);
+  void schedule(Event e);
+  void emit_from_source(double now, InstanceId id);
+  void arrive_at(double now, InstanceId id, int port, const TuplePtr& tuple);
+  TuplePtr make_source_tuple(query::StreamId s, double now);
+  TuplePtr join_tuples(const Tuple& a, const Tuple& b) const;
+  bool matches(const Tuple& a, const Tuple& b) const;
+  std::uint32_t key_domain(query::StreamId a, query::StreamId b) const;
+  double composite_width(const std::vector<query::StreamId>& streams) const;
+
+  const net::Network* net_;
+  const net::RoutingTables* rt_;
+  const query::Catalog* catalog_;
+  EngineConfig cfg_;
+  Prng prng_;
+
+  std::vector<Instance> instances_;
+  std::unordered_map<query::StreamId, InstanceId> sources_;
+  // (sorted stream set, node) -> producer instance.
+  std::unordered_map<std::string, InstanceId> producers_;
+  std::unordered_map<std::uint64_t, std::size_t> link_index_;  // (a,b) key
+  std::vector<double> link_bytes_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t tuples_emitted_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace iflow::engine

@@ -1,0 +1,73 @@
+#include "net/network.h"
+
+#include <queue>
+
+namespace iflow::net {
+
+NodeId Network::add_node(NodeKind kind) {
+  kinds_.push_back(kind);
+  incident_.emplace_back();
+  return static_cast<NodeId>(kinds_.size() - 1);
+}
+
+void Network::add_link(NodeId a, NodeId b, double cost_per_byte,
+                       double delay_ms, double bandwidth_bps) {
+  IFLOW_CHECK_MSG(a < node_count() && b < node_count(), "endpoint out of range");
+  IFLOW_CHECK_MSG(a != b, "self-link");
+  IFLOW_CHECK_MSG(cost_per_byte > 0.0, "link cost must be positive");
+  IFLOW_CHECK_MSG(delay_ms >= 0.0, "negative delay");
+  IFLOW_CHECK_MSG(bandwidth_bps > 0.0, "bandwidth must be positive");
+  links_.push_back(Link{a, b, cost_per_byte, delay_ms, bandwidth_bps});
+  const auto idx = static_cast<std::uint32_t>(links_.size() - 1);
+  incident_[a].push_back(idx);
+  incident_[b].push_back(idx);
+  ++version_;
+}
+
+void Network::set_link_cost(NodeId a, NodeId b, double cost_per_byte) {
+  IFLOW_CHECK_MSG(cost_per_byte > 0.0, "link cost must be positive");
+  for (auto idx : incident(a)) {
+    Link& l = links_[idx];
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+      l.cost_per_byte = cost_per_byte;
+      ++version_;
+      return;
+    }
+  }
+  IFLOW_CHECK_MSG(false, "no link between " << a << " and " << b);
+}
+
+NodeKind Network::kind(NodeId n) const {
+  IFLOW_CHECK(n < node_count());
+  return kinds_[n];
+}
+
+const std::vector<std::uint32_t>& Network::incident(NodeId n) const {
+  IFLOW_CHECK(n < node_count());
+  return incident_[n];
+}
+
+bool Network::connected() const {
+  if (node_count() == 0) return true;
+  std::vector<char> seen(node_count(), 0);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop();
+    for (auto idx : incident_[n]) {
+      const Link& l = links_[idx];
+      const NodeId other = (l.a == n) ? l.b : l.a;
+      if (!seen[other]) {
+        seen[other] = 1;
+        ++reached;
+        frontier.push(other);
+      }
+    }
+  }
+  return reached == node_count();
+}
+
+}  // namespace iflow::net

@@ -1,0 +1,80 @@
+// Physical network model.
+//
+// A Network is an undirected weighted graph of processing nodes. Each link
+// carries three attributes used by different layers of the system:
+//   * cost_per_byte — the optimisation metric (paper §3: "link costs ...
+//     represent the cost of transmitting a unit amount of data");
+//   * delay_ms     — propagation delay, used by the control-plane model and
+//     the discrete-event engine;
+//   * bandwidth_bps — capacity, used by the engine to model serialisation.
+//
+// Links are mutable at runtime (set_link_cost) so the middleware layer can
+// perturb the network and re-trigger optimisation (adaptivity experiments).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace iflow::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Undirected physical link between two nodes.
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double cost_per_byte = 0.0;
+  double delay_ms = 0.0;
+  double bandwidth_bps = 0.0;
+};
+
+/// Node classification produced by the topology generator; purely
+/// informational (benches and examples use it for reporting).
+enum class NodeKind : std::uint8_t { kTransit, kStub };
+
+/// Undirected weighted graph of physical processing nodes.
+class Network {
+ public:
+  Network() = default;
+
+  /// Appends a node and returns its id. Ids are dense [0, node_count).
+  NodeId add_node(NodeKind kind = NodeKind::kStub);
+
+  /// Adds an undirected link. Both endpoints must exist; self-links and
+  /// non-positive costs are rejected.
+  void add_link(NodeId a, NodeId b, double cost_per_byte, double delay_ms,
+                double bandwidth_bps);
+
+  /// Updates the cost of the (a, b) link in place. Used by adaptivity
+  /// experiments to model changing network conditions. Throws if no such
+  /// link exists.
+  void set_link_cost(NodeId a, NodeId b, double cost_per_byte);
+
+  std::size_t node_count() const { return kinds_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  const std::vector<Link>& links() const { return links_; }
+  NodeKind kind(NodeId n) const;
+
+  /// Indices into links() of the links incident to n.
+  const std::vector<std::uint32_t>& incident(NodeId n) const;
+
+  /// True when every node can reach every other node.
+  bool connected() const;
+
+  /// Monotonically increases whenever link attributes change; routing tables
+  /// record the version they were built against so staleness is detectable.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  std::vector<NodeKind> kinds_;
+  std::vector<Link> links_;
+  std::vector<std::vector<std::uint32_t>> incident_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace iflow::net

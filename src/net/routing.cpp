@@ -1,0 +1,113 @@
+#include "net/routing.h"
+
+#include <limits>
+#include <queue>
+
+namespace iflow::net {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+};
+
+/// Single-source Dijkstra under a caller-selected link weight. Fills `dist`
+/// and `parent` (predecessor on the shortest path tree), and optionally
+/// accumulates a secondary additive metric along the chosen paths.
+template <typename WeightFn>
+void dijkstra(const Network& net, NodeId src, WeightFn weight,
+              std::vector<double>& dist, std::vector<NodeId>& parent,
+              const double* secondary_weights, std::vector<double>* secondary) {
+  const std::size_t n = net.node_count();
+  dist.assign(n, kInf);
+  parent.assign(n, kInvalidNode);
+  if (secondary != nullptr) secondary->assign(n, 0.0);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  dist[src] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (auto idx : net.incident(u)) {
+      const Link& l = net.links()[idx];
+      const NodeId v = (l.a == u) ? l.b : l.a;
+      const double nd = d + weight(l);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        parent[v] = u;
+        if (secondary != nullptr) {
+          (*secondary)[v] = (*secondary)[u] + secondary_weights[idx];
+        }
+        pq.push({nd, v});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RoutingTables RoutingTables::build(const Network& net) {
+  IFLOW_CHECK_MSG(net.connected(), "routing requires a connected network");
+  RoutingTables rt;
+  const std::size_t n = net.node_count();
+  rt.n_ = n;
+  rt.version_ = net.version();
+  rt.cost_.assign(n * n, 0.0);
+  rt.delay_.assign(n * n, 0.0);
+  rt.cost_path_delay_.assign(n * n, 0.0);
+  rt.next_hop_.assign(n * n, kInvalidNode);
+
+  std::vector<double> link_delay(net.link_count());
+  for (std::size_t i = 0; i < net.link_count(); ++i) {
+    link_delay[i] = net.links()[i].delay_ms;
+  }
+
+  std::vector<double> dist;
+  std::vector<NodeId> parent;
+  std::vector<double> along;
+  for (NodeId src = 0; src < n; ++src) {
+    // Cost-weighted pass: distances, first hops, and delay along the path.
+    dijkstra(
+        net, src, [](const Link& l) { return l.cost_per_byte; }, dist, parent,
+        link_delay.data(), &along);
+    for (NodeId dst = 0; dst < n; ++dst) {
+      rt.cost_[static_cast<std::size_t>(src) * n + dst] = dist[dst];
+      rt.cost_path_delay_[static_cast<std::size_t>(src) * n + dst] = along[dst];
+      if (dst == src) continue;
+      // Walk the predecessor chain back to the node adjacent to src.
+      NodeId hop = dst;
+      while (parent[hop] != src) hop = parent[hop];
+      rt.next_hop_[static_cast<std::size_t>(src) * n + dst] = hop;
+    }
+    // Delay-weighted pass for the control plane.
+    dijkstra(
+        net, src, [](const Link& l) { return l.delay_ms; }, dist, parent,
+        nullptr, nullptr);
+    for (NodeId dst = 0; dst < n; ++dst) {
+      rt.delay_[static_cast<std::size_t>(src) * n + dst] = dist[dst];
+    }
+  }
+  return rt;
+}
+
+NodeId RoutingTables::next_hop(NodeId from, NodeId to) const {
+  IFLOW_CHECK(from < n_ && to < n_);
+  IFLOW_CHECK_MSG(from != to, "no hop from a node to itself");
+  return next_hop_[static_cast<std::size_t>(from) * n_ + to];
+}
+
+std::vector<NodeId> RoutingTables::cost_path(NodeId a, NodeId b) const {
+  std::vector<NodeId> path{a};
+  while (a != b) {
+    a = next_hop(a, b);
+    path.push_back(a);
+  }
+  return path;
+}
+
+}  // namespace iflow::net

@@ -1,0 +1,61 @@
+// All-pairs routing tables.
+//
+// The data plane routes along cost-optimal paths (minimising per-byte cost,
+// the paper's optimisation metric); the control plane (deployment messages,
+// advertisements) routes along delay-optimal paths. RoutingTables computes
+// both with repeated Dijkstra and keeps a next-hop table for the data plane
+// so the engine can charge bytes to each physical link on the route.
+#pragma once
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace iflow::net {
+
+/// Immutable all-pairs shortest-path snapshot of a Network. Rebuild after
+/// the network changes (stale tables are detectable through version()).
+class RoutingTables {
+ public:
+  /// Runs Dijkstra from every node under both metrics. O(N · E log N).
+  /// The network must be connected.
+  static RoutingTables build(const Network& net);
+
+  /// Per-byte cost of the cost-optimal a→b path (0 when a == b).
+  double cost(NodeId a, NodeId b) const { return at(cost_, a, b); }
+
+  /// One-way latency of the delay-optimal a→b path in milliseconds.
+  double delay_ms(NodeId a, NodeId b) const { return at(delay_, a, b); }
+
+  /// Latency accumulated along the *cost-optimal* path; this is what data
+  /// tuples experience in the engine.
+  double data_path_delay_ms(NodeId a, NodeId b) const {
+    return at(cost_path_delay_, a, b);
+  }
+
+  /// Cost-optimal route from a to b, inclusive of both endpoints.
+  std::vector<NodeId> cost_path(NodeId a, NodeId b) const;
+
+  /// Next node after `from` on the cost-optimal route to `to`.
+  NodeId next_hop(NodeId from, NodeId to) const;
+
+  std::size_t node_count() const { return n_; }
+
+  /// Network::version() at build time.
+  std::uint64_t built_against() const { return version_; }
+
+ private:
+  double at(const std::vector<double>& m, NodeId a, NodeId b) const {
+    IFLOW_CHECK(a < n_ && b < n_);
+    return m[static_cast<std::size_t>(a) * n_ + b];
+  }
+
+  std::size_t n_ = 0;
+  std::uint64_t version_ = 0;
+  std::vector<double> cost_;             // cost-weighted distances
+  std::vector<double> delay_;            // delay-weighted distances
+  std::vector<double> cost_path_delay_;  // delay along cost-optimal paths
+  std::vector<NodeId> next_hop_;         // next_hop_[a*n+b]: first hop a→b
+};
+
+}  // namespace iflow::net

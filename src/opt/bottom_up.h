@@ -1,0 +1,46 @@
+// The Bottom-Up algorithm (paper §2.3).
+//
+// The query is registered at its sink and propagates up the sink's
+// coordinator chain. At each level the coordinator rewrites the remaining
+// query into a locally satisfiable view (base sources inside the cluster,
+// reusable derived streams advertised within it) and a remote remainder;
+// the local view is joined with the running partial result by an exhaustive
+// search restricted to the current cluster's nodes, then advertised upward
+// as a derived stream. Planning stops at the level where all sources are
+// covered. Faster and cheaper than Top-Down (search restricted to one
+// partition per level, early query splitting) but with weaker optimality:
+// join orderings across clusters are never considered (paper §2.3.2).
+#pragma once
+
+#include "opt/optimizer.h"
+#include "opt/view.h"
+
+namespace iflow::opt {
+
+class BottomUpOptimizer final : public Optimizer {
+ public:
+  /// `refine_views` selects between two placement variants:
+  ///   true  (default) — views assigned to a member cluster are refined
+  ///          inside it, down to physical nodes (matches the paper's
+  ///          quality results, Figs 7/8/11);
+  ///   false — operators are pinned directly to the per-level cluster
+  ///          members (coordinators), the fastest-possible deployment at
+  ///          the price of coarser placements ("possibly short-lived
+  ///          queries", §2.3.2). See bench/ablation_refinement.
+  explicit BottomUpOptimizer(const OptimizerEnv& env, bool refine_views = true)
+      : env_(env), refine_views_(refine_views) {
+    IFLOW_CHECK(env.hierarchy != nullptr);
+  }
+
+  std::string name() const override {
+    std::string n = refine_views_ ? "bottom-up" : "bottom-up-fast";
+    return env_.reuse ? n + "+reuse" : n;
+  }
+  OptimizeResult optimize(const query::Query& q) override;
+
+ private:
+  OptimizerEnv env_;
+  bool refine_views_;
+};
+
+}  // namespace iflow::opt

@@ -1,0 +1,161 @@
+#include "opt/consolidated.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "query/rates.h"
+
+namespace iflow::opt {
+
+namespace {
+
+/// Scores a query by how many of the batch's shared sub-joins (source pairs
+/// appearing in >= 2 queries) it contains: high scorers deploy first so
+/// their operators are available for reuse.
+std::vector<std::size_t> sharing_order(const std::vector<query::Query>& batch) {
+  std::map<std::pair<query::StreamId, query::StreamId>, int> pair_count;
+  for (const query::Query& q : batch) {
+    for (std::size_t i = 0; i < q.sources.size(); ++i) {
+      for (std::size_t j = i + 1; j < q.sources.size(); ++j) {
+        ++pair_count[{q.sources[i], q.sources[j]}];
+      }
+    }
+  }
+  std::vector<double> score(batch.size(), 0.0);
+  for (std::size_t qi = 0; qi < batch.size(); ++qi) {
+    const query::Query& q = batch[qi];
+    for (std::size_t i = 0; i < q.sources.size(); ++i) {
+      for (std::size_t j = i + 1; j < q.sources.size(); ++j) {
+        const int c = pair_count[{q.sources[i], q.sources[j]}];
+        if (c >= 2) score[qi] += c;
+      }
+    }
+  }
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return score[a] > score[b];
+  });
+  return order;
+}
+
+/// Rebuilds the registry from the given deployments.
+void rebuild_registry(advert::Registry& registry,
+                      const std::vector<query::Query>& batch,
+                      const std::vector<OptimizeResult>& results,
+                      const OptimizerEnv& env, std::size_t exclude) {
+  registry.clear();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i == exclude || !results[i].feasible) continue;
+    query::RateModel rates(*env.catalog, batch[i], env.projection_factor);
+    advert::advertise_deployment(registry, results[i].deployment, rates);
+  }
+}
+
+/// Batch indices whose operators are consumed by another deployment's
+/// derived units (those queries must not move).
+std::set<std::size_t> pinned_queries(
+    const std::vector<query::Query>& batch,
+    const std::vector<OptimizeResult>& results) {
+  std::set<std::size_t> pinned;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (const query::LeafUnit& u : results[i].deployment.units) {
+      if (!u.derived) continue;
+      // Find which other deployment hosts an operator (or sink) at this
+      // location covering these streams.
+      for (std::size_t j = 0; j < batch.size(); ++j) {
+        if (j == i) continue;
+        const query::Deployment& d = results[j].deployment;
+        bool provides = (d.sink == u.location);
+        for (const query::DeployedOp& op : d.ops) {
+          provides |= (op.node == u.location);
+        }
+        if (provides) pinned.insert(j);
+      }
+    }
+  }
+  return pinned;
+}
+
+}  // namespace
+
+ConsolidatedResult optimize_consolidated(const OptimizerEnv& env,
+                                         const OptimizerFactory& factory,
+                                         const std::vector<query::Query>& batch,
+                                         int max_sweeps) {
+  IFLOW_CHECK_MSG(env.reuse && env.registry != nullptr,
+                  "consolidation requires reuse + a registry");
+  ConsolidatedResult out;
+  out.per_query.resize(batch.size());
+  if (batch.empty()) return out;
+
+  // Seeding: deploy incrementally in two candidate orders — the arrival
+  // order (what plain incremental deployment does) and the sharing-aware
+  // order — and keep the cheaper outcome. Starting no worse than
+  // incremental makes the whole procedure dominate it, since sweeps only
+  // ever accept improvements.
+  auto seed_with = [&](const std::vector<std::size_t>& order) {
+    env.registry->clear();
+    std::vector<OptimizeResult> results(batch.size());
+    double plans = 0.0;
+    for (std::size_t qi : order) {
+      auto optimizer = factory(env);
+      OptimizeResult r = optimizer->optimize(batch[qi]);
+      IFLOW_CHECK(r.feasible);
+      plans += r.plans_considered;
+      query::RateModel rates(*env.catalog, batch[qi], env.projection_factor);
+      advert::advertise_deployment(*env.registry, r.deployment, rates);
+      results[qi] = std::move(r);
+    }
+    return std::pair{std::move(results), plans};
+  };
+  auto total_of = [](const std::vector<OptimizeResult>& results) {
+    double t = 0.0;
+    for (const OptimizeResult& r : results) t += r.actual_cost;
+    return t;
+  };
+
+  std::vector<std::size_t> arrival(batch.size());
+  std::iota(arrival.begin(), arrival.end(), std::size_t{0});
+  auto [arrival_results, arrival_plans] = seed_with(arrival);
+  auto [shared_results, shared_plans] = seed_with(sharing_order(batch));
+  out.plans_considered += arrival_plans + shared_plans;
+  if (total_of(shared_results) <= total_of(arrival_results)) {
+    out.per_query = std::move(shared_results);
+  } else {
+    out.per_query = std::move(arrival_results);
+  }
+  out.seed_cost = total_of(out.per_query);
+  out.total_cost = out.seed_cost;
+
+  // Improvement sweeps: re-plan unpinned queries against everyone else.
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool improved = false;
+    for (std::size_t qi = 0; qi < batch.size(); ++qi) {
+      // Recomputed per query: accepting a change may create new consumers.
+      if (pinned_queries(batch, out.per_query).count(qi) != 0) continue;
+      rebuild_registry(*env.registry, batch, out.per_query, env, qi);
+      auto optimizer = factory(env);
+      OptimizeResult candidate = optimizer->optimize(batch[qi]);
+      out.plans_considered += candidate.plans_considered;
+      if (candidate.feasible &&
+          candidate.actual_cost <
+              out.per_query[qi].actual_cost * (1.0 - 1e-9)) {
+        out.total_cost += candidate.actual_cost - out.per_query[qi].actual_cost;
+        out.per_query[qi] = std::move(candidate);
+        improved = true;
+      }
+    }
+    out.sweeps = sweep + 1;
+    if (!improved) break;
+  }
+
+  // Leave the registry holding the final state.
+  rebuild_registry(*env.registry, batch, out.per_query, env,
+                   batch.size() /* exclude none */);
+  return out;
+}
+
+}  // namespace iflow::opt

@@ -1,0 +1,50 @@
+// Consolidated multi-query optimization (paper §2.2/§2.3 extension: "The
+// Top-Down algorithm can be easily extended to perform multi-query
+// optimization by constructing a consolidated query ... and then applying
+// the algorithm to this consolidated query"; Bottom-Up coordinators
+// "compose consolidated queries" from multiple sink requests).
+//
+// Where incremental deployment fixes sharing by arrival order, the
+// consolidated optimizer treats the batch as one workload:
+//   1. queries are seeded in a sharing-aware order — queries containing the
+//      batch's most frequent sub-joins go first, so the popular operators
+//      exist before their consumers are planned;
+//   2. improvement sweeps then re-plan each query against every OTHER
+//      query's operators, keeping a change only when it lowers that query's
+//      marginal cost; queries whose operators other deployments consume are
+//      pinned (their operators are load-bearing).
+// Each accepted change strictly lowers total cost, so the result never
+// loses to the incremental pass and the sweeps terminate.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "opt/optimizer.h"
+
+namespace iflow::opt {
+
+using OptimizerFactory =
+    std::function<std::unique_ptr<Optimizer>(const OptimizerEnv&)>;
+
+struct ConsolidatedResult {
+  /// Final per-query results, aligned with the input batch order.
+  std::vector<OptimizeResult> per_query;
+  double total_cost = 0.0;
+  double plans_considered = 0.0;
+  /// Improvement sweeps actually executed (<= max_sweeps).
+  int sweeps = 0;
+  /// Total cost after the seeding pass, before any sweep (for reporting the
+  /// consolidation gain).
+  double seed_cost = 0.0;
+};
+
+/// Optimizes the batch jointly. `env.registry` is used as scratch space and
+/// left holding the final advertisements. Reuse must be enabled in `env`
+/// (consolidation without reuse degenerates to independent planning).
+ConsolidatedResult optimize_consolidated(const OptimizerEnv& env,
+                                         const OptimizerFactory& factory,
+                                         const std::vector<query::Query>& batch,
+                                         int max_sweeps = 3);
+
+}  // namespace iflow::opt

@@ -1,0 +1,104 @@
+#include "opt/cost_space.h"
+
+#include <cmath>
+#include <limits>
+
+namespace iflow::opt {
+
+namespace {
+
+double norm(const Point3& a, const Point3& b) {
+  const double dx = a[0] - b[0];
+  const double dy = a[1] - b[1];
+  const double dz = a[2] - b[2];
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+}  // namespace
+
+CostSpace CostSpace::build(const net::RoutingTables& rt, Prng& prng,
+                           int iterations) {
+  const std::size_t n = rt.node_count();
+  IFLOW_CHECK(n > 0);
+  CostSpace cs;
+
+  // Scale the initial random cloud to the mean pairwise cost so springs
+  // start near their rest lengths.
+  double mean = 0.0;
+  std::size_t pairs = 0;
+  for (net::NodeId a = 0; a < n; ++a) {
+    for (net::NodeId b = a + 1; b < n; ++b) {
+      mean += rt.cost(a, b);
+      ++pairs;
+    }
+  }
+  mean = (pairs > 0) ? mean / static_cast<double>(pairs) : 1.0;
+
+  cs.pos_.resize(n);
+  for (auto& p : cs.pos_) {
+    for (double& c : p) c = prng.uniform(-mean, mean);
+  }
+  if (n == 1) return cs;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Cooling step size.
+    const double eta = 0.25 * (1.0 - static_cast<double>(iter) /
+                                         static_cast<double>(iterations));
+    for (net::NodeId a = 0; a < n; ++a) {
+      for (net::NodeId b = a + 1; b < n; ++b) {
+        const double target = rt.cost(a, b);
+        double actual = norm(cs.pos_[a], cs.pos_[b]);
+        if (actual < 1e-9) {
+          // Coincident points: nudge apart along a deterministic axis.
+          cs.pos_[b][0] += 1e-6 * (1.0 + static_cast<double>(b));
+          actual = norm(cs.pos_[a], cs.pos_[b]);
+        }
+        const double err = (target - actual) / actual;  // >0: push apart
+        for (int d = 0; d < 3; ++d) {
+          const double delta = eta * err * (cs.pos_[b][d] - cs.pos_[a][d]) / 2.0;
+          cs.pos_[b][d] += delta;
+          cs.pos_[a][d] -= delta;
+        }
+      }
+    }
+  }
+  return cs;
+}
+
+const Point3& CostSpace::position(net::NodeId n) const {
+  IFLOW_CHECK(n < pos_.size());
+  return pos_[n];
+}
+
+double CostSpace::distance(const Point3& a, const Point3& b) {
+  return norm(a, b);
+}
+
+net::NodeId CostSpace::nearest_node(const Point3& p) const {
+  net::NodeId best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (net::NodeId n = 0; n < pos_.size(); ++n) {
+    const double d = norm(pos_[n], p);
+    if (d < best_d) {
+      best_d = d;
+      best = n;
+    }
+  }
+  return best;
+}
+
+double CostSpace::stress(const net::RoutingTables& rt) const {
+  double err = 0.0;
+  std::size_t pairs = 0;
+  for (net::NodeId a = 0; a < pos_.size(); ++a) {
+    for (net::NodeId b = a + 1; b < pos_.size(); ++b) {
+      const double target = rt.cost(a, b);
+      if (target <= 0.0) continue;
+      err += std::abs(norm(pos_[a], pos_[b]) - target) / target;
+      ++pairs;
+    }
+  }
+  return (pairs > 0) ? err / static_cast<double>(pairs) : 0.0;
+}
+
+}  // namespace iflow::opt

@@ -1,0 +1,41 @@
+// 3-D cost space (Pietzuch et al., ICDE'06).
+//
+// The Relaxation placement algorithm reasons in a low-dimensional Euclidean
+// space whose distances approximate network costs. We build the embedding
+// with spring iterations (each node pair pulls/pushes its endpoints toward
+// the target routing cost), which is the decentralised construction the
+// original system used (Vivaldi-style), then let operators move freely in
+// the space and snap them back to the nearest physical node.
+#pragma once
+
+#include <array>
+
+#include "common/prng.h"
+#include "net/routing.h"
+
+namespace iflow::opt {
+
+using Point3 = std::array<double, 3>;
+
+class CostSpace {
+ public:
+  /// Embeds all nodes. More iterations = lower stress; the default is
+  /// enough for the topologies used in the experiments.
+  static CostSpace build(const net::RoutingTables& rt, Prng& prng,
+                         int iterations = 100);
+
+  const Point3& position(net::NodeId n) const;
+
+  static double distance(const Point3& a, const Point3& b);
+
+  /// Physical node closest to a free point (operator snap-back).
+  net::NodeId nearest_node(const Point3& p) const;
+
+  /// Mean relative error of embedded vs routing distances (diagnostics).
+  double stress(const net::RoutingTables& rt) const;
+
+ private:
+  std::vector<Point3> pos_;
+};
+
+}  // namespace iflow::opt

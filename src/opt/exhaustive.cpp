@@ -1,0 +1,43 @@
+#include "opt/exhaustive.h"
+
+#include "opt/view.h"
+#include "query/rates.h"
+
+namespace iflow::opt {
+
+OptimizeResult ExhaustiveOptimizer::optimize(const query::Query& q) {
+  IFLOW_CHECK(env_.catalog && env_.network && env_.routing);
+  const net::RoutingTables& rt = *env_.routing;
+  query::RateModel rates(*env_.catalog, q, env_.projection_factor);
+
+  PlannerInput in;
+  in.rates = &rates;
+  in.units = collect_units(rates, env_.reuse ? env_.registry : nullptr, nullptr);
+  in.target = rates.full();
+  in.delivery = q.sink;
+  in.sites.reserve(env_.network->node_count());
+  for (net::NodeId n = 0; n < env_.network->node_count(); ++n) {
+    in.sites.push_back(n);
+  }
+  in.sites = restrict_sites(env_, std::move(in.sites));
+  in.dist = [&rt](net::NodeId a, net::NodeId b) { return rt.cost(a, b); };
+  in.query_id = q.id;
+  in.delivery_bytes_rate = delivery_rate_for(q, rates);
+
+  const PlannerResult res = plan_optimal(in);
+  OptimizeResult out;
+  out.feasible = res.feasible;
+  if (!res.feasible) return out;
+  out.deployment = res.deployment;
+  out.deployment.aggregate = q.aggregate;
+  out.planned_cost = res.cost;
+  out.actual_cost = query::deployment_cost(out.deployment, rt);
+  out.plans_considered = res.plans_considered;
+  out.levels_used = 1;
+  // Centralised search: all statistics are at one node; deployment time is
+  // dominated by evaluating the entire space.
+  out.deploy_time_ms = res.plans_considered * env_.plan_eval_us / 1000.0;
+  return out;
+}
+
+}  // namespace iflow::opt

@@ -1,0 +1,28 @@
+// Globally optimal joint plan+placement ("Optimal"/"Exhaustive" in the
+// paper's figures).
+//
+// Searches every bushy tree, every reuse cover and every operator-to-node
+// assignment over the ENTIRE network, under actual routing costs. The
+// search is executed by the mask DP of plan_optimal (provably the same
+// optimum as literal enumeration); the reported plans_considered uses the
+// paper's exhaustive counting semantics (Lemma 1 scale).
+#pragma once
+
+#include "opt/optimizer.h"
+
+namespace iflow::opt {
+
+class ExhaustiveOptimizer final : public Optimizer {
+ public:
+  explicit ExhaustiveOptimizer(const OptimizerEnv& env) : env_(env) {}
+
+  std::string name() const override {
+    return env_.reuse ? "exhaustive+reuse" : "exhaustive";
+  }
+  OptimizeResult optimize(const query::Query& q) override;
+
+ private:
+  OptimizerEnv env_;
+};
+
+}  // namespace iflow::opt

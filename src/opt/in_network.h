@@ -1,0 +1,33 @@
+// The In-Network baseline (Ahmad & Cetintemel, "Network-aware query
+// processing for stream-based applications", VLDB'04) — phased,
+// zone-restricted placement (paper §3.3, Fig 8).
+//
+// The network is statically divided into zones; the join tree is chosen
+// from stream statistics; each operator is then placed greedily bottom-up
+// at the best node of the zone "anchoring" it (the zone of its
+// highest-rate input), without cross-operator lookahead.
+#pragma once
+
+#include "opt/optimizer.h"
+
+namespace iflow::opt {
+
+class InNetworkOptimizer final : public Optimizer {
+ public:
+  /// `zones` mirrors the paper's experiment (5 zones against max_cs = 32);
+  /// `seed` controls the zone clustering initialisation.
+  InNetworkOptimizer(const OptimizerEnv& env, std::uint64_t seed,
+                     int zones = 5);
+
+  std::string name() const override {
+    return env_.reuse ? "in-network+reuse" : "in-network";
+  }
+  OptimizeResult optimize(const query::Query& q) override;
+
+ private:
+  OptimizerEnv env_;
+  std::vector<std::vector<net::NodeId>> zones_;  // node lists per zone
+  std::vector<int> zone_of_;                     // node -> zone index
+};
+
+}  // namespace iflow::opt

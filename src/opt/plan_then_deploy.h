@@ -1,0 +1,27 @@
+// Phased baseline (Fig 1a / Fig 2): "plan, then deploy".
+//
+// The join order is fixed at compile time from stream statistics alone
+// (choose_static_plan); the deployment phase then searches operator
+// placements for THAT tree exhaustively over the whole network (the
+// strongest possible phased opponent: its placement is optimal, only the
+// plan is network-blind).
+#pragma once
+
+#include "opt/optimizer.h"
+
+namespace iflow::opt {
+
+class PlanThenDeployOptimizer final : public Optimizer {
+ public:
+  explicit PlanThenDeployOptimizer(const OptimizerEnv& env) : env_(env) {}
+
+  std::string name() const override {
+    return env_.reuse ? "plan-then-deploy+reuse" : "plan-then-deploy";
+  }
+  OptimizeResult optimize(const query::Query& q) override;
+
+ private:
+  OptimizerEnv env_;
+};
+
+}  // namespace iflow::opt

@@ -1,0 +1,375 @@
+#include "opt/planner.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace iflow::opt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+int popcount(query::Mask m) { return std::popcount(m); }
+
+/// How the cheapest way of making a mask available at a site was achieved:
+/// either a unit streamed directly, or a join op at some site plus the
+/// transfer edge.
+struct GChoice {
+  int unit = -1;
+  int op_site = -1;
+};
+
+}  // namespace
+
+double count_plans(const std::vector<query::LeafUnit>& units,
+                   query::Mask target, std::size_t site_count) {
+  IFLOW_CHECK(target != 0);
+  const int k = popcount(target);
+  // ways[m][c] = number of ways to partition mask m into exactly c units.
+  std::vector<std::vector<double>> ways(target + 1);
+  ways[0].assign(1, 1.0);
+  for (query::Mask m = 1; m <= target; ++m) {
+    if ((m & ~target) != 0) continue;
+    ways[m].assign(static_cast<std::size_t>(k) + 1, 0.0);
+    const query::Mask low = m & (~m + 1);
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const query::Mask um = units[u].mask;
+      if ((um & low) == 0 || (um & ~m) != 0) continue;
+      const auto& sub = ways[m ^ um];
+      for (std::size_t c = 0; c + 1 < ways[m].size() && c < sub.size(); ++c) {
+        ways[m][c + 1] += sub[c];
+      }
+    }
+  }
+  double total = 0.0;
+  for (std::size_t c = 1; c < ways[target].size(); ++c) {
+    if (ways[target][c] == 0.0) continue;
+    double trees = 1.0;
+    for (int f = 2 * static_cast<int>(c) - 3; f >= 3; f -= 2) trees *= f;
+    total += ways[target][c] * trees *
+             std::pow(static_cast<double>(site_count),
+                      static_cast<double>(c) - 1.0);
+  }
+  return total;
+}
+
+PlannerResult plan_optimal(const PlannerInput& in) {
+  IFLOW_CHECK(in.rates != nullptr);
+  IFLOW_CHECK(in.dist != nullptr);
+  IFLOW_CHECK(in.target != 0);
+  IFLOW_CHECK_MSG(popcount(in.target) <= 12, "query too wide for the planner");
+  IFLOW_CHECK(!in.sites.empty());
+  const std::size_t S = in.sites.size();
+  const query::Mask target = in.target;
+
+  // DP tables indexed by mask (dense up to `target`) and site index.
+  std::vector<std::vector<double>> g(target + 1);
+  std::vector<std::vector<double>> best_op(target + 1);
+  std::vector<std::vector<GChoice>> g_choice(target + 1);
+  std::vector<std::vector<query::Mask>> split_choice(target + 1);
+
+  for (query::Mask m = 1; m <= target; ++m) {
+    if ((m & ~target) != 0) continue;
+    g[m].assign(S, kInf);
+    g_choice[m].assign(S, GChoice{});
+    const bool joinable = popcount(m) >= 2;
+    const double rate_m = in.rates->bytes_rate(m);
+
+    if (joinable) {
+      best_op[m].assign(S, kInf);
+      split_choice[m].assign(S, 0);
+      // Splits with the lowest bit pinned to side A avoid mirror duplicates.
+      const query::Mask rest = m ^ (m & (~m + 1));
+      for (query::Mask b = rest; b != 0; b = (b - 1) & rest) {
+        const query::Mask a = m ^ b;
+        for (std::size_t p = 0; p < S; ++p) {
+          const double c = g[a][p] + g[b][p];
+          if (c < best_op[m][p]) {
+            best_op[m][p] = c;
+            split_choice[m][p] = a;
+          }
+        }
+      }
+    }
+
+    // Units streamed straight to each site.
+    for (std::size_t u = 0; u < in.units.size(); ++u) {
+      if (in.units[u].mask != m) continue;
+      for (std::size_t p = 0; p < S; ++p) {
+        const double c =
+            in.units[u].bytes_rate * in.dist(in.units[u].location, in.sites[p]);
+        if (c < g[m][p]) {
+          g[m][p] = c;
+          g_choice[m][p] = GChoice{static_cast<int>(u), -1};
+        }
+      }
+    }
+    // A join op at site q plus the q→p edge.
+    if (joinable) {
+      for (std::size_t p = 0; p < S; ++p) {
+        double best = g[m][p];
+        GChoice choice = g_choice[m][p];
+        for (std::size_t q = 0; q < S; ++q) {
+          if (best_op[m][q] == kInf) continue;
+          const double c =
+              best_op[m][q] + rate_m * in.dist(in.sites[q], in.sites[p]);
+          if (c < best) {
+            best = c;
+            choice = GChoice{-1, static_cast<int>(q)};
+          }
+        }
+        g[m][p] = best;
+        g_choice[m][p] = choice;
+      }
+    }
+  }
+
+  // Final selection: deliver to `delivery`, or leave at the producer.
+  PlannerResult result;
+  result.plans_considered = count_plans(in.units, target, S);
+  double best_total = kInf;
+  GChoice final_choice;
+  const double rate_target = in.rates->bytes_rate(target);
+  // With aggregation the root result shrinks before it travels to the sink.
+  const double deliver_rate =
+      in.delivery_bytes_rate >= 0.0 ? in.delivery_bytes_rate : rate_target;
+  for (std::size_t u = 0; u < in.units.size(); ++u) {
+    if (in.units[u].mask != target) continue;
+    const double unit_deliver_rate = in.delivery_bytes_rate >= 0.0
+                                         ? in.delivery_bytes_rate
+                                         : in.units[u].bytes_rate;
+    const double c = (in.delivery == net::kInvalidNode)
+                         ? 0.0
+                         : unit_deliver_rate *
+                               in.dist(in.units[u].location, in.delivery);
+    if (c < best_total) {
+      best_total = c;
+      final_choice = GChoice{static_cast<int>(u), -1};
+    }
+  }
+  if (!best_op.empty() && !best_op[target].empty()) {
+    for (std::size_t q = 0; q < S; ++q) {
+      if (best_op[target][q] == kInf) continue;
+      const double edge =
+          (in.delivery == net::kInvalidNode)
+              ? 0.0
+              : deliver_rate * in.dist(in.sites[q], in.delivery);
+      const double c = best_op[target][q] + edge;
+      if (c < best_total) {
+        best_total = c;
+        final_choice = GChoice{-1, static_cast<int>(q)};
+      }
+    }
+  }
+  if (best_total == kInf) {
+    return result;  // infeasible: units cannot cover the target
+  }
+
+  // Reconstruction into a Deployment (children before parents).
+  query::Deployment dep;
+  dep.query = in.query_id;
+  std::unordered_map<int, int> unit_slot;  // input unit index -> dep.units idx
+  auto use_unit = [&](int u) {
+    const auto it = unit_slot.find(u);
+    if (it != unit_slot.end()) return query::encode_unit_child(it->second);
+    const int slot = static_cast<int>(dep.units.size());
+    dep.units.push_back(in.units[static_cast<std::size_t>(u)]);
+    result.unit_sources.push_back(u);
+    unit_slot.emplace(u, slot);
+    return query::encode_unit_child(slot);
+  };
+  // Builds the subtree that makes `m` available per the recorded choice and
+  // returns the child code of its producer.
+  auto build = [&](auto&& self, query::Mask m, GChoice choice) -> int {
+    if (choice.unit >= 0) return use_unit(choice.unit);
+    IFLOW_CHECK(choice.op_site >= 0);
+    const auto q = static_cast<std::size_t>(choice.op_site);
+    const query::Mask a = split_choice[m][q];
+    const query::Mask b = m ^ a;
+    const int lc = self(self, a, g_choice[a][q]);
+    const int rc = self(self, b, g_choice[b][q]);
+    query::DeployedOp op;
+    op.mask = m;
+    op.left = lc;
+    op.right = rc;
+    op.node = in.sites[q];
+    op.out_bytes_rate = in.rates->bytes_rate(m);
+    op.out_tuple_rate = in.rates->tuple_rate(m);
+    dep.ops.push_back(op);
+    return static_cast<int>(dep.ops.size()) - 1;
+  };
+  build(build, target, final_choice);
+  dep.sink = (in.delivery != net::kInvalidNode) ? in.delivery : dep.root_node();
+  validate_deployment(dep);
+
+  // Cost with direct edges under the same oracle (equals the DP optimum for
+  // metric oracles; the DP value may include zero-gain relays).
+  double direct = 0.0;
+  for (const query::DeployedOp& op : dep.ops) {
+    for (int child : {op.left, op.right}) {
+      const auto& [loc, rate] =
+          query::child_is_unit(child)
+              ? std::pair{dep.units[static_cast<std::size_t>(
+                                        query::child_unit_index(child))]
+                              .location,
+                          dep.units[static_cast<std::size_t>(
+                                        query::child_unit_index(child))]
+                              .bytes_rate}
+              : std::pair{dep.ops[static_cast<std::size_t>(child)].node,
+                          dep.ops[static_cast<std::size_t>(child)]
+                              .out_bytes_rate};
+      direct += rate * in.dist(loc, op.node);
+    }
+  }
+  direct += (in.delivery == net::kInvalidNode ? 0.0 : deliver_rate) *
+            in.dist(dep.root_node(), dep.sink);
+  IFLOW_DCHECK(direct <= best_total + 1e-6 * (1.0 + best_total));
+
+  dep.planned_cost = direct;
+  result.feasible = true;
+  result.cost = direct;
+  result.deployment = std::move(dep);
+  return result;
+}
+
+TreePlacement place_tree_optimal(const query::JoinTree& tree,
+                                 const std::vector<query::LeafUnit>& units,
+                                 const query::RateModel& rates,
+                                 net::NodeId delivery,
+                                 const std::vector<net::NodeId>& sites,
+                                 const DistFn& dist,
+                                 double delivery_bytes_rate) {
+  IFLOW_CHECK(!sites.empty());
+  const std::size_t S = sites.size();
+  TreePlacement out;
+
+  const auto n_nodes = tree.nodes.size();
+  // cost[v][p]: cheapest cost of the subtree rooted at internal node v with
+  // its operator at site p. pick[v][p]: chosen site of internal child v
+  // given the parent at p.
+  std::vector<std::vector<double>> cost(n_nodes);
+  std::vector<std::vector<std::size_t>> pick(n_nodes);
+
+  for (std::size_t v = 0; v < n_nodes; ++v) {
+    const query::TreeNode& node = tree.nodes[v];
+    if (node.unit >= 0) continue;  // leaves carry no table
+    cost[v].assign(S, 0.0);
+    for (int child : {node.left, node.right}) {
+      const query::TreeNode& cn = tree.nodes[static_cast<std::size_t>(child)];
+      if (cn.unit >= 0) {
+        const query::LeafUnit& u = units[static_cast<std::size_t>(cn.unit)];
+        for (std::size_t p = 0; p < S; ++p) {
+          cost[v][p] += u.bytes_rate * dist(u.location, sites[p]);
+        }
+      } else {
+        const double rate = rates.bytes_rate(cn.mask);
+        auto& child_pick = pick[static_cast<std::size_t>(child)];
+        child_pick.assign(S, 0);
+        for (std::size_t p = 0; p < S; ++p) {
+          double best = kInf;
+          std::size_t arg = 0;
+          for (std::size_t q = 0; q < S; ++q) {
+            const double c = cost[static_cast<std::size_t>(child)][q] +
+                             rate * dist(sites[q], sites[p]);
+            if (c < best) {
+              best = c;
+              arg = q;
+            }
+          }
+          cost[v][p] += best;
+          child_pick[p] = arg;
+        }
+      }
+    }
+  }
+
+  const query::TreeNode& root = tree.nodes[static_cast<std::size_t>(tree.root)];
+  if (root.unit >= 0) {
+    // Single-leaf tree: no operators to place.
+    const query::LeafUnit& u = units[static_cast<std::size_t>(root.unit)];
+    const double rate =
+        delivery_bytes_rate >= 0.0 ? delivery_bytes_rate : u.bytes_rate;
+    out.feasible = true;
+    out.cost = (delivery == net::kInvalidNode)
+                   ? 0.0
+                   : rate * dist(u.location, delivery);
+    return out;
+  }
+
+  const double root_rate = delivery_bytes_rate >= 0.0
+                               ? delivery_bytes_rate
+                               : rates.bytes_rate(root.mask);
+  double best = kInf;
+  std::size_t root_site = 0;
+  for (std::size_t p = 0; p < S; ++p) {
+    const double edge = (delivery == net::kInvalidNode)
+                            ? 0.0
+                            : root_rate * dist(sites[p], delivery);
+    const double c = cost[static_cast<std::size_t>(tree.root)][p] + edge;
+    if (c < best) {
+      best = c;
+      root_site = p;
+    }
+  }
+
+  // Walk back down assigning sites.
+  out.op_nodes.assign(n_nodes, net::kInvalidNode);
+  auto descend = [&](auto&& self, int v, std::size_t p) -> void {
+    out.op_nodes[static_cast<std::size_t>(v)] = sites[p];
+    const query::TreeNode& node = tree.nodes[static_cast<std::size_t>(v)];
+    for (int child : {node.left, node.right}) {
+      if (tree.nodes[static_cast<std::size_t>(child)].unit >= 0) continue;
+      self(self, child, pick[static_cast<std::size_t>(child)][p]);
+    }
+  };
+  descend(descend, tree.root, root_site);
+
+  out.feasible = true;
+  out.cost = best;
+  return out;
+}
+
+query::Deployment assemble_deployment(const query::JoinTree& tree,
+                                      const std::vector<query::LeafUnit>& units,
+                                      const query::RateModel& rates,
+                                      const std::vector<net::NodeId>& op_nodes,
+                                      net::NodeId sink, query::QueryId qid) {
+  query::Deployment dep;
+  dep.query = qid;
+  dep.sink = sink;
+  std::unordered_map<int, int> unit_slot;
+  std::vector<int> code(tree.nodes.size(), 0);
+  for (std::size_t v = 0; v < tree.nodes.size(); ++v) {
+    const query::TreeNode& node = tree.nodes[v];
+    if (node.unit >= 0) {
+      const auto it = unit_slot.find(node.unit);
+      int slot;
+      if (it != unit_slot.end()) {
+        slot = it->second;
+      } else {
+        slot = static_cast<int>(dep.units.size());
+        dep.units.push_back(units[static_cast<std::size_t>(node.unit)]);
+        unit_slot.emplace(node.unit, slot);
+      }
+      code[v] = query::encode_unit_child(slot);
+      continue;
+    }
+    query::DeployedOp op;
+    op.mask = node.mask;
+    op.left = code[static_cast<std::size_t>(node.left)];
+    op.right = code[static_cast<std::size_t>(node.right)];
+    op.node = op_nodes[v];
+    IFLOW_CHECK(op.node != net::kInvalidNode);
+    op.out_bytes_rate = rates.bytes_rate(node.mask);
+    op.out_tuple_rate = rates.tuple_rate(node.mask);
+    dep.ops.push_back(op);
+    code[v] = static_cast<int>(dep.ops.size()) - 1;
+  }
+  validate_deployment(dep);
+  return dep;
+}
+
+}  // namespace iflow::opt

@@ -1,0 +1,47 @@
+#include "opt/random_place.h"
+
+#include "opt/static_plan.h"
+#include "opt/view.h"
+#include "query/rates.h"
+
+namespace iflow::opt {
+
+OptimizeResult RandomPlacementOptimizer::optimize(const query::Query& q) {
+  IFLOW_CHECK(env_.catalog && env_.network && env_.routing);
+  const net::RoutingTables& rt = *env_.routing;
+  query::RateModel rates(*env_.catalog, q, env_.projection_factor);
+
+  const std::vector<query::LeafUnit> bases =
+      collect_units(rates, nullptr, nullptr);
+  const StaticPlan plan = choose_static_plan(rates, bases);
+  IFLOW_CHECK(plan.feasible);
+
+  std::vector<net::NodeId> sites;
+  for (net::NodeId n = 0; n < env_.network->node_count(); ++n) {
+    sites.push_back(n);
+  }
+  sites = restrict_sites(env_, std::move(sites));
+
+  std::vector<net::NodeId> op_nodes(plan.tree.nodes.size(),
+                                    net::kInvalidNode);
+  double ops = 0.0;
+  for (std::size_t v = 0; v < plan.tree.nodes.size(); ++v) {
+    if (plan.tree.nodes[v].unit >= 0) continue;
+    op_nodes[v] = prng_.pick(sites);
+    ops += 1.0;
+  }
+
+  OptimizeResult out;
+  out.feasible = true;
+  out.deployment = assemble_deployment(plan.tree, plan.units, rates, op_nodes,
+                                       q.sink, q.id);
+  out.deployment.aggregate = q.aggregate;
+  out.actual_cost = query::deployment_cost(out.deployment, rt);
+  out.planned_cost = out.actual_cost;
+  out.plans_considered = plan.plans_examined + ops;  // one draw per operator
+  out.levels_used = 1;
+  out.deploy_time_ms = out.plans_considered * env_.plan_eval_us / 1000.0;
+  return out;
+}
+
+}  // namespace iflow::opt

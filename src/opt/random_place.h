@@ -1,0 +1,29 @@
+// Random-placement baseline (paper §2.3.2: Bottom-Up's sub-optimality is
+// bounded with respect to the optimal deployment of its own join ordering,
+// which "proves that Bottom-Up can offer better bounds than a random
+// placement of the same query tree").
+//
+// The join tree is chosen exactly like the other phased baselines
+// (statistics-only); each operator is then assigned to a uniformly random
+// processing node. Useful as a sanity floor in comparisons and tests.
+#pragma once
+
+#include "common/prng.h"
+#include "opt/optimizer.h"
+
+namespace iflow::opt {
+
+class RandomPlacementOptimizer final : public Optimizer {
+ public:
+  RandomPlacementOptimizer(const OptimizerEnv& env, std::uint64_t seed)
+      : env_(env), prng_(seed) {}
+
+  std::string name() const override { return "random-placement"; }
+  OptimizeResult optimize(const query::Query& q) override;
+
+ private:
+  OptimizerEnv env_;
+  Prng prng_;
+};
+
+}  // namespace iflow::opt

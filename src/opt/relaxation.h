@@ -1,0 +1,38 @@
+// The Relaxation baseline (Pietzuch et al., "Network-aware operator
+// placement for stream-processing systems", ICDE'06) — a phased
+// plan-then-deploy heuristic (paper §3.3, Figs 2 and 8).
+//
+// Phase 1 fixes the join tree from stream statistics. Phase 2 places the
+// tree's operators in a 3-D cost space: leaves and the sink are pinned at
+// their nodes' embedded coordinates, operators iteratively relax to the
+// rate-weighted centroid of their tree neighbours (spring equilibrium), and
+// each operator finally snaps to the nearest physical node.
+#pragma once
+
+#include "opt/cost_space.h"
+#include "opt/optimizer.h"
+
+namespace iflow::opt {
+
+class RelaxationOptimizer final : public Optimizer {
+ public:
+  /// `seed` controls the embedding initialisation; `relax_iterations` the
+  /// per-operator spring iterations and `embed_iterations` the cost-space
+  /// construction sweeps. The paper's experiment used 4 iterations for both
+  /// (§3.3); the defaults here are generous so the baseline is as strong as
+  /// it can be — figure benches pass the paper's settings.
+  RelaxationOptimizer(const OptimizerEnv& env, std::uint64_t seed,
+                      int relax_iterations = 40, int embed_iterations = 100);
+
+  std::string name() const override {
+    return env_.reuse ? "relaxation+reuse" : "relaxation";
+  }
+  OptimizeResult optimize(const query::Query& q) override;
+
+ private:
+  OptimizerEnv env_;
+  int relax_iterations_;
+  CostSpace space_;
+};
+
+}  // namespace iflow::opt

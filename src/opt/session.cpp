@@ -1,0 +1,42 @@
+#include "opt/optimizer.h"
+
+#include <algorithm>
+
+#include "query/rates.h"
+
+namespace iflow::opt {
+
+std::vector<net::NodeId> restrict_sites(const OptimizerEnv& env,
+                                        std::vector<net::NodeId> sites) {
+  if (env.processing_nodes.empty()) return sites;
+  std::vector<net::NodeId> kept;
+  for (net::NodeId n : sites) {
+    if (std::find(env.processing_nodes.begin(), env.processing_nodes.end(),
+                  n) != env.processing_nodes.end()) {
+      kept.push_back(n);
+    }
+  }
+  return kept.empty() ? sites : kept;
+}
+
+double delivery_rate_for(const query::Query& q,
+                         const query::RateModel& rates) {
+  if (!q.aggregate.enabled()) return -1.0;
+  return std::min(rates.tuple_rate(rates.full()),
+                  q.aggregate.out_tuple_rate()) *
+         q.aggregate.out_width;
+}
+
+OptimizeResult Session::submit(const query::Query& q) {
+  OptimizeResult res = optimizer_->optimize(q);
+  if (!res.feasible) return res;
+  cumulative_cost_ += res.actual_cost;
+  cumulative_plans_ += res.plans_considered;
+  if (env_.reuse && env_.registry != nullptr) {
+    query::RateModel rates(*env_.catalog, q, env_.projection_factor);
+    advert::advertise_deployment(*env_.registry, res.deployment, rates);
+  }
+  return res;
+}
+
+}  // namespace iflow::opt

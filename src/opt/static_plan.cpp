@@ -1,0 +1,120 @@
+#include "opt/static_plan.h"
+
+#include <limits>
+#include <unordered_map>
+
+namespace iflow::opt {
+
+namespace {
+
+/// Recursively enumerates exact covers of `remaining` by unit indices
+/// (lowest unset bit first, so each cover is produced once).
+void covers_of(const std::vector<query::LeafUnit>& units,
+               query::Mask remaining, std::vector<int>& current,
+               std::vector<std::vector<int>>& out) {
+  if (remaining == 0) {
+    out.push_back(current);
+    return;
+  }
+  const query::Mask low = remaining & (~remaining + 1);
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const query::Mask m = units[u].mask;
+    if ((m & low) == 0 || (m & ~remaining) != 0) continue;
+    current.push_back(static_cast<int>(u));
+    covers_of(units, remaining & ~m, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+StaticPlan choose_static_plan(const query::RateModel& rates,
+                              const std::vector<query::LeafUnit>& units) {
+  StaticPlan best;
+  double best_obj = std::numeric_limits<double>::infinity();
+
+  std::vector<std::vector<int>> covers;
+  std::vector<int> scratch;
+  covers_of(units, rates.full(), scratch, covers);
+
+  for (const std::vector<int>& cover : covers) {
+    std::vector<query::Mask> masks;
+    masks.reserve(cover.size());
+    for (int u : cover) masks.push_back(units[static_cast<std::size_t>(u)].mask);
+    for (query::JoinTree& tree : query::enumerate_join_trees(masks)) {
+      best.plans_examined += 1.0;
+      double obj = 0.0;
+      for (const query::TreeNode& n : tree.nodes) {
+        if (n.unit < 0) obj += rates.tuple_rate(n.mask);
+      }
+      if (obj < best_obj) {
+        best_obj = obj;
+        // Re-index tree leaves from cover-local to a compact unit list.
+        best.units.clear();
+        for (int u : cover) {
+          best.units.push_back(units[static_cast<std::size_t>(u)]);
+        }
+        best.tree = std::move(tree);
+        best.intermediate_tuple_rate = obj;
+        best.feasible = true;
+      }
+    }
+  }
+  return best;
+}
+
+StaticPlan apply_subtree_reuse(StaticPlan plan, const query::RateModel& rates,
+                               const std::vector<query::LeafUnit>& deriveds,
+                               net::NodeId sink, const net::RoutingTables& rt) {
+  (void)rates;
+  IFLOW_CHECK(plan.feasible);
+  // Cheapest-to-deliver provider per exactly-matching mask.
+  std::unordered_map<query::Mask, const query::LeafUnit*> best_by_mask;
+  for (const query::LeafUnit& d : deriveds) {
+    auto& slot = best_by_mask[d.mask];
+    if (slot == nullptr ||
+        rt.cost(d.location, sink) < rt.cost(slot->location, sink)) {
+      slot = &d;
+    }
+  }
+  if (best_by_mask.empty()) return plan;
+
+  StaticPlan out;
+  out.feasible = true;
+  out.intermediate_tuple_rate = 0.0;
+  out.plans_examined = plan.plans_examined;
+  auto copy = [&](auto&& self, int v) -> int {
+    const query::TreeNode& n =
+        plan.tree.nodes[static_cast<std::size_t>(v)];
+    const auto it = best_by_mask.find(n.mask);
+    if (n.unit < 0 && it != best_by_mask.end()) {
+      // Prune the whole subtree: the deployed operator is consumed instead.
+      query::TreeNode leaf;
+      leaf.unit = static_cast<int>(out.units.size());
+      leaf.mask = n.mask;
+      out.units.push_back(*it->second);
+      out.tree.nodes.push_back(leaf);
+      return static_cast<int>(out.tree.nodes.size()) - 1;
+    }
+    if (n.unit >= 0) {
+      query::TreeNode leaf;
+      leaf.unit = static_cast<int>(out.units.size());
+      leaf.mask = n.mask;
+      out.units.push_back(plan.units[static_cast<std::size_t>(n.unit)]);
+      out.tree.nodes.push_back(leaf);
+      return static_cast<int>(out.tree.nodes.size()) - 1;
+    }
+    const int l = self(self, n.left);
+    const int r = self(self, n.right);
+    query::TreeNode internal;
+    internal.left = l;
+    internal.right = r;
+    internal.mask = n.mask;
+    out.tree.nodes.push_back(internal);
+    return static_cast<int>(out.tree.nodes.size()) - 1;
+  };
+  out.tree.root = copy(copy, plan.tree.root);
+  return out;
+}
+
+}  // namespace iflow::opt

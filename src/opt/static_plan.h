@@ -1,0 +1,39 @@
+// Network-unaware ("compile-time") query planning, shared by the phased
+// baselines (Fig 1a): the join tree is chosen purely from stream statistics
+// — minimising the total intermediate tuple rate — before any placement
+// decision. When reuse is enabled the plan may substitute advertised
+// derived streams for subtrees (saving their computation), but still
+// without looking at the network.
+#pragma once
+
+#include "opt/view.h"
+#include "query/join_tree.h"
+
+namespace iflow::opt {
+
+struct StaticPlan {
+  bool feasible = false;
+  query::JoinTree tree;                 // leaves index `units`
+  std::vector<query::LeafUnit> units;   // the chosen cover
+  double intermediate_tuple_rate = 0.0; // plan objective
+  double plans_examined = 0.0;          // covers × trees enumerated
+};
+
+/// Enumerates every cover of the query's sources by the available units and
+/// every bushy tree over each cover; returns the combination minimising the
+/// summed tuple rate of intermediate results. Phased baselines pass base
+/// units only — their plan phase is oblivious to deployed operators.
+StaticPlan choose_static_plan(const query::RateModel& rates,
+                              const std::vector<query::LeafUnit>& units);
+
+/// Deployment-phase reuse for the phased baselines: a derived stream can be
+/// substituted only where it EXACTLY matches a subtree of the already-fixed
+/// join tree (the paper's point: "the pre-defined join order may prevent us
+/// from reusing the results of an already deployed join"). Matching
+/// subtrees are pruned to leaves; among multiple providers of the same
+/// stream set, the one cheapest to reach from the sink is picked.
+StaticPlan apply_subtree_reuse(StaticPlan plan, const query::RateModel& rates,
+                               const std::vector<query::LeafUnit>& deriveds,
+                               net::NodeId sink, const net::RoutingTables& rt);
+
+}  // namespace iflow::opt

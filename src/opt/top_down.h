@@ -1,0 +1,32 @@
+// The Top-Down algorithm (paper §2.2).
+//
+// The query is submitted to the top-level coordinator, which exhaustively
+// searches trees × reuse covers × member assignments within its cluster
+// under the level-h cost approximation (Theorem 1). The chosen assignment
+// partitions the query into views — one per level-h member — and each view
+// is recursively re-planned inside that member's underlying cluster at the
+// next level down, until operators land on physical nodes at level 1.
+// Sub-optimality is bounded by Theorem 3; the search space by Theorem 2.
+#pragma once
+
+#include "opt/optimizer.h"
+#include "opt/view.h"
+
+namespace iflow::opt {
+
+class TopDownOptimizer final : public Optimizer {
+ public:
+  explicit TopDownOptimizer(const OptimizerEnv& env) : env_(env) {
+    IFLOW_CHECK(env.hierarchy != nullptr);
+  }
+
+  std::string name() const override {
+    return env_.reuse ? "top-down+reuse" : "top-down";
+  }
+  OptimizeResult optimize(const query::Query& q) override;
+
+ private:
+  OptimizerEnv env_;
+};
+
+}  // namespace iflow::opt

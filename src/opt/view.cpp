@@ -1,0 +1,93 @@
+#include "opt/view.h"
+
+#include <algorithm>
+
+namespace iflow::opt {
+
+int import_deployment(query::Deployment& final_deployment,
+                      const PlannerResult& piece,
+                      const std::vector<ViewInput>& inputs) {
+  IFLOW_CHECK(piece.feasible);
+  const query::Deployment& dep = piece.deployment;
+  IFLOW_CHECK(dep.units.size() == piece.unit_sources.size());
+
+  // Resolve each piece unit to a final child code.
+  std::vector<int> unit_code(dep.units.size());
+  for (std::size_t j = 0; j < dep.units.size(); ++j) {
+    const auto src = static_cast<std::size_t>(piece.unit_sources[j]);
+    IFLOW_CHECK(src < inputs.size());
+    if (inputs[src].final_code != kNoCode) {
+      unit_code[j] = inputs[src].final_code;
+    } else {
+      final_deployment.units.push_back(dep.units[j]);
+      unit_code[j] = query::encode_unit_child(
+          static_cast<int>(final_deployment.units.size()) - 1);
+    }
+  }
+
+  // Append ops, remapping child codes into the final arena.
+  std::vector<int> op_code(dep.ops.size());
+  for (std::size_t i = 0; i < dep.ops.size(); ++i) {
+    query::DeployedOp op = dep.ops[i];
+    auto remap = [&](int child) {
+      if (query::child_is_unit(child)) {
+        return unit_code[static_cast<std::size_t>(
+            query::child_unit_index(child))];
+      }
+      return op_code[static_cast<std::size_t>(child)];
+    };
+    op.left = remap(op.left);
+    op.right = remap(op.right);
+    final_deployment.ops.push_back(op);
+    op_code[i] = static_cast<int>(final_deployment.ops.size()) - 1;
+  }
+
+  if (dep.ops.empty()) {
+    IFLOW_CHECK(dep.units.size() == 1);
+    return unit_code[0];
+  }
+  return op_code.back();
+}
+
+std::vector<query::LeafUnit> collect_units(
+    const query::RateModel& rates, const advert::Registry* registry,
+    const std::function<bool(net::NodeId)>& scope) {
+  std::vector<query::LeafUnit> units;
+  for (int i = 0; i < rates.k(); ++i) {
+    const net::NodeId src = rates.source_node(i);
+    if (scope && !scope(src)) continue;
+    query::LeafUnit u;
+    u.mask = query::Mask{1} << i;
+    u.location = src;
+    u.tuple_rate = rates.tuple_rate(u.mask);
+    u.bytes_rate = rates.bytes_rate(u.mask);
+    units.push_back(u);
+  }
+  if (registry != nullptr) {
+    for (const advert::ReuseMatch& match :
+         registry->reusable(rates.query(), scope)) {
+      const advert::DerivedStream* ds = match.stream;
+      query::Mask mask = 0;
+      for (query::StreamId s : ds->streams) {
+        for (int i = 0; i < rates.k(); ++i) {
+          if (rates.stream(i) == s) mask |= query::Mask{1} << i;
+        }
+      }
+      IFLOW_CHECK(mask != 0);
+      query::LeafUnit u;
+      u.mask = mask;
+      u.location = ds->location;
+      // Containment reuse trims the stream with a residual filter at the
+      // provider, so what travels is exactly the query's own rate for the
+      // mask; exact reuse coincides with it by construction.
+      u.tuple_rate = rates.tuple_rate(mask);
+      u.bytes_rate = rates.bytes_rate(mask);
+      u.derived = true;
+      u.residual_filter = match.residual_filter;
+      units.push_back(u);
+    }
+  }
+  return units;
+}
+
+}  // namespace iflow::opt

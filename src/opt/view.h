@@ -1,0 +1,44 @@
+// View inputs and deployment stitching shared by the multi-level
+// algorithms.
+//
+// The hierarchical optimizers plan a query in pieces (per level, per
+// cluster) and stitch the per-piece planner outputs into one final
+// Deployment. A ViewInput is a planner leaf unit that may already be backed
+// by something in the final deployment (an operator placed by an earlier
+// piece, or a unit slot already imported), in which case its `final_code`
+// identifies it there.
+#pragma once
+
+#include <vector>
+
+#include "advert/registry.h"
+#include "opt/planner.h"
+
+namespace iflow::opt {
+
+inline constexpr int kNoCode = std::numeric_limits<int>::min();
+
+/// Planner leaf unit plus its identity in the final deployment, if any.
+struct ViewInput {
+  query::LeafUnit unit;
+  int final_code = kNoCode;
+};
+
+/// Appends a per-piece planner result to the final deployment. `inputs` is
+/// parallel to the PlannerInput::units the piece was planned with; units
+/// that already had a final code are wired to it, fresh ones are imported.
+/// Returns the final child code of the piece's producer (root op or single
+/// unit).
+int import_deployment(query::Deployment& final_deployment,
+                      const PlannerResult& piece,
+                      const std::vector<ViewInput>& inputs);
+
+/// Collects the leaf units available for a query: one base unit per query
+/// source (at its catalog source node) plus, when `registry` is non-null,
+/// every reusable derived stream whose provider passes `scope`
+/// (null scope = anywhere).
+std::vector<query::LeafUnit> collect_units(
+    const query::RateModel& rates, const advert::Registry* registry,
+    const std::function<bool(net::NodeId)>& scope);
+
+}  // namespace iflow::opt

@@ -1,0 +1,135 @@
+#include "opt/view_planner.h"
+
+#include <algorithm>
+
+namespace iflow::opt {
+
+net::NodeId node_of_code(const query::Deployment& d, int code) {
+  if (query::child_is_unit(code)) {
+    return d.units[static_cast<std::size_t>(query::child_unit_index(code))]
+        .location;
+  }
+  return d.ops[static_cast<std::size_t>(code)].node;
+}
+
+int plan_view_recursive(const OptimizerEnv& env, int level,
+                        std::size_t cluster_index,
+                        const std::vector<ViewInput>& inputs,
+                        query::Mask target, net::NodeId delivery,
+                        const query::RateModel& rates, query::QueryId qid,
+                        query::Deployment& final_deployment,
+                        std::vector<ViewPlanStats>& stats, bool refine,
+                        double delivery_bytes_rate) {
+  const cluster::Hierarchy& h = *env.hierarchy;
+  const net::RoutingTables& rt = *env.routing;
+  const cluster::Cluster& cl = h.level(level)[cluster_index];
+
+  PlannerInput in;
+  in.rates = &rates;
+  in.units.reserve(inputs.size());
+  for (const ViewInput& vi : inputs) in.units.push_back(vi.unit);
+  in.target = target;
+  in.delivery = delivery;
+  in.sites = restrict_sites(env, cl.members);
+  in.dist = [&h, level](net::NodeId a, net::NodeId b) {
+    return h.est_cost(a, b, level);
+  };
+  in.query_id = qid;
+  if (delivery != net::kInvalidNode) {
+    in.delivery_bytes_rate = delivery_bytes_rate;
+  }
+
+  const PlannerResult res = plan_optimal(in);
+  IFLOW_CHECK_MSG(res.feasible, "view inputs cannot cover the target");
+  auto& stat = stats[static_cast<std::size_t>(level - 1)];
+  stat.plans += res.plans_considered;
+  for (const query::DeployedOp& op : res.deployment.ops) {
+    stat.dispatch_ms =
+        std::max(stat.dispatch_ms, rt.delay_ms(cl.coordinator, op.node));
+  }
+
+  if (level == 1 || res.deployment.ops.empty() || !refine) {
+    // Physical placement reached (or the target is a single reused unit, or
+    // the caller wants the coarse coordinator-level placement).
+    return import_deployment(final_deployment, res, inputs);
+  }
+
+  // Partition the level's operators into views: maximal connected groups of
+  // ops assigned to the same member (= the same underlying cluster).
+  const query::Deployment& dep = res.deployment;
+  const std::size_t n_ops = dep.ops.size();
+  std::vector<int> parent(n_ops, -1);
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    for (int child : {dep.ops[i].left, dep.ops[i].right}) {
+      if (!query::child_is_unit(child)) {
+        parent[static_cast<std::size_t>(child)] = static_cast<int>(i);
+      }
+    }
+  }
+  std::vector<int> comp(n_ops, -1);
+  int n_comp = 0;
+  for (std::size_t i = n_ops; i-- > 0;) {  // parents (higher index) first
+    const int p = parent[i];
+    if (p >= 0 &&
+        dep.ops[static_cast<std::size_t>(p)].node == dep.ops[i].node) {
+      comp[i] = comp[static_cast<std::size_t>(p)];
+    } else {
+      comp[i] = n_comp++;
+    }
+  }
+
+  // The top op of each component (the arena is topological, so the last op
+  // of a component is its root).
+  std::vector<int> comp_top(static_cast<std::size_t>(n_comp), -1);
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    comp_top[static_cast<std::size_t>(comp[i])] = static_cast<int>(i);
+  }
+
+  // Refine views children-first so every consumer knows its inputs'
+  // physical locations.
+  std::vector<int> comp_code(static_cast<std::size_t>(n_comp), kNoCode);
+  auto plan_component = [&](auto&& self, int c) -> int {
+    if (comp_code[static_cast<std::size_t>(c)] != kNoCode) {
+      return comp_code[static_cast<std::size_t>(c)];
+    }
+    std::vector<ViewInput> sub_inputs;
+    for (std::size_t i = 0; i < n_ops; ++i) {
+      if (comp[i] != c) continue;
+      for (int child : {dep.ops[i].left, dep.ops[i].right}) {
+        if (query::child_is_unit(child)) {
+          const auto j =
+              static_cast<std::size_t>(query::child_unit_index(child));
+          sub_inputs.push_back(
+              inputs[static_cast<std::size_t>(res.unit_sources[j])]);
+        } else if (comp[static_cast<std::size_t>(child)] != c) {
+          const int code = self(self, comp[static_cast<std::size_t>(child)]);
+          const query::DeployedOp& co =
+              dep.ops[static_cast<std::size_t>(child)];
+          ViewInput vi;
+          vi.unit.mask = co.mask;
+          vi.unit.location = node_of_code(final_deployment, code);
+          vi.unit.bytes_rate = co.out_bytes_rate;
+          vi.unit.tuple_rate = co.out_tuple_rate;
+          vi.final_code = code;
+          sub_inputs.push_back(vi);
+        }
+      }
+    }
+    const query::DeployedOp& top = dep.ops[static_cast<std::size_t>(
+        comp_top[static_cast<std::size_t>(c)])];
+    const bool is_root =
+        comp_top[static_cast<std::size_t>(c)] == static_cast<int>(n_ops) - 1;
+    const net::NodeId sub_delivery = is_root ? delivery : net::kInvalidNode;
+    const std::size_t sub_cluster = h.cluster_of(top.node, level - 1);
+    const int code = plan_view_recursive(
+        env, level - 1, sub_cluster, sub_inputs, top.mask, sub_delivery,
+        rates, qid, final_deployment, stats, /*refine=*/true,
+        is_root ? delivery_bytes_rate : -1.0);
+    comp_code[static_cast<std::size_t>(c)] = code;
+    return code;
+  };
+  return plan_component(plan_component,
+                        comp[static_cast<std::size_t>(n_ops - 1)]);
+}
+
+}  // namespace iflow::opt

@@ -1,0 +1,47 @@
+// Recursive per-cluster view planning — the shared machinery of the two
+// hierarchical algorithms.
+//
+// plan_view_recursive() plans `target` from `inputs` within one cluster at
+// a given level: it runs the exhaustive-equivalent search over the
+// cluster's members under the level's Theorem-1 cost estimates, partitions
+// the chosen operators into per-member views, and recursively refines each
+// view inside that member's underlying cluster, until operators land on
+// physical nodes at level 1. Views are refined children-first so every view
+// knows the final physical locations of its inputs.
+//
+// Top-Down is a single call at the top level; Bottom-Up issues one call per
+// level of the sink's coordinator chain as sources become local.
+#pragma once
+
+#include "opt/optimizer.h"
+#include "opt/view.h"
+
+namespace iflow::opt {
+
+/// Per-level accounting of a recursive view plan: plans examined by
+/// coordinators at that level and the slowest coordinator→site control
+/// dispatch.
+struct ViewPlanStats {
+  double plans = 0.0;
+  double dispatch_ms = 0.0;
+};
+
+/// See file comment. `stats` must have one slot per hierarchy level.
+/// Returns the final child code (op index or ~unit) of the producer of
+/// `target` within `final_deployment`. With `refine` false the per-member
+/// descent is skipped and operators are pinned directly to the cluster's
+/// member nodes — the fast, coarse variant (Bottom-Up's quick-deployment
+/// mode; see the ablation bench).
+int plan_view_recursive(const OptimizerEnv& env, int level,
+                        std::size_t cluster_index,
+                        const std::vector<ViewInput>& inputs,
+                        query::Mask target, net::NodeId delivery,
+                        const query::RateModel& rates, query::QueryId qid,
+                        query::Deployment& final_deployment,
+                        std::vector<ViewPlanStats>& stats, bool refine = true,
+                        double delivery_bytes_rate = -1.0);
+
+/// Physical node of a final-deployment child code.
+net::NodeId node_of_code(const query::Deployment& d, int code);
+
+}  // namespace iflow::opt

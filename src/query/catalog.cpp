@@ -1,0 +1,65 @@
+#include "query/catalog.h"
+
+#include <algorithm>
+
+namespace iflow::query {
+
+StreamId Catalog::add_stream(std::string name, net::NodeId source,
+                             double tuple_rate, double tuple_width) {
+  IFLOW_CHECK_MSG(tuple_rate > 0.0, "tuple rate must be positive");
+  IFLOW_CHECK_MSG(tuple_width > 0.0, "tuple width must be positive");
+  IFLOW_CHECK_MSG(find(name) == kInvalidStream, "duplicate stream " << name);
+  streams_.push_back(
+      StreamDef{std::move(name), source, tuple_rate, tuple_width, {}});
+
+  // Grow the dense selectivity matrix, preserving existing entries.
+  const std::size_t n = streams_.size();
+  std::vector<double> grown(n * n, 1.0);
+  for (std::size_t a = 0; a + 1 < n; ++a) {
+    for (std::size_t b = 0; b + 1 < n; ++b) {
+      grown[a * n + b] = selectivity_[a * (n - 1) + b];
+    }
+  }
+  selectivity_ = std::move(grown);
+  return static_cast<StreamId>(n - 1);
+}
+
+void Catalog::set_selectivity(StreamId a, StreamId b, double selectivity) {
+  IFLOW_CHECK(a < stream_count() && b < stream_count());
+  IFLOW_CHECK_MSG(a != b, "selectivity is defined between distinct streams");
+  IFLOW_CHECK_MSG(selectivity > 0.0 && selectivity <= 1.0,
+                  "selectivity must be in (0, 1]");
+  selectivity_[sel_index(a, b)] = selectivity;
+  selectivity_[sel_index(b, a)] = selectivity;
+}
+
+void Catalog::set_tuple_rate(StreamId id, double tuple_rate) {
+  IFLOW_CHECK(id < stream_count());
+  IFLOW_CHECK_MSG(tuple_rate > 0.0, "tuple rate must be positive");
+  streams_[id].tuple_rate = tuple_rate;
+}
+
+void Catalog::set_columns(StreamId id, std::vector<std::string> columns) {
+  IFLOW_CHECK(id < stream_count());
+  streams_[id].columns = std::move(columns);
+}
+
+double Catalog::selectivity(StreamId a, StreamId b) const {
+  IFLOW_CHECK(a < stream_count() && b < stream_count());
+  if (a == b) return 1.0;
+  return selectivity_[sel_index(a, b)];
+}
+
+const StreamDef& Catalog::stream(StreamId id) const {
+  IFLOW_CHECK(id < stream_count());
+  return streams_[id];
+}
+
+StreamId Catalog::find(const std::string& name) const {
+  const auto it = std::find_if(streams_.begin(), streams_.end(),
+                               [&](const StreamDef& s) { return s.name == name; });
+  if (it == streams_.end()) return kInvalidStream;
+  return static_cast<StreamId>(it - streams_.begin());
+}
+
+}  // namespace iflow::query

@@ -1,0 +1,68 @@
+// Stream catalog: the system-wide registry of base data streams.
+//
+// Each base stream has a tuple rate, a tuple width and a source placement.
+// Join selectivities are a *global* property of stream pairs (estimated from
+// historical statistics, paper §1.1); because two queries joining the same
+// streams therefore produce identical derived streams, operator reuse across
+// queries is semantically sound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "net/network.h"
+
+namespace iflow::query {
+
+using StreamId = std::uint32_t;
+inline constexpr StreamId kInvalidStream = std::numeric_limits<StreamId>::max();
+
+/// A base data stream: continuously produced tuples at a source node.
+struct StreamDef {
+  std::string name;
+  net::NodeId source = net::kInvalidNode;
+  double tuple_rate = 0.0;   // tuples per second
+  double tuple_width = 0.0;  // bytes per tuple
+  /// Declared schema (optional). When non-empty, the SQL binder validates
+  /// column references against it.
+  std::vector<std::string> columns;
+};
+
+/// Registry of base streams and pairwise join selectivities.
+class Catalog {
+ public:
+  /// Registers a stream; returns its id (dense from 0).
+  StreamId add_stream(std::string name, net::NodeId source, double tuple_rate,
+                      double tuple_width);
+
+  /// Sets the (symmetric) join selectivity between two distinct streams:
+  /// the fraction of tuple pairs that match. Pairs default to 1.0
+  /// (cross product) until set.
+  void set_selectivity(StreamId a, StreamId b, double selectivity);
+
+  /// Updates a stream's observed tuple rate at runtime (data-condition
+  /// change; the middleware re-triggers optimization on such events).
+  void set_tuple_rate(StreamId id, double tuple_rate);
+
+  /// Declares the stream's schema for SQL binding.
+  void set_columns(StreamId id, std::vector<std::string> columns);
+
+  double selectivity(StreamId a, StreamId b) const;
+  const StreamDef& stream(StreamId id) const;
+  std::size_t stream_count() const { return streams_.size(); }
+
+  /// Lookup by name; kInvalidStream when absent.
+  StreamId find(const std::string& name) const;
+
+ private:
+  std::vector<StreamDef> streams_;
+  std::vector<double> selectivity_;  // dense symmetric matrix, 1.0 default
+
+  std::size_t sel_index(StreamId a, StreamId b) const {
+    return static_cast<std::size_t>(a) * streams_.size() + b;
+  }
+};
+
+}  // namespace iflow::query

@@ -1,0 +1,86 @@
+#include "query/join_tree.h"
+
+#include <algorithm>
+
+namespace iflow::query {
+
+namespace {
+
+/// Appends `sub` to `arena`, fixing up child indices; returns the new index
+/// of `sub`'s root.
+int graft(std::vector<TreeNode>& arena, const JoinTree& sub) {
+  const int offset = static_cast<int>(arena.size());
+  for (TreeNode n : sub.nodes) {
+    if (n.left >= 0) n.left += offset;
+    if (n.right >= 0) n.right += offset;
+    arena.push_back(n);
+  }
+  return sub.root + offset;
+}
+
+/// All unordered trees over `subset` (unit indices). Every tree is produced
+/// exactly once: at each root split the subset's first unit is pinned to the
+/// left side, so mirrored splits are never revisited.
+std::vector<JoinTree> trees_over(const std::vector<Mask>& unit_masks,
+                                 const std::vector<int>& subset) {
+  std::vector<JoinTree> result;
+  if (subset.size() == 1) {
+    JoinTree t;
+    TreeNode leaf;
+    leaf.unit = subset[0];
+    leaf.mask = unit_masks[static_cast<std::size_t>(subset[0])];
+    t.nodes.push_back(leaf);
+    t.root = 0;
+    result.push_back(std::move(t));
+    return result;
+  }
+  const std::size_t rest = subset.size() - 1;
+  for (std::uint64_t bits = 1; bits < (std::uint64_t{1} << rest); ++bits) {
+    std::vector<int> left{subset[0]};
+    std::vector<int> right;
+    for (std::size_t i = 0; i < rest; ++i) {
+      ((bits >> i & 1) ? right : left).push_back(subset[i + 1]);
+    }
+    for (const JoinTree& lt : trees_over(unit_masks, left)) {
+      for (const JoinTree& rt : trees_over(unit_masks, right)) {
+        JoinTree t;
+        const int lroot = graft(t.nodes, lt);
+        const int rroot = graft(t.nodes, rt);
+        TreeNode root;
+        root.left = lroot;
+        root.right = rroot;
+        root.mask = t.nodes[static_cast<std::size_t>(lroot)].mask |
+                    t.nodes[static_cast<std::size_t>(rroot)].mask;
+        t.nodes.push_back(root);
+        t.root = static_cast<int>(t.nodes.size()) - 1;
+        result.push_back(std::move(t));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<JoinTree> enumerate_join_trees(
+    const std::vector<Mask>& unit_masks) {
+  IFLOW_CHECK(!unit_masks.empty());
+  IFLOW_CHECK_MSG(unit_masks.size() <= 10, "tree enumeration beyond 10 units");
+  Mask seen = 0;
+  for (Mask m : unit_masks) {
+    IFLOW_CHECK_MSG(m != 0 && (seen & m) == 0, "unit masks must be disjoint");
+    seen |= m;
+  }
+  std::vector<int> units(unit_masks.size());
+  for (std::size_t i = 0; i < units.size(); ++i) units[i] = static_cast<int>(i);
+  return trees_over(unit_masks, units);
+}
+
+std::uint64_t unordered_tree_count(int units) {
+  IFLOW_CHECK(units >= 1);
+  std::uint64_t c = 1;
+  for (int f = 2 * units - 3; f >= 3; f -= 2) c *= static_cast<std::uint64_t>(f);
+  return c;
+}
+
+}  // namespace iflow::query

@@ -1,0 +1,47 @@
+// Bushy join-tree representation and exhaustive enumeration.
+//
+// Trees are built over "units" — leaf inputs that are either base streams or
+// reusable derived streams. Enumerating all unordered binary trees over u
+// units yields (2u-3)!! shapes, the plan space of Lemma 1. The enumerator is
+// used by tests (to prove the subset-DP planner optimal) and by algorithm
+// variants that reason per tree; the production planner uses dynamic
+// programming over leafset masks instead.
+#pragma once
+
+#include <vector>
+
+#include "query/rates.h"
+
+namespace iflow::query {
+
+/// Node of a join tree. Leaves reference a unit index; internal nodes join
+/// their two children. `mask` is the union of leaf unit masks beneath.
+struct TreeNode {
+  int left = -1;   // index into JoinTree::nodes, -1 for leaves
+  int right = -1;
+  int unit = -1;   // unit index for leaves, -1 for internal nodes
+  Mask mask = 0;
+};
+
+/// Binary join tree in an index arena; `root` is the index of the root node.
+/// Nodes are stored so children precede parents (topological order).
+struct JoinTree {
+  std::vector<TreeNode> nodes;
+  int root = -1;
+
+  int internal_count() const {
+    int c = 0;
+    for (const auto& n : nodes) c += (n.unit < 0) ? 1 : 0;
+    return c;
+  }
+};
+
+/// All distinct unordered bushy join trees over the given (disjoint,
+/// non-empty) unit masks. For a single unit the result is the one leaf-only
+/// tree. Result size is (2u-3)!! for u units.
+std::vector<JoinTree> enumerate_join_trees(const std::vector<Mask>& unit_masks);
+
+/// (2u-3)!!, as a cross-check for enumerate_join_trees.
+std::uint64_t unordered_tree_count(int units);
+
+}  // namespace iflow::query

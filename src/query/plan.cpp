@@ -1,0 +1,108 @@
+#include "query/plan.h"
+
+namespace iflow::query {
+
+namespace {
+
+net::NodeId child_location(const Deployment& d, int child) {
+  if (child_is_unit(child)) {
+    return d.units[static_cast<std::size_t>(child_unit_index(child))].location;
+  }
+  return d.ops[static_cast<std::size_t>(child)].node;
+}
+
+double child_rate(const Deployment& d, int child) {
+  if (child_is_unit(child)) {
+    return d.units[static_cast<std::size_t>(child_unit_index(child))]
+        .bytes_rate;
+  }
+  return d.ops[static_cast<std::size_t>(child)].out_bytes_rate;
+}
+
+}  // namespace
+
+double deployment_cost(const Deployment& d, const net::RoutingTables& rt) {
+  IFLOW_CHECK(d.sink != net::kInvalidNode);
+  double cost = 0.0;
+  for (const DeployedOp& op : d.ops) {
+    for (int child : {op.left, op.right}) {
+      cost += child_rate(d, child) * rt.cost(child_location(d, child), op.node);
+    }
+  }
+  cost += d.delivered_bytes_rate() * rt.cost(d.root_node(), d.sink);
+  return cost;
+}
+
+double deployment_cost(const Deployment& d, const RateModel& rates,
+                       const net::RoutingTables& rt) {
+  IFLOW_CHECK(d.sink != net::kInvalidNode);
+  auto mask_of = [&d](int child) {
+    return child_is_unit(child)
+               ? d.units[static_cast<std::size_t>(child_unit_index(child))].mask
+               : d.ops[static_cast<std::size_t>(child)].mask;
+  };
+  double cost = 0.0;
+  for (const DeployedOp& op : d.ops) {
+    for (int child : {op.left, op.right}) {
+      cost += rates.bytes_rate(mask_of(child)) *
+              rt.cost(child_location(d, child), op.node);
+    }
+  }
+  const Mask root_mask =
+      d.ops.empty() ? d.units.front().mask : d.ops.back().mask;
+  double delivered = rates.bytes_rate(root_mask);
+  const Aggregation& agg = rates.query().aggregate;
+  if (agg.enabled()) {
+    delivered = std::min(rates.tuple_rate(root_mask), agg.out_tuple_rate()) *
+                agg.out_width;
+  }
+  cost += delivered * rt.cost(d.root_node(), d.sink);
+  return cost;
+}
+
+void validate_deployment(const Deployment& d) {
+  IFLOW_CHECK(!d.units.empty());
+  Mask all = 0;
+  for (const LeafUnit& u : d.units) {
+    IFLOW_CHECK(u.mask != 0);
+    IFLOW_CHECK_MSG((all & u.mask) == 0, "overlapping leaf units");
+    IFLOW_CHECK(u.location != net::kInvalidNode);
+    IFLOW_CHECK(u.bytes_rate >= 0.0);
+    all |= u.mask;
+  }
+  std::vector<char> consumed(d.units.size() + d.ops.size(), 0);
+  for (std::size_t i = 0; i < d.ops.size(); ++i) {
+    const DeployedOp& op = d.ops[i];
+    IFLOW_CHECK(op.node != net::kInvalidNode);
+    Mask combined = 0;
+    for (int child : {op.left, op.right}) {
+      Mask child_mask;
+      std::size_t slot;
+      if (child_is_unit(child)) {
+        const auto idx = static_cast<std::size_t>(child_unit_index(child));
+        IFLOW_CHECK(idx < d.units.size());
+        child_mask = d.units[idx].mask;
+        slot = idx;
+      } else {
+        IFLOW_CHECK_MSG(static_cast<std::size_t>(child) < i,
+                        "children must precede parents");
+        child_mask = d.ops[static_cast<std::size_t>(child)].mask;
+        slot = d.units.size() + static_cast<std::size_t>(child);
+      }
+      IFLOW_CHECK_MSG(!consumed[slot], "input consumed twice");
+      consumed[slot] = 1;
+      IFLOW_CHECK_MSG((combined & child_mask) == 0,
+                      "op joins overlapping inputs");
+      combined |= child_mask;
+    }
+    IFLOW_CHECK_MSG(combined == op.mask, "op mask != union of child masks");
+  }
+  if (d.ops.empty()) {
+    IFLOW_CHECK_MSG(d.units.size() == 1, "multiple units but no join ops");
+  } else {
+    IFLOW_CHECK_MSG(d.ops.back().mask == all,
+                    "root op does not cover all units");
+  }
+}
+
+}  // namespace iflow::query

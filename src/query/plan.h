@@ -1,0 +1,115 @@
+// Deployment plans: the joint output of query planning and placement.
+//
+// A Deployment pins every join operator of a chosen bushy tree to a physical
+// node and records the leaf units feeding it (base streams at their sources,
+// or reused derived streams at their providers). Its communication cost per
+// unit time — the paper's optimisation metric — is the sum over all edges of
+// `byte rate × path cost`. For reused derived streams the upstream cost was
+// paid by the originating query, so only the provider→consumer edge counts:
+// deployment costs are *marginal*, which is what the paper's cumulative
+// multi-query figures accumulate.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/routing.h"
+#include "query/join_tree.h"
+#include "query/query.h"
+#include "query/rates.h"
+
+namespace iflow::query {
+
+/// A leaf input available to the planner.
+struct LeafUnit {
+  Mask mask = 0;                           // query-local sources covered
+  net::NodeId location = net::kInvalidNode;  // where the stream materialises
+  double bytes_rate = 0.0;                 // output bytes per second
+  double tuple_rate = 0.0;
+  bool derived = false;                    // reused operator output?
+  /// Containment reuse (derived units only): selectivity of the residual
+  /// filter instantiated AT the provider before the stream leaves it, when
+  /// the reused operator was advertised with weaker filters than the query
+  /// needs. 1.0 = exact reuse. `bytes_rate` is already post-residual.
+  double residual_filter = 1.0;
+};
+
+/// A deployed join operator.
+struct DeployedOp {
+  Mask mask = 0;
+  // Children: indices >= 0 refer to `ops`; index < 0 encodes unit
+  // ~child (i.e. unit index = -child - 1).
+  int left = 0;
+  int right = 0;
+  net::NodeId node = net::kInvalidNode;
+  double out_bytes_rate = 0.0;
+  double out_tuple_rate = 0.0;
+};
+
+inline int encode_unit_child(int unit_index) { return -unit_index - 1; }
+inline bool child_is_unit(int child) { return child < 0; }
+inline int child_unit_index(int child) { return -child - 1; }
+
+/// Fully resolved deployment of one query. `ops` is in topological order
+/// with the root last; a query satisfied entirely by one leaf unit has no
+/// ops.
+struct Deployment {
+  QueryId query = 0;
+  std::vector<LeafUnit> units;
+  std::vector<DeployedOp> ops;
+  net::NodeId sink = net::kInvalidNode;
+  /// Optional windowed aggregation, co-located with the root operator
+  /// (aggregating before shipping is never worse: the aggregate stream is
+  /// no larger than the raw result).
+  Aggregation aggregate;
+  /// Marginal communication cost per unit time as evaluated by the
+  /// optimizer that produced the plan (against its own cost oracle).
+  double planned_cost = 0.0;
+
+  /// Raw (pre-aggregation) byte rate produced by the root.
+  double root_bytes_rate() const {
+    IFLOW_CHECK(!units.empty());
+    return ops.empty() ? units.front().bytes_rate : ops.back().out_bytes_rate;
+  }
+
+  double root_tuple_rate() const {
+    IFLOW_CHECK(!units.empty());
+    return ops.empty() ? units.front().tuple_rate : ops.back().out_tuple_rate;
+  }
+
+  /// Byte rate actually shipped to the sink (post-aggregation when one is
+  /// configured; an aggregate emits at most one tuple per input tuple).
+  double delivered_bytes_rate() const {
+    if (!aggregate.enabled()) return root_bytes_rate();
+    return std::min(root_tuple_rate(), aggregate.out_tuple_rate()) *
+           aggregate.out_width;
+  }
+
+  /// Node producing the final result.
+  net::NodeId root_node() const {
+    IFLOW_CHECK(!units.empty());
+    return ops.empty() ? units.front().location : ops.back().node;
+  }
+};
+
+/// Evaluates the true marginal communication cost of a deployment against
+/// actual routing costs (independent of any level-l approximation an
+/// algorithm planned with). Sums, over every new edge, bytes/sec × path
+/// cost; includes the root→sink edge.
+double deployment_cost(const Deployment& d, const net::RoutingTables& rt);
+
+/// Same, but re-derives every edge's byte rate from the CURRENT catalog
+/// statistics (through `rates`) instead of the rates recorded at planning
+/// time. This is what the middleware monitors: when stream rates drift, the
+/// recorded rates go stale but the deployed operators keep carrying the new
+/// volumes.
+double deployment_cost(const Deployment& d, const RateModel& rates,
+                       const net::RoutingTables& rt);
+
+/// Structural sanity: children precede parents, masks compose, every op is
+/// placed, and the root covers the union of unit masks. Throws on violation.
+void validate_deployment(const Deployment& d);
+
+}  // namespace iflow::query

@@ -1,0 +1,87 @@
+// Continuous select-project-join query over base streams.
+//
+// A query names K catalog streams to be joined (the paper's focus; the join
+// graph is the clique over the sources with the catalog's pairwise
+// selectivities) and a sink node where results are delivered. Planning
+// chooses the join order (any bushy tree) and the physical node of every
+// join operator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "query/catalog.h"
+
+namespace iflow::query {
+
+using QueryId = std::uint32_t;
+
+/// Aggregate function applied on top of the join result (the paper's §2
+/// future-work item). kNone = plain select-project-join.
+enum class AggregateFn : std::uint8_t {
+  kNone,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+/// Windowed grouped aggregation over the query's full join result. The
+/// aggregate consumes the result where it is produced (there is never a
+/// reason to ship the raw result first: the aggregated stream is no larger)
+/// and emits one tuple per non-empty group per tumbling window.
+struct Aggregation {
+  AggregateFn fn = AggregateFn::kNone;
+  /// Estimated number of distinct groups (1 = global aggregate).
+  double groups = 1.0;
+  /// Tumbling window length in seconds.
+  double window_s = 1.0;
+  /// Bytes per emitted aggregate tuple (group key + value).
+  double out_width = 24.0;
+
+  bool enabled() const { return fn != AggregateFn::kNone; }
+
+  /// Upper bound on the emitted tuple rate: one tuple per group per
+  /// window. (The true rate is lower when some groups are empty in a
+  /// window; planning uses the bound.)
+  double out_tuple_rate() const { return groups / window_s; }
+  double out_bytes_rate() const { return out_tuple_rate() * out_width; }
+};
+
+struct Query {
+  QueryId id = 0;
+  std::string name;
+  std::vector<StreamId> sources;  // distinct catalog streams, K >= 1
+  net::NodeId sink = net::kInvalidNode;
+  /// Per-source selection selectivity (the "select" of select-project-join):
+  /// the fraction of the stream's tuples passing the query's filter
+  /// predicates on that stream. Parallel to `sources`; empty = no filters.
+  /// Filters are applied at the source ("filtering at the source", §1), so
+  /// they scale every downstream rate.
+  std::vector<double> filter_selectivity;
+  /// Optional aggregation over the full join result.
+  Aggregation aggregate;
+
+  int k() const { return static_cast<int>(sources.size()); }
+
+  /// Filter factor of local source i (1.0 when unfiltered).
+  double filter(int i) const {
+    IFLOW_CHECK(i >= 0 && i < k());
+    if (filter_selectivity.empty()) return 1.0;
+    IFLOW_CHECK(filter_selectivity.size() == sources.size());
+    return filter_selectivity[static_cast<std::size_t>(i)];
+  }
+
+  /// Filter factor applied to a catalog stream (1.0 if not a source).
+  double filter_on(StreamId s) const {
+    for (int i = 0; i < k(); ++i) {
+      if (sources[static_cast<std::size_t>(i)] == s) return filter(i);
+    }
+    return 1.0;
+  }
+};
+
+}  // namespace iflow::query

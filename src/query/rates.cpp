@@ -1,0 +1,69 @@
+#include "query/rates.h"
+
+namespace iflow::query {
+
+RateModel::RateModel(const Catalog& catalog, const Query& query,
+                     double projection_factor)
+    : catalog_(&catalog), query_(&query),
+      projection_factor_(projection_factor) {
+  IFLOW_CHECK(query.k() >= 1 && query.k() <= 63);
+  IFLOW_CHECK(projection_factor > 0.0 && projection_factor <= 1.0);
+  for (auto s : query.sources) IFLOW_CHECK(s < catalog.stream_count());
+  for (int i = 0; i < query.k(); ++i) {
+    const double f = query.filter(i);
+    IFLOW_CHECK_MSG(f > 0.0 && f <= 1.0, "filter selectivity out of (0,1]");
+  }
+  const std::size_t slots = std::size_t{1} << query.k();
+  tuple_rate_.assign(slots, -1.0);
+  width_.assign(slots, -1.0);
+}
+
+double RateModel::tuple_rate(Mask m) const {
+  IFLOW_CHECK(m != 0 && m <= full());
+  double& memo = tuple_rate_[m];
+  if (memo >= 0.0) return memo;
+  double rate = 1.0;
+  for (int i = 0; i < k(); ++i) {
+    if (!(m >> i & 1)) continue;
+    rate *= catalog_->stream(query_->sources[static_cast<std::size_t>(i)])
+                .tuple_rate *
+            query_->filter(i);
+    for (int j = i + 1; j < k(); ++j) {
+      if (!(m >> j & 1)) continue;
+      rate *= catalog_->selectivity(
+          query_->sources[static_cast<std::size_t>(i)],
+          query_->sources[static_cast<std::size_t>(j)]);
+    }
+  }
+  memo = rate;
+  return rate;
+}
+
+double RateModel::width(Mask m) const {
+  IFLOW_CHECK(m != 0 && m <= full());
+  double& memo = width_[m];
+  if (memo >= 0.0) return memo;
+  double w = 0.0;
+  int members = 0;
+  for (int i = 0; i < k(); ++i) {
+    if (!(m >> i & 1)) continue;
+    w += catalog_->stream(query_->sources[static_cast<std::size_t>(i)])
+             .tuple_width;
+    ++members;
+  }
+  // Projection trims joined results, never single-source streams.
+  if (members > 1) w *= projection_factor_;
+  memo = w;
+  return w;
+}
+
+StreamId RateModel::stream(int i) const {
+  IFLOW_CHECK(i >= 0 && i < k());
+  return query_->sources[static_cast<std::size_t>(i)];
+}
+
+net::NodeId RateModel::source_node(int i) const {
+  return catalog_->stream(stream(i)).source;
+}
+
+}  // namespace iflow::query

@@ -1,0 +1,62 @@
+// Analytic rate model for (sub-)query results.
+//
+// Within one query, a set of joined sources is a bitmask over the query's
+// local source indices. The standard estimate is used: the tuple rate of
+// joining set S is the product of the members' rates times the selectivity
+// of every in-set pair, and the result width is the sum of member widths
+// scaled by a projection factor. All optimizers and the execution engine
+// share this model, so planned and measured costs are directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/catalog.h"
+#include "query/query.h"
+
+namespace iflow::query {
+
+/// Bitmask over a query's local source indices (bit i = query.sources[i]).
+using Mask = std::uint64_t;
+
+inline Mask full_mask(int k) {
+  IFLOW_CHECK(k >= 1 && k <= 63);
+  return (Mask{1} << k) - 1;
+}
+
+/// Memoized per-query rate oracle.
+class RateModel {
+ public:
+  RateModel(const Catalog& catalog, const Query& query,
+            double projection_factor = 1.0);
+
+  int k() const { return static_cast<int>(query_->sources.size()); }
+  Mask full() const { return full_mask(k()); }
+
+  /// Tuples per second produced by the join of the masked sources.
+  double tuple_rate(Mask m) const;
+
+  /// Bytes per tuple of that result.
+  double width(Mask m) const;
+
+  /// Bytes per second — the quantity transported over network edges.
+  double bytes_rate(Mask m) const { return tuple_rate(m) * width(m); }
+
+  /// Catalog stream behind local index i.
+  StreamId stream(int i) const;
+
+  /// Source placement of local index i.
+  net::NodeId source_node(int i) const;
+
+  const Catalog& catalog() const { return *catalog_; }
+  const Query& query() const { return *query_; }
+
+ private:
+  const Catalog* catalog_;
+  const Query* query_;
+  double projection_factor_;
+  mutable std::vector<double> tuple_rate_;  // memo, indexed by mask; <0 unset
+  mutable std::vector<double> width_;
+};
+
+}  // namespace iflow::query

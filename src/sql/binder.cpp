@@ -1,0 +1,193 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace iflow::sql {
+
+namespace {
+
+query::StreamId resolve_stream(const query::Catalog& catalog,
+                               const std::string& name) {
+  const query::StreamId id = catalog.find(name);
+  if (id == query::kInvalidStream) {
+    throw SqlError("SQL bind error: unknown stream '" + name + "'");
+  }
+  return id;
+}
+
+void check_column(const query::Catalog& catalog, const ColumnRef& ref) {
+  const query::StreamId id = resolve_stream(catalog, ref.stream);
+  const auto& columns = catalog.stream(id).columns;
+  if (columns.empty()) return;  // schema not declared: accept anything
+  if (std::find(columns.begin(), columns.end(), ref.column) == columns.end()) {
+    throw SqlError("SQL bind error: stream '" + ref.stream +
+                   "' has no column '" + ref.column + "'");
+  }
+}
+
+}  // namespace
+
+double default_filter_estimate(query::StreamId /*stream*/,
+                               const FilterPredicate& predicate) {
+  if (predicate.op == "=") return 0.1;
+  if (predicate.op == "<>") return 0.9;
+  return 0.3;  // range predicates
+}
+
+double default_group_estimate(query::StreamId /*stream*/,
+                              const std::string& /*column*/) {
+  return 10.0;
+}
+
+BoundQuery bind(const ParsedQuery& parsed, const query::Catalog& catalog,
+                query::QueryId id, net::NodeId sink,
+                const FilterEstimator& estimator,
+                const GroupEstimator& groups) {
+  if (parsed.streams.empty()) {
+    throw SqlError("SQL bind error: empty FROM clause");
+  }
+  BoundQuery out;
+  out.query.id = id;
+  out.query.sink = sink;
+
+  // Resolve FROM streams (rejecting duplicates) and remember their local
+  // order; query.sources is kept sorted by catalog id as the optimizer
+  // expects.
+  std::map<query::StreamId, std::string> streams;
+  for (const std::string& name : parsed.streams) {
+    const query::StreamId sid = resolve_stream(catalog, name);
+    if (!streams.emplace(sid, name).second) {
+      throw SqlError("SQL bind error: stream '" + name +
+                     "' listed twice in FROM");
+    }
+  }
+  for (const auto& [sid, name] : streams) {
+    (void)name;
+    out.query.sources.push_back(sid);
+  }
+
+  // Validate column references.
+  for (const ColumnRef& ref : parsed.select) check_column(catalog, ref);
+  for (const AggregateCall& a : parsed.aggregates) {
+    if (!a.star) check_column(catalog, a.column);
+  }
+  for (const ColumnRef& ref : parsed.group_by) check_column(catalog, ref);
+  for (const JoinPredicate& j : parsed.joins) {
+    check_column(catalog, j.left);
+    check_column(catalog, j.right);
+  }
+  for (const FilterPredicate& f : parsed.filters) check_column(catalog, f.column);
+
+  // Join-graph connectivity (union-find over the FROM streams).
+  std::map<query::StreamId, query::StreamId> parent;
+  for (auto s : out.query.sources) parent[s] = s;
+  auto find = [&parent](query::StreamId s) {
+    while (parent[s] != s) s = parent[s] = parent[parent[s]];
+    return s;
+  };
+  for (const JoinPredicate& j : parsed.joins) {
+    const query::StreamId a = resolve_stream(catalog, j.left.stream);
+    const query::StreamId b = resolve_stream(catalog, j.right.stream);
+    parent[find(a)] = find(b);
+  }
+  std::set<query::StreamId> roots;
+  for (auto s : out.query.sources) roots.insert(find(s));
+  out.has_cross_product = roots.size() > 1;
+
+  // Selection selectivities, combined per stream.
+  out.query.filter_selectivity.assign(out.query.sources.size(), 1.0);
+  out.filter_text.assign(out.query.sources.size(), "");
+  for (const FilterPredicate& f : parsed.filters) {
+    const query::StreamId sid = resolve_stream(catalog, f.column.stream);
+    const double sel = estimator(sid, f);
+    if (!(sel > 0.0 && sel <= 1.0)) {
+      throw SqlError("SQL bind error: estimator returned selectivity " +
+                     std::to_string(sel) + " for '" + f.expression + "'");
+    }
+    const auto it = std::find(out.query.sources.begin(),
+                              out.query.sources.end(), sid);
+    const auto i = static_cast<std::size_t>(it - out.query.sources.begin());
+    out.query.filter_selectivity[i] *= sel;
+    auto& text = out.filter_text[i];
+    if (!text.empty()) text += " AND ";
+    text += f.expression;
+  }
+
+  // Aggregation.
+  if (parsed.aggregates.size() > 1) {
+    throw SqlError("SQL bind error: at most one aggregate per query");
+  }
+  if (!parsed.group_by.empty() && parsed.aggregates.empty()) {
+    throw SqlError("SQL bind error: GROUP BY requires an aggregate");
+  }
+  if (!parsed.aggregates.empty()) {
+    const AggregateCall& call = parsed.aggregates.front();
+    query::Aggregation agg;
+    if (call.fn == "COUNT") agg.fn = query::AggregateFn::kCount;
+    else if (call.fn == "SUM") agg.fn = query::AggregateFn::kSum;
+    else if (call.fn == "AVG") agg.fn = query::AggregateFn::kAvg;
+    else if (call.fn == "MIN") agg.fn = query::AggregateFn::kMin;
+    else agg.fn = query::AggregateFn::kMax;
+    agg.groups = 1.0;
+    for (const ColumnRef& ref : parsed.group_by) {
+      agg.groups *= groups(resolve_stream(catalog, ref.stream), ref.column);
+    }
+    if (!(agg.groups >= 1.0)) {
+      throw SqlError("SQL bind error: group estimator must return >= 1");
+    }
+    out.query.aggregate = agg;
+  }
+
+  // Projection factor from the SELECT list, when schemas allow it.
+  if (!parsed.select_all && !parsed.select.empty()) {
+    std::size_t total = 0;
+    bool all_declared = true;
+    for (auto s : out.query.sources) {
+      const auto& cols = catalog.stream(s).columns;
+      if (cols.empty()) {
+        all_declared = false;
+        break;
+      }
+      total += cols.size();
+    }
+    if (all_declared && total > 0) {
+      // Distinct selected columns.
+      std::set<std::pair<std::string, std::string>> selected;
+      for (const ColumnRef& ref : parsed.select) {
+        selected.emplace(ref.stream, ref.column);
+      }
+      out.projection_factor =
+          std::min(1.0, static_cast<double>(selected.size()) /
+                            static_cast<double>(total));
+    }
+  }
+  return out;
+}
+
+BoundQuery compile(const std::string& text, const query::Catalog& catalog,
+                   query::QueryId id, net::NodeId sink,
+                   const FilterEstimator& estimator,
+                   const GroupEstimator& groups) {
+  // Qualified: std::bind is otherwise found through ADL on std::function.
+  return ::iflow::sql::bind(parse(text), catalog, id, sink, estimator,
+                            groups);
+}
+
+std::vector<BoundQuery> compile_union(const std::string& text,
+                                      const query::Catalog& catalog,
+                                      query::QueryId first_id,
+                                      net::NodeId sink,
+                                      const FilterEstimator& estimator,
+                                      const GroupEstimator& groups) {
+  std::vector<BoundQuery> out;
+  for (const ParsedQuery& branch : parse_union(text)) {
+    out.push_back(::iflow::sql::bind(branch, catalog, first_id, sink,
+                                     estimator, groups));
+    ++first_id;
+  }
+  return out;
+}
+
+}  // namespace iflow::sql

@@ -1,0 +1,80 @@
+// Binds parsed SQL to the catalog, producing an optimizable query::Query.
+//
+// Binding performs:
+//   * stream-name resolution against the Catalog (errors name the stream);
+//   * column validation, for streams with declared schemas;
+//   * join-graph checks (every equi-join references two FROM streams; a
+//     warning flag is raised when the join graph leaves the query's streams
+//     disconnected, i.e. a cross product);
+//   * selection-selectivity estimation, combining multiple predicates on
+//     the same stream multiplicatively. Estimates come from a caller
+//     supplied estimator or from textbook defaults ('=' 0.1, range 0.3,
+//     '<>' 0.9);
+//   * a projection-factor estimate from the SELECT list when schemas are
+//     declared (selected columns / total columns, per joined stream).
+#pragma once
+
+#include <functional>
+
+#include "query/catalog.h"
+#include "query/query.h"
+#include "sql/parser.h"
+
+namespace iflow::sql {
+
+/// Selectivity estimator for one selection predicate on one stream. Return
+/// a value in (0, 1].
+using FilterEstimator =
+    std::function<double(query::StreamId, const FilterPredicate&)>;
+
+/// Default textbook estimates by comparator.
+double default_filter_estimate(query::StreamId stream,
+                               const FilterPredicate& predicate);
+
+/// Estimated number of distinct values of one GROUP BY column; group counts
+/// multiply across columns.
+using GroupEstimator =
+    std::function<double(query::StreamId, const std::string& column)>;
+
+/// Default: 10 distinct values per grouping column.
+double default_group_estimate(query::StreamId stream,
+                              const std::string& column);
+
+struct BoundQuery {
+  query::Query query;
+  /// Fraction of the joined width the SELECT list retains (1.0 when
+  /// schemas are undeclared or SELECT *). Pass to RateModel /
+  /// OptimizerEnv::projection_factor.
+  double projection_factor = 1.0;
+  /// True when the equi-join predicates leave the FROM streams
+  /// disconnected (the query contains a cross product).
+  bool has_cross_product = false;
+  /// Human-readable filter predicates, parallel to query.sources (empty
+  /// string = unfiltered).
+  std::vector<std::string> filter_text;
+};
+
+/// Binds `parsed` against the catalog. `sink` is where results are
+/// delivered (queries are registered at their sink, §2.3). Throws SqlError
+/// on unknown streams/columns.
+BoundQuery bind(const ParsedQuery& parsed, const query::Catalog& catalog,
+                query::QueryId id, net::NodeId sink,
+                const FilterEstimator& estimator = default_filter_estimate,
+                const GroupEstimator& groups = default_group_estimate);
+
+/// Convenience: parse + bind.
+BoundQuery compile(const std::string& text, const query::Catalog& catalog,
+                   query::QueryId id, net::NodeId sink,
+                   const FilterEstimator& estimator = default_filter_estimate,
+                   const GroupEstimator& groups = default_group_estimate);
+
+/// Parses + binds a UNION ALL chain: every branch becomes an independently
+/// optimizable query delivering to the same sink (their results interleave
+/// there). Branch queries get ids first_id, first_id+1, ...
+std::vector<BoundQuery> compile_union(
+    const std::string& text, const query::Catalog& catalog,
+    query::QueryId first_id, net::NodeId sink,
+    const FilterEstimator& estimator = default_filter_estimate,
+    const GroupEstimator& groups = default_group_estimate);
+
+}  // namespace iflow::sql

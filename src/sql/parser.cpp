@@ -1,0 +1,328 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace iflow::sql {
+
+namespace {
+
+enum class TokenKind { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::size_t pos = 0;
+};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(&text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    std::ostringstream os;
+    os << "SQL parse error at offset " << current_.pos << " (near '"
+       << (current_.kind == TokenKind::kEnd ? "<end>" : current_.text)
+       << "'): " << message;
+    throw SqlError(os.str());
+  }
+
+ private:
+  void advance() {
+    while (pos_ < text_->size() &&
+           std::isspace(static_cast<unsigned char>((*text_)[pos_]))) {
+      ++pos_;
+    }
+    current_.pos = pos_;
+    if (pos_ >= text_->size()) {
+      current_ = Token{TokenKind::kEnd, "", pos_};
+      return;
+    }
+    const char c = (*text_)[pos_];
+    if (ident_start(c)) {
+      std::size_t end = pos_;
+      while (end < text_->size() && ident_char((*text_)[end])) ++end;
+      // A trailing hyphen belongs to arithmetic, not the identifier.
+      while (end > pos_ + 1 && (*text_)[end - 1] == '-') --end;
+      current_ = Token{TokenKind::kIdent, text_->substr(pos_, end - pos_), pos_};
+      pos_ = end;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t end = pos_;
+      while (end < text_->size() &&
+             (std::isdigit(static_cast<unsigned char>((*text_)[end])) ||
+              (*text_)[end] == '.' || (*text_)[end] == ':')) {
+        ++end;
+      }
+      current_ = Token{TokenKind::kNumber, text_->substr(pos_, end - pos_), pos_};
+      pos_ = end;
+      return;
+    }
+    if (c == '\'') {
+      std::size_t end = text_->find('\'', pos_ + 1);
+      if (end == std::string::npos) {
+        current_.pos = pos_;
+        throw SqlError("SQL parse error: unterminated string literal at offset " +
+                       std::to_string(pos_));
+      }
+      current_ =
+          Token{TokenKind::kString, text_->substr(pos_ + 1, end - pos_ - 1), pos_};
+      pos_ = end + 1;
+      return;
+    }
+    // Multi-character comparators.
+    for (const char* sym : {"<=", ">=", "<>"}) {
+      if (text_->compare(pos_, 2, sym) == 0) {
+        current_ = Token{TokenKind::kSymbol, sym, pos_};
+        pos_ += 2;
+        return;
+      }
+    }
+    current_ = Token{TokenKind::kSymbol, std::string(1, c), pos_};
+    ++pos_;
+  }
+
+  const std::string* text_;  // pointer so Lexer stays copy-assignable
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+bool is_keyword(const Token& t, const char* kw) {
+  return t.kind == TokenKind::kIdent && upper(t.text) == kw;
+}
+
+bool is_symbol(const Token& t, const char* sym) {
+  return t.kind == TokenKind::kSymbol && t.text == sym;
+}
+
+bool is_comparator(const Token& t) {
+  return t.kind == TokenKind::kSymbol &&
+         (t.text == "=" || t.text == "<" || t.text == ">" || t.text == "<=" ||
+          t.text == ">=" || t.text == "<>");
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) {}
+
+  ParsedQuery run() {
+    expect_keyword("SELECT");
+    parse_select_list();
+    expect_keyword("FROM");
+    parse_stream_list();
+    if (is_keyword(lexer_.peek(), "WHERE")) {
+      lexer_.take();
+      parse_condition();
+      while (is_keyword(lexer_.peek(), "AND")) {
+        lexer_.take();
+        parse_condition();
+      }
+    }
+    if (is_keyword(lexer_.peek(), "GROUP")) {
+      lexer_.take();
+      expect_keyword("BY");
+      out_.group_by.push_back(parse_column());
+      while (is_symbol(lexer_.peek(), ",")) {
+        lexer_.take();
+        out_.group_by.push_back(parse_column());
+      }
+    }
+    if (lexer_.peek().kind != TokenKind::kEnd && !is_symbol(lexer_.peek(), ";")) {
+      lexer_.fail("unexpected trailing input");
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void expect_keyword(const char* kw) {
+    if (!is_keyword(lexer_.peek(), kw)) lexer_.fail(std::string("expected ") + kw);
+    lexer_.take();
+  }
+
+  std::string expect_ident(const char* what) {
+    if (lexer_.peek().kind != TokenKind::kIdent) {
+      lexer_.fail(std::string("expected ") + what);
+    }
+    return lexer_.take().text;
+  }
+
+  ColumnRef parse_column() {
+    ColumnRef ref;
+    ref.stream = expect_ident("stream name");
+    if (!is_symbol(lexer_.peek(), ".")) lexer_.fail("expected '.' after stream");
+    lexer_.take();
+    ref.column = expect_ident("column name");
+    return ref;
+  }
+
+  bool is_aggregate_fn(const Token& t) const {
+    if (t.kind != TokenKind::kIdent) return false;
+    const std::string u = upper(t.text);
+    return u == "COUNT" || u == "SUM" || u == "AVG" || u == "MIN" ||
+           u == "MAX";
+  }
+
+  void parse_select_item() {
+    if (is_aggregate_fn(lexer_.peek())) {
+      // Look ahead for '(' — an identifier named e.g. MIN could also be a
+      // stream; aggregates are unambiguous thanks to the parenthesis.
+      Lexer saved = lexer_;
+      AggregateCall call;
+      call.fn = upper(lexer_.take().text);
+      if (is_symbol(lexer_.peek(), "(")) {
+        lexer_.take();
+        if (is_symbol(lexer_.peek(), "*")) {
+          lexer_.take();
+          call.star = true;
+        } else {
+          call.column = parse_column();
+        }
+        if (!is_symbol(lexer_.peek(), ")")) lexer_.fail("expected ')'");
+        lexer_.take();
+        out_.aggregates.push_back(std::move(call));
+        return;
+      }
+      lexer_ = saved;
+    }
+    out_.select.push_back(parse_column());
+  }
+
+  void parse_select_list() {
+    if (is_symbol(lexer_.peek(), "*")) {
+      lexer_.take();
+      out_.select_all = true;
+      return;
+    }
+    parse_select_item();
+    while (is_symbol(lexer_.peek(), ",")) {
+      lexer_.take();
+      parse_select_item();
+    }
+  }
+
+  void parse_stream_list() {
+    out_.streams.push_back(expect_ident("stream name"));
+    while (is_symbol(lexer_.peek(), ",")) {
+      lexer_.take();
+      out_.streams.push_back(expect_ident("stream name"));
+    }
+  }
+
+  bool is_from_stream(const std::string& name) const {
+    return std::find(out_.streams.begin(), out_.streams.end(), name) !=
+           out_.streams.end();
+  }
+
+  void parse_condition() {
+    const ColumnRef left = parse_column();
+    if (!is_from_stream(left.stream)) {
+      lexer_.fail("'" + left.stream + "' is not listed in FROM");
+    }
+    // Equi-join: "= other_stream.column" where other_stream is in FROM and
+    // differs from the left stream. Anything else is a selection.
+    if (is_symbol(lexer_.peek(), "=")) {
+      Lexer saved = lexer_;
+      lexer_.take();
+      if (lexer_.peek().kind == TokenKind::kIdent &&
+          is_from_stream(lexer_.peek().text)) {
+        const ColumnRef right = parse_column();
+        if (right.stream == left.stream) {
+          lexer_.fail("join predicate must reference two different streams");
+        }
+        out_.joins.push_back(JoinPredicate{left, right});
+        return;
+      }
+      lexer_ = saved;  // a selection like A.x = 'literal'
+    }
+    FilterPredicate filter;
+    filter.column = left;
+    std::string tail;  // arithmetic between the column and the comparator
+    while (!is_comparator(lexer_.peek())) {
+      if (lexer_.peek().kind == TokenKind::kEnd ||
+          is_keyword(lexer_.peek(), "AND")) {
+        lexer_.fail("expected comparison operator in selection predicate");
+      }
+      if (!tail.empty()) tail += ' ';
+      tail += lexer_.take().text;
+    }
+    filter.op = lexer_.take().text;
+    std::string value;
+    while (lexer_.peek().kind != TokenKind::kEnd &&
+           !is_keyword(lexer_.peek(), "AND") &&
+           !is_keyword(lexer_.peek(), "GROUP") &&
+           !is_symbol(lexer_.peek(), ";")) {
+      if (!value.empty()) value += ' ';
+      value += lexer_.take().text;
+    }
+    if (value.empty()) lexer_.fail("expected literal after comparator");
+    filter.value = value;
+    filter.expression = left.stream + "." + left.column +
+                        (tail.empty() ? "" : " " + tail) + " " + filter.op +
+                        " " + value;
+    out_.filters.push_back(std::move(filter));
+  }
+
+  Lexer lexer_;
+  ParsedQuery out_;
+};
+
+}  // namespace
+
+ParsedQuery parse(const std::string& text) { return Parser(text).run(); }
+
+std::vector<ParsedQuery> parse_union(const std::string& text) {
+  // Split on top-level UNION ALL (never inside string literals).
+  std::vector<std::string> pieces;
+  std::size_t start = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i + 5 <= text.size(); ++i) {
+    if (text[i] == '\'') in_string = !in_string;
+    if (in_string) continue;
+    if (upper(text.substr(i, 5)) != "UNION") continue;
+    if (i > 0 && ident_char(text[i - 1])) continue;               // ...xUNION
+    if (i + 5 < text.size() && ident_char(text[i + 5])) continue;  // UNIONx...
+    // Require the ALL keyword.
+    std::size_t j = i + 5;
+    while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j]))) {
+      ++j;
+    }
+    if (upper(text.substr(j, 3)) != "ALL" ||
+        (j + 3 < text.size() && ident_char(text[j + 3]))) {
+      throw SqlError(
+          "SQL parse error: UNION without ALL (duplicate elimination) is "
+          "not supported");
+    }
+    pieces.push_back(text.substr(start, i - start));
+    start = j + 3;
+    i = j + 2;
+  }
+  pieces.push_back(text.substr(start));
+
+  std::vector<ParsedQuery> out;
+  out.reserve(pieces.size());
+  for (const std::string& piece : pieces) out.push_back(parse(piece));
+  return out;
+}
+
+}  // namespace iflow::sql

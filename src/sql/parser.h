@@ -1,0 +1,92 @@
+// SQL front-end for continuous select-project-join queries.
+//
+// Parses the dialect the paper writes its examples in (§1.1):
+//
+//   SELECT FLIGHTS.STATUS, WEATHER.FORECAST, CHECK-INS.STATUS
+//   FROM FLIGHTS, WEATHER, CHECK-INS
+//   WHERE FLIGHTS.DEPARTING = 'ATLANTA'
+//     AND FLIGHTS.DESTN = WEATHER.CITY
+//     AND FLIGHTS.NUM = CHECK-INS.FLNUM
+//     AND FLIGHTS.DP-TIME - CURRENT_TIME < '12:00:00'
+//
+// Supported grammar (keywords case-insensitive; identifiers may contain
+// hyphens, as in CHECK-INS):
+//
+//   query       := SELECT select_list FROM stream (',' stream)*
+//                  [WHERE condition (AND condition)*]
+//                  [GROUP BY column (',' column)*]
+//   select_list := '*' | select_item (',' select_item)*
+//   select_item := column | FN '(' ('*' | column) ')'
+//   FN          := COUNT | SUM | AVG | MIN | MAX
+//   column      := stream '.' ident
+//   condition   := column '=' column          -- equi-join (two streams)
+//                | column expr_tail cmp value -- selection on one stream
+//   cmp         := '=' | '<' | '>' | '<=' | '>=' | '<>'
+//
+// Selections may carry arithmetic tails (e.g. "- CURRENT_TIME") which are
+// kept as text; their selectivity is estimated by the binder.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace iflow::sql {
+
+/// Parse or bind failure, with a human-readable position.
+class SqlError : public std::runtime_error {
+ public:
+  explicit SqlError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct ColumnRef {
+  std::string stream;
+  std::string column;
+};
+
+/// Equi-join between columns of two different streams.
+struct JoinPredicate {
+  ColumnRef left;
+  ColumnRef right;
+};
+
+/// Selection on a single stream; `expression` preserves the raw predicate
+/// text for display and selectivity estimation.
+struct FilterPredicate {
+  ColumnRef column;
+  std::string op;     // =, <, >, <=, >=, <>
+  std::string value;  // literal (quotes stripped) or identifier expression
+  std::string expression;
+};
+
+/// Aggregate function call in the SELECT list, e.g. COUNT(*) or
+/// AVG(FLIGHTS.DELAY).
+struct AggregateCall {
+  std::string fn;    // upper-cased: COUNT, SUM, AVG, MIN, MAX
+  bool star = false; // COUNT(*)
+  ColumnRef column;  // when !star
+};
+
+/// Abstract syntax of one parsed continuous query.
+struct ParsedQuery {
+  bool select_all = false;
+  std::vector<ColumnRef> select;
+  std::vector<AggregateCall> aggregates;
+  std::vector<std::string> streams;
+  std::vector<JoinPredicate> joins;
+  std::vector<FilterPredicate> filters;
+  std::vector<ColumnRef> group_by;
+};
+
+/// Parses one query; throws SqlError on malformed input.
+ParsedQuery parse(const std::string& text);
+
+/// Parses a UNION ALL chain (the paper's other future-work item):
+///   SELECT ... FROM ... [WHERE ...] UNION ALL SELECT ... [UNION ALL ...]
+/// Each branch is an independent SPJ block; all branches deliver to the
+/// same sink, where their results interleave. Returns one entry per branch
+/// (a single entry when there is no UNION). UNION without ALL (duplicate
+/// elimination) is not supported.
+std::vector<ParsedQuery> parse_union(const std::string& text);
+
+}  // namespace iflow::sql

@@ -1,0 +1,50 @@
+// Uniformly random workload generation (paper §3).
+//
+// "Our workload was generated using a uniformly random workload generator.
+//  The workload generator generated stream rates, selectivities and source
+//  placements for a specified number of streams according to a uniform
+//  distribution. It also generated queries with the number of joins per
+//  query varying within a specified range with random sink placements."
+#pragma once
+
+#include "common/prng.h"
+#include "net/network.h"
+#include "query/catalog.h"
+#include "query/query.h"
+
+namespace iflow::workload {
+
+struct WorkloadParams {
+  int num_streams = 10;
+  /// Joins per query, uniform in [min_joins, max_joins]; a query with j
+  /// joins spans j + 1 sources.
+  int min_joins = 2;
+  int max_joins = 5;
+  double tuple_rate_min = 10.0;     // tuples per second
+  double tuple_rate_max = 100.0;
+  double tuple_width_min = 50.0;    // bytes
+  double tuple_width_max = 200.0;
+  /// Pairwise join selectivities; the range keeps two-way join rates in the
+  /// same order of magnitude as base rates, so join ordering matters.
+  double selectivity_min = 0.001;
+  double selectivity_max = 0.02;
+
+  /// Probability that a query filters any given source (select-project-join
+  /// workloads; 0 = pure join workloads, the paper's figures).
+  double filter_probability = 0.0;
+  double filter_selectivity_min = 0.1;
+  double filter_selectivity_max = 0.9;
+};
+
+struct Workload {
+  query::Catalog catalog;
+  std::vector<query::Query> queries;
+};
+
+/// Generates a catalog (streams placed at uniformly random network nodes)
+/// and `num_queries` queries over distinct random source subsets with random
+/// sinks. Deterministic given the Prng.
+Workload make_workload(const net::Network& net, const WorkloadParams& params,
+                       int num_queries, Prng& prng);
+
+}  // namespace iflow::workload

@@ -1,0 +1,202 @@
+#include "cluster/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/theory.h"
+#include "net/gtitm.h"
+
+namespace iflow::cluster {
+namespace {
+
+struct Fixture {
+  net::Network net;
+  net::RoutingTables rt;
+  explicit Fixture(std::uint64_t seed, net::TransitStubParams p = {})
+      : net([&] {
+          Prng prng(seed);
+          return net::make_transit_stub(p, prng);
+        }()),
+        rt(net::RoutingTables::build(net)) {}
+};
+
+TEST(HierarchyTest, BuildsValidPartitionAtEveryMaxCs) {
+  Fixture f(11);
+  for (int max_cs : {2, 4, 8, 16, 32, 64}) {
+    Prng prng(1);
+    const Hierarchy h = Hierarchy::build(f.net, f.rt, max_cs, prng);
+    h.validate(f.net);
+    EXPECT_GE(h.height(), 1) << "max_cs " << max_cs;
+  }
+}
+
+TEST(HierarchyTest, HeightShrinksWithLargerClusters) {
+  Fixture f(12);
+  Prng p1(1), p2(1);
+  const Hierarchy small = Hierarchy::build(f.net, f.rt, 4, p1);
+  const Hierarchy large = Hierarchy::build(f.net, f.rt, 64, p2);
+  EXPECT_GT(small.height(), large.height());
+}
+
+TEST(HierarchyTest, RepresentativeChainsAreCoordinators) {
+  Fixture f(13);
+  Prng prng(2);
+  const Hierarchy h = Hierarchy::build(f.net, f.rt, 8, prng);
+  for (net::NodeId n = 0; n < f.net.node_count(); n += 7) {
+    EXPECT_EQ(h.representative(n, 1), n);
+    for (int l = 2; l <= h.height(); ++l) {
+      const net::NodeId rep = h.representative(n, l);
+      // The representative participates at level l.
+      const auto nodes = h.nodes_at(l);
+      EXPECT_NE(std::find(nodes.begin(), nodes.end(), rep), nodes.end());
+    }
+  }
+}
+
+TEST(HierarchyTest, UnderlyingPartitionsPhysicalNodes) {
+  Fixture f(14);
+  Prng prng(3);
+  const Hierarchy h = Hierarchy::build(f.net, f.rt, 8, prng);
+  for (int l = 1; l <= h.height(); ++l) {
+    std::set<net::NodeId> seen;
+    for (net::NodeId member : h.nodes_at(l)) {
+      for (net::NodeId p : h.underlying(member, l)) {
+        EXPECT_TRUE(seen.insert(p).second)
+            << "node " << p << " under two level-" << l << " members";
+      }
+    }
+    EXPECT_EQ(seen.size(), f.net.node_count());
+  }
+}
+
+TEST(HierarchyTest, TopLevelIsSingleClusterCoveringEverything) {
+  Fixture f(15);
+  Prng prng(4);
+  const Hierarchy h = Hierarchy::build(f.net, f.rt, 16, prng);
+  ASSERT_EQ(h.level(h.height()).size(), 1u);
+  const auto& top = h.level(h.height())[0];
+  std::size_t covered = 0;
+  for (net::NodeId m : top.members) {
+    covered += h.underlying(m, h.height()).size();
+  }
+  EXPECT_EQ(covered, f.net.node_count());
+}
+
+// Theorem 1: actual cost <= level-l estimate + sum_{i<l} 2 d_i.
+TEST(HierarchyTest, Theorem1BoundHolds) {
+  Fixture f(16);
+  for (int max_cs : {4, 8, 32}) {
+    Prng prng(5);
+    const Hierarchy h = Hierarchy::build(f.net, f.rt, max_cs, prng);
+    for (int l = 1; l <= h.height(); ++l) {
+      const double slack = theorem1_slack(h, l);
+      for (net::NodeId a = 0; a < f.net.node_count(); a += 13) {
+        for (net::NodeId b = 0; b < f.net.node_count(); b += 17) {
+          EXPECT_LE(f.rt.cost(a, b), h.est_cost(a, b, l) + slack + 1e-9)
+              << "max_cs " << max_cs << " level " << l << " pair " << a
+              << "," << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(HierarchyTest, EstimateAtLevelOneIsExact) {
+  Fixture f(17);
+  Prng prng(6);
+  const Hierarchy h = Hierarchy::build(f.net, f.rt, 8, prng);
+  for (net::NodeId a = 0; a < f.net.node_count(); a += 11) {
+    for (net::NodeId b = 0; b < f.net.node_count(); b += 19) {
+      EXPECT_DOUBLE_EQ(h.est_cost(a, b, 1), f.rt.cost(a, b));
+    }
+  }
+}
+
+TEST(HierarchyTest, IntraClusterCostBoundedByD) {
+  Fixture f(18);
+  Prng prng(7);
+  const Hierarchy h = Hierarchy::build(f.net, f.rt, 8, prng);
+  for (int l = 1; l <= h.height(); ++l) {
+    for (const Cluster& cl : h.level(l)) {
+      for (net::NodeId a : cl.members) {
+        for (net::NodeId b : cl.members) {
+          EXPECT_LE(f.rt.cost(a, b), h.d(l) + 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(HierarchyTest, SmallNetworkCollapsesToOneLevel) {
+  net::Network net;
+  for (int i = 0; i < 4; ++i) net.add_node();
+  net.add_link(0, 1, 1.0, 1.0, 1e6);
+  net.add_link(1, 2, 1.0, 1.0, 1e6);
+  net.add_link(2, 3, 1.0, 1.0, 1e6);
+  const auto rt = net::RoutingTables::build(net);
+  Prng prng(8);
+  const Hierarchy h = Hierarchy::build(net, rt, 8, prng);
+  EXPECT_EQ(h.height(), 1);
+  h.validate(net);
+}
+
+class HierarchyMaintenanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HierarchyMaintenanceTest, RemoveNodeKeepsInvariants) {
+  Fixture f(20);
+  Prng prng(9);
+  Hierarchy h = Hierarchy::build(f.net, f.rt, GetParam(), prng);
+  Prng pick(10);
+  // Remove a batch of random non-everything nodes one by one.
+  std::set<net::NodeId> removed;
+  for (int i = 0; i < 12; ++i) {
+    net::NodeId victim;
+    do {
+      victim = static_cast<net::NodeId>(pick.index(f.net.node_count()));
+    } while (removed.count(victim) != 0);
+    removed.insert(victim);
+    h.remove_node(victim, f.rt);
+    h.validate(f.net);
+  }
+  // Removed nodes are gone from level 1.
+  std::set<net::NodeId> present;
+  for (const Cluster& cl : h.level(1)) {
+    present.insert(cl.members.begin(), cl.members.end());
+  }
+  for (net::NodeId v : removed) EXPECT_EQ(present.count(v), 0u);
+  EXPECT_EQ(present.size(), f.net.node_count() - removed.size());
+}
+
+TEST_P(HierarchyMaintenanceTest, AddNodeKeepsInvariants) {
+  // Build the hierarchy over a prefix of the nodes, then join the rest at
+  // runtime via the paper's join protocol.
+  Fixture f(21);
+  Prng prng(11);
+  Hierarchy h = Hierarchy::build(f.net, f.rt, GetParam(), prng);
+  // Remove 10 nodes, then re-join them.
+  std::vector<net::NodeId> victims;
+  Prng pick(12);
+  while (victims.size() < 10) {
+    const auto v = static_cast<net::NodeId>(pick.index(f.net.node_count()));
+    if (std::find(victims.begin(), victims.end(), v) == victims.end()) {
+      victims.push_back(v);
+    }
+  }
+  for (net::NodeId v : victims) h.remove_node(v, f.rt);
+  for (net::NodeId v : victims) {
+    h.add_node(v, f.rt, prng);
+    h.validate(f.net);
+  }
+  std::set<net::NodeId> present;
+  for (const Cluster& cl : h.level(1)) {
+    present.insert(cl.members.begin(), cl.members.end());
+  }
+  EXPECT_EQ(present.size(), f.net.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxCsSweep, HierarchyMaintenanceTest,
+                         ::testing::Values(4, 8, 16, 32));
+
+}  // namespace
+}  // namespace iflow::cluster

@@ -1,0 +1,108 @@
+#include "cluster/kmedoids.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace iflow::cluster {
+namespace {
+
+/// Two well-separated groups on a line.
+DistanceFn line_distance(const std::vector<double>& pos) {
+  return [pos](std::uint32_t a, std::uint32_t b) {
+    return std::abs(pos[a] - pos[b]);
+  };
+}
+
+TEST(KMedoidsTest, SeparatesObviousClusters) {
+  const std::vector<double> pos = {0.0, 1.0, 2.0, 100.0, 101.0, 102.0};
+  std::vector<std::uint32_t> items(pos.size());
+  std::iota(items.begin(), items.end(), 0u);
+  Prng prng(1);
+  const KMedoidsResult r =
+      k_medoids(items, 2, 3, line_distance(pos), prng);
+  ASSERT_EQ(r.clusters.size(), 2u);
+  for (const auto& c : r.clusters) {
+    ASSERT_EQ(c.size(), 3u);
+    const bool low = pos[c.front()] < 50.0;
+    for (auto m : c) EXPECT_EQ(pos[m] < 50.0, low);
+  }
+}
+
+TEST(KMedoidsTest, RespectsCapacity) {
+  std::vector<std::uint32_t> items(17);
+  std::iota(items.begin(), items.end(), 0u);
+  const std::vector<double> pos = [] {
+    std::vector<double> p(17);
+    std::iota(p.begin(), p.end(), 0.0);
+    return p;
+  }();
+  Prng prng(2);
+  const KMedoidsResult r = k_medoids(items, 5, 4, line_distance(pos), prng);
+  std::size_t total = 0;
+  for (const auto& c : r.clusters) {
+    EXPECT_LE(c.size(), 4u);
+    total += c.size();
+  }
+  EXPECT_EQ(total, items.size());
+}
+
+TEST(KMedoidsTest, MedoidIsAMember) {
+  std::vector<std::uint32_t> items(12);
+  std::iota(items.begin(), items.end(), 0u);
+  std::vector<double> pos(12);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    pos[i] = static_cast<double>((i * 37) % 13);
+  }
+  Prng prng(3);
+  const KMedoidsResult r = k_medoids(items, 3, 6, line_distance(pos), prng);
+  ASSERT_EQ(r.clusters.size(), r.medoids.size());
+  for (std::size_t c = 0; c < r.clusters.size(); ++c) {
+    EXPECT_NE(std::find(r.clusters[c].begin(), r.clusters[c].end(),
+                        r.medoids[c]),
+              r.clusters[c].end());
+  }
+}
+
+TEST(KMedoidsTest, EveryItemAssignedExactlyOnce) {
+  std::vector<std::uint32_t> items(30);
+  std::iota(items.begin(), items.end(), 0u);
+  std::vector<double> pos(30);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    pos[i] = static_cast<double>((i * 17) % 11);
+  }
+  Prng prng(4);
+  const KMedoidsResult r = k_medoids(items, 4, 10, line_distance(pos), prng);
+  std::vector<int> seen(30, 0);
+  for (const auto& c : r.clusters) {
+    for (auto m : c) seen[m]++;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(KMedoidsTest, SingleClusterHoldsEverything) {
+  std::vector<std::uint32_t> items = {5, 9, 11};
+  Prng prng(5);
+  const KMedoidsResult r = k_medoids(
+      items, 1, 3,
+      [](std::uint32_t a, std::uint32_t b) {
+        return std::abs(static_cast<double>(a) - b);
+      },
+      prng);
+  ASSERT_EQ(r.clusters.size(), 1u);
+  EXPECT_EQ(r.clusters[0].size(), 3u);
+  EXPECT_EQ(r.medoids[0], 9u);  // middle point minimises total distance
+}
+
+TEST(KMedoidsTest, RejectsInsufficientCapacity) {
+  std::vector<std::uint32_t> items = {0, 1, 2, 3};
+  Prng prng(6);
+  EXPECT_THROW(k_medoids(items, 1, 3,
+                         [](std::uint32_t, std::uint32_t) { return 1.0; },
+                         prng),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace iflow::cluster

@@ -1,0 +1,83 @@
+#include "cluster/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/gtitm.h"
+
+namespace iflow::cluster {
+namespace {
+
+TEST(TheoryTest, Lemma1MatchesClosedForm) {
+  // K(K-1)(K+1)/6 * N^(K-1)
+  EXPECT_DOUBLE_EQ(lemma1_search_space(2, 10), 1.0 * 10.0);
+  EXPECT_DOUBLE_EQ(lemma1_search_space(3, 10), 4.0 * 100.0);
+  EXPECT_DOUBLE_EQ(lemma1_search_space(4, 10), 10.0 * 1000.0);
+  EXPECT_DOUBLE_EQ(lemma1_search_space(5, 64), 20.0 * std::pow(64.0, 4));
+}
+
+TEST(TheoryTest, BushyTreeCountIsDoubleFactorial) {
+  EXPECT_DOUBLE_EQ(bushy_tree_count(1), 1.0);
+  EXPECT_DOUBLE_EQ(bushy_tree_count(2), 1.0);
+  EXPECT_DOUBLE_EQ(bushy_tree_count(3), 3.0);
+  EXPECT_DOUBLE_EQ(bushy_tree_count(4), 15.0);
+  EXPECT_DOUBLE_EQ(bushy_tree_count(5), 105.0);
+  EXPECT_DOUBLE_EQ(bushy_tree_count(6), 945.0);
+}
+
+TEST(TheoryTest, BetaMatchesPaperExample) {
+  // Paper §2.2.1: K=4 streams, N=1000 nodes, max_cs=10 -> beta ~ 0.000015
+  // per level; with the paper's stated ~0.0000015 scale for h levels the
+  // formula is h*(max_cs/N)^(K-1).
+  const double b = beta(4, 1000, 10, 1);
+  EXPECT_NEAR(b, std::pow(0.01, 3), 1e-12);
+}
+
+TEST(TheoryTest, BetaShrinksExponentiallyInK) {
+  const double b2 = beta(2, 1024, 32, 3);
+  const double b4 = beta(4, 1024, 32, 3);
+  const double b6 = beta(6, 1024, 32, 3);
+  EXPECT_GT(b2, b4);
+  EXPECT_GT(b4, b6);
+  EXPECT_NEAR(b4 / b2, std::pow(32.0 / 1024.0, 2), 1e-15);
+}
+
+TEST(TheoryTest, HierarchicalBoundIsBetaTimesExhaustive) {
+  const double bound = hierarchical_search_space_bound(5, 512, 32, 3);
+  EXPECT_DOUBLE_EQ(bound,
+                   beta(5, 512, 32, 3) * lemma1_search_space(5, 512));
+}
+
+TEST(TheoryTest, Theorem1SlackAccumulatesTwoDPerLevel) {
+  Prng prng(1);
+  const net::Network net =
+      net::make_transit_stub(net::TransitStubParams{}, prng);
+  const auto rt = net::RoutingTables::build(net);
+  Prng cp(2);
+  const Hierarchy h = Hierarchy::build(net, rt, 8, cp);
+  EXPECT_DOUBLE_EQ(theorem1_slack(h, 1), 0.0);
+  double expect = 0.0;
+  for (int l = 2; l <= h.height(); ++l) {
+    expect += 2.0 * h.d(l - 1);
+    EXPECT_DOUBLE_EQ(theorem1_slack(h, l), expect);
+  }
+}
+
+TEST(TheoryTest, Theorem3BoundScalesWithRates) {
+  Prng prng(3);
+  const net::Network net =
+      net::make_transit_stub(net::TransitStubParams{}, prng);
+  const auto rt = net::RoutingTables::build(net);
+  Prng cp(4);
+  const Hierarchy h = Hierarchy::build(net, rt, 8, cp);
+  const double one = theorem3_bound(h, {1.0});
+  const double doubled = theorem3_bound(h, {2.0});
+  const double sum = theorem3_bound(h, {1.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(doubled, 2.0 * one);
+  EXPECT_DOUBLE_EQ(sum, 5.0 * one);
+  EXPECT_THROW(theorem3_bound(h, {-1.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace iflow::cluster

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "common/table.h"
+
+namespace iflow {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(IFLOW_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(IFLOW_CHECK_MSG(true, "never shown"));
+}
+
+TEST(CheckTest, FailureCarriesExpressionAndMessage) {
+  try {
+    IFLOW_CHECK_MSG(2 < 1, "custom detail " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(PrngTest, DeterministicAndInRange) {
+  Prng a(123);
+  Prng b(123);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.uniform_int(-5, 17);
+    EXPECT_EQ(va, b.uniform_int(-5, 17));
+    EXPECT_GE(va, -5);
+    EXPECT_LE(va, 17);
+  }
+}
+
+TEST(PrngTest, UniformCoversRange) {
+  Prng p(7);
+  double lo = 1e9;
+  double hi = -1e9;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = p.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 2.1);
+  EXPECT_GT(hi, 2.9);
+}
+
+TEST(PrngTest, ChanceRespectsProbability) {
+  Prng p(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += p.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(PrngTest, ExponentialHasRightMean) {
+  Prng p(13);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += p.exponential(4.0);
+  EXPECT_NEAR(sum / 20000.0, 0.25, 0.01);
+}
+
+TEST(PrngTest, ShuffleIsAPermutation) {
+  Prng p(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  p.shuffle(v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(PrngTest, ForkGivesIndependentStreams) {
+  Prng parent(19);
+  Prng c1 = parent.fork(1);
+  Prng c2 = parent.fork(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) {
+    differ |= c1.uniform_int(0, 1 << 30) != c2.uniform_int(0, 1 << 30);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(PrngTest, GuardsDegenerateInputs) {
+  Prng p(23);
+  EXPECT_THROW(p.uniform_int(3, 2), CheckError);
+  EXPECT_THROW(p.index(0), CheckError);
+  EXPECT_THROW(p.exponential(0.0), CheckError);
+  std::vector<int> empty;
+  EXPECT_THROW(p.pick(empty), CheckError);
+}
+
+TEST(TextTableTest, AlignsColumnsAndFormats) {
+  TextTable t({"name", "value"});
+  t.row().cell(std::string("alpha")).cell(3.14159, 2);
+  t.row().cell(std::string("b")).cell(std::uint64_t{42});
+  t.row().cell(std::string("sci")).cell_sci(12345.0, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("1.2e+04"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsCellWithoutRow) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.cell(std::string("x")), CheckError);
+}
+
+}  // namespace
+}  // namespace iflow

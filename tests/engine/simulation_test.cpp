@@ -1,0 +1,267 @@
+#include "engine/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "net/gtitm.h"
+#include "opt/exhaustive.h"
+#include "opt/top_down.h"
+#include "workload/generator.h"
+
+namespace iflow::engine {
+namespace {
+
+struct World {
+  net::Network net;
+  net::RoutingTables rt;
+  query::Catalog catalog;
+
+  explicit World(std::uint64_t seed) {
+    Prng prng(seed);
+    net::TransitStubParams p;
+    p.transit_count = 2;
+    p.stub_domains_per_transit = 2;
+    p.stub_domain_size = 3;
+    net = net::make_transit_stub(p, prng);
+    rt = net::RoutingTables::build(net);
+  }
+};
+
+EngineConfig low_variance_config(double duration = 40.0) {
+  EngineConfig cfg;
+  cfg.duration_s = duration;
+  cfg.window_s = 0.5;
+  cfg.poisson = false;  // deterministic arrivals for tight tolerances
+  return cfg;
+}
+
+TEST(SimulationTest, SingleStreamDeliveryMatchesRateAndCost) {
+  World w(1);
+  const query::StreamId s = w.catalog.add_stream("A", 0, 50.0, 100.0);
+  query::Query q;
+  q.id = 1;
+  q.sources = {s};
+  q.sink = static_cast<net::NodeId>(w.net.node_count() - 1);
+  query::RateModel rates(w.catalog, q);
+
+  query::Deployment d;
+  d.query = q.id;
+  query::LeafUnit u;
+  u.mask = 1;
+  u.location = 0;
+  u.bytes_rate = rates.bytes_rate(1);
+  u.tuple_rate = rates.tuple_rate(1);
+  d.units = {u};
+  d.sink = q.sink;
+
+  Simulation sim(w.net, w.rt, w.catalog, low_variance_config(), 7);
+  sim.deploy(d, rates);
+  sim.run();
+
+  EXPECT_NEAR(sim.delivered_rate(q.id), 50.0, 2.0);
+  const double analytic = query::deployment_cost(d, w.rt);
+  EXPECT_NEAR(sim.measured_cost_per_second(), analytic, 0.05 * analytic);
+}
+
+TEST(SimulationTest, JoinOutputRateMatchesAnalyticModel) {
+  World w(2);
+  const query::StreamId a = w.catalog.add_stream("A", 0, 40.0, 80.0);
+  const query::StreamId b = w.catalog.add_stream("B", 1, 40.0, 80.0);
+  w.catalog.set_selectivity(a, b, 0.02);  // exact inverse: domain 50
+
+  query::Query q;
+  q.id = 2;
+  q.sources = {a, b};
+  q.sink = 5;
+  query::RateModel rates(w.catalog, q);
+
+  opt::OptimizerEnv env;
+  env.catalog = &w.catalog;
+  env.network = &w.net;
+  env.routing = &w.rt;
+  env.reuse = false;
+  opt::ExhaustiveOptimizer ex(env);
+  const opt::OptimizeResult res = ex.optimize(q);
+  ASSERT_TRUE(res.feasible);
+
+  Simulation sim(w.net, w.rt, w.catalog, low_variance_config(60.0), 11);
+  sim.deploy(res.deployment, rates);
+  sim.run();
+
+  // Analytic: 40 * 40 * 0.02 = 32 result tuples per second.
+  EXPECT_NEAR(sim.delivered_rate(q.id), 32.0, 5.0);
+  EXPECT_NEAR(sim.measured_cost_per_second(), res.actual_cost,
+              0.15 * res.actual_cost + 1e-9);
+}
+
+TEST(SimulationTest, ThreeWayJoinCostTracksPlannedCost) {
+  World w(3);
+  const query::StreamId a = w.catalog.add_stream("A", 0, 30.0, 60.0);
+  const query::StreamId b = w.catalog.add_stream("B", 3, 30.0, 60.0);
+  const query::StreamId c = w.catalog.add_stream("C", 7, 30.0, 60.0);
+  w.catalog.set_selectivity(a, b, 0.05);
+  w.catalog.set_selectivity(a, c, 0.04);
+  w.catalog.set_selectivity(b, c, 0.025);
+
+  query::Query q;
+  q.id = 3;
+  q.sources = {a, b, c};
+  q.sink = 9;
+  query::RateModel rates(w.catalog, q);
+
+  opt::OptimizerEnv env;
+  env.catalog = &w.catalog;
+  env.network = &w.net;
+  env.routing = &w.rt;
+  env.reuse = false;
+  opt::ExhaustiveOptimizer ex(env);
+  const opt::OptimizeResult res = ex.optimize(q);
+  ASSERT_TRUE(res.feasible);
+
+  Simulation sim(w.net, w.rt, w.catalog, low_variance_config(60.0), 13);
+  sim.deploy(res.deployment, rates);
+  sim.run();
+  // The dominant cost comes from base-stream edges (deterministic); join
+  // outputs add stochastic but small contributions.
+  EXPECT_NEAR(sim.measured_cost_per_second(), res.actual_cost,
+              0.2 * res.actual_cost + 1e-9);
+}
+
+TEST(SimulationTest, ReusedOperatorStreamsOnlyOnce) {
+  // Two identical queries with different sinks. With reuse, the second
+  // deployment adds only a provider→sink edge; base streams flow once.
+  World w(4);
+  const query::StreamId a = w.catalog.add_stream("A", 0, 40.0, 100.0);
+  const query::StreamId b = w.catalog.add_stream("B", 2, 40.0, 100.0);
+  w.catalog.set_selectivity(a, b, 0.02);
+
+  query::Query q1;
+  q1.id = 10;
+  q1.sources = {a, b};
+  q1.sink = 8;
+  query::Query q2 = q1;
+  q2.id = 11;
+  q2.sink = 9;
+  query::RateModel rates1(w.catalog, q1);
+  query::RateModel rates2(w.catalog, q2);
+
+  opt::OptimizerEnv env;
+  env.catalog = &w.catalog;
+  env.network = &w.net;
+  env.routing = &w.rt;
+  advert::Registry registry;
+  env.registry = &registry;
+  env.reuse = true;
+  opt::ExhaustiveOptimizer ex(env);
+
+  const opt::OptimizeResult r1 = ex.optimize(q1);
+  advert::advertise_deployment(registry, r1.deployment, rates1);
+  const opt::OptimizeResult r2 = ex.optimize(q2);
+  ASSERT_TRUE(r2.feasible);
+  // The second plan must reuse a derived stream rather than re-join.
+  bool reused = false;
+  for (const query::LeafUnit& u : r2.deployment.units) reused |= u.derived;
+  ASSERT_TRUE(reused);
+
+  Simulation sim(w.net, w.rt, w.catalog, low_variance_config(60.0), 17);
+  sim.deploy(r1.deployment, rates1);
+  sim.deploy(r2.deployment, rates2);
+  sim.run();
+
+  EXPECT_GT(sim.tuples_delivered(q1.id), 0u);
+  EXPECT_GT(sim.tuples_delivered(q2.id), 0u);
+  // Both sinks receive comparable result volumes from ONE joint pipeline.
+  EXPECT_NEAR(static_cast<double>(sim.tuples_delivered(q2.id)),
+              static_cast<double>(sim.tuples_delivered(q1.id)),
+              0.35 * static_cast<double>(sim.tuples_delivered(q1.id)) + 10.0);
+  // Measured total tracks the combined marginal costs.
+  const double combined = r1.actual_cost + r2.actual_cost;
+  EXPECT_NEAR(sim.measured_cost_per_second(), combined, 0.2 * combined + 1e-9);
+}
+
+TEST(SimulationTest, DerivedUnitWithoutProducerIsRejected) {
+  World w(5);
+  const query::StreamId a = w.catalog.add_stream("A", 0, 10.0, 10.0);
+  const query::StreamId b = w.catalog.add_stream("B", 1, 10.0, 10.0);
+  w.catalog.set_selectivity(a, b, 0.1);
+  query::Query q;
+  q.id = 20;
+  q.sources = {a, b};
+  q.sink = 3;
+  query::RateModel rates(w.catalog, q);
+
+  query::Deployment d;
+  d.query = q.id;
+  query::LeafUnit u;
+  u.mask = 0b11;
+  u.location = 2;
+  u.derived = true;
+  u.bytes_rate = rates.bytes_rate(0b11);
+  u.tuple_rate = rates.tuple_rate(0b11);
+  d.units = {u};
+  d.sink = q.sink;
+
+  Simulation sim(w.net, w.rt, w.catalog, low_variance_config(), 19);
+  EXPECT_THROW(sim.deploy(d, rates), CheckError);
+}
+
+TEST(SimulationTest, SelectiveJoinProducesNoSpuriousMatches) {
+  // Selectivity 1/1000 with low rates: expect (almost) no output.
+  World w(6);
+  const query::StreamId a = w.catalog.add_stream("A", 0, 5.0, 10.0);
+  const query::StreamId b = w.catalog.add_stream("B", 1, 5.0, 10.0);
+  w.catalog.set_selectivity(a, b, 0.001);
+  query::Query q;
+  q.id = 30;
+  q.sources = {a, b};
+  q.sink = 4;
+  query::RateModel rates(w.catalog, q);
+
+  opt::OptimizerEnv env;
+  env.catalog = &w.catalog;
+  env.network = &w.net;
+  env.routing = &w.rt;
+  env.reuse = false;
+  opt::ExhaustiveOptimizer ex(env);
+  const opt::OptimizeResult res = ex.optimize(q);
+
+  Simulation sim(w.net, w.rt, w.catalog, low_variance_config(30.0), 23);
+  sim.deploy(res.deployment, rates);
+  sim.run();
+  // Expected output: 5*5*0.001 = 0.025/s => ~0.75 tuples in 30 s.
+  EXPECT_LE(sim.tuples_delivered(q.id), 6u);
+}
+
+TEST(SimulationTest, PoissonAndDeterministicAgreeOnAverages) {
+  World w(7);
+  const query::StreamId a = w.catalog.add_stream("A", 0, 50.0, 50.0);
+  query::Query q;
+  q.id = 40;
+  q.sources = {a};
+  q.sink = 6;
+  query::RateModel rates(w.catalog, q);
+  query::Deployment d;
+  d.query = q.id;
+  query::LeafUnit u;
+  u.mask = 1;
+  u.location = 0;
+  u.bytes_rate = rates.bytes_rate(1);
+  u.tuple_rate = rates.tuple_rate(1);
+  d.units = {u};
+  d.sink = q.sink;
+
+  EngineConfig det = low_variance_config(40.0);
+  EngineConfig poi = det;
+  poi.poisson = true;
+
+  Simulation s1(w.net, w.rt, w.catalog, det, 29);
+  s1.deploy(d, rates);
+  s1.run();
+  Simulation s2(w.net, w.rt, w.catalog, poi, 31);
+  s2.deploy(d, rates);
+  s2.run();
+  EXPECT_NEAR(s1.delivered_rate(q.id), s2.delivered_rate(q.id),
+              0.12 * s1.delivered_rate(q.id));
+}
+
+}  // namespace
+}  // namespace iflow::engine

@@ -1,0 +1,93 @@
+#include "net/gtitm.h"
+
+#include <gtest/gtest.h>
+
+#include "net/routing.h"
+
+namespace iflow::net {
+namespace {
+
+TEST(GtItmTest, DefaultShapeMatchesPaperConfiguration) {
+  Prng prng(1);
+  const TransitStubParams p;
+  const Network net = make_transit_stub(p, prng);
+  EXPECT_EQ(static_cast<int>(net.node_count()), p.total_nodes());
+  EXPECT_EQ(p.total_nodes(), 4 + 4 * 4 * 8);
+  EXPECT_TRUE(net.connected());
+  int transit = 0;
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    if (net.kind(n) == NodeKind::kTransit) ++transit;
+  }
+  EXPECT_EQ(transit, 4);
+}
+
+TEST(GtItmTest, StubLinksCheaperThanTransitLinks) {
+  Prng prng(2);
+  const TransitStubParams p;
+  const Network net = make_transit_stub(p, prng);
+  double max_stub = 0.0;
+  double min_transit = 1e18;
+  for (const Link& l : net.links()) {
+    const bool a_transit = net.kind(l.a) == NodeKind::kTransit;
+    const bool b_transit = net.kind(l.b) == NodeKind::kTransit;
+    if (a_transit && b_transit) {
+      min_transit = std::min(min_transit, l.cost_per_byte);
+    } else if (!a_transit && !b_transit) {
+      max_stub = std::max(max_stub, l.cost_per_byte);
+    }
+  }
+  EXPECT_LT(max_stub, min_transit);
+}
+
+TEST(GtItmTest, DelaysWithinConfiguredRange) {
+  Prng prng(3);
+  TransitStubParams p;
+  p.delay_min_ms = 1.0;
+  p.delay_max_ms = 60.0;
+  const Network net = make_transit_stub(p, prng);
+  for (const Link& l : net.links()) {
+    EXPECT_GE(l.delay_ms, 1.0);
+    EXPECT_LE(l.delay_ms, 60.0);
+  }
+}
+
+TEST(GtItmTest, DeterministicGivenSeed) {
+  Prng a(99);
+  Prng b(99);
+  const Network na = make_transit_stub(TransitStubParams{}, a);
+  const Network nb = make_transit_stub(TransitStubParams{}, b);
+  ASSERT_EQ(na.link_count(), nb.link_count());
+  for (std::size_t i = 0; i < na.link_count(); ++i) {
+    EXPECT_EQ(na.links()[i].a, nb.links()[i].a);
+    EXPECT_EQ(na.links()[i].b, nb.links()[i].b);
+    EXPECT_DOUBLE_EQ(na.links()[i].cost_per_byte, nb.links()[i].cost_per_byte);
+  }
+}
+
+TEST(GtItmTest, ScaleToApproximatesTargets) {
+  for (int target : {64, 128, 256, 512, 1024}) {
+    const TransitStubParams p = scale_to(target);
+    const double ratio =
+        static_cast<double>(p.total_nodes()) / static_cast<double>(target);
+    EXPECT_GT(ratio, 0.7) << "target " << target;
+    EXPECT_LT(ratio, 1.35) << "target " << target;
+    Prng prng(static_cast<std::uint64_t>(target));
+    const Network net = make_transit_stub(p, prng);
+    EXPECT_TRUE(net.connected());
+  }
+}
+
+TEST(GtItmTest, SmallDegenerateShapesStillConnect) {
+  Prng prng(5);
+  TransitStubParams p;
+  p.transit_count = 1;
+  p.stub_domains_per_transit = 1;
+  p.stub_domain_size = 1;
+  const Network net = make_transit_stub(p, prng);
+  EXPECT_EQ(net.node_count(), 2u);
+  EXPECT_TRUE(net.connected());
+  EXPECT_NO_THROW(RoutingTables::build(net));
+}
+
+}  // namespace
+}  // namespace iflow::net

@@ -1,0 +1,79 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace iflow::net {
+namespace {
+
+Network make_triangle() {
+  Network n;
+  const NodeId a = n.add_node();
+  const NodeId b = n.add_node();
+  const NodeId c = n.add_node();
+  n.add_link(a, b, 1.0, 5.0, 1e6);
+  n.add_link(b, c, 2.0, 5.0, 1e6);
+  n.add_link(a, c, 10.0, 5.0, 1e6);
+  return n;
+}
+
+TEST(NetworkTest, AddNodesAssignsDenseIds) {
+  Network n;
+  EXPECT_EQ(n.add_node(), 0u);
+  EXPECT_EQ(n.add_node(), 1u);
+  EXPECT_EQ(n.add_node(NodeKind::kTransit), 2u);
+  EXPECT_EQ(n.node_count(), 3u);
+  EXPECT_EQ(n.kind(2), NodeKind::kTransit);
+  EXPECT_EQ(n.kind(0), NodeKind::kStub);
+}
+
+TEST(NetworkTest, LinksAreUndirectedAndIncident) {
+  Network n = make_triangle();
+  EXPECT_EQ(n.link_count(), 3u);
+  EXPECT_EQ(n.incident(0).size(), 2u);
+  EXPECT_EQ(n.incident(1).size(), 2u);
+  EXPECT_EQ(n.incident(2).size(), 2u);
+}
+
+TEST(NetworkTest, RejectsSelfLinksAndBadEndpoints) {
+  Network n;
+  n.add_node();
+  n.add_node();
+  EXPECT_THROW(n.add_link(0, 0, 1.0, 1.0, 1e6), CheckError);
+  EXPECT_THROW(n.add_link(0, 7, 1.0, 1.0, 1e6), CheckError);
+  EXPECT_THROW(n.add_link(0, 1, 0.0, 1.0, 1e6), CheckError);
+  EXPECT_THROW(n.add_link(0, 1, 1.0, -1.0, 1e6), CheckError);
+  EXPECT_THROW(n.add_link(0, 1, 1.0, 1.0, 0.0), CheckError);
+}
+
+TEST(NetworkTest, SetLinkCostUpdatesEitherDirection) {
+  Network n = make_triangle();
+  n.set_link_cost(1, 0, 7.5);
+  bool found = false;
+  for (const Link& l : n.links()) {
+    if ((l.a == 0 && l.b == 1) || (l.a == 1 && l.b == 0)) {
+      EXPECT_DOUBLE_EQ(l.cost_per_byte, 7.5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_THROW(n.set_link_cost(0, 0, 1.0), CheckError);
+}
+
+TEST(NetworkTest, VersionBumpsOnMutation) {
+  Network n = make_triangle();
+  const auto v = n.version();
+  n.set_link_cost(0, 1, 3.0);
+  EXPECT_GT(n.version(), v);
+}
+
+TEST(NetworkTest, ConnectivityDetection) {
+  Network n = make_triangle();
+  EXPECT_TRUE(n.connected());
+  n.add_node();  // isolated
+  EXPECT_FALSE(n.connected());
+  Network empty;
+  EXPECT_TRUE(empty.connected());
+}
+
+}  // namespace
+}  // namespace iflow::net

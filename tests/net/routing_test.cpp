@@ -1,0 +1,102 @@
+#include "net/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "net/gtitm.h"
+
+namespace iflow::net {
+namespace {
+
+Network make_line(int n, double cost = 1.0, double delay = 10.0) {
+  Network net;
+  for (int i = 0; i < n; ++i) net.add_node();
+  for (int i = 0; i + 1 < n; ++i) {
+    net.add_link(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), cost,
+                 delay, 1e6);
+  }
+  return net;
+}
+
+TEST(RoutingTest, LineDistancesAreAdditive) {
+  Network net = make_line(5, 2.0, 10.0);
+  const RoutingTables rt = RoutingTables::build(net);
+  EXPECT_DOUBLE_EQ(rt.cost(0, 4), 8.0);
+  EXPECT_DOUBLE_EQ(rt.cost(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(rt.delay_ms(0, 4), 40.0);
+  EXPECT_DOUBLE_EQ(rt.data_path_delay_ms(0, 4), 40.0);
+}
+
+TEST(RoutingTest, PicksCheaperMultiHopPath) {
+  // Direct expensive link vs two cheap hops.
+  Network net;
+  for (int i = 0; i < 3; ++i) net.add_node();
+  net.add_link(0, 2, 10.0, 1.0, 1e6);
+  net.add_link(0, 1, 1.0, 30.0, 1e6);
+  net.add_link(1, 2, 1.0, 30.0, 1e6);
+  const RoutingTables rt = RoutingTables::build(net);
+  EXPECT_DOUBLE_EQ(rt.cost(0, 2), 2.0);
+  // The data path (cost-optimal) has 60 ms of latency even though a 1 ms
+  // path exists; the control plane uses the delay-optimal one.
+  EXPECT_DOUBLE_EQ(rt.data_path_delay_ms(0, 2), 60.0);
+  EXPECT_DOUBLE_EQ(rt.delay_ms(0, 2), 1.0);
+}
+
+TEST(RoutingTest, NextHopAndPathFollowCostMetric) {
+  Network net;
+  for (int i = 0; i < 3; ++i) net.add_node();
+  net.add_link(0, 2, 10.0, 1.0, 1e6);
+  net.add_link(0, 1, 1.0, 30.0, 1e6);
+  net.add_link(1, 2, 1.0, 30.0, 1e6);
+  const RoutingTables rt = RoutingTables::build(net);
+  EXPECT_EQ(rt.next_hop(0, 2), 1u);
+  const std::vector<NodeId> path = rt.cost_path(0, 2);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[1], 1u);
+  EXPECT_EQ(path[2], 2u);
+}
+
+TEST(RoutingTest, SymmetricOnUndirectedGraphs) {
+  Prng prng(42);
+  const Network net = make_transit_stub(TransitStubParams{}, prng);
+  const RoutingTables rt = RoutingTables::build(net);
+  for (NodeId a = 0; a < 20; ++a) {
+    for (NodeId b = 0; b < 20; ++b) {
+      EXPECT_DOUBLE_EQ(rt.cost(a, b), rt.cost(b, a));
+      EXPECT_DOUBLE_EQ(rt.delay_ms(a, b), rt.delay_ms(b, a));
+    }
+  }
+}
+
+TEST(RoutingTest, TriangleInequalityHolds) {
+  Prng prng(7);
+  const Network net = make_transit_stub(TransitStubParams{}, prng);
+  const RoutingTables rt = RoutingTables::build(net);
+  const std::size_t n = std::min<std::size_t>(net.node_count(), 25);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      for (NodeId c = 0; c < n; ++c) {
+        EXPECT_LE(rt.cost(a, c), rt.cost(a, b) + rt.cost(b, c) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(RoutingTest, RequiresConnectedNetwork) {
+  Network net;
+  net.add_node();
+  net.add_node();
+  EXPECT_THROW(RoutingTables::build(net), CheckError);
+}
+
+TEST(RoutingTest, RecordsBuildVersion) {
+  Network net = make_line(3);
+  const RoutingTables rt = RoutingTables::build(net);
+  EXPECT_EQ(rt.built_against(), net.version());
+  net.set_link_cost(0, 1, 9.0);
+  EXPECT_NE(rt.built_against(), net.version());
+}
+
+}  // namespace
+}  // namespace iflow::net

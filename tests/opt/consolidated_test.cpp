@@ -1,0 +1,150 @@
+#include "opt/consolidated.h"
+
+#include <gtest/gtest.h>
+
+#include "net/gtitm.h"
+#include "opt/exhaustive.h"
+#include "opt/top_down.h"
+#include "workload/generator.h"
+
+namespace iflow::opt {
+namespace {
+
+struct World {
+  net::Network net;
+  net::RoutingTables rt;
+  cluster::Hierarchy hierarchy;
+  workload::Workload wl;
+  advert::Registry registry;
+
+  explicit World(std::uint64_t seed, int queries = 12)
+      : net([&] {
+          Prng prng(seed);
+          net::TransitStubParams p;
+          p.transit_count = 2;
+          p.stub_domains_per_transit = 2;
+          p.stub_domain_size = 4;
+          return net::make_transit_stub(p, prng);
+        }()),
+        rt(net::RoutingTables::build(net)),
+        hierarchy([&] {
+          Prng prng(seed + 1);
+          return cluster::Hierarchy::build(net, rt, 4, prng);
+        }()),
+        wl([&] {
+          Prng prng(seed + 2);
+          workload::WorkloadParams wp;
+          wp.num_streams = 6;
+          wp.min_joins = 2;
+          wp.max_joins = 4;
+          return workload::make_workload(net, wp, queries, prng);
+        }()) {}
+
+  OptimizerEnv env() {
+    OptimizerEnv e;
+    e.catalog = &wl.catalog;
+    e.network = &net;
+    e.routing = &rt;
+    e.hierarchy = &hierarchy;
+    e.registry = &registry;
+    e.reuse = true;
+    return e;
+  }
+};
+
+OptimizerFactory top_down_factory() {
+  return [](const OptimizerEnv& e) {
+    return std::make_unique<TopDownOptimizer>(e);
+  };
+}
+
+double incremental_cost(World& w, const OptimizerFactory& factory) {
+  w.registry.clear();
+  auto env = w.env();
+  double total = 0.0;
+  for (const query::Query& q : w.wl.queries) {
+    auto optimizer = factory(env);
+    const OptimizeResult r = optimizer->optimize(q);
+    query::RateModel rates(*env.catalog, q);
+    advert::advertise_deployment(*env.registry, r.deployment, rates);
+    total += r.actual_cost;
+  }
+  return total;
+}
+
+TEST(ConsolidatedTest, NeverLosesToIncrementalDeployment) {
+  for (std::uint64_t seed : {10u, 20u, 30u}) {
+    World w(seed);
+    const double incremental = incremental_cost(w, top_down_factory());
+    const ConsolidatedResult c =
+        optimize_consolidated(w.env(), top_down_factory(), w.wl.queries);
+    EXPECT_LE(c.total_cost, incremental * (1.0 + 1e-9)) << "seed " << seed;
+  }
+}
+
+TEST(ConsolidatedTest, SweepsOnlyEverImprove) {
+  World w(40);
+  const ConsolidatedResult c =
+      optimize_consolidated(w.env(), top_down_factory(), w.wl.queries);
+  EXPECT_LE(c.total_cost, c.seed_cost * (1.0 + 1e-9));
+  EXPECT_GE(c.sweeps, 1);
+  double recomputed = 0.0;
+  for (const OptimizeResult& r : c.per_query) {
+    ASSERT_TRUE(r.feasible);
+    EXPECT_NO_THROW(query::validate_deployment(r.deployment));
+    recomputed += r.actual_cost;
+  }
+  EXPECT_NEAR(recomputed, c.total_cost, 1e-6 * (1.0 + recomputed));
+}
+
+TEST(ConsolidatedTest, ResultsAlignWithBatchOrder) {
+  World w(50, 5);
+  const ConsolidatedResult c =
+      optimize_consolidated(w.env(), top_down_factory(), w.wl.queries);
+  ASSERT_EQ(c.per_query.size(), w.wl.queries.size());
+  for (std::size_t i = 0; i < c.per_query.size(); ++i) {
+    EXPECT_EQ(c.per_query[i].deployment.query, w.wl.queries[i].id);
+    EXPECT_EQ(c.per_query[i].deployment.sink, w.wl.queries[i].sink);
+  }
+}
+
+TEST(ConsolidatedTest, IdenticalQueriesCollapse) {
+  // Five copies of one query with different sinks: after consolidation only
+  // the first pays the join, the rest tap the derived result.
+  World w(60, 1);
+  std::vector<query::Query> batch;
+  for (int i = 0; i < 5; ++i) {
+    query::Query q = w.wl.queries.front();
+    q.id = static_cast<query::QueryId>(100 + i);
+    q.sink = static_cast<net::NodeId>((7 * i + 3) % w.net.node_count());
+    batch.push_back(q);
+  }
+  const ConsolidatedResult c =
+      optimize_consolidated(w.env(), top_down_factory(), batch);
+  int with_join_ops = 0;
+  for (const OptimizeResult& r : c.per_query) {
+    if (!r.deployment.ops.empty()) ++with_join_ops;
+  }
+  EXPECT_EQ(with_join_ops, 1)
+      << "only one copy should materialise the join operators";
+}
+
+TEST(ConsolidatedTest, RequiresReuse) {
+  World w(70, 2);
+  auto env = w.env();
+  env.reuse = false;
+  EXPECT_THROW(
+      optimize_consolidated(env, top_down_factory(), w.wl.queries),
+      CheckError);
+}
+
+TEST(ConsolidatedTest, EmptyBatch) {
+  World w(80, 1);
+  const ConsolidatedResult c =
+      optimize_consolidated(w.env(), top_down_factory(), {});
+  EXPECT_EQ(c.per_query.size(), 0u);
+  EXPECT_DOUBLE_EQ(c.total_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace iflow::opt

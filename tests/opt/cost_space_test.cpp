@@ -1,0 +1,88 @@
+#include "opt/cost_space.h"
+
+#include <gtest/gtest.h>
+
+#include "net/gtitm.h"
+
+namespace iflow::opt {
+namespace {
+
+net::RoutingTables paper_routing(std::uint64_t seed, net::Network* out = nullptr) {
+  Prng prng(seed);
+  net::TransitStubParams p;
+  p.transit_count = 2;
+  p.stub_domains_per_transit = 2;
+  p.stub_domain_size = 4;
+  static thread_local net::Network net;
+  net = net::make_transit_stub(p, prng);
+  if (out != nullptr) *out = net;
+  return net::RoutingTables::build(net);
+}
+
+TEST(CostSpaceTest, MoreIterationsLowerStress) {
+  const auto rt = paper_routing(1);
+  Prng p1(5), p2(5);
+  const CostSpace rough = CostSpace::build(rt, p1, 4);
+  const CostSpace refined = CostSpace::build(rt, p2, 200);
+  EXPECT_LT(refined.stress(rt), rough.stress(rt));
+  // A converged 3-D embedding of a transit-stub metric should be decent.
+  EXPECT_LT(refined.stress(rt), 0.35);
+}
+
+TEST(CostSpaceTest, EmbeddedDistancesCorrelateWithCosts) {
+  const auto rt = paper_routing(2);
+  Prng prng(6);
+  const CostSpace cs = CostSpace::build(rt, prng, 150);
+  // Sample pairs: larger routing cost should mostly mean larger embedded
+  // distance (rank correlation, loose threshold).
+  int concordant = 0;
+  int total = 0;
+  for (net::NodeId a = 0; a < 10; ++a) {
+    for (net::NodeId b = a + 1; b < 10; ++b) {
+      for (net::NodeId c = 0; c < 10; ++c) {
+        for (net::NodeId d = c + 1; d < 10; ++d) {
+          const double dr = rt.cost(a, b) - rt.cost(c, d);
+          const double de = CostSpace::distance(cs.position(a), cs.position(b)) -
+                            CostSpace::distance(cs.position(c), cs.position(d));
+          if (std::abs(dr) < 1e-9) continue;
+          ++total;
+          if ((dr > 0) == (de > 0)) ++concordant;
+        }
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(concordant) / total, 0.75);
+}
+
+TEST(CostSpaceTest, NearestNodeRoundTrips) {
+  const auto rt = paper_routing(3);
+  Prng prng(7);
+  const CostSpace cs = CostSpace::build(rt, prng, 100);
+  for (net::NodeId n = 0; n < rt.node_count(); n += 3) {
+    EXPECT_EQ(cs.nearest_node(cs.position(n)), n);
+  }
+}
+
+TEST(CostSpaceTest, DeterministicGivenSeed) {
+  const auto rt = paper_routing(4);
+  Prng p1(9), p2(9);
+  const CostSpace a = CostSpace::build(rt, p1, 50);
+  const CostSpace b = CostSpace::build(rt, p2, 50);
+  for (net::NodeId n = 0; n < rt.node_count(); ++n) {
+    EXPECT_EQ(a.position(n), b.position(n));
+  }
+}
+
+TEST(CostSpaceTest, SingleNodeNetwork) {
+  net::Network net;
+  net.add_node();
+  net.add_node();
+  net.add_link(0, 1, 2.0, 1.0, 1e6);
+  const auto rt = net::RoutingTables::build(net);
+  Prng prng(10);
+  const CostSpace cs = CostSpace::build(rt, prng, 30);
+  EXPECT_NEAR(CostSpace::distance(cs.position(0), cs.position(1)), 2.0, 1.0);
+}
+
+}  // namespace
+}  // namespace iflow::opt

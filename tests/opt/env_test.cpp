@@ -1,0 +1,147 @@
+// OptimizerEnv helpers: processing-node restriction and aggregated
+// delivery rates.
+#include <gtest/gtest.h>
+
+#include "net/gtitm.h"
+#include "opt/bottom_up.h"
+#include "opt/exhaustive.h"
+#include "opt/top_down.h"
+#include "query/rates.h"
+#include "workload/generator.h"
+
+namespace iflow::opt {
+namespace {
+
+TEST(RestrictSitesTest, EmptyRestrictionPassesThrough) {
+  OptimizerEnv env;
+  const std::vector<net::NodeId> sites = {1, 2, 3};
+  EXPECT_EQ(restrict_sites(env, sites), sites);
+}
+
+TEST(RestrictSitesTest, KeepsOnlyProcessingNodes) {
+  OptimizerEnv env;
+  env.processing_nodes = {2, 4};
+  const std::vector<net::NodeId> got = restrict_sites(env, {1, 2, 3, 4});
+  EXPECT_EQ(got, (std::vector<net::NodeId>{2, 4}));
+}
+
+TEST(RestrictSitesTest, FallsBackWhenNothingRemains) {
+  // A scope with no processing node must not become unplannable.
+  OptimizerEnv env;
+  env.processing_nodes = {9};
+  const std::vector<net::NodeId> sites = {1, 2};
+  EXPECT_EQ(restrict_sites(env, sites), sites);
+}
+
+TEST(DeliveryRateTest, NoAggregationSignalsRaw) {
+  query::Catalog catalog;
+  catalog.add_stream("A", 0, 10.0, 10.0);
+  query::Query q;
+  q.sources = {0};
+  q.sink = 0;
+  query::RateModel rates(catalog, q);
+  EXPECT_LT(delivery_rate_for(q, rates), 0.0);
+}
+
+TEST(DeliveryRateTest, AggregationUsesGroupBound) {
+  query::Catalog catalog;
+  catalog.add_stream("A", 0, 100.0, 10.0);
+  query::Query q;
+  q.sources = {0};
+  q.sink = 0;
+  q.aggregate.fn = query::AggregateFn::kCount;
+  q.aggregate.groups = 4.0;
+  q.aggregate.window_s = 2.0;
+  q.aggregate.out_width = 24.0;
+  query::RateModel rates(catalog, q);
+  // min(100 t/s, 4/2 t/s) * 24 B = 48 B/s.
+  EXPECT_DOUBLE_EQ(delivery_rate_for(q, rates), 48.0);
+}
+
+class ProcessingRestrictionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProcessingRestrictionTest, AllAlgorithmsHonourTheRestriction) {
+  Prng prng(77);
+  net::TransitStubParams p;
+  p.transit_count = 2;
+  p.stub_domains_per_transit = 2;
+  p.stub_domain_size = 4;
+  const net::Network net = net::make_transit_stub(p, prng);
+  const auto rt = net::RoutingTables::build(net);
+  Prng hp(78);
+  const cluster::Hierarchy h =
+      cluster::Hierarchy::build(net, rt, GetParam(), hp);
+
+  workload::WorkloadParams wp;
+  wp.num_streams = 6;
+  wp.min_joins = 2;
+  wp.max_joins = 3;
+  Prng wprng(79);
+  const workload::Workload wl = workload::make_workload(net, wp, 6, wprng);
+
+  // Processing allowed only on even nodes.
+  OptimizerEnv env;
+  env.catalog = &wl.catalog;
+  env.network = &net;
+  env.routing = &rt;
+  env.hierarchy = &h;
+  env.reuse = false;
+  for (net::NodeId n = 0; n < net.node_count(); n += 2) {
+    env.processing_nodes.push_back(n);
+  }
+
+  ExhaustiveOptimizer ex(env);
+  TopDownOptimizer td(env);
+  BottomUpOptimizer bu(env);
+  for (const query::Query& q : wl.queries) {
+    for (Optimizer* alg : std::vector<Optimizer*>{&ex, &td, &bu}) {
+      const OptimizeResult r = alg->optimize(q);
+      ASSERT_TRUE(r.feasible) << alg->name();
+      for (const query::DeployedOp& op : r.deployment.ops) {
+        // Hierarchical scopes may fall back to unrestricted members when a
+        // cluster holds no processing node; the exhaustive search never
+        // needs the fallback on this topology.
+        if (alg == &ex) {
+          EXPECT_EQ(op.node % 2, 0u) << alg->name();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxCs, ProcessingRestrictionTest,
+                         ::testing::Values(4, 8));
+
+TEST(ProcessingRestrictionTest, RestrictionCannotBeatUnrestricted) {
+  Prng prng(80);
+  net::TransitStubParams p;
+  p.transit_count = 2;
+  p.stub_domains_per_transit = 2;
+  p.stub_domain_size = 3;
+  const net::Network net = net::make_transit_stub(p, prng);
+  const auto rt = net::RoutingTables::build(net);
+  workload::WorkloadParams wp;
+  wp.num_streams = 5;
+  wp.min_joins = 2;
+  wp.max_joins = 2;
+  Prng wprng(81);
+  const workload::Workload wl = workload::make_workload(net, wp, 5, wprng);
+
+  OptimizerEnv free_env;
+  free_env.catalog = &wl.catalog;
+  free_env.network = &net;
+  free_env.routing = &rt;
+  free_env.reuse = false;
+  OptimizerEnv tight_env = free_env;
+  tight_env.processing_nodes = {0, 1};
+
+  ExhaustiveOptimizer free_opt(free_env);
+  ExhaustiveOptimizer tight_opt(tight_env);
+  for (const query::Query& q : wl.queries) {
+    EXPECT_GE(tight_opt.optimize(q).actual_cost,
+              free_opt.optimize(q).actual_cost - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace iflow::opt

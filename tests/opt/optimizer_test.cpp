@@ -1,0 +1,310 @@
+#include "opt/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/theory.h"
+#include "net/gtitm.h"
+#include "opt/bottom_up.h"
+#include "opt/exhaustive.h"
+#include "opt/in_network.h"
+#include "opt/plan_then_deploy.h"
+#include "opt/relaxation.h"
+#include "opt/top_down.h"
+#include "query/rates.h"
+#include "workload/generator.h"
+
+namespace iflow::opt {
+namespace {
+
+/// Shared small transit-stub world: 18 nodes, 6 streams, hierarchy with
+/// max_cs=4 (3+ levels), so every algorithm path is exercised while the
+/// exhaustive reference stays instant.
+struct World {
+  net::Network net;
+  net::RoutingTables rt;
+  cluster::Hierarchy hierarchy;
+  workload::Workload wl;
+  advert::Registry registry;
+
+  explicit World(std::uint64_t seed, int max_cs = 4, int queries = 8)
+      : net([&] {
+          Prng prng(seed);
+          net::TransitStubParams p;
+          p.transit_count = 2;
+          p.stub_domains_per_transit = 2;
+          p.stub_domain_size = 4;
+          return net::make_transit_stub(p, prng);
+        }()),
+        rt(net::RoutingTables::build(net)),
+        hierarchy([&] {
+          Prng prng(seed + 1);
+          return cluster::Hierarchy::build(net, rt, max_cs, prng);
+        }()),
+        wl([&] {
+          Prng prng(seed + 2);
+          workload::WorkloadParams wp;
+          wp.num_streams = 6;
+          wp.min_joins = 2;
+          wp.max_joins = 4;
+          return workload::make_workload(net, wp, queries, prng);
+        }()) {}
+
+  OptimizerEnv env(bool reuse) {
+    OptimizerEnv e;
+    e.catalog = &wl.catalog;
+    e.network = &net;
+    e.routing = &rt;
+    e.hierarchy = &hierarchy;
+    e.registry = &registry;
+    e.reuse = reuse;
+    return e;
+  }
+};
+
+/// Byte rates of every edge of a deployment's tree (inputs of each op plus
+/// the delivery edge) — the s_k of Theorem 3.
+std::vector<double> edge_rates(const query::Deployment& d) {
+  std::vector<double> rates;
+  for (const query::DeployedOp& op : d.ops) {
+    for (int child : {op.left, op.right}) {
+      rates.push_back(
+          query::child_is_unit(child)
+              ? d.units[static_cast<std::size_t>(query::child_unit_index(child))]
+                    .bytes_rate
+              : d.ops[static_cast<std::size_t>(child)].out_bytes_rate);
+    }
+  }
+  rates.push_back(d.root_bytes_rate());
+  return rates;
+}
+
+TEST(OptimizerTest, AllAlgorithmsProduceValidDeployments) {
+  World w(100);
+  auto env = w.env(false);
+  ExhaustiveOptimizer ex(env);
+  TopDownOptimizer td(env);
+  BottomUpOptimizer bu(env);
+  PlanThenDeployOptimizer ptd(env);
+  RelaxationOptimizer relax(env, 1);
+  InNetworkOptimizer innet(env, 2);
+  std::vector<Optimizer*> algs = {&ex, &td, &bu, &ptd, &relax, &innet};
+  for (const query::Query& q : w.wl.queries) {
+    for (Optimizer* alg : algs) {
+      const OptimizeResult r = alg->optimize(q);
+      ASSERT_TRUE(r.feasible) << alg->name() << " on " << q.name;
+      EXPECT_NO_THROW(query::validate_deployment(r.deployment))
+          << alg->name() << " on " << q.name;
+      EXPECT_NEAR(query::deployment_cost(r.deployment, w.rt), r.actual_cost,
+                  1e-6 * (1.0 + r.actual_cost))
+          << alg->name() << " on " << q.name;
+      EXPECT_GT(r.plans_considered, 0.0) << alg->name();
+    }
+  }
+}
+
+TEST(OptimizerTest, ExhaustiveIsALowerBoundForEveryHeuristic) {
+  World w(101);
+  auto env = w.env(false);
+  ExhaustiveOptimizer ex(env);
+  TopDownOptimizer td(env);
+  BottomUpOptimizer bu(env);
+  PlanThenDeployOptimizer ptd(env);
+  RelaxationOptimizer relax(env, 3);
+  InNetworkOptimizer innet(env, 4);
+  for (const query::Query& q : w.wl.queries) {
+    const double opt = ex.optimize(q).actual_cost;
+    const double tol = 1e-6 * (1.0 + opt);
+    EXPECT_GE(td.optimize(q).actual_cost, opt - tol) << q.name;
+    EXPECT_GE(bu.optimize(q).actual_cost, opt - tol) << q.name;
+    EXPECT_GE(ptd.optimize(q).actual_cost, opt - tol) << q.name;
+    EXPECT_GE(relax.optimize(q).actual_cost, opt - tol) << q.name;
+    EXPECT_GE(innet.optimize(q).actual_cost, opt - tol) << q.name;
+  }
+}
+
+TEST(OptimizerTest, OptimalPlacementOfFixedTreeBeatsHeuristicPlacements) {
+  // plan-then-deploy, relaxation and in-network share the same static tree;
+  // plan-then-deploy places it optimally, so it must never lose.
+  World w(102);
+  auto env = w.env(false);
+  PlanThenDeployOptimizer ptd(env);
+  RelaxationOptimizer relax(env, 5);
+  InNetworkOptimizer innet(env, 6);
+  for (const query::Query& q : w.wl.queries) {
+    const double fixed_opt = ptd.optimize(q).actual_cost;
+    const double tol = 1e-6 * (1.0 + fixed_opt);
+    EXPECT_GE(relax.optimize(q).actual_cost, fixed_opt - tol) << q.name;
+    EXPECT_GE(innet.optimize(q).actual_cost, fixed_opt - tol) << q.name;
+  }
+}
+
+// Theorem 3: Top-Down is at most sum_k s_k * sum_i 2 d_i worse than optimal.
+TEST(OptimizerTest, TopDownSuboptimalityWithinTheorem3Bound) {
+  for (std::uint64_t seed : {103u, 104u, 105u}) {
+    World w(seed);
+    auto env = w.env(false);
+    ExhaustiveOptimizer ex(env);
+    TopDownOptimizer td(env);
+    for (const query::Query& q : w.wl.queries) {
+      const OptimizeResult opt = ex.optimize(q);
+      const OptimizeResult heur = td.optimize(q);
+      const double bound =
+          cluster::theorem3_bound(w.hierarchy, edge_rates(heur.deployment));
+      EXPECT_LE(heur.actual_cost, opt.actual_cost + bound + 1e-6)
+          << "seed " << seed << " query " << q.name;
+    }
+  }
+}
+
+// Theorems 2 and 4: the hierarchical algorithms examine at most
+// beta = h (max_cs/N)^(K-1) of the exhaustive search space (counted with
+// the same tree-enumeration semantics).
+TEST(OptimizerTest, SearchSpaceWithinBetaBound) {
+  World w(106);
+  auto env = w.env(false);
+  ExhaustiveOptimizer ex(env);
+  TopDownOptimizer td(env);
+  BottomUpOptimizer bu(env);
+  for (const query::Query& q : w.wl.queries) {
+    const int k = q.k();
+    const double exhaustive_plans = ex.optimize(q).plans_considered;
+    const double b = cluster::beta(k, w.net.node_count(),
+                                   w.hierarchy.max_cs(), w.hierarchy.height());
+    const double bound = b * exhaustive_plans;
+    EXPECT_LE(td.optimize(q).plans_considered, bound * (1.0 + 1e-9))
+        << q.name;
+    EXPECT_LE(bu.optimize(q).plans_considered, bound * (1.0 + 1e-9))
+        << q.name;
+  }
+}
+
+TEST(OptimizerTest, RedeployingAnIdenticalQueryIsFreeWithReuse) {
+  World w(107);
+  auto env = w.env(true);
+  for (auto make :
+       {+[](const OptimizerEnv& e) -> std::unique_ptr<Optimizer> {
+          return std::make_unique<TopDownOptimizer>(e);
+        },
+        +[](const OptimizerEnv& e) -> std::unique_ptr<Optimizer> {
+          return std::make_unique<BottomUpOptimizer>(e);
+        },
+        +[](const OptimizerEnv& e) -> std::unique_ptr<Optimizer> {
+          return std::make_unique<ExhaustiveOptimizer>(e);
+        }}) {
+    w.registry.clear();
+    Session session(env, make(env));
+    const query::Query& q = w.wl.queries.front();
+    const OptimizeResult first = session.submit(q);
+    query::Query again = q;
+    again.id = 999;
+    const OptimizeResult second = session.submit(again);
+    ASSERT_TRUE(second.feasible);
+    // The full query result is advertised at the sink itself: re-delivery
+    // costs nothing.
+    EXPECT_NEAR(second.actual_cost, 0.0, 1e-9)
+        << session.optimizer().name();
+  }
+}
+
+TEST(OptimizerTest, ReuseNeverHurtsTheExhaustiveOptimizer) {
+  World with(108);
+  World without(108);
+  Session s_with(with.env(true),
+                 std::make_unique<ExhaustiveOptimizer>(with.env(true)));
+  Session s_without(without.env(false),
+                    std::make_unique<ExhaustiveOptimizer>(without.env(false)));
+  for (const query::Query& q : with.wl.queries) {
+    s_with.submit(q);
+    s_without.submit(q);
+    EXPECT_LE(s_with.cumulative_cost(),
+              s_without.cumulative_cost() * (1.0 + 1e-9));
+  }
+}
+
+TEST(OptimizerTest, ReuseLowersCumulativeCostForHierarchicalAlgorithms) {
+  // Aggregate claim over a workload (Fig 7's effect); individual queries
+  // may occasionally not benefit.
+  for (auto make : {+[](const OptimizerEnv& e) -> std::unique_ptr<Optimizer> {
+                      return std::make_unique<TopDownOptimizer>(e);
+                    },
+                    +[](const OptimizerEnv& e) -> std::unique_ptr<Optimizer> {
+                      return std::make_unique<BottomUpOptimizer>(e);
+                    }}) {
+    World with(109, 4, 16);
+    World without(109, 4, 16);
+    Session s_with(with.env(true), make(with.env(true)));
+    Session s_without(without.env(false), make(without.env(false)));
+    for (const query::Query& q : with.wl.queries) {
+      s_with.submit(q);
+      s_without.submit(q);
+    }
+    EXPECT_LT(s_with.cumulative_cost(), s_without.cumulative_cost())
+        << s_with.optimizer().name();
+  }
+}
+
+TEST(OptimizerTest, BottomUpStopsClimbingOnceSourcesAreLocal) {
+  World w(110);
+  auto env = w.env(false);
+  BottomUpOptimizer bu(env);
+  for (const query::Query& q : w.wl.queries) {
+    const OptimizeResult r = bu.optimize(q);
+    EXPECT_LE(r.levels_used, w.hierarchy.height());
+    EXPECT_GE(r.levels_used, 1);
+  }
+}
+
+TEST(OptimizerTest, DeterministicAcrossRuns) {
+  World w1(111);
+  World w2(111);
+  TopDownOptimizer td1(w1.env(false));
+  TopDownOptimizer td2(w2.env(false));
+  for (std::size_t i = 0; i < w1.wl.queries.size(); ++i) {
+    const OptimizeResult a = td1.optimize(w1.wl.queries[i]);
+    const OptimizeResult b = td2.optimize(w2.wl.queries[i]);
+    EXPECT_DOUBLE_EQ(a.actual_cost, b.actual_cost);
+    EXPECT_DOUBLE_EQ(a.plans_considered, b.plans_considered);
+  }
+}
+
+TEST(OptimizerTest, SingleSourceQueriesWorkEverywhere) {
+  World w(112);
+  query::Query q;
+  q.id = 50;
+  q.name = "single";
+  q.sources = {0};
+  q.sink = 7;
+  auto env = w.env(false);
+  ExhaustiveOptimizer ex(env);
+  TopDownOptimizer td(env);
+  BottomUpOptimizer bu(env);
+  const double direct =
+      w.wl.catalog.stream(0).tuple_rate * w.wl.catalog.stream(0).tuple_width *
+      w.rt.cost(w.wl.catalog.stream(0).source, q.sink);
+  for (Optimizer* alg : std::vector<Optimizer*>{&ex, &td, &bu}) {
+    const OptimizeResult r = alg->optimize(q);
+    ASSERT_TRUE(r.feasible) << alg->name();
+    EXPECT_TRUE(r.deployment.ops.empty()) << alg->name();
+    EXPECT_NEAR(r.actual_cost, direct, 1e-9 * (1.0 + direct)) << alg->name();
+  }
+}
+
+TEST(OptimizerTest, HierarchicalCostsConvergeToOptimalWithHugeClusters) {
+  // With max_cs >= N the hierarchy has one level and Top-Down degenerates
+  // to the exhaustive search.
+  World w(113, /*max_cs=*/32);
+  ASSERT_EQ(w.hierarchy.height(), 1);
+  auto env = w.env(false);
+  ExhaustiveOptimizer ex(env);
+  TopDownOptimizer td(env);
+  for (const query::Query& q : w.wl.queries) {
+    const double opt = ex.optimize(q).actual_cost;
+    EXPECT_NEAR(td.optimize(q).actual_cost, opt, 1e-6 * (1.0 + opt))
+        << q.name;
+  }
+}
+
+}  // namespace
+}  // namespace iflow::opt

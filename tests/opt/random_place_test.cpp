@@ -1,0 +1,114 @@
+// The random-placement sanity floor, and the paper's §2.3.2 claim that
+// Bottom-Up beats random placement of a comparable query tree.
+#include "opt/random_place.h"
+
+#include <gtest/gtest.h>
+
+#include "net/gtitm.h"
+#include "opt/bottom_up.h"
+#include "opt/exhaustive.h"
+#include "workload/generator.h"
+
+namespace iflow::opt {
+namespace {
+
+struct World {
+  net::Network net;
+  net::RoutingTables rt;
+  cluster::Hierarchy hierarchy;
+  workload::Workload wl;
+
+  explicit World(std::uint64_t seed)
+      : net([&] {
+          Prng prng(seed);
+          net::TransitStubParams p;
+          p.transit_count = 2;
+          p.stub_domains_per_transit = 2;
+          p.stub_domain_size = 4;
+          return net::make_transit_stub(p, prng);
+        }()),
+        rt(net::RoutingTables::build(net)),
+        hierarchy([&] {
+          Prng prng(seed + 1);
+          return cluster::Hierarchy::build(net, rt, 4, prng);
+        }()),
+        wl([&] {
+          Prng prng(seed + 2);
+          workload::WorkloadParams wp;
+          wp.num_streams = 6;
+          wp.min_joins = 2;
+          wp.max_joins = 4;
+          return workload::make_workload(net, wp, 10, prng);
+        }()) {}
+
+  OptimizerEnv env() {
+    OptimizerEnv e;
+    e.catalog = &wl.catalog;
+    e.network = &net;
+    e.routing = &rt;
+    e.hierarchy = &hierarchy;
+    e.reuse = false;
+    return e;
+  }
+};
+
+TEST(RandomPlacementTest, ProducesValidDeployments) {
+  World w(1);
+  auto env = w.env();
+  RandomPlacementOptimizer rnd(env, 42);
+  for (const query::Query& q : w.wl.queries) {
+    const OptimizeResult r = rnd.optimize(q);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_NO_THROW(query::validate_deployment(r.deployment));
+    EXPECT_NEAR(query::deployment_cost(r.deployment, w.rt), r.actual_cost,
+                1e-9 * (1.0 + r.actual_cost));
+  }
+}
+
+TEST(RandomPlacementTest, NeverBeatsTheOptimum) {
+  World w(2);
+  auto env = w.env();
+  ExhaustiveOptimizer ex(env);
+  RandomPlacementOptimizer rnd(env, 7);
+  for (const query::Query& q : w.wl.queries) {
+    const double opt = ex.optimize(q).actual_cost;
+    EXPECT_GE(rnd.optimize(q).actual_cost, opt - 1e-9);
+  }
+}
+
+TEST(RandomPlacementTest, BottomUpBeatsRandomOnAverage) {
+  // §2.3.2: Bottom-Up offers better placements than random assignment of a
+  // comparable tree. Aggregate comparison over a workload and several
+  // random draws.
+  World w(3);
+  auto env = w.env();
+  BottomUpOptimizer bu(env);
+  double bu_total = 0.0;
+  double rnd_total = 0.0;
+  for (const query::Query& q : w.wl.queries) {
+    bu_total += bu.optimize(q).actual_cost;
+    double best_draws = 0.0;
+    for (std::uint64_t s = 0; s < 5; ++s) {
+      RandomPlacementOptimizer rnd(env, 100 + s);
+      best_draws += rnd.optimize(q).actual_cost;
+    }
+    rnd_total += best_draws / 5.0;
+  }
+  EXPECT_LT(bu_total, rnd_total);
+}
+
+TEST(RandomPlacementTest, HonoursProcessingRestriction) {
+  World w(4);
+  auto env = w.env();
+  env.processing_nodes = {0, 1, 2};
+  RandomPlacementOptimizer rnd(env, 9);
+  for (const query::Query& q : w.wl.queries) {
+    const OptimizeResult r = rnd.optimize(q);
+    for (const query::DeployedOp& op : r.deployment.ops) {
+      EXPECT_LE(op.node, 2u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iflow::opt

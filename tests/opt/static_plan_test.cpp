@@ -1,0 +1,166 @@
+#include "opt/static_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "net/gtitm.h"
+#include "opt/view.h"
+
+namespace iflow::opt {
+namespace {
+
+struct Fixture {
+  query::Catalog catalog;
+  query::Query q;
+  Fixture() {
+    // Rates chosen so the best statistics-only order is unambiguous:
+    // sel(A,B) tiny, so A x B first minimises intermediates.
+    const auto a = catalog.add_stream("A", 0, 100.0, 10.0);
+    const auto b = catalog.add_stream("B", 1, 100.0, 10.0);
+    const auto c = catalog.add_stream("C", 2, 100.0, 10.0);
+    catalog.set_selectivity(a, b, 0.0001);
+    catalog.set_selectivity(a, c, 0.01);
+    catalog.set_selectivity(b, c, 0.01);
+    q.sources = {a, b, c};
+    q.sink = 0;
+  }
+};
+
+TEST(StaticPlanTest, PicksMinimalIntermediateOrder) {
+  Fixture f;
+  query::RateModel rates(f.catalog, f.q);
+  const auto units = collect_units(rates, nullptr, nullptr);
+  const StaticPlan plan = choose_static_plan(rates, units);
+  ASSERT_TRUE(plan.feasible);
+  // Expect (A x B) joined first: find the internal node with 2 leaves.
+  bool found_ab = false;
+  for (const query::TreeNode& n : plan.tree.nodes) {
+    if (n.unit < 0 && n.mask == 0b011) found_ab = true;
+  }
+  EXPECT_TRUE(found_ab);
+  // Objective = rate(AxB) + rate(AxBxC).
+  const double expected = rates.tuple_rate(0b011) + rates.tuple_rate(0b111);
+  EXPECT_DOUBLE_EQ(plan.intermediate_tuple_rate, expected);
+  // All 15-or-3 trees for 3 sources: exactly 3 enumerated for one cover.
+  EXPECT_DOUBLE_EQ(plan.plans_examined, 3.0);
+}
+
+TEST(StaticPlanTest, SubtreeReuseReplacesExactMatch) {
+  Fixture f;
+  // Network for routing distances in provider selection.
+  Prng prng(1);
+  net::TransitStubParams p;
+  p.transit_count = 1;
+  p.stub_domains_per_transit = 1;
+  p.stub_domain_size = 4;
+  const net::Network net = net::make_transit_stub(p, prng);
+  const auto rt = net::RoutingTables::build(net);
+
+  query::RateModel rates(f.catalog, f.q);
+  const auto units = collect_units(rates, nullptr, nullptr);
+  StaticPlan plan = choose_static_plan(rates, units);
+
+  query::LeafUnit derived;
+  derived.mask = 0b011;  // matches the A x B subtree exactly
+  derived.location = 3;
+  derived.bytes_rate = rates.bytes_rate(0b011);
+  derived.tuple_rate = rates.tuple_rate(0b011);
+  derived.derived = true;
+  plan = apply_subtree_reuse(std::move(plan), rates, {derived}, f.q.sink, rt);
+
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.tree.internal_count(), 1);  // only the final join remains
+  bool has_derived_leaf = false;
+  for (const query::TreeNode& n : plan.tree.nodes) {
+    if (n.unit >= 0 && n.mask == 0b011) {
+      has_derived_leaf = true;
+      EXPECT_TRUE(plan.units[static_cast<std::size_t>(n.unit)].derived);
+    }
+  }
+  EXPECT_TRUE(has_derived_leaf);
+}
+
+TEST(StaticPlanTest, SubtreeReuseIgnoresNonMatchingMasks) {
+  Fixture f;
+  Prng prng(2);
+  net::TransitStubParams p;
+  p.transit_count = 1;
+  p.stub_domains_per_transit = 1;
+  p.stub_domain_size = 4;
+  const net::Network net = net::make_transit_stub(p, prng);
+  const auto rt = net::RoutingTables::build(net);
+
+  query::RateModel rates(f.catalog, f.q);
+  const auto units = collect_units(rates, nullptr, nullptr);
+  StaticPlan plan = choose_static_plan(rates, units);
+  const int ops_before = plan.tree.internal_count();
+
+  query::LeafUnit derived;
+  derived.mask = 0b110;  // B x C — not a subtree of the chosen (AxB)xC plan
+  derived.location = 3;
+  derived.bytes_rate = rates.bytes_rate(0b110);
+  derived.tuple_rate = rates.tuple_rate(0b110);
+  derived.derived = true;
+  plan = apply_subtree_reuse(std::move(plan), rates, {derived}, f.q.sink, rt);
+  EXPECT_EQ(plan.tree.internal_count(), ops_before)
+      << "the fixed join order prevents reusing a mismatched sub-join "
+         "(exactly the paper's motivating limitation)";
+}
+
+TEST(StaticPlanTest, FullQueryMatchCollapsesToSingleLeaf) {
+  Fixture f;
+  Prng prng(3);
+  net::TransitStubParams p;
+  p.transit_count = 1;
+  p.stub_domains_per_transit = 1;
+  p.stub_domain_size = 4;
+  const net::Network net = net::make_transit_stub(p, prng);
+  const auto rt = net::RoutingTables::build(net);
+
+  query::RateModel rates(f.catalog, f.q);
+  const auto units = collect_units(rates, nullptr, nullptr);
+  StaticPlan plan = choose_static_plan(rates, units);
+
+  query::LeafUnit full;
+  full.mask = 0b111;
+  full.location = 2;
+  full.bytes_rate = rates.bytes_rate(0b111);
+  full.tuple_rate = rates.tuple_rate(0b111);
+  full.derived = true;
+  plan = apply_subtree_reuse(std::move(plan), rates, {full}, f.q.sink, rt);
+  EXPECT_EQ(plan.tree.internal_count(), 0);
+  EXPECT_EQ(plan.units.size(), 1u);
+}
+
+TEST(StaticPlanTest, ClosestProviderWins) {
+  Fixture f;
+  // Line network: distances are obvious.
+  net::Network net;
+  for (int i = 0; i < 5; ++i) net.add_node();
+  for (int i = 0; i + 1 < 5; ++i) {
+    net.add_link(static_cast<net::NodeId>(i), static_cast<net::NodeId>(i + 1),
+                 1.0, 1.0, 1e6);
+  }
+  const auto rt = net::RoutingTables::build(net);
+  f.q.sink = 4;
+
+  query::RateModel rates(f.catalog, f.q);
+  const auto units = collect_units(rates, nullptr, nullptr);
+  StaticPlan plan = choose_static_plan(rates, units);
+
+  query::LeafUnit far;
+  far.mask = 0b011;
+  far.location = 0;
+  far.bytes_rate = rates.bytes_rate(0b011);
+  far.derived = true;
+  query::LeafUnit near = far;
+  near.location = 3;
+  plan = apply_subtree_reuse(std::move(plan), rates, {far, near}, f.q.sink, rt);
+  for (const query::LeafUnit& u : plan.units) {
+    if (u.derived) {
+      EXPECT_EQ(u.location, 3u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iflow::opt

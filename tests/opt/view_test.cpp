@@ -1,0 +1,136 @@
+// Deployment stitching (import_deployment) and unit collection.
+#include "opt/view.h"
+
+#include "opt/view_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "net/gtitm.h"
+#include "query/rates.h"
+
+namespace iflow::opt {
+namespace {
+
+struct Rig {
+  net::Network net;
+  net::RoutingTables rt;
+  query::Catalog catalog;
+  query::Query q;
+
+  Rig() {
+    Prng prng(1);
+    net::TransitStubParams p;
+    p.transit_count = 1;
+    p.stub_domains_per_transit = 2;
+    p.stub_domain_size = 3;
+    net = net::make_transit_stub(p, prng);
+    rt = net::RoutingTables::build(net);
+    const auto a = catalog.add_stream("A", 0, 10.0, 10.0);
+    const auto b = catalog.add_stream("B", 2, 10.0, 10.0);
+    const auto c = catalog.add_stream("C", 4, 10.0, 10.0);
+    catalog.set_selectivity(a, b, 0.05);
+    catalog.set_selectivity(a, c, 0.05);
+    catalog.set_selectivity(b, c, 0.05);
+    q.sources = {a, b, c};
+    q.sink = 5;
+  }
+
+  PlannerResult plan(query::Mask target, const std::vector<ViewInput>& inputs,
+                     net::NodeId delivery, const query::RateModel& rates) {
+    PlannerInput in;
+    in.rates = &rates;
+    for (const ViewInput& vi : inputs) in.units.push_back(vi.unit);
+    in.target = target;
+    in.delivery = delivery;
+    for (net::NodeId n = 0; n < net.node_count(); ++n) in.sites.push_back(n);
+    in.dist = [this](net::NodeId a, net::NodeId b) { return rt.cost(a, b); };
+    return plan_optimal(in);
+  }
+};
+
+ViewInput base_input(const query::RateModel& rates, int i) {
+  ViewInput vi;
+  vi.unit.mask = query::Mask{1} << i;
+  vi.unit.location = rates.source_node(i);
+  vi.unit.tuple_rate = rates.tuple_rate(vi.unit.mask);
+  vi.unit.bytes_rate = rates.bytes_rate(vi.unit.mask);
+  return vi;
+}
+
+TEST(ViewImportTest, StitchesTwoPiecesIntoOneValidDeployment) {
+  Rig s;
+  query::RateModel rates(s.catalog, s.q);
+  query::Deployment final_deployment;
+  final_deployment.query = 1;
+  final_deployment.sink = s.q.sink;
+
+  // Piece 1: join {A,B}, result stays at its producer.
+  std::vector<ViewInput> inputs1 = {base_input(rates, 0), base_input(rates, 1)};
+  const PlannerResult piece1 =
+      s.plan(0b011, inputs1, net::kInvalidNode, rates);
+  ASSERT_TRUE(piece1.feasible);
+  const int code1 = import_deployment(final_deployment, piece1, inputs1);
+  EXPECT_FALSE(query::child_is_unit(code1));
+
+  // Piece 2: join the partial with C, delivering to the sink.
+  ViewInput partial;
+  partial.unit.mask = 0b011;
+  partial.unit.location = node_of_code(final_deployment, code1);
+  partial.unit.tuple_rate = rates.tuple_rate(0b011);
+  partial.unit.bytes_rate = rates.bytes_rate(0b011);
+  partial.final_code = code1;
+  std::vector<ViewInput> inputs2 = {partial, base_input(rates, 2)};
+  const PlannerResult piece2 = s.plan(0b111, inputs2, s.q.sink, rates);
+  ASSERT_TRUE(piece2.feasible);
+  import_deployment(final_deployment, piece2, inputs2);
+
+  // The stitched deployment is a single valid tree over all three sources:
+  // the partial was wired to piece 1's operator, not duplicated as a unit.
+  EXPECT_NO_THROW(query::validate_deployment(final_deployment));
+  EXPECT_EQ(final_deployment.ops.size(), 2u);
+  EXPECT_EQ(final_deployment.units.size(), 3u);
+  EXPECT_EQ(final_deployment.ops.back().mask, query::Mask{0b111});
+  EXPECT_GT(query::deployment_cost(final_deployment, s.rt), 0.0);
+}
+
+TEST(ViewImportTest, SingleUnitPieceReturnsItsCode) {
+  Rig s;
+  query::RateModel rates(s.catalog, s.q);
+  query::Deployment final_deployment;
+  final_deployment.query = 2;
+  final_deployment.sink = s.q.sink;
+
+  std::vector<ViewInput> inputs = {base_input(rates, 0)};
+  const PlannerResult piece = s.plan(0b001, inputs, net::kInvalidNode, rates);
+  ASSERT_TRUE(piece.feasible);
+  EXPECT_TRUE(piece.deployment.ops.empty());
+  const int code = import_deployment(final_deployment, piece, inputs);
+  EXPECT_TRUE(query::child_is_unit(code));
+  EXPECT_EQ(node_of_code(final_deployment, code), rates.source_node(0));
+}
+
+TEST(CollectUnitsTest, BasesAlwaysScopedDerivedsFiltered) {
+  Rig s;
+  query::RateModel rates(s.catalog, s.q);
+  advert::Registry registry;
+  advert::DerivedStream ds;
+  ds.streams = {s.q.sources[0], s.q.sources[1]};
+  ds.filters = {1.0, 1.0};
+  ds.location = 3;
+  ds.bytes_rate = rates.bytes_rate(0b011);
+  ds.tuple_rate = rates.tuple_rate(0b011);
+  registry.advertise(ds);
+
+  // No scope: 3 bases + 1 derived.
+  EXPECT_EQ(collect_units(rates, &registry, nullptr).size(), 4u);
+  // Scope excluding node 3: derived disappears; bases outside scope too.
+  const auto scoped = collect_units(
+      rates, &registry, [](net::NodeId n) { return n != 3 && n != 0; });
+  for (const query::LeafUnit& u : scoped) {
+    EXPECT_NE(u.location, 3u);
+    EXPECT_NE(u.location, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace iflow::opt

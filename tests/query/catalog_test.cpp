@@ -1,0 +1,60 @@
+#include "query/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace iflow::query {
+namespace {
+
+TEST(CatalogTest, AddAndLookupStreams) {
+  Catalog c;
+  const StreamId a = c.add_stream("FLIGHTS", 3, 50.0, 120.0);
+  const StreamId b = c.add_stream("WEATHER", 5, 20.0, 80.0);
+  EXPECT_EQ(c.stream_count(), 2u);
+  EXPECT_EQ(c.stream(a).name, "FLIGHTS");
+  EXPECT_EQ(c.stream(b).source, 5u);
+  EXPECT_EQ(c.find("WEATHER"), b);
+  EXPECT_EQ(c.find("CHECK-INS"), kInvalidStream);
+}
+
+TEST(CatalogTest, RejectsDuplicatesAndBadRates) {
+  Catalog c;
+  c.add_stream("A", 0, 1.0, 1.0);
+  EXPECT_THROW(c.add_stream("A", 1, 1.0, 1.0), CheckError);
+  EXPECT_THROW(c.add_stream("B", 1, 0.0, 1.0), CheckError);
+  EXPECT_THROW(c.add_stream("C", 1, 1.0, -2.0), CheckError);
+}
+
+TEST(CatalogTest, SelectivityIsSymmetricAndDefaultsToOne) {
+  Catalog c;
+  const StreamId a = c.add_stream("A", 0, 1.0, 1.0);
+  const StreamId b = c.add_stream("B", 0, 1.0, 1.0);
+  const StreamId d = c.add_stream("D", 0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(c.selectivity(a, b), 1.0);
+  c.set_selectivity(a, b, 0.05);
+  EXPECT_DOUBLE_EQ(c.selectivity(a, b), 0.05);
+  EXPECT_DOUBLE_EQ(c.selectivity(b, a), 0.05);
+  EXPECT_DOUBLE_EQ(c.selectivity(a, d), 1.0);
+  EXPECT_DOUBLE_EQ(c.selectivity(a, a), 1.0);
+}
+
+TEST(CatalogTest, SelectivitySurvivesLaterStreamAdditions) {
+  Catalog c;
+  const StreamId a = c.add_stream("A", 0, 1.0, 1.0);
+  const StreamId b = c.add_stream("B", 0, 1.0, 1.0);
+  c.set_selectivity(a, b, 0.25);
+  c.add_stream("C", 0, 1.0, 1.0);
+  c.add_stream("D", 0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(c.selectivity(a, b), 0.25);
+}
+
+TEST(CatalogTest, SelectivityValidation) {
+  Catalog c;
+  const StreamId a = c.add_stream("A", 0, 1.0, 1.0);
+  const StreamId b = c.add_stream("B", 0, 1.0, 1.0);
+  EXPECT_THROW(c.set_selectivity(a, a, 0.5), CheckError);
+  EXPECT_THROW(c.set_selectivity(a, b, 0.0), CheckError);
+  EXPECT_THROW(c.set_selectivity(a, b, 1.5), CheckError);
+}
+
+}  // namespace
+}  // namespace iflow::query

@@ -1,0 +1,131 @@
+#include "query/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace iflow::query {
+namespace {
+
+net::Network make_line(int n) {
+  net::Network net;
+  for (int i = 0; i < n; ++i) net.add_node();
+  for (int i = 0; i + 1 < n; ++i) {
+    net.add_link(static_cast<net::NodeId>(i), static_cast<net::NodeId>(i + 1),
+                 1.0, 1.0, 1e6);
+  }
+  return net;
+}
+
+LeafUnit unit(Mask m, net::NodeId loc, double bytes) {
+  LeafUnit u;
+  u.mask = m;
+  u.location = loc;
+  u.bytes_rate = bytes;
+  u.tuple_rate = bytes / 10.0;
+  return u;
+}
+
+TEST(DeploymentTest, SingleUnitCostIsDirectEdge) {
+  const net::Network net = make_line(5);
+  const auto rt = net::RoutingTables::build(net);
+  Deployment d;
+  d.units = {unit(0b1, 0, 100.0)};
+  d.sink = 4;
+  validate_deployment(d);
+  EXPECT_DOUBLE_EQ(deployment_cost(d, rt), 100.0 * 4.0);
+  EXPECT_EQ(d.root_node(), 0u);
+  EXPECT_DOUBLE_EQ(d.root_bytes_rate(), 100.0);
+}
+
+TEST(DeploymentTest, JoinCostSumsAllEdges) {
+  const net::Network net = make_line(5);
+  const auto rt = net::RoutingTables::build(net);
+  Deployment d;
+  d.units = {unit(0b01, 0, 100.0), unit(0b10, 4, 50.0)};
+  DeployedOp op;
+  op.mask = 0b11;
+  op.left = encode_unit_child(0);
+  op.right = encode_unit_child(1);
+  op.node = 2;
+  op.out_bytes_rate = 20.0;
+  op.out_tuple_rate = 1.0;
+  d.ops = {op};
+  d.sink = 3;
+  validate_deployment(d);
+  // 100*2 (unit0 -> node2) + 50*2 (unit1 -> node2) + 20*1 (node2 -> sink3)
+  EXPECT_DOUBLE_EQ(deployment_cost(d, rt), 200.0 + 100.0 + 20.0);
+}
+
+TEST(DeploymentTest, ColocatedEdgesCostNothing) {
+  const net::Network net = make_line(3);
+  const auto rt = net::RoutingTables::build(net);
+  Deployment d;
+  d.units = {unit(0b01, 1, 100.0), unit(0b10, 1, 50.0)};
+  DeployedOp op;
+  op.mask = 0b11;
+  op.left = encode_unit_child(0);
+  op.right = encode_unit_child(1);
+  op.node = 1;
+  op.out_bytes_rate = 20.0;
+  d.ops = {op};
+  d.sink = 1;
+  EXPECT_DOUBLE_EQ(deployment_cost(d, rt), 0.0);
+}
+
+TEST(DeploymentValidationTest, CatchesOverlappingUnits) {
+  Deployment d;
+  d.units = {unit(0b01, 0, 1.0), unit(0b01, 1, 1.0)};
+  DeployedOp op;
+  op.mask = 0b01;
+  op.left = encode_unit_child(0);
+  op.right = encode_unit_child(1);
+  op.node = 0;
+  d.ops = {op};
+  d.sink = 0;
+  EXPECT_THROW(validate_deployment(d), CheckError);
+}
+
+TEST(DeploymentValidationTest, CatchesDoubleConsumption) {
+  Deployment d;
+  d.units = {unit(0b01, 0, 1.0), unit(0b10, 1, 1.0)};
+  DeployedOp op;
+  op.mask = 0b11;
+  op.left = encode_unit_child(0);
+  op.right = encode_unit_child(0);  // same input twice
+  op.node = 0;
+  d.ops = {op};
+  d.sink = 0;
+  EXPECT_THROW(validate_deployment(d), CheckError);
+}
+
+TEST(DeploymentValidationTest, CatchesMaskMismatch) {
+  Deployment d;
+  d.units = {unit(0b01, 0, 1.0), unit(0b10, 1, 1.0)};
+  DeployedOp op;
+  op.mask = 0b111;  // claims a source nobody provides
+  op.left = encode_unit_child(0);
+  op.right = encode_unit_child(1);
+  op.node = 0;
+  d.ops = {op};
+  d.sink = 0;
+  EXPECT_THROW(validate_deployment(d), CheckError);
+}
+
+TEST(DeploymentValidationTest, CatchesMultipleRootsWithoutJoin) {
+  Deployment d;
+  d.units = {unit(0b01, 0, 1.0), unit(0b10, 1, 1.0)};
+  d.sink = 0;
+  EXPECT_THROW(validate_deployment(d), CheckError);
+}
+
+TEST(DeploymentTest, ChildEncodingRoundTrips) {
+  for (int i : {0, 1, 5, 100}) {
+    const int code = encode_unit_child(i);
+    EXPECT_TRUE(child_is_unit(code));
+    EXPECT_EQ(child_unit_index(code), i);
+  }
+  EXPECT_FALSE(child_is_unit(0));
+  EXPECT_FALSE(child_is_unit(3));
+}
+
+}  // namespace
+}  // namespace iflow::query

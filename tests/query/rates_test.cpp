@@ -1,0 +1,84 @@
+#include "query/rates.h"
+
+#include <gtest/gtest.h>
+
+namespace iflow::query {
+namespace {
+
+struct Fixture {
+  Catalog catalog;
+  Query q;
+  Fixture() {
+    const StreamId a = catalog.add_stream("A", 0, 10.0, 100.0);
+    const StreamId b = catalog.add_stream("B", 1, 20.0, 50.0);
+    const StreamId c = catalog.add_stream("C", 2, 5.0, 200.0);
+    catalog.set_selectivity(a, b, 0.01);
+    catalog.set_selectivity(a, c, 0.02);
+    catalog.set_selectivity(b, c, 0.05);
+    q.id = 1;
+    q.sources = {a, b, c};
+    q.sink = 3;
+  }
+};
+
+TEST(RateModelTest, SingletonRatesMatchCatalog) {
+  Fixture f;
+  RateModel r(f.catalog, f.q);
+  EXPECT_DOUBLE_EQ(r.tuple_rate(0b001), 10.0);
+  EXPECT_DOUBLE_EQ(r.tuple_rate(0b010), 20.0);
+  EXPECT_DOUBLE_EQ(r.tuple_rate(0b100), 5.0);
+  EXPECT_DOUBLE_EQ(r.width(0b001), 100.0);
+  EXPECT_DOUBLE_EQ(r.bytes_rate(0b001), 1000.0);
+}
+
+TEST(RateModelTest, PairwiseJoinRateUsesSelectivity) {
+  Fixture f;
+  RateModel r(f.catalog, f.q);
+  EXPECT_DOUBLE_EQ(r.tuple_rate(0b011), 10.0 * 20.0 * 0.01);
+  EXPECT_DOUBLE_EQ(r.tuple_rate(0b101), 10.0 * 5.0 * 0.02);
+  EXPECT_DOUBLE_EQ(r.width(0b011), 150.0);
+}
+
+TEST(RateModelTest, FullJoinAppliesAllPairSelectivities) {
+  Fixture f;
+  RateModel r(f.catalog, f.q);
+  EXPECT_DOUBLE_EQ(r.tuple_rate(0b111),
+                   10.0 * 20.0 * 5.0 * 0.01 * 0.02 * 0.05);
+  EXPECT_DOUBLE_EQ(r.width(0b111), 350.0);
+}
+
+TEST(RateModelTest, ProjectionShrinksJoinedWidthsOnly) {
+  Fixture f;
+  RateModel r(f.catalog, f.q, 0.5);
+  EXPECT_DOUBLE_EQ(r.width(0b001), 100.0);   // base streams untouched
+  EXPECT_DOUBLE_EQ(r.width(0b011), 75.0);    // joined results projected
+  EXPECT_DOUBLE_EQ(r.width(0b111), 175.0);
+}
+
+TEST(RateModelTest, SourceNodesAndStreamsResolve) {
+  Fixture f;
+  RateModel r(f.catalog, f.q);
+  EXPECT_EQ(r.k(), 3);
+  EXPECT_EQ(r.full(), Mask{0b111});
+  EXPECT_EQ(r.source_node(0), 0u);
+  EXPECT_EQ(r.source_node(2), 2u);
+  EXPECT_EQ(r.stream(1), f.q.sources[1]);
+}
+
+TEST(RateModelTest, RejectsInvalidMasks) {
+  Fixture f;
+  RateModel r(f.catalog, f.q);
+  EXPECT_THROW(r.tuple_rate(0), CheckError);
+  EXPECT_THROW(r.tuple_rate(0b1000), CheckError);
+}
+
+TEST(RateModelTest, MemoizationIsConsistent) {
+  Fixture f;
+  RateModel r(f.catalog, f.q);
+  const double first = r.tuple_rate(0b111);
+  EXPECT_DOUBLE_EQ(r.tuple_rate(0b111), first);
+  EXPECT_DOUBLE_EQ(r.bytes_rate(0b111), first * r.width(0b111));
+}
+
+}  // namespace
+}  // namespace iflow::query

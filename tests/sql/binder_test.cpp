@@ -1,0 +1,126 @@
+#include "sql/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "net/gtitm.h"
+#include "opt/exhaustive.h"
+#include "query/rates.h"
+
+namespace iflow::sql {
+namespace {
+
+query::Catalog make_ois_catalog() {
+  query::Catalog c;
+  const auto weather = c.add_stream("WEATHER", 0, 30.0, 100.0);
+  const auto flights = c.add_stream("FLIGHTS", 1, 60.0, 150.0);
+  const auto checkins = c.add_stream("CHECK-INS", 2, 90.0, 80.0);
+  c.set_columns(weather, {"CITY", "FORECAST"});
+  c.set_columns(flights, {"STATUS", "DEPARTING", "DESTN", "NUM", "DP-TIME"});
+  c.set_columns(checkins, {"STATUS", "FLNUM"});
+  c.set_selectivity(flights, weather, 0.004);
+  c.set_selectivity(flights, checkins, 0.008);
+  c.set_selectivity(weather, checkins, 0.05);
+  return c;
+}
+
+constexpr const char* kQ1 =
+    "SELECT FLIGHTS.STATUS, WEATHER.FORECAST, CHECK-INS.STATUS "
+    "FROM FLIGHTS, WEATHER, CHECK-INS "
+    "WHERE FLIGHTS.DEPARTING = 'ATLANTA' "
+    "AND FLIGHTS.DESTN = WEATHER.CITY "
+    "AND FLIGHTS.NUM = CHECK-INS.FLNUM "
+    "AND FLIGHTS.DP-TIME - CURRENT_TIME < '12:00:00'";
+
+TEST(SqlBinderTest, BindsPaperQ1) {
+  const query::Catalog catalog = make_ois_catalog();
+  const BoundQuery b = compile(kQ1, catalog, 1, 5);
+  EXPECT_EQ(b.query.id, 1u);
+  EXPECT_EQ(b.query.sink, 5u);
+  ASSERT_EQ(b.query.sources.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(b.query.sources.begin(), b.query.sources.end()));
+  EXPECT_FALSE(b.has_cross_product);
+  // FLIGHTS carries two filters: '=' (0.1) and '<' (0.3) -> 0.03 combined.
+  const auto flights_idx = static_cast<std::size_t>(
+      std::find(b.query.sources.begin(), b.query.sources.end(),
+                catalog.find("FLIGHTS")) -
+      b.query.sources.begin());
+  EXPECT_NEAR(b.query.filter_selectivity[flights_idx], 0.03, 1e-12);
+  EXPECT_NE(b.filter_text[flights_idx].find("ATLANTA"), std::string::npos);
+  // 3 selected columns out of 9 declared.
+  EXPECT_NEAR(b.projection_factor, 3.0 / 9.0, 1e-12);
+}
+
+TEST(SqlBinderTest, CustomEstimatorWins) {
+  const query::Catalog catalog = make_ois_catalog();
+  const BoundQuery b = compile(
+      "SELECT * FROM FLIGHTS WHERE FLIGHTS.DEPARTING = 'ATLANTA'", catalog, 2,
+      3, [](query::StreamId, const FilterPredicate&) { return 0.42; });
+  ASSERT_EQ(b.query.filter_selectivity.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.query.filter_selectivity[0], 0.42);
+  EXPECT_DOUBLE_EQ(b.projection_factor, 1.0);  // SELECT *
+}
+
+TEST(SqlBinderTest, DetectsCrossProduct) {
+  const query::Catalog catalog = make_ois_catalog();
+  const BoundQuery joined = compile(
+      "SELECT * FROM FLIGHTS, WEATHER WHERE FLIGHTS.DESTN = WEATHER.CITY",
+      catalog, 3, 0);
+  EXPECT_FALSE(joined.has_cross_product);
+  const BoundQuery crossed =
+      compile("SELECT * FROM FLIGHTS, WEATHER", catalog, 4, 0);
+  EXPECT_TRUE(crossed.has_cross_product);
+}
+
+TEST(SqlBinderTest, RejectsUnknownStreamsAndColumns) {
+  const query::Catalog catalog = make_ois_catalog();
+  EXPECT_THROW(compile("SELECT * FROM BAGGAGE", catalog, 5, 0), SqlError);
+  EXPECT_THROW(
+      compile("SELECT FLIGHTS.NOPE FROM FLIGHTS", catalog, 6, 0), SqlError);
+  EXPECT_THROW(
+      compile("SELECT * FROM FLIGHTS WHERE FLIGHTS.NOPE = 1", catalog, 7, 0),
+      SqlError);
+  EXPECT_THROW(
+      compile("SELECT * FROM FLIGHTS, FLIGHTS", catalog, 8, 0), SqlError);
+}
+
+TEST(SqlBinderTest, UndeclaredSchemaAcceptsAnyColumn) {
+  query::Catalog catalog;
+  catalog.add_stream("RAW", 0, 10.0, 10.0);
+  EXPECT_NO_THROW(
+      compile("SELECT RAW.anything FROM RAW WHERE RAW.other < 1", catalog, 9,
+              0));
+}
+
+TEST(SqlBinderTest, BoundQueryIsOptimizable) {
+  // End to end: SQL text -> bound query -> optimal deployment.
+  Prng prng(3);
+  net::TransitStubParams p;
+  p.transit_count = 1;
+  p.stub_domains_per_transit = 2;
+  p.stub_domain_size = 4;
+  const net::Network net = net::make_transit_stub(p, prng);
+  const auto rt = net::RoutingTables::build(net);
+
+  query::Catalog catalog = make_ois_catalog();
+  const BoundQuery b =
+      compile(kQ1, catalog, 10, static_cast<net::NodeId>(net.node_count() - 1));
+
+  opt::OptimizerEnv env;
+  env.catalog = &catalog;
+  env.network = &net;
+  env.routing = &rt;
+  env.reuse = false;
+  env.projection_factor = b.projection_factor;
+  opt::ExhaustiveOptimizer ex(env);
+  const opt::OptimizeResult res = ex.optimize(b.query);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_GT(res.actual_cost, 0.0);
+  // The FLIGHTS filters shrink the result stream: an unfiltered variant of
+  // the same query must cost strictly more.
+  query::Query unfiltered = b.query;
+  unfiltered.filter_selectivity.clear();
+  EXPECT_GT(ex.optimize(unfiltered).actual_cost, res.actual_cost);
+}
+
+}  // namespace
+}  // namespace iflow::sql

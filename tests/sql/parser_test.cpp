@@ -1,0 +1,137 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace iflow::sql {
+namespace {
+
+// The paper's Q1 (§1.1), verbatim modulo whitespace.
+constexpr const char* kQ1 = R"sql(
+  SELECT FLIGHTS.STATUS, WEATHER.FORECAST, CHECK-INS.STATUS
+  FROM FLIGHTS, WEATHER, CHECK-INS
+  WHERE FLIGHTS.DEPARTING = 'ATLANTA'
+    AND FLIGHTS.DESTN = WEATHER.CITY
+    AND FLIGHTS.NUM = CHECK-INS.FLNUM
+    AND FLIGHTS.DP-TIME - CURRENT_TIME < '12:00:00'
+)sql";
+
+TEST(SqlParserTest, ParsesPaperQ1) {
+  const ParsedQuery q = parse(kQ1);
+  ASSERT_EQ(q.select.size(), 3u);
+  EXPECT_EQ(q.select[0].stream, "FLIGHTS");
+  EXPECT_EQ(q.select[0].column, "STATUS");
+  EXPECT_EQ(q.select[2].stream, "CHECK-INS");
+  ASSERT_EQ(q.streams.size(), 3u);
+  EXPECT_EQ(q.streams[1], "WEATHER");
+  ASSERT_EQ(q.joins.size(), 2u);
+  EXPECT_EQ(q.joins[0].left.stream, "FLIGHTS");
+  EXPECT_EQ(q.joins[0].right.stream, "WEATHER");
+  EXPECT_EQ(q.joins[1].right.column, "FLNUM");
+  ASSERT_EQ(q.filters.size(), 2u);
+  EXPECT_EQ(q.filters[0].column.column, "DEPARTING");
+  EXPECT_EQ(q.filters[0].op, "=");
+  EXPECT_EQ(q.filters[0].value, "ATLANTA");
+  EXPECT_EQ(q.filters[1].column.column, "DP-TIME");
+  EXPECT_EQ(q.filters[1].op, "<");
+}
+
+TEST(SqlParserTest, ParsesPaperQ2) {
+  const ParsedQuery q = parse(
+      "SELECT FLIGHTS.STATUS, CHECK-INS.STATUS "
+      "FROM FLIGHTS, CHECK-INS "
+      "WHERE FLIGHTS.DEPARTING = 'ATLANTA' "
+      "AND FLIGHTS.NUM = CHECK-INS.FLNUM");
+  EXPECT_EQ(q.streams.size(), 2u);
+  EXPECT_EQ(q.joins.size(), 1u);
+  EXPECT_EQ(q.filters.size(), 1u);
+}
+
+TEST(SqlParserTest, SelectStar) {
+  const ParsedQuery q = parse("SELECT * FROM A, B WHERE A.x = B.y");
+  EXPECT_TRUE(q.select_all);
+  EXPECT_TRUE(q.select.empty());
+}
+
+TEST(SqlParserTest, KeywordsAreCaseInsensitive) {
+  const ParsedQuery q =
+      parse("select A.x from A, B where A.x = B.y and B.z < 5");
+  EXPECT_EQ(q.joins.size(), 1u);
+  EXPECT_EQ(q.filters.size(), 1u);
+  EXPECT_EQ(q.filters[0].value, "5");
+}
+
+TEST(SqlParserTest, NoWhereClause) {
+  const ParsedQuery q = parse("SELECT A.x FROM A");
+  EXPECT_TRUE(q.joins.empty());
+  EXPECT_TRUE(q.filters.empty());
+  EXPECT_EQ(q.streams.size(), 1u);
+}
+
+TEST(SqlParserTest, EqualityToLiteralIsAFilterNotAJoin) {
+  const ParsedQuery q =
+      parse("SELECT A.x FROM A, B WHERE A.x = B.y AND A.city = 'LHR'");
+  EXPECT_EQ(q.joins.size(), 1u);
+  ASSERT_EQ(q.filters.size(), 1u);
+  EXPECT_EQ(q.filters[0].op, "=");
+  EXPECT_EQ(q.filters[0].value, "LHR");
+}
+
+TEST(SqlParserTest, ComparatorVariants) {
+  const ParsedQuery q = parse(
+      "SELECT A.x FROM A WHERE A.a <= 3 AND A.b >= 4 AND A.c <> 'x' AND "
+      "A.d > 1 AND A.e < 2");
+  ASSERT_EQ(q.filters.size(), 5u);
+  EXPECT_EQ(q.filters[0].op, "<=");
+  EXPECT_EQ(q.filters[1].op, ">=");
+  EXPECT_EQ(q.filters[2].op, "<>");
+  EXPECT_EQ(q.filters[3].op, ">");
+  EXPECT_EQ(q.filters[4].op, "<");
+}
+
+TEST(SqlParserTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse("FROM A"), SqlError);
+  EXPECT_THROW(parse("SELECT A.x"), SqlError);
+  EXPECT_THROW(parse("SELECT A.x FROM"), SqlError);
+  EXPECT_THROW(parse("SELECT A.x FROM A WHERE"), SqlError);
+  EXPECT_THROW(parse("SELECT A.x FROM A WHERE A.x"), SqlError);
+  EXPECT_THROW(parse("SELECT A.x FROM A WHERE A.x <"), SqlError);
+  EXPECT_THROW(parse("SELECT A.x FROM A WHERE B.y = 3"), SqlError);
+  EXPECT_THROW(parse("SELECT A.x FROM A WHERE A.x = 'unterminated"), SqlError);
+  EXPECT_THROW(parse("SELECT A.x FROM A extra"), SqlError);
+}
+
+TEST(SqlParserTest, RejectsSelfJoinPredicates) {
+  EXPECT_THROW(parse("SELECT A.x FROM A, B WHERE A.x = A.y"), SqlError);
+}
+
+TEST(SqlParserTest, TrailingSemicolonAccepted) {
+  EXPECT_NO_THROW(parse("SELECT A.x FROM A;"));
+}
+
+TEST(SqlParserTest, AggregateNamesCanStillBeStreamNames) {
+  // MIN/MAX/etc. are only aggregates when followed by '('; as bare
+  // identifiers they are ordinary stream/column names.
+  const ParsedQuery q = parse("SELECT MIN.x FROM MIN WHERE MIN.y < 3");
+  EXPECT_TRUE(q.aggregates.empty());
+  ASSERT_EQ(q.select.size(), 1u);
+  EXPECT_EQ(q.select[0].stream, "MIN");
+  const ParsedQuery agg = parse("SELECT MIN(A.x) FROM A");
+  ASSERT_EQ(agg.aggregates.size(), 1u);
+  EXPECT_EQ(agg.aggregates[0].fn, "MIN");
+  EXPECT_FALSE(agg.aggregates[0].star);
+  EXPECT_EQ(agg.aggregates[0].column.column, "x");
+}
+
+TEST(SqlParserTest, GroupByParsesColumns) {
+  const ParsedQuery q =
+      parse("SELECT COUNT(*) FROM A WHERE A.v > 1 GROUP BY A.region, A.kind");
+  ASSERT_EQ(q.group_by.size(), 2u);
+  EXPECT_EQ(q.group_by[0].column, "region");
+  EXPECT_EQ(q.group_by[1].column, "kind");
+  // The filter's value must not swallow the GROUP keyword.
+  ASSERT_EQ(q.filters.size(), 1u);
+  EXPECT_EQ(q.filters[0].value, "1");
+}
+
+}  // namespace
+}  // namespace iflow::sql
