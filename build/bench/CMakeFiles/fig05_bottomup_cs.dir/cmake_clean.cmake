@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_bottomup_cs.dir/fig05_bottomup_cs.cpp.o"
+  "CMakeFiles/fig05_bottomup_cs.dir/fig05_bottomup_cs.cpp.o.d"
+  "fig05_bottomup_cs"
+  "fig05_bottomup_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bottomup_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_topdown_cs.dir/fig06_topdown_cs.cpp.o"
+  "CMakeFiles/fig06_topdown_cs.dir/fig06_topdown_cs.cpp.o.d"
+  "fig06_topdown_cs"
+  "fig06_topdown_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_topdown_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

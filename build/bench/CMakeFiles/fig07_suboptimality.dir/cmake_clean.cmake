@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_suboptimality.dir/fig07_suboptimality.cpp.o"
+  "CMakeFiles/fig07_suboptimality.dir/fig07_suboptimality.cpp.o.d"
+  "fig07_suboptimality"
+  "fig07_suboptimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_suboptimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_baselines.dir/fig08_baselines.cpp.o"
+  "CMakeFiles/fig08_baselines.dir/fig08_baselines.cpp.o.d"
+  "fig08_baselines"
+  "fig08_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_deploy_time.dir/fig10_deploy_time.cpp.o"
+  "CMakeFiles/fig10_deploy_time.dir/fig10_deploy_time.cpp.o.d"
+  "fig10_deploy_time"
+  "fig10_deploy_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_deploy_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

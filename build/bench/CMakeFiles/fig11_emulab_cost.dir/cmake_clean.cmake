@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_emulab_cost.dir/fig11_emulab_cost.cpp.o"
+  "CMakeFiles/fig11_emulab_cost.dir/fig11_emulab_cost.cpp.o.d"
+  "fig11_emulab_cost"
+  "fig11_emulab_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_emulab_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

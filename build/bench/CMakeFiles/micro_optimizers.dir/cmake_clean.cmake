@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_optimizers.dir/micro_optimizers.cpp.o"
+  "CMakeFiles/micro_optimizers.dir/micro_optimizers.cpp.o.d"
+  "micro_optimizers"
+  "micro_optimizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

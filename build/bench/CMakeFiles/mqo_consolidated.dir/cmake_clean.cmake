@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqo_consolidated.dir/mqo_consolidated.cpp.o"
+  "CMakeFiles/mqo_consolidated.dir/mqo_consolidated.cpp.o.d"
+  "mqo_consolidated"
+  "mqo_consolidated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqo_consolidated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

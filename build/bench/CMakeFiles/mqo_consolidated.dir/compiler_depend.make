@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mqo_consolidated.
+# This may be replaced when dependencies are built.

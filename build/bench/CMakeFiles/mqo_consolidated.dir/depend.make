@@ -1,0 +1,2 @@
+# Empty dependencies file for mqo_consolidated.
+# This may be replaced when dependencies are built.

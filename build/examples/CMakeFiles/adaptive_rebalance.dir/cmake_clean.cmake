@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_rebalance.dir/adaptive_rebalance.cpp.o"
+  "CMakeFiles/adaptive_rebalance.dir/adaptive_rebalance.cpp.o.d"
+  "adaptive_rebalance"
+  "adaptive_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iflow_shell.dir/iflow_shell.cpp.o"
+  "CMakeFiles/iflow_shell.dir/iflow_shell.cpp.o.d"
+  "iflow_shell"
+  "iflow_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iflow_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

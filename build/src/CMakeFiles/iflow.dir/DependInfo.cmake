@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advert/registry.cpp" "src/CMakeFiles/iflow.dir/advert/registry.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/advert/registry.cpp.o.d"
+  "/root/repo/src/cluster/hierarchy.cpp" "src/CMakeFiles/iflow.dir/cluster/hierarchy.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/cluster/hierarchy.cpp.o.d"
+  "/root/repo/src/cluster/kmedoids.cpp" "src/CMakeFiles/iflow.dir/cluster/kmedoids.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/cluster/kmedoids.cpp.o.d"
+  "/root/repo/src/cluster/theory.cpp" "src/CMakeFiles/iflow.dir/cluster/theory.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/cluster/theory.cpp.o.d"
+  "/root/repo/src/engine/middleware.cpp" "src/CMakeFiles/iflow.dir/engine/middleware.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/engine/middleware.cpp.o.d"
+  "/root/repo/src/engine/simulation.cpp" "src/CMakeFiles/iflow.dir/engine/simulation.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/engine/simulation.cpp.o.d"
+  "/root/repo/src/net/gtitm.cpp" "src/CMakeFiles/iflow.dir/net/gtitm.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/net/gtitm.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/iflow.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/CMakeFiles/iflow.dir/net/routing.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/net/routing.cpp.o.d"
+  "/root/repo/src/opt/bottom_up.cpp" "src/CMakeFiles/iflow.dir/opt/bottom_up.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/opt/bottom_up.cpp.o.d"
+  "/root/repo/src/opt/consolidated.cpp" "src/CMakeFiles/iflow.dir/opt/consolidated.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/opt/consolidated.cpp.o.d"
+  "/root/repo/src/opt/cost_space.cpp" "src/CMakeFiles/iflow.dir/opt/cost_space.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/opt/cost_space.cpp.o.d"
+  "/root/repo/src/opt/exhaustive.cpp" "src/CMakeFiles/iflow.dir/opt/exhaustive.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/opt/exhaustive.cpp.o.d"
+  "/root/repo/src/opt/in_network.cpp" "src/CMakeFiles/iflow.dir/opt/in_network.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/opt/in_network.cpp.o.d"
+  "/root/repo/src/opt/plan_then_deploy.cpp" "src/CMakeFiles/iflow.dir/opt/plan_then_deploy.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/opt/plan_then_deploy.cpp.o.d"
+  "/root/repo/src/opt/planner.cpp" "src/CMakeFiles/iflow.dir/opt/planner.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/opt/planner.cpp.o.d"
+  "/root/repo/src/opt/random_place.cpp" "src/CMakeFiles/iflow.dir/opt/random_place.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/opt/random_place.cpp.o.d"
+  "/root/repo/src/opt/relaxation.cpp" "src/CMakeFiles/iflow.dir/opt/relaxation.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/opt/relaxation.cpp.o.d"
+  "/root/repo/src/opt/session.cpp" "src/CMakeFiles/iflow.dir/opt/session.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/opt/session.cpp.o.d"
+  "/root/repo/src/opt/static_plan.cpp" "src/CMakeFiles/iflow.dir/opt/static_plan.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/opt/static_plan.cpp.o.d"
+  "/root/repo/src/opt/top_down.cpp" "src/CMakeFiles/iflow.dir/opt/top_down.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/opt/top_down.cpp.o.d"
+  "/root/repo/src/opt/view.cpp" "src/CMakeFiles/iflow.dir/opt/view.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/opt/view.cpp.o.d"
+  "/root/repo/src/opt/view_planner.cpp" "src/CMakeFiles/iflow.dir/opt/view_planner.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/opt/view_planner.cpp.o.d"
+  "/root/repo/src/query/catalog.cpp" "src/CMakeFiles/iflow.dir/query/catalog.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/query/catalog.cpp.o.d"
+  "/root/repo/src/query/join_tree.cpp" "src/CMakeFiles/iflow.dir/query/join_tree.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/query/join_tree.cpp.o.d"
+  "/root/repo/src/query/plan.cpp" "src/CMakeFiles/iflow.dir/query/plan.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/query/plan.cpp.o.d"
+  "/root/repo/src/query/rates.cpp" "src/CMakeFiles/iflow.dir/query/rates.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/query/rates.cpp.o.d"
+  "/root/repo/src/sql/binder.cpp" "src/CMakeFiles/iflow.dir/sql/binder.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/sql/binder.cpp.o.d"
+  "/root/repo/src/sql/parser.cpp" "src/CMakeFiles/iflow.dir/sql/parser.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/sql/parser.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/iflow.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/iflow.dir/workload/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

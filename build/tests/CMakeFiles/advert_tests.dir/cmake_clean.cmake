@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advert_tests.dir/advert/registry_test.cpp.o"
+  "CMakeFiles/advert_tests.dir/advert/registry_test.cpp.o.d"
+  "advert_tests"
+  "advert_tests.pdb"
+  "advert_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advert_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

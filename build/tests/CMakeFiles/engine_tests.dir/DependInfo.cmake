@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/accounting_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/accounting_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/accounting_test.cpp.o.d"
+  "/root/repo/tests/engine/failure_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/failure_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/failure_test.cpp.o.d"
+  "/root/repo/tests/engine/load_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/load_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/load_test.cpp.o.d"
+  "/root/repo/tests/engine/middleware_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/middleware_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/middleware_test.cpp.o.d"
+  "/root/repo/tests/engine/simulation_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/simulation_test.cpp.o.d"
+  "/root/repo/tests/engine/stats_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/stats_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

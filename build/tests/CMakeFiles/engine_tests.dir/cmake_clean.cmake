@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_tests.dir/engine/accounting_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/accounting_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/failure_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/failure_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/load_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/load_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/middleware_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/middleware_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/simulation_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/simulation_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/stats_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/stats_test.cpp.o.d"
+  "engine_tests"
+  "engine_tests.pdb"
+  "engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

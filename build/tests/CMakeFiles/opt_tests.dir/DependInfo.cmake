@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/opt/aggregation_test.cpp" "tests/CMakeFiles/opt_tests.dir/opt/aggregation_test.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/aggregation_test.cpp.o.d"
+  "/root/repo/tests/opt/consolidated_test.cpp" "tests/CMakeFiles/opt_tests.dir/opt/consolidated_test.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/consolidated_test.cpp.o.d"
+  "/root/repo/tests/opt/cost_space_test.cpp" "tests/CMakeFiles/opt_tests.dir/opt/cost_space_test.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/cost_space_test.cpp.o.d"
+  "/root/repo/tests/opt/env_test.cpp" "tests/CMakeFiles/opt_tests.dir/opt/env_test.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/env_test.cpp.o.d"
+  "/root/repo/tests/opt/filters_test.cpp" "tests/CMakeFiles/opt_tests.dir/opt/filters_test.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/filters_test.cpp.o.d"
+  "/root/repo/tests/opt/optimizer_test.cpp" "tests/CMakeFiles/opt_tests.dir/opt/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/optimizer_test.cpp.o.d"
+  "/root/repo/tests/opt/planner_test.cpp" "tests/CMakeFiles/opt_tests.dir/opt/planner_test.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/planner_test.cpp.o.d"
+  "/root/repo/tests/opt/property_test.cpp" "tests/CMakeFiles/opt_tests.dir/opt/property_test.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/property_test.cpp.o.d"
+  "/root/repo/tests/opt/random_place_test.cpp" "tests/CMakeFiles/opt_tests.dir/opt/random_place_test.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/random_place_test.cpp.o.d"
+  "/root/repo/tests/opt/static_plan_test.cpp" "tests/CMakeFiles/opt_tests.dir/opt/static_plan_test.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/static_plan_test.cpp.o.d"
+  "/root/repo/tests/opt/view_test.cpp" "tests/CMakeFiles/opt_tests.dir/opt/view_test.cpp.o" "gcc" "tests/CMakeFiles/opt_tests.dir/opt/view_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_tests.dir/opt/aggregation_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/aggregation_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/consolidated_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/consolidated_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/cost_space_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/cost_space_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/env_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/env_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/filters_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/filters_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/optimizer_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/optimizer_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/planner_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/planner_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/property_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/property_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/random_place_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/random_place_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/static_plan_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/static_plan_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/view_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/view_test.cpp.o.d"
+  "opt_tests"
+  "opt_tests.pdb"
+  "opt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/query/catalog_test.cpp" "tests/CMakeFiles/query_tests.dir/query/catalog_test.cpp.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/catalog_test.cpp.o.d"
+  "/root/repo/tests/query/join_tree_test.cpp" "tests/CMakeFiles/query_tests.dir/query/join_tree_test.cpp.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/join_tree_test.cpp.o.d"
+  "/root/repo/tests/query/plan_test.cpp" "tests/CMakeFiles/query_tests.dir/query/plan_test.cpp.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/plan_test.cpp.o.d"
+  "/root/repo/tests/query/rates_test.cpp" "tests/CMakeFiles/query_tests.dir/query/rates_test.cpp.o" "gcc" "tests/CMakeFiles/query_tests.dir/query/rates_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_tests.dir/query/catalog_test.cpp.o"
+  "CMakeFiles/query_tests.dir/query/catalog_test.cpp.o.d"
+  "CMakeFiles/query_tests.dir/query/join_tree_test.cpp.o"
+  "CMakeFiles/query_tests.dir/query/join_tree_test.cpp.o.d"
+  "CMakeFiles/query_tests.dir/query/plan_test.cpp.o"
+  "CMakeFiles/query_tests.dir/query/plan_test.cpp.o.d"
+  "CMakeFiles/query_tests.dir/query/rates_test.cpp.o"
+  "CMakeFiles/query_tests.dir/query/rates_test.cpp.o.d"
+  "query_tests"
+  "query_tests.pdb"
+  "query_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

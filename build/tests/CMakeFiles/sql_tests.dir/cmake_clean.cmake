@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_tests.dir/sql/binder_test.cpp.o"
+  "CMakeFiles/sql_tests.dir/sql/binder_test.cpp.o.d"
+  "CMakeFiles/sql_tests.dir/sql/parser_test.cpp.o"
+  "CMakeFiles/sql_tests.dir/sql/parser_test.cpp.o.d"
+  "CMakeFiles/sql_tests.dir/sql/union_test.cpp.o"
+  "CMakeFiles/sql_tests.dir/sql/union_test.cpp.o.d"
+  "sql_tests"
+  "sql_tests.pdb"
+  "sql_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/cluster_tests[1]_include.cmake")
+include("/root/repo/build/tests/query_tests[1]_include.cmake")
+include("/root/repo/build/tests/advert_tests[1]_include.cmake")
+include("/root/repo/build/tests/opt_tests[1]_include.cmake")
+include("/root/repo/build/tests/engine_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/sql_tests[1]_include.cmake")
