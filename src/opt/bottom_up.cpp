@@ -6,6 +6,7 @@
 
 #include "opt/view_planner.h"
 #include "query/rates.h"
+#include "verify/validator.h"
 
 namespace iflow::opt {
 
@@ -140,6 +141,7 @@ OptimizeResult BottomUpOptimizer::optimize(const query::Query& q) {
   out.deployment = std::move(final_deployment);
   out.actual_cost = query::deployment_cost(out.deployment, rt);
   out.planned_cost = out.actual_cost;
+  IFLOW_VERIFY_RESULT(out, env_, q);
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include "opt/view.h"
 #include "query/rates.h"
+#include "verify/validator.h"
 
 namespace iflow::opt {
 
@@ -37,6 +38,7 @@ OptimizeResult ExhaustiveOptimizer::optimize(const query::Query& q) {
   // Centralised search: all statistics are at one node; deployment time is
   // dominated by evaluating the entire space.
   out.deploy_time_ms = res.plans_considered * env_.plan_eval_us / 1000.0;
+  IFLOW_VERIFY_RESULT(out, env_, q);
   return out;
 }
 

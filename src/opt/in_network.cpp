@@ -6,6 +6,7 @@
 #include "opt/static_plan.h"
 #include "opt/view.h"
 #include "query/rates.h"
+#include "verify/validator.h"
 
 namespace iflow::opt {
 
@@ -53,6 +54,10 @@ OptimizeResult InNetworkOptimizer::optimize(const query::Query& q) {
   // zone of its heaviest input (arena order is topological, so children are
   // already placed).
   std::vector<net::NodeId> op_nodes(tree.nodes.size(), net::kInvalidNode);
+  // Zone-restricted path scopes are private to this optimizer, so each op's
+  // pre-restriction candidate set is recorded for the verifier (arena order
+  // matches assemble_deployment's op order).
+  std::vector<std::vector<net::NodeId>> op_scopes;
   double examined = plan.plans_examined;
   auto child_info = [&](int child) {
     const query::TreeNode& cn = tree.nodes[static_cast<std::size_t>(child)];
@@ -83,6 +88,7 @@ OptimizeResult InNetworkOptimizer::optimize(const query::Query& q) {
       if (zone_of_[hop] == zone) candidates.push_back(hop);
     }
     if (candidates.empty()) candidates.push_back(anchor);
+    op_scopes.push_back(candidates);
     candidates = restrict_sites(env_, std::move(candidates));
     double best = std::numeric_limits<double>::infinity();
     net::NodeId chosen = net::kInvalidNode;
@@ -107,7 +113,9 @@ OptimizeResult InNetworkOptimizer::optimize(const query::Query& q) {
   out.planned_cost = out.actual_cost;
   out.plans_considered = examined;
   out.levels_used = 1;
+  out.op_scopes = std::move(op_scopes);
   out.deploy_time_ms = examined * env_.plan_eval_us / 1000.0;
+  IFLOW_VERIFY_RESULT(out, env_, q);
   return out;
 }
 

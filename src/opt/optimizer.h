@@ -74,6 +74,14 @@ struct OptimizeResult {
   double deploy_time_ms = 0.0;
   /// Hierarchy levels that participated in planning.
   int levels_used = 0;
+  /// Optional, parallel to `deployment.ops`: the candidate-node scope each
+  /// operator was placed from, BEFORE the processing-node restriction.
+  /// Optimizers whose scopes the verifier cannot reconstruct from the
+  /// environment (e.g. in-network's zone-restricted data paths) record them
+  /// here so the restriction — including its documented fallback — stays
+  /// machine-checkable. Empty = scopes derivable from env (whole network or
+  /// hierarchy clusters).
+  std::vector<std::vector<net::NodeId>> op_scopes;
 };
 
 class Optimizer {

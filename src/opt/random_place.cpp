@@ -3,6 +3,7 @@
 #include "opt/static_plan.h"
 #include "opt/view.h"
 #include "query/rates.h"
+#include "verify/validator.h"
 
 namespace iflow::opt {
 
@@ -41,6 +42,7 @@ OptimizeResult RandomPlacementOptimizer::optimize(const query::Query& q) {
   out.plans_considered = plan.plans_examined + ops;  // one draw per operator
   out.levels_used = 1;
   out.deploy_time_ms = out.plans_considered * env_.plan_eval_us / 1000.0;
+  IFLOW_VERIFY_RESULT(out, env_, q);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include "opt/static_plan.h"
 #include "opt/view.h"
 #include "query/rates.h"
+#include "verify/validator.h"
 
 namespace iflow::opt {
 
@@ -135,6 +136,7 @@ OptimizeResult RelaxationOptimizer::optimize(const query::Query& q) {
       plan.plans_examined + ops * static_cast<double>(relax_iterations_);
   out.levels_used = 1;
   out.deploy_time_ms = out.plans_considered * env_.plan_eval_us / 1000.0;
+  IFLOW_VERIFY_RESULT(out, env_, q);
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include "opt/view_planner.h"
 #include "query/rates.h"
+#include "verify/validator.h"
 
 namespace iflow::opt {
 
@@ -48,6 +49,7 @@ OptimizeResult TopDownOptimizer::optimize(const query::Query& q) {
     out.plans_considered += s.plans;
     out.deploy_time_ms += s.dispatch_ms + s.plans * env_.plan_eval_us / 1000.0;
   }
+  IFLOW_VERIFY_RESULT(out, env_, q);
   return out;
 }
 

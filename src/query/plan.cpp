@@ -2,31 +2,13 @@
 
 namespace iflow::query {
 
-namespace {
-
-net::NodeId child_location(const Deployment& d, int child) {
-  if (child_is_unit(child)) {
-    return d.units[static_cast<std::size_t>(child_unit_index(child))].location;
-  }
-  return d.ops[static_cast<std::size_t>(child)].node;
-}
-
-double child_rate(const Deployment& d, int child) {
-  if (child_is_unit(child)) {
-    return d.units[static_cast<std::size_t>(child_unit_index(child))]
-        .bytes_rate;
-  }
-  return d.ops[static_cast<std::size_t>(child)].out_bytes_rate;
-}
-
-}  // namespace
-
 double deployment_cost(const Deployment& d, const net::RoutingTables& rt) {
   IFLOW_CHECK(d.sink != net::kInvalidNode);
   double cost = 0.0;
   for (const DeployedOp& op : d.ops) {
     for (int child : {op.left, op.right}) {
-      cost += child_rate(d, child) * rt.cost(child_location(d, child), op.node);
+      cost +=
+          child_bytes_rate(d, child) * rt.cost(child_location(d, child), op.node);
     }
   }
   cost += d.delivered_bytes_rate() * rt.cost(d.root_node(), d.sink);
@@ -36,15 +18,10 @@ double deployment_cost(const Deployment& d, const net::RoutingTables& rt) {
 double deployment_cost(const Deployment& d, const RateModel& rates,
                        const net::RoutingTables& rt) {
   IFLOW_CHECK(d.sink != net::kInvalidNode);
-  auto mask_of = [&d](int child) {
-    return child_is_unit(child)
-               ? d.units[static_cast<std::size_t>(child_unit_index(child))].mask
-               : d.ops[static_cast<std::size_t>(child)].mask;
-  };
   double cost = 0.0;
   for (const DeployedOp& op : d.ops) {
     for (int child : {op.left, op.right}) {
-      cost += rates.bytes_rate(mask_of(child)) *
+      cost += rates.bytes_rate(child_mask(d, child)) *
               rt.cost(child_location(d, child), op.node);
     }
   }

@@ -94,6 +94,29 @@ struct Deployment {
   }
 };
 
+/// Source mask covered by a child reference (unit or op).
+inline Mask child_mask(const Deployment& d, int child) {
+  return child_is_unit(child)
+             ? d.units[static_cast<std::size_t>(child_unit_index(child))].mask
+             : d.ops[static_cast<std::size_t>(child)].mask;
+}
+
+/// Node where a child's stream materialises.
+inline net::NodeId child_location(const Deployment& d, int child) {
+  return child_is_unit(child)
+             ? d.units[static_cast<std::size_t>(child_unit_index(child))]
+                   .location
+             : d.ops[static_cast<std::size_t>(child)].node;
+}
+
+/// Recorded byte rate of a child's stream.
+inline double child_bytes_rate(const Deployment& d, int child) {
+  return child_is_unit(child)
+             ? d.units[static_cast<std::size_t>(child_unit_index(child))]
+                   .bytes_rate
+             : d.ops[static_cast<std::size_t>(child)].out_bytes_rate;
+}
+
 /// Evaluates the true marginal communication cost of a deployment against
 /// actual routing costs (independent of any level-l approximation an
 /// algorithm planned with). Sums, over every new edge, bytes/sec × path

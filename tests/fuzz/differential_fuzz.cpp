@@ -1,0 +1,409 @@
+// Differential fuzz harness over the six optimizers.
+//
+// Each iteration derives a random transit–stub instance (topology,
+// hierarchy, catalog, one K<=5-source query, sometimes filters, aggregation
+// or a processing-node restriction) from `base_seed + iteration`, runs all
+// six optimizers and cross-checks them:
+//   * every deployment passes verify::validate with zero violations,
+//     including the planned-cost and marginal-accounting checks;
+//   * no heuristic undercuts the exhaustive optimum (unrestricted
+//     instances only: the processing fallback can legitimately hand a
+//     hierarchical scope nodes the restricted exhaustive search lacks);
+//   * Top-Down respects the Theorem 3 sub-optimality bound;
+//   * Bottom-Up never beats the optimal placement of its own join tree
+//     (paper §2.3.2's anchor);
+//   * reuse never hurts the exhaustive optimizer, and reused deployments
+//     still validate (marginal accounting of derived units);
+//   * rebuilding the instance from its seed reproduces every cost
+//     bit-for-bit (determinism).
+//
+// Runs as a ctest with a small budget; soak with
+//   ./tests/differential_fuzz --iterations 20000 --seed 1
+// Exit status is the number of failing iterations (0 = clean).
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/hierarchy.h"
+#include "cluster/theory.h"
+#include "net/gtitm.h"
+#include "opt/bottom_up.h"
+#include "opt/exhaustive.h"
+#include "opt/in_network.h"
+#include "opt/plan_then_deploy.h"
+#include "opt/relaxation.h"
+#include "opt/top_down.h"
+#include "query/rates.h"
+#include "verify/validator.h"
+
+namespace iflow {
+namespace {
+
+struct Options {
+  std::uint64_t seed = 20070806;
+  int iterations = 500;
+  bool verbose = false;
+};
+
+/// One self-contained random instance. Everything is derived from the seed,
+/// so an instance can be rebuilt bit-for-bit for the determinism check.
+struct Instance {
+  net::Network net;
+  net::RoutingTables rt;
+  query::Catalog catalog;
+  query::Query query;
+  bool restricted = false;
+  std::vector<net::NodeId> processing_nodes;
+  // Declared last: its initializer (`make`) fills in every member above.
+  cluster::Hierarchy hierarchy;
+
+  explicit Instance(std::uint64_t seed) : hierarchy(make(seed)) {}
+
+ private:
+  // Builds everything else in dependency order, then returns the hierarchy
+  // so Instance needs no default-constructible Hierarchy.
+  cluster::Hierarchy make(std::uint64_t seed) {
+    Prng prng(seed);
+    net::TransitStubParams p;
+    p.transit_count = 1 + static_cast<int>(prng.index(2));
+    p.stub_domains_per_transit = 1 + static_cast<int>(prng.index(2));
+    p.stub_domain_size = 2 + static_cast<int>(prng.index(3));
+    net = net::make_transit_stub(p, prng);
+    rt = net::RoutingTables::build(net);
+
+    const int k = 2 + static_cast<int>(prng.index(4));  // K in [2, 5]
+    for (int i = 0; i < k; ++i) {
+      query.sources.push_back(catalog.add_stream(
+          "S" + std::to_string(i),
+          static_cast<net::NodeId>(prng.index(net.node_count())),
+          prng.uniform(5.0, 50.0), prng.uniform(10.0, 100.0)));
+    }
+    for (int a = 0; a < k; ++a) {
+      for (int b = a + 1; b < k; ++b) {
+        catalog.set_selectivity(query.sources[static_cast<std::size_t>(a)],
+                                query.sources[static_cast<std::size_t>(b)],
+                                prng.uniform(0.005, 0.05));
+      }
+    }
+    query.id = static_cast<query::QueryId>(seed & 0xffff);
+    query.name = "fuzz-" + std::to_string(seed);
+    query.sink = static_cast<net::NodeId>(prng.index(net.node_count()));
+    if (prng.chance(0.3)) {
+      for (int i = 0; i < k; ++i) {
+        query.filter_selectivity.push_back(prng.uniform(0.1, 1.0));
+      }
+    }
+    if (prng.chance(0.25)) {
+      query.aggregate.fn = query::AggregateFn::kCount;
+      query.aggregate.groups = 1.0 + static_cast<double>(prng.index(8));
+      query.aggregate.window_s = prng.uniform(0.5, 5.0);
+    }
+    // Every fourth instance restricts processing to a random node subset
+    // (at least one node), exercising restrict_sites and the fallback.
+    restricted = prng.chance(0.25);
+    if (restricted) {
+      for (net::NodeId n = 0; n < net.node_count(); ++n) {
+        if (prng.chance(0.4)) processing_nodes.push_back(n);
+      }
+      if (processing_nodes.empty()) {
+        processing_nodes.push_back(
+            static_cast<net::NodeId>(prng.index(net.node_count())));
+      }
+    }
+    const int max_cs = 3 + static_cast<int>(prng.index(3));  // [3, 5]
+    Prng hp(seed ^ 0x9E3779B97F4A7C15ULL);
+    return cluster::Hierarchy::build(net, rt, max_cs, hp);
+  }
+};
+
+/// Reconstructs the join tree a deployment realised (units as leaves), for
+/// re-placing Bottom-Up's own tree optimally.
+query::JoinTree tree_of(const query::Deployment& d) {
+  query::JoinTree t;
+  std::vector<int> unit_node(d.units.size());
+  for (std::size_t u = 0; u < d.units.size(); ++u) {
+    query::TreeNode leaf;
+    leaf.unit = static_cast<int>(u);
+    leaf.mask = d.units[u].mask;
+    t.nodes.push_back(leaf);
+    unit_node[u] = static_cast<int>(t.nodes.size()) - 1;
+  }
+  std::vector<int> op_node(d.ops.size());
+  for (std::size_t i = 0; i < d.ops.size(); ++i) {
+    auto resolve = [&](int child) {
+      return query::child_is_unit(child)
+                 ? unit_node[static_cast<std::size_t>(
+                       query::child_unit_index(child))]
+                 : op_node[static_cast<std::size_t>(child)];
+    };
+    query::TreeNode n;
+    n.left = resolve(d.ops[i].left);
+    n.right = resolve(d.ops[i].right);
+    n.mask = d.ops[i].mask;
+    t.nodes.push_back(n);
+    op_node[i] = static_cast<int>(t.nodes.size()) - 1;
+  }
+  t.root = static_cast<int>(t.nodes.size()) - 1;
+  return t;
+}
+
+/// Byte rates of every edge of a deployment's tree — the s_k of Theorem 3.
+std::vector<double> edge_rates(const query::Deployment& d) {
+  std::vector<double> rates;
+  for (const query::DeployedOp& op : d.ops) {
+    for (int child : {op.left, op.right}) {
+      rates.push_back(query::child_bytes_rate(d, child));
+    }
+  }
+  rates.push_back(d.root_bytes_rate());
+  return rates;
+}
+
+struct AlgRun {
+  std::string name;
+  opt::OptimizeResult result;
+};
+
+std::vector<AlgRun> run_all(const opt::OptimizerEnv& env,
+                            const query::Query& q) {
+  opt::ExhaustiveOptimizer ex(env);
+  opt::TopDownOptimizer td(env);
+  opt::BottomUpOptimizer bu(env);
+  opt::PlanThenDeployOptimizer ptd(env);
+  opt::RelaxationOptimizer relax(env, /*seed=*/7);
+  opt::InNetworkOptimizer innet(env, /*seed=*/13);
+  std::vector<opt::Optimizer*> algs = {&ex, &td, &bu, &ptd, &relax, &innet};
+  std::vector<AlgRun> runs;
+  runs.reserve(algs.size());
+  for (opt::Optimizer* alg : algs) {
+    runs.push_back(AlgRun{alg->name(), alg->optimize(q)});
+  }
+  return runs;
+}
+
+/// Accumulates failures for one iteration; prints context lazily so clean
+/// iterations stay silent.
+struct IterationLog {
+  std::uint64_t seed;
+  int failures = 0;
+
+  void fail(const std::string& what) {
+    std::cerr << "[seed " << seed << "] " << what << '\n';
+    ++failures;
+  }
+};
+
+void check_instance(std::uint64_t seed, const Options& opt,
+                    IterationLog& log) {
+  Instance inst(seed);
+  opt::OptimizerEnv env;
+  env.catalog = &inst.catalog;
+  env.network = &inst.net;
+  env.routing = &inst.rt;
+  env.hierarchy = &inst.hierarchy;
+  env.reuse = false;
+  env.processing_nodes = inst.processing_nodes;
+
+  const std::vector<AlgRun> runs = run_all(env, inst.query);
+  for (const AlgRun& run : runs) {
+    if (!run.result.feasible) {
+      log.fail(run.name + ": infeasible");
+      continue;
+    }
+    verify::ValidateOptions vopts;
+    vopts.query = &inst.query;
+    vopts.planned_cost = run.result.planned_cost;
+    if (!run.result.op_scopes.empty()) vopts.op_scopes = &run.result.op_scopes;
+    const auto violations =
+        verify::validate(run.result.deployment, env, vopts);
+    if (!violations.empty()) {
+      log.fail(run.name + ": validator violations:\n" +
+               verify::describe(violations));
+    }
+  }
+
+  const double tol = 1e-6;
+  if (!inst.restricted) {
+    // The exhaustive optimum lower-bounds every heuristic. (Restricted
+    // instances are excluded: the documented fallback can hand a
+    // processing-free hierarchical scope nodes the restricted exhaustive
+    // search may not use.)
+    const double optimum = runs.front().result.actual_cost;
+    for (const AlgRun& run : runs) {
+      if (!run.result.feasible) continue;
+      if (run.result.actual_cost < optimum - tol * (1.0 + optimum)) {
+        std::ostringstream os;
+        os << run.name << " beats exhaustive: " << run.result.actual_cost
+           << " < " << optimum;
+        log.fail(os.str());
+      }
+    }
+    // Theorem 3: Top-Down within sum_k s_k * sum_i 2 d_i of optimal. The
+    // bound argues over raw tree-edge rates, so skip aggregated queries
+    // (their delivery edge carries the shrunken aggregate stream).
+    const opt::OptimizeResult& td = runs[1].result;
+    if (td.feasible && !inst.query.aggregate.enabled()) {
+      const double bound = cluster::theorem3_bound(
+          inst.hierarchy, edge_rates(td.deployment));
+      if (td.actual_cost > optimum + bound + tol * (1.0 + optimum + bound)) {
+        std::ostringstream os;
+        os << "top-down breaks Theorem 3: " << td.actual_cost << " > "
+           << optimum << " + " << bound;
+        log.fail(os.str());
+      }
+    }
+    // Bottom-Up is anchored by the optimal placement of its own join tree.
+    const opt::OptimizeResult& bu = runs[2].result;
+    if (bu.feasible) {
+      query::RateModel rates(inst.catalog, inst.query);
+      std::vector<net::NodeId> sites;
+      for (net::NodeId n = 0; n < inst.net.node_count(); ++n) {
+        sites.push_back(n);
+      }
+      const opt::TreePlacement tp = opt::place_tree_optimal(
+          tree_of(bu.deployment), bu.deployment.units, rates, inst.query.sink,
+          sites,
+          [&inst](net::NodeId a, net::NodeId b) { return inst.rt.cost(a, b); },
+          opt::delivery_rate_for(inst.query, rates));
+      if (!tp.feasible) {
+        log.fail("bottom-up anchor placement infeasible");
+      } else if (bu.actual_cost < tp.cost - tol * (1.0 + tp.cost)) {
+        std::ostringstream os;
+        os << "bottom-up beats the optimal placement of its own tree: "
+           << bu.actual_cost << " < " << tp.cost;
+        log.fail(os.str());
+      }
+    }
+  }
+
+  // Reuse pass (every other iteration): resubmitting through a session
+  // advertises the first deployment's operators; the re-planned exhaustive
+  // deployment must still validate (marginal accounting of derived units)
+  // and must cost no more than planning without reuse.
+  if (seed % 2 == 0) {
+    advert::Registry registry;
+    opt::OptimizerEnv reuse_env = env;
+    reuse_env.reuse = true;
+    reuse_env.registry = &registry;
+    opt::Session session(reuse_env,
+                         std::make_unique<opt::ExhaustiveOptimizer>(reuse_env));
+    const opt::OptimizeResult first = session.submit(inst.query);
+    query::Query again = inst.query;
+    again.id += 10000;
+    const opt::OptimizeResult second = session.submit(again);
+    if (!first.feasible || !second.feasible) {
+      log.fail("reuse session produced an infeasible result");
+    } else {
+      verify::ValidateOptions vopts;
+      vopts.query = &again;
+      vopts.planned_cost = second.planned_cost;
+      const auto violations =
+          verify::validate(second.deployment, reuse_env, vopts);
+      if (!violations.empty()) {
+        log.fail("reused deployment violations:\n" +
+                 verify::describe(violations));
+      }
+      if (second.actual_cost > first.actual_cost + tol * (1.0 + first.actual_cost)) {
+        std::ostringstream os;
+        os << "reuse hurt the exhaustive optimizer: " << second.actual_cost
+           << " > " << first.actual_cost;
+        log.fail(os.str());
+      }
+    }
+  }
+
+  // Determinism: every tenth iteration, rebuild the instance from its seed
+  // and compare every optimizer's outcome bit-for-bit.
+  if (seed % 10 == 0) {
+    Instance replay(seed);
+    opt::OptimizerEnv replay_env;
+    replay_env.catalog = &replay.catalog;
+    replay_env.network = &replay.net;
+    replay_env.routing = &replay.rt;
+    replay_env.hierarchy = &replay.hierarchy;
+    replay_env.reuse = false;
+    replay_env.processing_nodes = replay.processing_nodes;
+    const std::vector<AlgRun> reruns = run_all(replay_env, replay.query);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const bool same =
+          runs[i].result.feasible == reruns[i].result.feasible &&
+          runs[i].result.actual_cost == reruns[i].result.actual_cost &&
+          runs[i].result.deployment.ops.size() ==
+              reruns[i].result.deployment.ops.size();
+      if (!same) {
+        log.fail(runs[i].name + ": non-deterministic result for this seed");
+      }
+    }
+  }
+
+  if (opt.verbose) {
+    std::cout << "seed " << seed << ": " << inst.net.node_count() << " nodes, K="
+              << inst.query.k() << (inst.restricted ? ", restricted" : "")
+              << (log.failures ? " FAIL" : " ok") << '\n';
+  }
+}
+
+int run(const Options& opt) {
+  int failed_iterations = 0;
+  for (int i = 0; i < opt.iterations; ++i) {
+    const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
+    IterationLog log{seed};
+    try {
+      check_instance(seed, opt, log);
+    } catch (const std::exception& e) {
+      log.fail(std::string("exception: ") + e.what());
+    }
+    if (log.failures > 0) ++failed_iterations;
+    if ((i + 1) % 100 == 0 && !opt.verbose) {
+      std::cout << (i + 1) << "/" << opt.iterations << " instances, "
+                << failed_iterations << " failing\n";
+    }
+  }
+  std::cout << "differential fuzz: " << opt.iterations << " instances from seed "
+            << opt.seed << ", " << failed_iterations << " failing\n";
+  return failed_iterations;
+}
+
+}  // namespace
+}  // namespace iflow
+
+int main(int argc, char** argv) {
+  iflow::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto numeric = [&](const char* text) -> std::uint64_t {
+      char* end = nullptr;
+      const std::uint64_t v = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0') {
+        std::cerr << arg << " needs a non-negative integer, got '" << text
+                  << "'\n";
+        std::exit(2);
+      }
+      return v;
+    };
+    if (arg == "--iterations") {
+      opt.iterations = static_cast<int>(numeric(value()));
+    } else if (arg == "--seed") {
+      opt.seed = numeric(value());
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      std::cerr << "usage: differential_fuzz [--iterations N] [--seed S] "
+                   "[--verbose]\n";
+      return 2;
+    }
+  }
+  return iflow::run(opt);
+}

@@ -2,11 +2,14 @@
 // delivery rates.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/gtitm.h"
 #include "opt/bottom_up.h"
 #include "opt/exhaustive.h"
 #include "opt/top_down.h"
 #include "query/rates.h"
+#include "verify/validator.h"
 #include "workload/generator.h"
 
 namespace iflow::opt {
@@ -31,6 +34,22 @@ TEST(RestrictSitesTest, FallsBackWhenNothingRemains) {
   env.processing_nodes = {9};
   const std::vector<net::NodeId> sites = {1, 2};
   EXPECT_EQ(restrict_sites(env, sites), sites);
+}
+
+TEST(RestrictSitesTest, SingletonRestrictionLeavesOneSite) {
+  OptimizerEnv env;
+  env.processing_nodes = {3};
+  EXPECT_EQ(restrict_sites(env, {0, 1, 2, 3, 4}),
+            (std::vector<net::NodeId>{3}));
+  // ... and the fallback still applies when that one node is out of scope.
+  const std::vector<net::NodeId> elsewhere = {0, 1};
+  EXPECT_EQ(restrict_sites(env, elsewhere), elsewhere);
+}
+
+TEST(RestrictSitesTest, EmptyScopeStaysEmpty) {
+  OptimizerEnv env;
+  env.processing_nodes = {3};
+  EXPECT_TRUE(restrict_sites(env, {}).empty());
 }
 
 TEST(DeliveryRateTest, NoAggregationSignalsRaw) {
@@ -111,6 +130,95 @@ TEST_P(ProcessingRestrictionTest, AllAlgorithmsHonourTheRestriction) {
 
 INSTANTIATE_TEST_SUITE_P(MaxCs, ProcessingRestrictionTest,
                          ::testing::Values(4, 8));
+
+TEST(ProcessingRestrictionTest, SingletonRestrictionPinsEveryOperator) {
+  Prng prng(82);
+  net::TransitStubParams p;
+  p.transit_count = 1;
+  p.stub_domains_per_transit = 2;
+  p.stub_domain_size = 3;
+  const net::Network net = net::make_transit_stub(p, prng);
+  const auto rt = net::RoutingTables::build(net);
+  workload::WorkloadParams wp;
+  wp.num_streams = 5;
+  wp.min_joins = 2;
+  wp.max_joins = 3;
+  Prng wprng(83);
+  const workload::Workload wl = workload::make_workload(net, wp, 4, wprng);
+
+  OptimizerEnv env;
+  env.catalog = &wl.catalog;
+  env.network = &net;
+  env.routing = &rt;
+  env.reuse = false;
+  const net::NodeId only = 2;
+  env.processing_nodes = {only};
+
+  ExhaustiveOptimizer ex(env);
+  for (const query::Query& q : wl.queries) {
+    const OptimizeResult r = ex.optimize(q);
+    ASSERT_TRUE(r.feasible);
+    for (const query::DeployedOp& op : r.deployment.ops) {
+      EXPECT_EQ(op.node, only);
+    }
+    verify::ValidateOptions vo;
+    vo.query = &q;
+    vo.planned_cost = r.planned_cost;
+    const auto violations = verify::validate(r.deployment, env, vo);
+    EXPECT_TRUE(violations.empty()) << verify::describe(violations);
+  }
+}
+
+TEST(ProcessingRestrictionTest, ExcludedClusterFallsBackToItsMembers) {
+  Prng prng(84);
+  net::TransitStubParams p;
+  p.transit_count = 2;
+  p.stub_domains_per_transit = 2;
+  p.stub_domain_size = 4;
+  const net::Network net = net::make_transit_stub(p, prng);
+  const auto rt = net::RoutingTables::build(net);
+  Prng hp(85);
+  const cluster::Hierarchy h = cluster::Hierarchy::build(net, rt, 4, hp);
+  workload::WorkloadParams wp;
+  wp.num_streams = 6;
+  wp.min_joins = 2;
+  wp.max_joins = 3;
+  Prng wprng(86);
+  const workload::Workload wl = workload::make_workload(net, wp, 6, wprng);
+
+  // Processing everywhere EXCEPT one whole level-1 cluster: any scope inside
+  // that cluster is processing-free, so its placements rely entirely on the
+  // documented fallback — which the validator models and accepts.
+  OptimizerEnv env;
+  env.catalog = &wl.catalog;
+  env.network = &net;
+  env.routing = &rt;
+  env.hierarchy = &h;
+  env.reuse = false;
+  const cluster::Cluster& excluded = h.level(1).front();
+  for (net::NodeId n = 0; n < net.node_count(); ++n) {
+    if (std::find(excluded.members.begin(), excluded.members.end(), n) ==
+        excluded.members.end()) {
+      env.processing_nodes.push_back(n);
+    }
+  }
+  ASSERT_FALSE(env.processing_nodes.empty());
+
+  TopDownOptimizer td(env);
+  BottomUpOptimizer bu(env);
+  for (const query::Query& q : wl.queries) {
+    for (Optimizer* alg : std::vector<Optimizer*>{&td, &bu}) {
+      const OptimizeResult r = alg->optimize(q);
+      ASSERT_TRUE(r.feasible) << alg->name();
+      verify::ValidateOptions vo;
+      vo.query = &q;
+      vo.planned_cost = r.planned_cost;
+      const auto violations = verify::validate(r.deployment, env, vo);
+      EXPECT_TRUE(violations.empty())
+          << alg->name() << ":\n" << verify::describe(violations);
+    }
+  }
+}
 
 TEST(ProcessingRestrictionTest, RestrictionCannotBeatUnrestricted) {
   Prng prng(80);

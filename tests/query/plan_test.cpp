@@ -117,6 +117,79 @@ TEST(DeploymentValidationTest, CatchesMultipleRootsWithoutJoin) {
   EXPECT_THROW(validate_deployment(d), CheckError);
 }
 
+// Harness for the rate-drift overload deployment_cost(d, rates, rt): a
+// 2-way join planned against one catalog, whose rates then drift.
+struct DriftFixture {
+  net::Network net = make_line(5);
+  net::RoutingTables rt = net::RoutingTables::build(net);
+  Catalog catalog;
+  StreamId a, b;
+  Query q;
+  Deployment d;
+
+  DriftFixture() {
+    a = catalog.add_stream("a", 0, 10.0, 10.0);
+    b = catalog.add_stream("b", 4, 5.0, 20.0);
+    catalog.set_selectivity(a, b, 0.01);
+    q.id = 1;
+    q.sources = {a, b};
+    q.sink = 3;
+    // Deployment recorded at planning time: rates snapshotted from the
+    // then-current model.
+    const RateModel rates(catalog, q);
+    d.units = {unit(0b01, 0, rates.bytes_rate(0b01)),
+               unit(0b10, 4, rates.bytes_rate(0b10))};
+    d.units[0].tuple_rate = rates.tuple_rate(0b01);
+    d.units[1].tuple_rate = rates.tuple_rate(0b10);
+    DeployedOp op;
+    op.mask = 0b11;
+    op.left = encode_unit_child(0);
+    op.right = encode_unit_child(1);
+    op.node = 2;
+    op.out_bytes_rate = rates.bytes_rate(0b11);
+    op.out_tuple_rate = rates.tuple_rate(0b11);
+    d.ops = {op};
+    d.sink = q.sink;
+    validate_deployment(d);
+  }
+};
+
+TEST(DeploymentTest, RateDriftOverloadTracksCatalogChanges) {
+  DriftFixture f;
+  // a: 10 t/s x 10 B = 100 B/s over 2 hops; b: 100 B/s over 2 hops;
+  // joined: 10*5*0.01 = 0.5 t/s x 30 B = 15 B/s over 1 hop.
+  const double planned = 100.0 * 2 + 100.0 * 2 + 15.0;
+  EXPECT_DOUBLE_EQ(deployment_cost(f.d, f.rt), planned);
+  EXPECT_DOUBLE_EQ(deployment_cost(f.d, RateModel(f.catalog, f.q), f.rt),
+                   planned);
+
+  // Stream a doubles after planning. The model overload re-prices every
+  // edge from the live catalog; the recorded-rate overload keeps charging
+  // the snapshot.
+  f.catalog.set_tuple_rate(f.a, 20.0);
+  const RateModel drifted(f.catalog, f.q);
+  EXPECT_DOUBLE_EQ(deployment_cost(f.d, drifted, f.rt),
+                   200.0 * 2 + 100.0 * 2 + 30.0);
+  EXPECT_DOUBLE_EQ(deployment_cost(f.d, f.rt), planned);
+}
+
+TEST(DeploymentTest, RateDriftOverloadCapsAggregatedDelivery) {
+  DriftFixture f;
+  // One aggregate tuple per group per window caps the root->sink stream.
+  f.q.aggregate.fn = AggregateFn::kCount;
+  f.q.aggregate.groups = 2.0;
+  f.q.aggregate.window_s = 1.0;
+  f.q.aggregate.out_width = 24.0;
+  // Join rate 0.5 t/s < 2 groups/s: delivery below the cap, 0.5 * 24 B.
+  EXPECT_DOUBLE_EQ(deployment_cost(f.d, RateModel(f.catalog, f.q), f.rt),
+                   100.0 * 2 + 100.0 * 2 + 0.5 * 24.0);
+  // Rate growth pushes the join rate (10 t/s) past the cap: delivery pegs
+  // at groups/window * out_width no matter how fast the sources get.
+  f.catalog.set_tuple_rate(f.a, 200.0);
+  EXPECT_DOUBLE_EQ(deployment_cost(f.d, RateModel(f.catalog, f.q), f.rt),
+                   2000.0 * 2 + 100.0 * 2 + 2.0 * 24.0);
+}
+
 TEST(DeploymentTest, ChildEncodingRoundTrips) {
   for (int i : {0, 1, 5, 100}) {
     const int code = encode_unit_child(i);

@@ -1,0 +1,421 @@
+// Mutation tests for the deployment validator: every invariant is proven to
+// fire by corrupting a known-good deployment in exactly the way the
+// invariant forbids. Some corruptions unavoidably cascade (e.g. feeding an
+// input twice also makes child masks overlap); those assert the presence of
+// the targeted code, the surgical ones assert it is the only code reported.
+#include "verify/validator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/hierarchy.h"
+#include "net/gtitm.h"
+#include "opt/bottom_up.h"
+#include "opt/exhaustive.h"
+#include "opt/in_network.h"
+#include "opt/plan_then_deploy.h"
+#include "opt/relaxation.h"
+#include "opt/top_down.h"
+#include "query/rates.h"
+
+namespace iflow::verify {
+namespace {
+
+using query::encode_unit_child;
+
+/// Fixed small world with one K=3 query whose exhaustive deployment (two
+/// join ops) is the mutation subject.
+struct Fixture {
+  net::Network net;
+  net::RoutingTables rt;
+  cluster::Hierarchy hierarchy;
+  query::Catalog catalog;
+  query::Query q;
+  opt::OptimizerEnv env;
+  opt::OptimizeResult good;
+
+  Fixture()
+      : net([] {
+          Prng prng(41);
+          net::TransitStubParams p;
+          p.transit_count = 2;
+          p.stub_domains_per_transit = 2;
+          p.stub_domain_size = 3;
+          return net::make_transit_stub(p, prng);
+        }()),
+        rt(net::RoutingTables::build(net)),
+        hierarchy([this] {
+          Prng prng(42);
+          return cluster::Hierarchy::build(net, rt, 4, prng);
+        }()) {
+    Prng prng(43);
+    for (int i = 0; i < 4; ++i) {  // 4 streams; the query uses the first 3
+      catalog.add_stream("S" + std::to_string(i),
+                         static_cast<net::NodeId>(prng.index(net.node_count())),
+                         prng.uniform(5.0, 50.0), prng.uniform(10.0, 100.0));
+    }
+    for (query::StreamId a = 0; a < 4; ++a) {
+      for (query::StreamId b = a + 1; b < 4; ++b) {
+        catalog.set_selectivity(a, b, prng.uniform(0.005, 0.05));
+      }
+    }
+    q.id = 1;
+    q.name = "mutation-subject";
+    q.sources = {0, 1, 2};
+    q.sink = static_cast<net::NodeId>(prng.index(net.node_count()));
+    env.catalog = &catalog;
+    env.network = &net;
+    env.routing = &rt;
+    env.hierarchy = &hierarchy;
+    env.reuse = false;
+    opt::ExhaustiveOptimizer ex(env);
+    good = ex.optimize(q);
+    EXPECT_TRUE(good.feasible);
+    EXPECT_EQ(good.deployment.ops.size(), 2u);
+  }
+
+  ValidateOptions opts() const {
+    ValidateOptions o;
+    o.query = &q;
+    return o;
+  }
+
+  std::vector<Violation> check(const query::Deployment& d) const {
+    return validate(d, env, opts());
+  }
+};
+
+void expect_only(const std::vector<Violation>& violations,
+                 ViolationCode code) {
+  ASSERT_FALSE(violations.empty()) << "expected " << to_string(code);
+  for (const Violation& v : violations) {
+    EXPECT_EQ(v.code, code) << "unexpected [" << to_string(v.code) << "] "
+                            << v.detail;
+  }
+}
+
+TEST(ValidatorTest, GoodDeploymentHasNoViolations) {
+  Fixture f;
+  ValidateOptions o = f.opts();
+  o.planned_cost = f.good.planned_cost;
+  EXPECT_TRUE(validate(f.good.deployment, f.env, o).empty());
+}
+
+TEST(ValidatorTest, AllSixOptimizersValidateClean) {
+  Fixture f;
+  opt::ExhaustiveOptimizer ex(f.env);
+  opt::TopDownOptimizer td(f.env);
+  opt::BottomUpOptimizer bu(f.env);
+  opt::PlanThenDeployOptimizer ptd(f.env);
+  opt::RelaxationOptimizer relax(f.env, 3);
+  opt::InNetworkOptimizer innet(f.env, 4);
+  for (opt::Optimizer* alg :
+       std::vector<opt::Optimizer*>{&ex, &td, &bu, &ptd, &relax, &innet}) {
+    const opt::OptimizeResult r = alg->optimize(f.q);
+    ASSERT_TRUE(r.feasible) << alg->name();
+    ValidateOptions o = f.opts();
+    o.planned_cost = r.planned_cost;
+    const auto violations = validate(r.deployment, f.env, o);
+    EXPECT_TRUE(violations.empty())
+        << alg->name() << ":\n"
+        << describe(violations);
+  }
+}
+
+TEST(ValidatorMutationTest, NoUnits) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  d.units.clear();
+  d.ops.clear();
+  expect_only(f.check(d), ViolationCode::kNoUnits);
+}
+
+TEST(ValidatorMutationTest, EmptyUnitMask) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  d.units[0].mask = 0;
+  EXPECT_TRUE(has_violation(f.check(d), ViolationCode::kEmptyUnitMask));
+}
+
+TEST(ValidatorMutationTest, OverlappingUnits) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  d.units[1].mask = d.units[0].mask;
+  EXPECT_TRUE(has_violation(f.check(d), ViolationCode::kOverlappingUnits));
+}
+
+TEST(ValidatorMutationTest, InvalidUnitLocation) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  d.units[0].location =
+      static_cast<net::NodeId>(f.net.node_count() + 7);
+  expect_only(f.check(d), ViolationCode::kInvalidUnitLocation);
+}
+
+TEST(ValidatorMutationTest, NegativeUnitRate) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  d.units[0].bytes_rate = -5.0;
+  const auto violations = f.check(d);
+  EXPECT_TRUE(has_violation(violations, ViolationCode::kNegativeUnitRate));
+  // A negative rate necessarily also drifts from the RateModel.
+  EXPECT_TRUE(has_violation(violations, ViolationCode::kUnitRateDrift));
+}
+
+TEST(ValidatorMutationTest, ChildOutOfRange) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  d.ops[0].left = encode_unit_child(99);
+  expect_only(f.check(d), ViolationCode::kChildOutOfRange);
+}
+
+TEST(ValidatorMutationTest, ChildOrderViolation) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  d.ops[0].left = 0;  // op consuming itself: children must precede parents
+  expect_only(f.check(d), ViolationCode::kChildOrder);
+}
+
+TEST(ValidatorMutationTest, SwappedOpOrder) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  std::swap(d.ops[0], d.ops[1]);  // root first: its op child is now later
+  EXPECT_TRUE(has_violation(f.check(d), ViolationCode::kChildOrder));
+}
+
+TEST(ValidatorMutationTest, InputConsumedTwiceAndOverlappingChildren) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  // The root joins op 0 with a unit; make it join op 0 with itself.
+  query::DeployedOp& root = d.ops.back();
+  const bool left_is_op = !query::child_is_unit(root.left);
+  (left_is_op ? root.right : root.left) = 0;
+  const auto violations = f.check(d);
+  EXPECT_TRUE(has_violation(violations, ViolationCode::kInputConsumedTwice));
+  EXPECT_TRUE(
+      has_violation(violations, ViolationCode::kOverlappingChildMasks));
+}
+
+TEST(ValidatorMutationTest, OrphanOp) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  // A duplicate of op 0 inserted before the root feeds nobody.
+  d.ops.insert(d.ops.begin() + 1, d.ops[0]);
+  // Re-point the root's op child back at the original op 0.
+  query::DeployedOp& root = d.ops.back();
+  if (!query::child_is_unit(root.left) && root.left == 1) root.left = 0;
+  if (!query::child_is_unit(root.right) && root.right == 1) root.right = 0;
+  EXPECT_TRUE(has_violation(f.check(d), ViolationCode::kOrphanOp));
+}
+
+TEST(ValidatorMutationTest, OpMaskMismatch) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  d.ops[0].mask ^= d.units[0].mask;  // drop/add a source the children carry
+  EXPECT_TRUE(has_violation(f.check(d), ViolationCode::kOpMaskMismatch));
+}
+
+TEST(ValidatorMutationTest, InvalidOpNode) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  d.ops[0].node = static_cast<net::NodeId>(f.net.node_count() + 1);
+  expect_only(f.check(d), ViolationCode::kInvalidOpNode);
+}
+
+TEST(ValidatorMutationTest, NonProcessingNodeWithoutFallback) {
+  Fixture f;
+  // Flat environment (no hierarchy, so no cluster fallback): declare some
+  // node hosting no operator as the only processing node.
+  opt::OptimizerEnv flat = f.env;
+  flat.hierarchy = nullptr;
+  net::NodeId bystander = net::kInvalidNode;
+  for (net::NodeId n = 0; n < f.net.node_count(); ++n) {
+    const bool used = std::any_of(
+        f.good.deployment.ops.begin(), f.good.deployment.ops.end(),
+        [n](const query::DeployedOp& op) { return op.node == n; });
+    if (!used) {
+      bystander = n;
+      break;
+    }
+  }
+  ASSERT_NE(bystander, net::kInvalidNode);
+  flat.processing_nodes = {bystander};
+  ValidateOptions o;
+  o.query = &f.q;
+  expect_only(validate(f.good.deployment, flat, o),
+              ViolationCode::kNonProcessingNode);
+}
+
+TEST(ValidatorMutationTest, ProcessingFallbackExcusesClusterWithoutNodes) {
+  Fixture f;
+  // Processing everywhere EXCEPT the level-1 clusters hosting the ops: each
+  // op's scope is processing-free, so the documented fallback applies.
+  opt::OptimizerEnv restricted = f.env;
+  std::vector<char> excluded(f.net.node_count(), 0);
+  for (const query::DeployedOp& op : f.good.deployment.ops) {
+    const auto& cl =
+        f.hierarchy.level(1)[f.hierarchy.cluster_of(op.node, 1)];
+    for (net::NodeId m : cl.members) excluded[m] = 1;
+  }
+  for (net::NodeId n = 0; n < f.net.node_count(); ++n) {
+    if (!excluded[n]) restricted.processing_nodes.push_back(n);
+  }
+  ASSERT_FALSE(restricted.processing_nodes.empty());
+  ValidateOptions o;
+  o.query = &f.q;
+  o.planned_cost = f.good.planned_cost;
+  const auto violations = validate(f.good.deployment, restricted, o);
+  EXPECT_TRUE(violations.empty()) << describe(violations);
+}
+
+TEST(ValidatorMutationTest, RecordedScopesMakeFallbackExact) {
+  Fixture f;
+  // With recorded per-op scopes (OptimizeResult::op_scopes) the fallback is
+  // checked exactly: a non-processing placement passes only inside a scope
+  // holding no processing node at all.
+  opt::OptimizerEnv flat = f.env;
+  flat.hierarchy = nullptr;
+  net::NodeId bystander = net::kInvalidNode;
+  for (net::NodeId n = 0; n < f.net.node_count(); ++n) {
+    const bool used = std::any_of(
+        f.good.deployment.ops.begin(), f.good.deployment.ops.end(),
+        [n](const query::DeployedOp& op) { return op.node == n; });
+    if (!used) {
+      bystander = n;
+      break;
+    }
+  }
+  ASSERT_NE(bystander, net::kInvalidNode);
+  flat.processing_nodes = {bystander};
+  ValidateOptions o;
+  o.query = &f.q;
+  // Processing-free scopes around every op: placements excused.
+  std::vector<std::vector<net::NodeId>> scopes;
+  for (const query::DeployedOp& op : f.good.deployment.ops) {
+    scopes.push_back({op.node});
+  }
+  o.op_scopes = &scopes;
+  const auto clean = validate(f.good.deployment, flat, o);
+  EXPECT_FALSE(has_violation(clean, ViolationCode::kNonProcessingNode))
+      << describe(clean);
+  // A processing node inside op 0's scope voids its excuse.
+  scopes[0].push_back(bystander);
+  expect_only(validate(f.good.deployment, flat, o),
+              ViolationCode::kNonProcessingNode);
+  // An op outside its recorded scope is flagged even if the scope itself is
+  // processing-free.
+  net::NodeId outsider = net::kInvalidNode;
+  for (net::NodeId n = 0; n < f.net.node_count(); ++n) {
+    if (n != f.good.deployment.ops[0].node && n != bystander) {
+      outsider = n;
+      break;
+    }
+  }
+  ASSERT_NE(outsider, net::kInvalidNode);
+  scopes[0] = {outsider};
+  EXPECT_TRUE(has_violation(validate(f.good.deployment, flat, o),
+                            ViolationCode::kNonProcessingNode));
+}
+
+TEST(ValidatorMutationTest, RootNotCovering) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  d.ops.pop_back();  // the surviving op covers only part of the sources
+  expect_only(f.check(d), ViolationCode::kRootNotCovering);
+}
+
+TEST(ValidatorMutationTest, DanglingUnits) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  d.ops.clear();
+  expect_only(f.check(d), ViolationCode::kDanglingUnits);
+}
+
+TEST(ValidatorMutationTest, InvalidSink) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  d.sink = net::kInvalidNode;
+  expect_only(f.check(d), ViolationCode::kInvalidSink);
+}
+
+TEST(ValidatorMutationTest, SourceCoverageMismatch) {
+  Fixture f;
+  // The deployment covers the 3-source query; validate it against a 4-source
+  // variant. Rates of the original masks are untouched by the extra source,
+  // so coverage is the only drift.
+  query::Query wider = f.q;
+  wider.sources.push_back(3);
+  ValidateOptions o;
+  o.query = &wider;
+  expect_only(validate(f.good.deployment, f.env, o),
+              ViolationCode::kSourceCoverageMismatch);
+}
+
+TEST(ValidatorMutationTest, UnitRateDrift) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  d.units[0].bytes_rate *= 3.0;
+  EXPECT_TRUE(has_violation(f.check(d), ViolationCode::kUnitRateDrift));
+}
+
+TEST(ValidatorMutationTest, OpRateDrift) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  d.ops[0].out_bytes_rate *= 3.0;
+  EXPECT_TRUE(has_violation(f.check(d), ViolationCode::kOpRateDrift));
+}
+
+TEST(ValidatorMutationTest, PlannedCostInflation) {
+  Fixture f;
+  ValidateOptions o = f.opts();
+  o.planned_cost = f.good.planned_cost * 2.0 + 1.0;
+  expect_only(validate(f.good.deployment, f.env, o),
+              ViolationCode::kPlannedCostMismatch);
+}
+
+TEST(ValidatorMutationTest, MarginalAccountingMismatch) {
+  Fixture f;
+  query::Deployment d = f.good.deployment;
+  ASSERT_GT(query::deployment_cost(d, f.rt), 0.0);
+  // Doubling every recorded rate doubles deployment_cost() while the
+  // model-based marginal re-sum stays put.
+  for (query::LeafUnit& u : d.units) {
+    u.bytes_rate *= 2.0;
+    u.tuple_rate *= 2.0;
+  }
+  for (query::DeployedOp& op : d.ops) {
+    op.out_bytes_rate *= 2.0;
+    op.out_tuple_rate *= 2.0;
+  }
+  EXPECT_TRUE(
+      has_violation(f.check(d), ViolationCode::kMarginalCostMismatch));
+}
+
+TEST(ValidatorHookTest, CheckResultThrowsOnCorruptDeployment) {
+  Fixture f;
+  opt::OptimizeResult corrupt = f.good;
+  corrupt.deployment.ops[0].node =
+      static_cast<net::NodeId>(f.net.node_count() + 2);
+  EXPECT_THROW(check_result(corrupt, f.env, f.q), CheckError);
+  EXPECT_NO_THROW(check_result(f.good, f.env, f.q));
+  opt::OptimizeResult infeasible;
+  infeasible.feasible = false;
+  EXPECT_NO_THROW(check_result(infeasible, f.env, f.q));
+}
+
+TEST(ValidatorTest, ViolationCodesRenderDistinctly) {
+  // to_string is used by describe(); make sure no code falls through to
+  // "unknown" and no two codes collide.
+  std::vector<std::string> names;
+  for (int c = 0; c <= static_cast<int>(ViolationCode::kMarginalCostMismatch);
+       ++c) {
+    names.emplace_back(to_string(static_cast<ViolationCode>(c)));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+  EXPECT_EQ(std::count(names.begin(), names.end(), "unknown"), 0);
+}
+
+}  // namespace
+}  // namespace iflow::verify
