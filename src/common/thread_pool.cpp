@@ -1,0 +1,86 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace iflow {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_job_blocks() {
+  // Pull block indices until the job is drained; the last finished block
+  // wakes the caller. Block b covers [n*b/B, n*(b+1)/B) — a partition that
+  // depends only on (n, B), never on scheduling.
+  for (;;) {
+    std::size_t b;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (next_block_ >= job_blocks_) return;
+      b = next_block_++;
+    }
+    const std::size_t begin = job_n_ * b / job_blocks_;
+    const std::size_t end = job_n_ * (b + 1) / job_blocks_;
+    if (begin < end) (*job_)(begin, end);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--blocks_left_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      start_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_job_blocks();
+  }
+}
+
+void ThreadPool::parallel_blocks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t blocks =
+      std::min(n, static_cast<std::size_t>(thread_count()));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    job_blocks_ = blocks;
+    next_block_ = 0;
+    blocks_left_ = blocks;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_job_blocks();  // the caller participates
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return blocks_left_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace iflow

@@ -1,0 +1,69 @@
+// Small fixed-size worker pool for data-parallel index sweeps.
+//
+// The planner's per-site DP sweeps are embarrassingly parallel across sites
+// once the inner reduction order is fixed, so the only primitive needed is
+// parallel_blocks(): partition [0, n) into contiguous blocks and run a
+// callback on each block from a worker (the calling thread participates).
+// Results are bitwise-independent of the thread count as long as the
+// callback computes each index's result from that index alone — block
+// boundaries never change what is computed, only who computes it.
+//
+// Workers are started once and parked on a condition variable between jobs,
+// so a planner invocation pays one notify/wait round trip rather than a
+// thread spawn. A pool constructed with `threads <= 1` has no workers and
+// runs every job inline on the caller, which is the serial reference mode
+// the differential fuzzer compares against.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iflow {
+
+class ThreadPool {
+ public:
+  /// `threads` counts the calling thread: a pool of `threads` runs jobs on
+  /// `threads - 1` workers plus the caller. 0 (or negative) means one per
+  /// hardware thread.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency including the calling thread (>= 1).
+  int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(begin, end) over a partition of [0, n) into at most
+  /// thread_count() contiguous blocks and blocks until every call returned.
+  /// fn runs concurrently on disjoint ranges; it must not recurse into the
+  /// same pool. n == 0 is a no-op; with no workers fn(0, n) runs inline.
+  void parallel_blocks(std::size_t n,
+                       const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void run_job_blocks();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;  // bumped per job; wakes parked workers
+
+  // Current job (valid while blocks_left_ > 0).
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_blocks_ = 0;
+  std::size_t next_block_ = 0;   // guarded by mu_
+  std::size_t blocks_left_ = 0;  // guarded by mu_; done when 0
+};
+
+}  // namespace iflow

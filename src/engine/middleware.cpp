@@ -42,6 +42,7 @@ opt::OptimizerEnv Middleware::env() {
       if (!excluded(n)) e.processing_nodes.push_back(n);
     }
   }
+  e.workspace = &workspace_;
   return e;
 }
 

@@ -17,6 +17,7 @@
 
 #include "opt/bottom_up.h"
 #include "opt/exhaustive.h"
+#include "opt/search/workspace.h"
 #include "opt/top_down.h"
 
 namespace iflow::engine {
@@ -116,6 +117,8 @@ class Middleware {
 
   std::unique_ptr<net::RoutingTables> routing_;
   std::unique_ptr<cluster::Hierarchy> hierarchy_;
+  /// Planner scratch + worker pool reused across every deploy/adapt cycle.
+  opt::PlanWorkspace workspace_;
   advert::Registry registry_;
   std::vector<Active> active_;
   std::vector<net::NodeId> failed_nodes_;

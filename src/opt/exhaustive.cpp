@@ -16,16 +16,12 @@ OptimizeResult ExhaustiveOptimizer::optimize(const query::Query& q) {
   in.units = collect_units(rates, env_.reuse ? env_.registry : nullptr, nullptr);
   in.target = rates.full();
   in.delivery = q.sink;
-  in.sites.reserve(env_.network->node_count());
-  for (net::NodeId n = 0; n < env_.network->node_count(); ++n) {
-    in.sites.push_back(n);
-  }
-  in.sites = restrict_sites(env_, std::move(in.sites));
-  in.dist = [&rt](net::NodeId a, net::NodeId b) { return rt.cost(a, b); };
+  in.sites = all_sites(env_);
+  in.dist = DistanceOracle::routing(rt);
   in.query_id = q.id;
   in.delivery_bytes_rate = delivery_rate_for(q, rates);
 
-  const PlannerResult res = plan_optimal(in);
+  const PlannerResult res = plan_optimal(in, workspace_for(env_));
   OptimizeResult out;
   out.feasible = res.feasible;
   if (!res.feasible) return out;

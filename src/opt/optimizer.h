@@ -24,6 +24,8 @@
 
 namespace iflow::opt {
 
+class PlanWorkspace;
+
 /// Shared, borrowed state every optimizer plans against. All pointers are
 /// non-owning and must outlive the optimizer; `hierarchy` is only required
 /// by the hierarchical algorithms and `registry` only when `reuse` is on.
@@ -46,12 +48,25 @@ struct OptimizerEnv {
   /// (cluster, zone) contains no processing node, the scope falls back to
   /// all of its nodes so planning never becomes infeasible.
   std::vector<net::NodeId> processing_nodes;
+  /// Planner scratch + worker pool shared by every search this environment
+  /// issues. Non-owning; null = the thread-local default workspace (see
+  /// workspace_for).
+  PlanWorkspace* workspace = nullptr;
 };
 
 /// Restricts `sites` to the environment's processing nodes; returns `sites`
 /// unchanged when no restriction is configured or nothing would remain.
 std::vector<net::NodeId> restrict_sites(const OptimizerEnv& env,
                                         std::vector<net::NodeId> sites);
+
+/// Every network node as a candidate site list, already passed through
+/// restrict_sites. The whole-network optimizers (exhaustive, phased,
+/// relaxation snap, random) all start from this set.
+std::vector<net::NodeId> all_sites(const OptimizerEnv& env);
+
+/// The environment's workspace, or the thread-local default when none is
+/// configured.
+PlanWorkspace& workspace_for(const OptimizerEnv& env);
 
 /// Byte rate of the root→sink edge: the raw full-join rate, or the
 /// aggregate output rate when the query aggregates (signalled as -1 when no

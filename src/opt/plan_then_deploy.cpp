@@ -29,18 +29,11 @@ OptimizeResult PlanThenDeployOptimizer::optimize(const query::Query& q) {
     plan = apply_subtree_reuse(std::move(plan), rates, deriveds, q.sink, rt);
   }
 
-  std::vector<net::NodeId> sites;
-  sites.reserve(env_.network->node_count());
-  for (net::NodeId n = 0; n < env_.network->node_count(); ++n) {
-    sites.push_back(n);
-  }
-  sites = restrict_sites(env_, std::move(sites));
-  const DistFn dist = [&rt](net::NodeId a, net::NodeId b) {
-    return rt.cost(a, b);
-  };
+  const std::vector<net::NodeId> sites = all_sites(env_);
   const TreePlacement placement = place_tree_optimal(
-      plan.tree, plan.units, rates, q.sink, sites, dist,
-      delivery_rate_for(q, rates));
+      plan.tree, plan.units, rates, q.sink, sites,
+      DistanceOracle::routing(rt), delivery_rate_for(q, rates),
+      workspace_for(env_));
   IFLOW_CHECK(placement.feasible);
 
   OptimizeResult out;

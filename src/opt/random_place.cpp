@@ -17,11 +17,7 @@ OptimizeResult RandomPlacementOptimizer::optimize(const query::Query& q) {
   const StaticPlan plan = choose_static_plan(rates, bases);
   IFLOW_CHECK(plan.feasible);
 
-  std::vector<net::NodeId> sites;
-  for (net::NodeId n = 0; n < env_.network->node_count(); ++n) {
-    sites.push_back(n);
-  }
-  sites = restrict_sites(env_, std::move(sites));
+  const std::vector<net::NodeId> sites = all_sites(env_);
 
   std::vector<net::NodeId> op_nodes(plan.tree.nodes.size(),
                                     net::kInvalidNode);

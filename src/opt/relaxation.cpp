@@ -103,11 +103,7 @@ OptimizeResult RelaxationOptimizer::optimize(const query::Query& q) {
   }
 
   // Snap operators to (processing-capable) physical nodes.
-  std::vector<net::NodeId> snap_targets;
-  for (net::NodeId n = 0; n < env_.network->node_count(); ++n) {
-    snap_targets.push_back(n);
-  }
-  snap_targets = restrict_sites(env_, std::move(snap_targets));
+  const std::vector<net::NodeId> snap_targets = all_sites(env_);
   std::vector<net::NodeId> op_nodes(tree.nodes.size(), net::kInvalidNode);
   double ops = 0.0;
   for (std::size_t v = 0; v < tree.nodes.size(); ++v) {

@@ -1,0 +1,82 @@
+// Concrete distance oracles for the joint plan+placement search.
+//
+// Every search in the library measures distances one of three ways: actual
+// routing costs (exhaustive search, phased baselines, Bottom-Up level 1),
+// Theorem-1 level-l estimates (per-cluster Top-Down / Bottom-Up steps), or
+// cost-space coordinates (Pietzuch-style relaxation). A DistanceOracle is a
+// small tagged value naming one of those sources, cheap to copy and to call
+// — a switch on the tag instead of the type-erased std::function the old
+// planner paid on every lookup. The planner calls it only while
+// materializing dense unit×site / site×site matrices once per invocation;
+// the DP hot loops read flat arrays.
+//
+// All three sources are (pseudo-)metrics: actual shortest-path costs and
+// Theorem-1 estimates satisfy the triangle inequality, and the cost space
+// is Euclidean.
+#pragma once
+
+#include "cluster/hierarchy.h"
+#include "net/routing.h"
+#include "opt/cost_space.h"
+
+namespace iflow::opt {
+
+class DistanceOracle {
+ public:
+  /// Invalid until assigned from a factory; the planner rejects it.
+  DistanceOracle() = default;
+
+  /// Actual per-byte routing costs.
+  static DistanceOracle routing(const net::RoutingTables& rt) {
+    DistanceOracle o;
+    o.kind_ = Kind::kRouting;
+    o.routing_ = &rt;
+    return o;
+  }
+
+  /// Theorem-1 level-`level` estimate: the actual cost between the nodes'
+  /// level-`level` representatives.
+  static DistanceOracle hierarchy(const cluster::Hierarchy& h, int level) {
+    DistanceOracle o;
+    o.kind_ = Kind::kHierarchy;
+    o.hierarchy_ = &h;
+    o.level_ = level;
+    return o;
+  }
+
+  /// Euclidean distance between embedded coordinates.
+  static DistanceOracle cost_space(const CostSpace& space) {
+    DistanceOracle o;
+    o.kind_ = Kind::kCostSpace;
+    o.space_ = &space;
+    return o;
+  }
+
+  bool valid() const { return kind_ != Kind::kInvalid; }
+
+  double operator()(net::NodeId a, net::NodeId b) const {
+    switch (kind_) {
+      case Kind::kRouting:
+        return routing_->cost(a, b);
+      case Kind::kHierarchy:
+        return hierarchy_->est_cost(a, b, level_);
+      case Kind::kCostSpace:
+        return CostSpace::distance(space_->position(a), space_->position(b));
+      case Kind::kInvalid:
+        break;
+    }
+    detail::check_failed("valid()", __FILE__, __LINE__,
+                         "distance query on an invalid DistanceOracle");
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kInvalid, kRouting, kHierarchy, kCostSpace };
+
+  Kind kind_ = Kind::kInvalid;
+  const net::RoutingTables* routing_ = nullptr;
+  const cluster::Hierarchy* hierarchy_ = nullptr;
+  const CostSpace* space_ = nullptr;
+  int level_ = 0;
+};
+
+}  // namespace iflow::opt

@@ -1,4 +1,4 @@
-// Core joint plan+placement search.
+// Core joint plan+placement search (the search-core layer).
 //
 // plan_optimal() finds, over ALL bushy join trees, ALL ways of covering the
 // target source set with the available leaf units (base streams and reusable
@@ -20,21 +20,26 @@
 // and returns its optimum; tests verify equality with literal enumeration.
 // The *size* of that space, counted with the paper's exhaustive semantics,
 // is returned separately (count_plans) and feeds the Fig 9 series.
+//
+// Mechanically the tables are flat arrays carved from a PlanWorkspace arena
+// and indexed by (compressed subset rank, site); the distance oracle is
+// materialized into dense unit×site / site×site matrices up front so the DP
+// hot loops never indirect through it. The per-site sweep runs on the
+// workspace's thread pool when profitable, with a fixed reduction order per
+// (mask, site) cell — every argmin scans units, splits and relay sites in
+// the same ascending order regardless of thread count, so parallel results
+// are bitwise-identical to the serial ones (the differential fuzzer checks
+// this).
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "net/routing.h"
+#include "opt/search/distance_oracle.h"
+#include "opt/search/workspace.h"
 #include "query/plan.h"
 
 namespace iflow::opt {
-
-/// Distance oracle between physical nodes. Must be a (pseudo-)metric: all
-/// oracles in this library are either actual shortest-path costs or
-/// Theorem-1 level-l estimates, both of which satisfy the triangle
-/// inequality.
-using DistFn = std::function<double(net::NodeId, net::NodeId)>;
 
 struct PlannerInput {
   const query::RateModel* rates = nullptr;
@@ -50,7 +55,9 @@ struct PlannerInput {
   net::NodeId delivery = net::kInvalidNode;
   /// Candidate operator sites (physical node ids).
   std::vector<net::NodeId> sites;
-  DistFn dist;
+  /// Distance source; must be a (pseudo-)metric (all oracles in this
+  /// library are).
+  DistanceOracle dist;
   query::QueryId query_id = 0;
   /// Byte rate of the delivery edge; < 0 = the target's raw rate. Used for
   /// aggregation queries, where the root result is aggregated in place and
@@ -71,7 +78,11 @@ struct PlannerResult {
   double plans_considered = 0.0;
 };
 
-PlannerResult plan_optimal(const PlannerInput& in);
+/// `ws` supplies the DP scratch and worker threads; pass the same workspace
+/// across invocations to amortize allocation. The default is a process-wide
+/// thread-local workspace.
+PlannerResult plan_optimal(const PlannerInput& in,
+                           PlanWorkspace& ws = default_workspace());
 
 /// Exhaustive-semantics search-space size for assembling `target` from
 /// `units` with operators placed on `site_count` sites:
@@ -92,8 +103,9 @@ TreePlacement place_tree_optimal(const query::JoinTree& tree,
                                  const query::RateModel& rates,
                                  net::NodeId delivery,
                                  const std::vector<net::NodeId>& sites,
-                                 const DistFn& dist,
-                                 double delivery_bytes_rate = -1.0);
+                                 const DistanceOracle& dist,
+                                 double delivery_bytes_rate = -1.0,
+                                 PlanWorkspace& ws = default_workspace());
 
 /// Builds a Deployment from an explicit tree, its units and per-internal-op
 /// placements. Unused units are dropped.

@@ -1,0 +1,50 @@
+#include "opt/search/workspace.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace iflow::opt {
+
+namespace {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("IFLOW_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+PlanWorkspace::PlanWorkspace(int threads) {
+  set_threads(threads);
+}
+
+void PlanWorkspace::set_threads(int threads) {
+  threads_ = threads < 0 ? default_thread_count() : (threads < 1 ? 1 : threads);
+  pool_.reset();
+}
+
+ThreadPool& PlanWorkspace::pool() {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_);
+  return *pool_;
+}
+
+void PlanWorkspace::begin(std::size_t bytes) {
+  // Max alignment slack per carve is bounded by alignof(max_align_t); a
+  // small fixed cushion keeps begin() callers honest without per-carve
+  // bookkeeping.
+  bytes += 16 * alignof(std::max_align_t);
+  if (arena_.size() < bytes) arena_.resize(bytes);
+  used_ = 0;
+}
+
+PlanWorkspace& default_workspace() {
+  thread_local PlanWorkspace ws;
+  return ws;
+}
+
+}  // namespace iflow::opt

@@ -1,7 +1,9 @@
 #include "opt/optimizer.h"
 
 #include <algorithm>
+#include <numeric>
 
+#include "opt/search/workspace.h"
 #include "query/rates.h"
 
 namespace iflow::opt {
@@ -17,6 +19,17 @@ std::vector<net::NodeId> restrict_sites(const OptimizerEnv& env,
     }
   }
   return kept.empty() ? sites : kept;
+}
+
+std::vector<net::NodeId> all_sites(const OptimizerEnv& env) {
+  IFLOW_CHECK(env.network != nullptr);
+  std::vector<net::NodeId> sites(env.network->node_count());
+  std::iota(sites.begin(), sites.end(), net::NodeId{0});
+  return restrict_sites(env, std::move(sites));
+}
+
+PlanWorkspace& workspace_for(const OptimizerEnv& env) {
+  return env.workspace != nullptr ? *env.workspace : default_workspace();
 }
 
 double delivery_rate_for(const query::Query& q,

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "advert/registry.h"
-#include "opt/planner.h"
+#include "opt/search/planner.h"
 
 namespace iflow::opt {
 

@@ -31,15 +31,13 @@ int plan_view_recursive(const OptimizerEnv& env, int level,
   in.target = target;
   in.delivery = delivery;
   in.sites = restrict_sites(env, cl.members);
-  in.dist = [&h, level](net::NodeId a, net::NodeId b) {
-    return h.est_cost(a, b, level);
-  };
+  in.dist = DistanceOracle::hierarchy(h, level);
   in.query_id = qid;
   if (delivery != net::kInvalidNode) {
     in.delivery_bytes_rate = delivery_bytes_rate;
   }
 
-  const PlannerResult res = plan_optimal(in);
+  const PlannerResult res = plan_optimal(in, workspace_for(env));
   IFLOW_CHECK_MSG(res.feasible, "view inputs cannot cover the target");
   auto& stat = stats[static_cast<std::size_t>(level - 1)];
   stat.plans += res.plans_considered;

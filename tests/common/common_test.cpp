@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
 #include <sstream>
 
 #include "common/check.h"
 #include "common/prng.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 
 namespace iflow {
 namespace {
@@ -116,6 +119,49 @@ TEST(TextTableTest, AlignsColumnsAndFormats) {
 TEST(TextTableTest, RejectsCellWithoutRow) {
   TextTable t({"a"});
   EXPECT_THROW(t.cell(std::string("x")), CheckError);
+}
+
+TEST(ThreadPoolTest, BlocksCoverRangeExactlyOnce) {
+  for (const int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                std::size_t{64}, std::size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_blocks(n, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReducesSameSumAsSerial) {
+  const std::size_t n = 4096;
+  std::vector<double> data(n);
+  Prng p(29);
+  for (double& d : data) d = p.uniform(0.0, 1.0);
+  const double serial = std::accumulate(data.begin(), data.end(), 0.0);
+
+  ThreadPool pool(4);
+  std::vector<double> out(n, 0.0);
+  pool.parallel_blocks(n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) out[i] = data[i];
+  });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0.0), serial);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int job = 0; job < 200; ++job) {
+    pool.parallel_blocks(17, [&](std::size_t b, std::size_t e) {
+      total.fetch_add(static_cast<long>(e - b));
+    });
+  }
+  EXPECT_EQ(total.load(), 200L * 17L);
 }
 
 }  // namespace

@@ -20,6 +20,11 @@
 // Runs as a ctest with a small budget; soak with
 //   ./tests/differential_fuzz --iterations 20000 --seed 1
 // Exit status is the number of failing iterations (0 = clean).
+//
+// --threads N sizes the shared PlanWorkspace's pool; --digest prints one
+// hexfloat cost line per (seed, optimizer), so CI can diff a --threads 1
+// run against a --threads N run and assert the parallel site sweep is
+// bitwise-identical to the serial one.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +42,7 @@
 #include "opt/in_network.h"
 #include "opt/plan_then_deploy.h"
 #include "opt/relaxation.h"
+#include "opt/search/planner.h"
 #include "opt/top_down.h"
 #include "query/rates.h"
 #include "verify/validator.h"
@@ -47,7 +53,9 @@ namespace {
 struct Options {
   std::uint64_t seed = 20070806;
   int iterations = 500;
+  int threads = 1;
   bool verbose = false;
+  bool digest = false;
 };
 
 /// One self-contained random instance. Everything is derived from the seed,
@@ -69,10 +77,12 @@ struct Instance {
   // so Instance needs no default-constructible Hierarchy.
   cluster::Hierarchy make(std::uint64_t seed) {
     Prng prng(seed);
+    // Sizes straddle the planner's parallel-sweep threshold (32 sites) so
+    // the --threads digest comparison exercises both code paths.
     net::TransitStubParams p;
-    p.transit_count = 1 + static_cast<int>(prng.index(2));
-    p.stub_domains_per_transit = 1 + static_cast<int>(prng.index(2));
-    p.stub_domain_size = 2 + static_cast<int>(prng.index(3));
+    p.transit_count = 1 + static_cast<int>(prng.index(3));
+    p.stub_domains_per_transit = 1 + static_cast<int>(prng.index(3));
+    p.stub_domain_size = 2 + static_cast<int>(prng.index(5));
     net = net::make_transit_stub(p, prng);
     rt = net::RoutingTables::build(net);
 
@@ -199,7 +209,7 @@ struct IterationLog {
 };
 
 void check_instance(std::uint64_t seed, const Options& opt,
-                    IterationLog& log) {
+                    opt::PlanWorkspace& ws, IterationLog& log) {
   Instance inst(seed);
   opt::OptimizerEnv env;
   env.catalog = &inst.catalog;
@@ -208,8 +218,15 @@ void check_instance(std::uint64_t seed, const Options& opt,
   env.hierarchy = &inst.hierarchy;
   env.reuse = false;
   env.processing_nodes = inst.processing_nodes;
+  env.workspace = &ws;
 
   const std::vector<AlgRun> runs = run_all(env, inst.query);
+  if (opt.digest) {
+    for (const AlgRun& run : runs) {
+      std::cout << "digest " << seed << ' ' << run.name << ' ' << std::hexfloat
+                << run.result.actual_cost << std::defaultfloat << '\n';
+    }
+  }
   for (const AlgRun& run : runs) {
     if (!run.result.feasible) {
       log.fail(run.name + ": infeasible");
@@ -267,9 +284,8 @@ void check_instance(std::uint64_t seed, const Options& opt,
       }
       const opt::TreePlacement tp = opt::place_tree_optimal(
           tree_of(bu.deployment), bu.deployment.units, rates, inst.query.sink,
-          sites,
-          [&inst](net::NodeId a, net::NodeId b) { return inst.rt.cost(a, b); },
-          opt::delivery_rate_for(inst.query, rates));
+          sites, opt::DistanceOracle::routing(inst.rt),
+          opt::delivery_rate_for(inst.query, rates), ws);
       if (!tp.feasible) {
         log.fail("bottom-up anchor placement infeasible");
       } else if (bu.actual_cost < tp.cost - tol * (1.0 + tp.cost)) {
@@ -287,7 +303,7 @@ void check_instance(std::uint64_t seed, const Options& opt,
   // and must cost no more than planning without reuse.
   if (seed % 2 == 0) {
     advert::Registry registry;
-    opt::OptimizerEnv reuse_env = env;
+    opt::OptimizerEnv reuse_env = env;  // inherits the shared workspace
     reuse_env.reuse = true;
     reuse_env.registry = &registry;
     opt::Session session(reuse_env,
@@ -328,6 +344,7 @@ void check_instance(std::uint64_t seed, const Options& opt,
     replay_env.hierarchy = &replay.hierarchy;
     replay_env.reuse = false;
     replay_env.processing_nodes = replay.processing_nodes;
+    replay_env.workspace = &ws;
     const std::vector<AlgRun> reruns = run_all(replay_env, replay.query);
     for (std::size_t i = 0; i < runs.size(); ++i) {
       const bool same =
@@ -349,12 +366,13 @@ void check_instance(std::uint64_t seed, const Options& opt,
 }
 
 int run(const Options& opt) {
+  opt::PlanWorkspace ws(opt.threads);
   int failed_iterations = 0;
   for (int i = 0; i < opt.iterations; ++i) {
     const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
     IterationLog log{seed};
     try {
-      check_instance(seed, opt, log);
+      check_instance(seed, opt, ws, log);
     } catch (const std::exception& e) {
       log.fail(std::string("exception: ") + e.what());
     }
@@ -397,11 +415,15 @@ int main(int argc, char** argv) {
       opt.iterations = static_cast<int>(numeric(value()));
     } else if (arg == "--seed") {
       opt.seed = numeric(value());
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<int>(numeric(value()));
     } else if (arg == "--verbose") {
       opt.verbose = true;
+    } else if (arg == "--digest") {
+      opt.digest = true;
     } else {
       std::cerr << "usage: differential_fuzz [--iterations N] [--seed S] "
-                   "[--verbose]\n";
+                   "[--threads T] [--digest] [--verbose]\n";
       return 2;
     }
   }

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "common/prng.h"
 #include "net/gtitm.h"
 
@@ -79,6 +83,60 @@ TEST(RoutingTest, TriangleInequalityHolds) {
       for (NodeId c = 0; c < n; ++c) {
         EXPECT_LE(rt.cost(a, c), rt.cost(a, b) + rt.cost(b, c) + 1e-9);
       }
+    }
+  }
+}
+
+// Per-byte cost of the cheapest (a, b) physical link — the one Dijkstra
+// relaxes when the generator emits parallel links. Fails the test if absent.
+double link_cost(const Network& net, NodeId a, NodeId b) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const std::uint32_t li : net.incident(a)) {
+    const Link& l = net.links()[li];
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+      best = std::min(best, l.cost_per_byte);
+    }
+  }
+  EXPECT_TRUE(std::isfinite(best)) << "no link between " << a << " and " << b;
+  return best;
+}
+
+TEST(RoutingTest, PathEdgeCostsSumToCostMatrix) {
+  Prng prng(55);
+  const Network net = make_transit_stub(TransitStubParams{}, prng);
+  const RoutingTables rt = RoutingTables::build(net);
+  const NodeId n = static_cast<NodeId>(std::min<std::size_t>(net.node_count(), 24));
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      const std::vector<NodeId> path = rt.cost_path(a, b);
+      ASSERT_GE(path.size(), 1u);
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+      // The walk may sum the edges in a different order than Dijkstra's
+      // relaxation did, so allow rounding slack but nothing more.
+      double sum = 0.0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        sum += link_cost(net, path[i], path[i + 1]);
+      }
+      EXPECT_NEAR(sum, rt.cost(a, b), 1e-12 * (1.0 + rt.cost(a, b)))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(RoutingTest, NextHopWalkReconstructsCostPath) {
+  Prng prng(56);
+  const Network net = make_transit_stub(TransitStubParams{}, prng);
+  const RoutingTables rt = RoutingTables::build(net);
+  const NodeId n = static_cast<NodeId>(std::min<std::size_t>(net.node_count(), 24));
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      std::vector<NodeId> walked = {a};
+      while (walked.back() != b) {
+        walked.push_back(rt.next_hop(walked.back(), b));
+        ASSERT_LE(walked.size(), net.node_count()) << "next_hop cycle";
+      }
+      EXPECT_EQ(walked, rt.cost_path(a, b)) << "a=" << a << " b=" << b;
     }
   }
 }

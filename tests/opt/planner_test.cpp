@@ -1,4 +1,4 @@
-#include "opt/planner.h"
+#include "opt/search/planner.h"
 
 #include <gtest/gtest.h>
 
@@ -78,7 +78,8 @@ double brute_force_best(const std::vector<LeafUnit>& units,
                         const query::RateModel& rates, Mask target,
                         net::NodeId delivery,
                         const std::vector<net::NodeId>& sites,
-                        const DistFn& dist, double* examined = nullptr) {
+                        const DistanceOracle& dist,
+                        double* examined = nullptr) {
   double best = std::numeric_limits<double>::infinity();
   double count = 0.0;
   // Enumerate exact covers recursively.
@@ -182,7 +183,7 @@ TEST_P(PlannerVsBruteForceTest, DpEqualsLiteralEnumeration) {
   in.target = rates.full();
   in.delivery = qs.q.sink;
   for (net::NodeId n = 0; n < f.net.node_count(); ++n) in.sites.push_back(n);
-  in.dist = [&f](net::NodeId a, net::NodeId b) { return f.rt.cost(a, b); };
+  in.dist = DistanceOracle::routing(f.rt);
 
   const PlannerResult res = plan_optimal(in);
   ASSERT_TRUE(res.feasible);
@@ -226,7 +227,7 @@ TEST(PlannerTest, ReusableDerivedUnitBeatsRecomputation) {
   in.target = rates.full();
   in.delivery = qs.q.sink;
   for (net::NodeId n = 0; n < f.net.node_count(); ++n) in.sites.push_back(n);
-  in.dist = [&f](net::NodeId a, net::NodeId b) { return f.rt.cost(a, b); };
+  in.dist = DistanceOracle::routing(f.rt);
 
   const PlannerResult with_reuse = plan_optimal(in);
   in.units.pop_back();
@@ -257,7 +258,7 @@ TEST(PlannerTest, SingleSourceQueryNeedsNoOperators) {
   in.target = rates.full();
   in.delivery = qs.q.sink;
   for (net::NodeId n = 0; n < f.net.node_count(); ++n) in.sites.push_back(n);
-  in.dist = [&f](net::NodeId a, net::NodeId b) { return f.rt.cost(a, b); };
+  in.dist = DistanceOracle::routing(f.rt);
 
   const PlannerResult res = plan_optimal(in);
   ASSERT_TRUE(res.feasible);
@@ -280,7 +281,7 @@ TEST(PlannerTest, NoDeliveryLeavesResultAtProducer) {
   in.target = rates.full();
   in.delivery = net::kInvalidNode;
   for (net::NodeId n = 0; n < f.net.node_count(); ++n) in.sites.push_back(n);
-  in.dist = [&f](net::NodeId a, net::NodeId b) { return f.rt.cost(a, b); };
+  in.dist = DistanceOracle::routing(f.rt);
 
   const PlannerResult res = plan_optimal(in);
   ASSERT_TRUE(res.feasible);
@@ -305,7 +306,7 @@ TEST(PlannerTest, InfeasibleWhenUnitsCannotCoverTarget) {
   in.target = rates.full();
   in.delivery = qs.q.sink;
   for (net::NodeId n = 0; n < f.net.node_count(); ++n) in.sites.push_back(n);
-  in.dist = [&f](net::NodeId a, net::NodeId b) { return f.rt.cost(a, b); };
+  in.dist = DistanceOracle::routing(f.rt);
 
   const PlannerResult res = plan_optimal(in);
   EXPECT_FALSE(res.feasible);
@@ -322,9 +323,7 @@ TEST(PlannerTest, PlaceTreeOptimalMatchesPlanOptimalOnFixedShape) {
 
   std::vector<net::NodeId> sites;
   for (net::NodeId n = 0; n < f.net.node_count(); ++n) sites.push_back(n);
-  const DistFn dist = [&f](net::NodeId a, net::NodeId b) {
-    return f.rt.cost(a, b);
-  };
+  const DistanceOracle dist = DistanceOracle::routing(f.rt);
 
   const auto trees = query::enumerate_join_trees({0b01, 0b10});
   ASSERT_EQ(trees.size(), 1u);
@@ -353,6 +352,82 @@ TEST(PlannerTest, CountPlansMatchesLemma1ForBaseUnits) {
   const auto units = base_units(rates);
   const double plans = count_plans(units, rates.full(), 6);
   EXPECT_DOUBLE_EQ(plans, 15.0 * std::pow(6.0, 3));
+}
+
+void expect_identical(const PlannerResult& a, const PlannerResult& b) {
+  ASSERT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.cost, b.cost);  // bitwise, not approximate
+  EXPECT_EQ(a.plans_considered, b.plans_considered);
+  EXPECT_EQ(a.unit_sources, b.unit_sources);
+  ASSERT_EQ(a.deployment.ops.size(), b.deployment.ops.size());
+  for (std::size_t i = 0; i < a.deployment.ops.size(); ++i) {
+    EXPECT_EQ(a.deployment.ops[i].node, b.deployment.ops[i].node);
+    EXPECT_EQ(a.deployment.ops[i].mask, b.deployment.ops[i].mask);
+    EXPECT_EQ(a.deployment.ops[i].left, b.deployment.ops[i].left);
+    EXPECT_EQ(a.deployment.ops[i].right, b.deployment.ops[i].right);
+  }
+  EXPECT_EQ(a.deployment.sink, b.deployment.sink);
+}
+
+TEST(PlannerTest, ParallelSweepBitwiseIdenticalToSerial) {
+  // Large enough that the parallel path actually engages (>= 32 sites).
+  for (const std::uint64_t seed : {101u, 202u, 303u}) {
+    Fixture f(48, seed);
+    Prng prng(seed * 13 + 5);
+    QuerySetup qs(4, f.net, prng);
+    query::RateModel rates(qs.catalog, qs.q);
+
+    PlannerInput in;
+    in.rates = &rates;
+    in.units = base_units(rates);
+    in.target = rates.full();
+    in.delivery = qs.q.sink;
+    for (net::NodeId n = 0; n < f.net.node_count(); ++n) in.sites.push_back(n);
+    in.dist = DistanceOracle::routing(f.rt);
+
+    PlanWorkspace serial(1);
+    PlanWorkspace parallel(4);
+    const PlannerResult a = plan_optimal(in, serial);
+    const PlannerResult b = plan_optimal(in, parallel);
+    expect_identical(a, b);
+  }
+}
+
+TEST(PlannerTest, WorkspaceReuseAcrossInvocationsIsTransparent) {
+  PlanWorkspace ws(2);
+  // Alternate between a large and a small instance so the arena is carved
+  // at different high-water marks; results must match fresh workspaces.
+  for (const auto& [nodes, k, seed] :
+       {std::tuple{40, 4, 71u}, std::tuple{6, 3, 72u}, std::tuple{36, 4, 73u}}) {
+    Fixture f(nodes, seed);
+    Prng prng(seed + 9);
+    QuerySetup qs(k, f.net, prng);
+    query::RateModel rates(qs.catalog, qs.q);
+
+    PlannerInput in;
+    in.rates = &rates;
+    in.units = base_units(rates);
+    in.target = rates.full();
+    in.delivery = qs.q.sink;
+    for (net::NodeId n = 0; n < f.net.node_count(); ++n) in.sites.push_back(n);
+    in.dist = DistanceOracle::routing(f.rt);
+
+    PlanWorkspace fresh(2);
+    expect_identical(plan_optimal(in, ws), plan_optimal(in, fresh));
+  }
+  EXPECT_GT(ws.capacity(), 0u);
+}
+
+TEST(DistanceOracleTest, RoutingOracleMatchesRoutingTables) {
+  Fixture f(8, 91);
+  const DistanceOracle d = DistanceOracle::routing(f.rt);
+  ASSERT_TRUE(d.valid());
+  for (net::NodeId a = 0; a < f.net.node_count(); ++a) {
+    for (net::NodeId b = 0; b < f.net.node_count(); ++b) {
+      EXPECT_EQ(d(a, b), f.rt.cost(a, b));
+    }
+  }
+  EXPECT_FALSE(DistanceOracle{}.valid());
 }
 
 }  // namespace

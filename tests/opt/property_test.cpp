@@ -14,7 +14,7 @@
 #include "cluster/hierarchy.h"
 #include "net/gtitm.h"
 #include "opt/bottom_up.h"
-#include "opt/planner.h"
+#include "opt/search/planner.h"
 #include "query/rates.h"
 
 namespace iflow::opt {
@@ -83,7 +83,8 @@ struct Instance {
 /// planner_test's, kept independent on purpose).
 double brute_force(const std::vector<LeafUnit>& units,
                    const query::RateModel& rates, net::NodeId delivery,
-                   const std::vector<net::NodeId>& sites, const DistFn& dist) {
+                   const std::vector<net::NodeId>& sites,
+                   const DistanceOracle& dist) {
   double best = std::numeric_limits<double>::infinity();
   std::vector<int> cover;
   auto covers = [&](auto&& self, Mask remaining) -> void {
@@ -129,9 +130,7 @@ TEST_P(PlannerPropertyTest, DpMatchesBruteForceUnderLevelEstimates) {
   for (net::NodeId n = 0; n < inst.net.node_count(); ++n) sites.push_back(n);
 
   for (int level = 1; level <= h.height(); ++level) {
-    const DistFn dist = [&h, level](net::NodeId a, net::NodeId b) {
-      return h.est_cost(a, b, level);
-    };
+    const DistanceOracle dist = DistanceOracle::hierarchy(h, level);
     PlannerInput in;
     in.rates = &rates;
     in.units = inst.units;
@@ -236,7 +235,7 @@ TEST_P(BottomUpBoundTest, AnchoredByOptimalPlacementOfItsOwnTree) {
   for (net::NodeId n = 0; n < net.node_count(); ++n) sites.push_back(n);
   const TreePlacement tp = place_tree_optimal(
       tree, res.deployment.units, rates, q.sink, sites,
-      [&rt](net::NodeId a, net::NodeId b) { return rt.cost(a, b); });
+      DistanceOracle::routing(rt));
   ASSERT_TRUE(tp.feasible);
   EXPECT_GE(res.actual_cost, tp.cost - 1e-6 * (1.0 + tp.cost));
 }

@@ -43,7 +43,7 @@ struct Rig {
     in.target = target;
     in.delivery = delivery;
     for (net::NodeId n = 0; n < net.node_count(); ++n) in.sites.push_back(n);
-    in.dist = [this](net::NodeId a, net::NodeId b) { return rt.cost(a, b); };
+    in.dist = DistanceOracle::routing(rt);
     return plan_optimal(in);
   }
 };
