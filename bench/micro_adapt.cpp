@@ -1,0 +1,146 @@
+// Adaptation-latency microbenchmark: how long does the middleware take to
+// absorb a fault or a load change once a workload is deployed?
+//
+// For each Fig-9-class network size the harness deploys a fixed workload,
+// then repeatedly runs complete fault cycles — fail_node + restore_node,
+// crash_node + restore_node, rate-spike + adapt — timing every call, and a
+// single post-churn reoptimize() pass. Medians land in BENCH_adapt.json
+// (machine-readable, uploaded by the CI perf-smoke job alongside
+// BENCH_planner.json). The workspace is pinned to one planner thread so the
+// numbers track the algorithms, not the machine's core count.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/middleware.h"
+#include "net/gtitm.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace iflow;
+
+constexpr int kSamples = 9;
+constexpr int kQueries = 8;
+constexpr int kStreams = 12;
+constexpr int kMaxCs = 32;
+
+template <typename F>
+double time_ms(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double median(std::vector<double> v) {
+  IFLOW_CHECK(!v.empty());
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct SizeRow {
+  std::size_t nodes = 0;
+  double fail_node_ms = 0.0;
+  double restore_failed_ms = 0.0;
+  double crash_node_ms = 0.0;
+  double restore_crashed_ms = 0.0;
+  double adapt_ms = 0.0;
+  double reoptimize_ms = 0.0;
+};
+
+SizeRow measure(int size) {
+  Prng net_prng(11 + static_cast<std::uint64_t>(size));
+  net::Network net = net::make_transit_stub(net::scale_to(size), net_prng);
+
+  workload::WorkloadParams wp;
+  wp.num_streams = kStreams;
+  wp.min_joins = 3;  // 4-source queries, as in the Fig 9 series
+  wp.max_joins = 3;
+  Prng wl_prng(12);
+  workload::Workload wl = workload::make_workload(net, wp, kQueries, wl_prng);
+
+  engine::Middleware mw(net, wl.catalog, kMaxCs,
+                        engine::Algorithm::kTopDown, /*seed=*/13);
+  mw.workspace().set_threads(1);
+  for (const query::Query& q : wl.queries) mw.deploy(q);
+
+  SizeRow row;
+  row.nodes = net.node_count();
+  Prng pick(17);
+
+  std::vector<double> fail_ms, restore_f_ms, crash_ms, restore_c_ms, adapt_ms;
+  for (int s = 0; s < kSamples; ++s) {
+    const net::NodeId victim =
+        static_cast<net::NodeId>(pick.index(net.node_count()));
+    fail_ms.push_back(time_ms([&] { mw.fail_node(victim); }));
+    restore_f_ms.push_back(time_ms([&] { mw.restore_node(victim); }));
+  }
+  for (int s = 0; s < kSamples; ++s) {
+    const net::NodeId victim =
+        static_cast<net::NodeId>(pick.index(net.node_count()));
+    crash_ms.push_back(time_ms([&] { mw.crash_node(victim); }));
+    restore_c_ms.push_back(time_ms([&] { mw.restore_node(victim); }));
+  }
+  for (int s = 0; s < kSamples; ++s) {
+    const query::StreamId stream =
+        static_cast<query::StreamId>(pick.index(mw.catalog().stream_count()));
+    const double base = mw.catalog().stream(stream).tuple_rate;
+    mw.set_stream_rate(stream, base * 3.0);
+    adapt_ms.push_back(time_ms([&] { mw.adapt(); }));
+    mw.set_stream_rate(stream, base);
+    mw.adapt();  // settle back (untimed)
+  }
+  row.fail_node_ms = median(fail_ms);
+  row.restore_failed_ms = median(restore_f_ms);
+  row.crash_node_ms = median(crash_ms);
+  row.restore_crashed_ms = median(restore_c_ms);
+  row.adapt_ms = median(adapt_ms);
+  row.reoptimize_ms = time_ms([&] { mw.reoptimize(); });
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<SizeRow>& rows) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"workload\": {\"queries\": " << kQueries
+      << ", \"streams\": " << kStreams << ", \"sources_per_query\": 4"
+      << ", \"max_cs\": " << kMaxCs << ", \"samples\": " << kSamples
+      << ", \"threads\": 1},\n";
+  out << "  \"sizes\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SizeRow& r = rows[i];
+    out << "    {\"nodes\": " << r.nodes
+        << ", \"fail_node_ms\": " << r.fail_node_ms
+        << ", \"restore_failed_ms\": " << r.restore_failed_ms
+        << ", \"crash_node_ms\": " << r.crash_node_ms
+        << ", \"restore_crashed_ms\": " << r.restore_crashed_ms
+        << ", \"adapt_ms\": " << r.adapt_ms
+        << ", \"reoptimize_ms\": " << r.reoptimize_ms << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> sizes = {128, 256, 512};
+  std::vector<SizeRow> rows;
+  for (int size : sizes) {
+    rows.push_back(measure(size));
+    const SizeRow& r = rows.back();
+    std::cout << r.nodes << " nodes: fail_node " << r.fail_node_ms
+              << " ms, crash_node " << r.crash_node_ms << " ms, adapt "
+              << r.adapt_ms << " ms, reoptimize " << r.reoptimize_ms
+              << " ms (medians of " << kSamples << ")\n";
+  }
+  write_json("BENCH_adapt.json", rows);
+  std::cout << "wrote BENCH_adapt.json\n";
+  return 0;
+}

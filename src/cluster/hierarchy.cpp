@@ -118,9 +118,20 @@ double Hierarchy::d(int l) const {
   return d_[static_cast<std::size_t>(l - 1)];
 }
 
+bool Hierarchy::contains(net::NodeId n) const {
+  return n < node_count_ && rep_[0][n] != net::kInvalidNode;
+}
+
 double Hierarchy::est_cost(net::NodeId a, net::NodeId b, int l) const {
   IFLOW_CHECK(rt_ != nullptr);
-  return rt_->cost(representative(a, l), representative(b, l));
+  IFLOW_CHECK(l >= 1 && l <= height());
+  IFLOW_CHECK(a < node_count_ && b < node_count_);
+  const net::NodeId ra = rep_[static_cast<std::size_t>(l - 1)][a];
+  const net::NodeId rb = rep_[static_cast<std::size_t>(l - 1)][b];
+  if (ra == net::kInvalidNode || rb == net::kInvalidNode) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return rt_->cost(ra, rb);
 }
 
 const std::vector<net::NodeId>& Hierarchy::underlying(net::NodeId coord,

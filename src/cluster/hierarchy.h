@@ -58,6 +58,10 @@ class Hierarchy {
   /// 1) == n; at higher levels it is the coordinator chain.
   net::NodeId representative(net::NodeId n, int l) const;
 
+  /// True when `n` currently participates in the hierarchy (false for ids
+  /// never admitted or removed by remove_node — e.g. crashed nodes).
+  bool contains(net::NodeId n) const;
+
   /// Index into level(l) of the cluster containing level-l node `member`.
   std::size_t cluster_of(net::NodeId member, int l) const;
 
@@ -67,7 +71,9 @@ class Hierarchy {
 
   /// Level-l estimate of the traversal cost between physical nodes a and b:
   /// the actual cost between their level-l representatives. By Theorem 1,
-  /// actual_cost(a,b) <= est_cost(a,b,l) + sum_{i<l} 2 d(i).
+  /// actual_cost(a,b) <= est_cost(a,b,l) + sum_{i<l} 2 d(i). Nodes that are
+  /// not (or no longer) in the hierarchy estimate at +inf, so planners
+  /// naturally price failed hosts out instead of tripping an assertion.
   double est_cost(net::NodeId a, net::NodeId b, int l) const;
 
   /// Physical nodes in the subtree under level-l node `coord` (for l == 1,
@@ -84,6 +90,12 @@ class Hierarchy {
   /// Runtime departure: removes a physical node; if it coordinated any
   /// cluster a replacement is elected and the promotion chain repaired.
   void remove_node(net::NodeId n, const net::RoutingTables& rt);
+
+  /// Re-derives lookup tables (d(l), representatives, underlying sets)
+  /// against a freshly built routing snapshot. Call whenever the routing
+  /// tables the hierarchy was built against are rebuilt — the hierarchy
+  /// keeps a non-owning pointer to them.
+  void refresh(const net::RoutingTables& rt) { rebuild_derived(rt); }
 
   /// Internal consistency check (partitioning, coordinator membership,
   /// promotion chain); used by tests and after maintenance operations.

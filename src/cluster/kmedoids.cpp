@@ -36,7 +36,10 @@ std::vector<std::vector<std::uint32_t>> assign_with_capacity(
     for (std::size_t c = 0; c < medoids.size(); ++c) {
       if (clusters[c].size() >= capacity) continue;
       const double d = dist(p.item, medoids[c]);
-      if (d < best) {
+      // `chosen == medoids.size()` keeps the first cluster with room even
+      // when every distance is infinite (the item is partitioned away from
+      // all medoids); any finite distance then beats the fallback.
+      if (d < best || chosen == medoids.size()) {
         best = d;
         chosen = c;
       }

@@ -1,0 +1,305 @@
+#include "engine/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "verify/validator.h"
+
+namespace iflow::engine {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+const char* to_string(ChaosEventKind k) {
+  switch (k) {
+    case ChaosEventKind::kCrashNode: return "crash-node";
+    case ChaosEventKind::kFailNode: return "fail-node";
+    case ChaosEventKind::kRestoreNode: return "restore-node";
+    case ChaosEventKind::kFailLink: return "fail-link";
+    case ChaosEventKind::kRestoreLink: return "restore-link";
+    case ChaosEventKind::kRateSpike: return "rate-spike";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(const net::Network& net,
+                             const query::Catalog& catalog,
+                             const ChaosConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), prng_(seed), node_count_(net.node_count()) {
+  IFLOW_CHECK(node_count_ >= 2);
+  // Distinct endpoint pairs: Network::fail_link downs every parallel (a, b)
+  // link at once, so the injector models link state per pair.
+  std::unordered_set<std::uint64_t> seen;
+  for (const net::Link& l : net.links()) {
+    const net::NodeId a = std::min(l.a, l.b);
+    const net::NodeId b = std::max(l.a, l.b);
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    if (seen.insert(key).second) link_pairs_.emplace_back(a, b);
+  }
+  for (query::StreamId s = 0;
+       s < static_cast<query::StreamId>(catalog.stream_count()); ++s) {
+    streams_.push_back(s);
+    base_rates_.push_back(catalog.stream(s).tuple_rate);
+  }
+}
+
+ChaosEvent FaultInjector::next() {
+  ChaosEvent e;
+  const bool anything_down = !down_nodes_.empty() || !down_links_.empty();
+
+  if (!streams_.empty() && prng_.chance(cfg_.spike_probability)) {
+    e.kind = ChaosEventKind::kRateSpike;
+    const std::size_t i = prng_.index(streams_.size());
+    e.stream = streams_[i];
+    e.rate = base_rates_[i] * prng_.uniform(0.25, 4.0);
+    return e;
+  }
+
+  // Never take down more than half the nodes: the hierarchy keeps a
+  // working quorum and planners always have somewhere to place operators.
+  const bool node_budget =
+      down_nodes_.size() <
+          static_cast<std::size_t>(std::max(cfg_.max_down_nodes, 0)) &&
+      (down_nodes_.size() + 1) * 2 <= node_count_;
+  const bool link_budget =
+      down_links_.size() <
+          static_cast<std::size_t>(std::max(cfg_.max_down_links, 0)) &&
+      down_links_.size() < link_pairs_.size();
+  const bool can_fault = node_budget || link_budget;
+
+  if (anything_down && (prng_.chance(cfg_.restore_bias) || !can_fault)) {
+    const std::size_t pool = down_nodes_.size() + down_links_.size();
+    const std::size_t pick = prng_.index(pool);
+    if (pick < down_nodes_.size()) {
+      e.kind = ChaosEventKind::kRestoreNode;
+      e.a = down_nodes_[pick];
+      down_nodes_.erase(down_nodes_.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const std::size_t li = pick - down_nodes_.size();
+      e.kind = ChaosEventKind::kRestoreLink;
+      e.a = down_links_[li].first;
+      e.b = down_links_[li].second;
+      down_links_.erase(down_links_.begin() +
+                        static_cast<std::ptrdiff_t>(li));
+    }
+    return e;
+  }
+
+  if (can_fault) {
+    const bool pick_node =
+        node_budget && (!link_budget || prng_.chance(0.5));
+    if (pick_node) {
+      std::vector<net::NodeId> up;
+      for (net::NodeId n = 0; n < static_cast<net::NodeId>(node_count_);
+           ++n) {
+        if (std::find(down_nodes_.begin(), down_nodes_.end(), n) ==
+            down_nodes_.end()) {
+          up.push_back(n);
+        }
+      }
+      e.kind = prng_.chance(0.5) ? ChaosEventKind::kCrashNode
+                                 : ChaosEventKind::kFailNode;
+      e.a = prng_.pick(up);
+      down_nodes_.push_back(e.a);
+      return e;
+    }
+    std::vector<std::pair<net::NodeId, net::NodeId>> up;
+    for (const auto& p : link_pairs_) {
+      if (std::find(down_links_.begin(), down_links_.end(), p) ==
+          down_links_.end()) {
+        up.push_back(p);
+      }
+    }
+    const auto& p = prng_.pick(up);
+    e.kind = ChaosEventKind::kFailLink;
+    e.a = p.first;
+    e.b = p.second;
+    down_links_.push_back(p);
+    return e;
+  }
+
+  // Caps reached with nothing down can only happen with zero budgets;
+  // degrade to a spike (or a no-op restore-less spike with rate kept).
+  IFLOW_CHECK_MSG(!streams_.empty(),
+                  "chaos config leaves no applicable event");
+  e.kind = ChaosEventKind::kRateSpike;
+  const std::size_t i = prng_.index(streams_.size());
+  e.stream = streams_[i];
+  e.rate = base_rates_[i] * prng_.uniform(0.25, 4.0);
+  return e;
+}
+
+namespace {
+
+/// Validates every active deployment. Freshly re-planned queries (the ids
+/// in `replanned`) get the full semantic + cost pass; untouched ones get
+/// the structural + placement pass only (their recorded unit rates may
+/// legitimately predate a rate spike).
+std::size_t validate_actives(Middleware& mw,
+                             const std::unordered_set<query::QueryId>& replanned,
+                             std::string* first_detail) {
+  opt::OptimizerEnv env = mw.planning_env();
+  std::size_t violations = 0;
+  for (const Middleware::ActiveView& v : mw.active_views()) {
+    verify::ValidateOptions vopts;
+    if (replanned.count(v.query->id) > 0) {
+      vopts.query = v.query;
+      vopts.planned_cost = v.planned_cost;
+    }
+    const std::vector<verify::Violation> found =
+        verify::validate(*v.deployment, env, vopts);
+    if (!found.empty() && first_detail != nullptr && first_detail->empty()) {
+      std::ostringstream os;
+      os << "query " << v.query->id << ": " << verify::describe(found);
+      *first_detail = os.str();
+    }
+    violations += found.size();
+  }
+  return violations;
+}
+
+std::unordered_set<query::QueryId> replanned_ids(
+    const std::vector<Redeployment>& reds) {
+  std::unordered_set<query::QueryId> out;
+  for (const Redeployment& r : reds) {
+    if (r.outcome == Outcome::kMigrated || r.outcome == Outcome::kResumed) {
+      out.insert(r.query);
+    }
+  }
+  return out;
+}
+
+void digest_line(std::ostringstream& os, std::size_t step,
+                 const ChaosEvent& e, const Middleware& mw,
+                 double total_cost, std::size_t violations) {
+  os << "step " << step << ' ' << to_string(e.kind) << ' ';
+  if (e.kind == ChaosEventKind::kRateSpike) {
+    os << 's' << e.stream << ' ' << std::hexfloat << e.rate
+       << std::defaultfloat;
+  } else {
+    os << e.a;
+    if (e.b != net::kInvalidNode) os << '-' << e.b;
+  }
+  os << " cost " << std::hexfloat << total_cost << std::defaultfloat
+     << " active " << mw.active_queries() << " suspended "
+     << mw.suspended_queries() << " viol " << violations << '\n';
+}
+
+}  // namespace
+
+ChaosReport run_churn(net::Network net, query::Catalog catalog,
+                      const std::vector<query::Query>& queries, int max_cs,
+                      Algorithm algorithm, std::uint64_t seed,
+                      const ChaosConfig& cfg) {
+  ChaosReport report;
+  std::ostringstream digest;
+
+  Middleware mw(net, catalog, max_cs, algorithm, seed, cfg.drift_threshold);
+  mw.workspace().set_threads(cfg.threads);
+  for (const query::Query& q : queries) mw.deploy(q);
+
+  FaultInjector inj(net, catalog, cfg, seed ^ 0xC4A05E7A11DEADULL);
+
+  for (int i = 0; i < cfg.events; ++i) {
+    ChaosStep step;
+    step.event = inj.next();
+    const ChaosEvent& e = step.event;
+    switch (e.kind) {
+      case ChaosEventKind::kCrashNode:
+        step.redeployments = mw.crash_node(e.a);
+        break;
+      case ChaosEventKind::kFailNode:
+        step.redeployments = mw.fail_node(e.a);
+        break;
+      case ChaosEventKind::kRestoreNode:
+        step.redeployments = mw.restore_node(e.a);
+        break;
+      case ChaosEventKind::kFailLink:
+        step.redeployments = mw.fail_link(e.a, e.b);
+        break;
+      case ChaosEventKind::kRestoreLink:
+        step.redeployments = mw.restore_link(e.a, e.b);
+        break;
+      case ChaosEventKind::kRateSpike:
+        mw.set_stream_rate(e.stream, e.rate);
+        step.redeployments = mw.adapt();
+        break;
+    }
+    step.violations = validate_actives(mw, replanned_ids(step.redeployments),
+                                       &step.violation_detail);
+    if (!step.violation_detail.empty() && report.violation_detail.empty()) {
+      report.violation_detail = step.violation_detail;
+    }
+    step.active = mw.active_queries();
+    step.suspended = mw.suspended_queries();
+    step.total_cost = mw.total_current_cost();
+    report.violations += step.violations;
+    digest_line(digest, static_cast<std::size_t>(i), e, mw, step.total_cost,
+                step.violations);
+    report.steps.push_back(std::move(step));
+  }
+
+  // Full restoration: bring every link pair and node back, then adapt
+  // until quiescent so the suspended queue drains and drifted deployments
+  // settle. Each restore_* resets the resume-attempt budgets. Validation
+  // runs after every call — a planned cost is only checkable against the
+  // routing tables it was computed under, and each restore rebuilds them.
+  const auto validate_after = [&](const std::vector<Redeployment>& reds) {
+    report.violations +=
+        validate_actives(mw, replanned_ids(reds), &report.violation_detail);
+  };
+  for (const auto& [a, b] : inj.down_links()) {
+    validate_after(mw.restore_link(a, b));
+  }
+  for (const net::NodeId n : inj.down_nodes()) {
+    validate_after(mw.restore_node(n));
+  }
+  for (int round = 0; round < 5; ++round) {
+    const std::vector<Redeployment> r = mw.adapt();
+    validate_after(r);
+    if (r.empty()) break;
+  }
+  // Staggered resumes leave reuse on the table (each query planned against
+  // whatever advertisements existed at its resume); the convergence pass
+  // recovers it.
+  validate_after(mw.reoptimize());
+
+  report.all_resumed = mw.suspended_queries() == 0 &&
+                       mw.active_queries() == queries.size();
+  report.final_cost = mw.total_current_cost();
+
+  // Fresh baseline: a brand-new middleware over copies of the end state
+  // (all nodes alive, all links up, spiked rates retained) optimizing the
+  // same workload in the same order.
+  net::Network fresh_net = mw.network();
+  query::Catalog fresh_catalog = mw.catalog();
+  Middleware fresh(fresh_net, fresh_catalog, max_cs, algorithm, seed,
+                   cfg.drift_threshold);
+  fresh.workspace().set_threads(cfg.threads);
+  for (const query::Query& q : queries) fresh.deploy(q);
+  report.fresh_cost = fresh.total_current_cost();
+
+  // One-sided: the churned system must not end up much WORSE than a fresh
+  // optimization of the same end state. It may well end up cheaper — the
+  // repeated adapt() cycles amount to iterated re-optimization with reuse,
+  // which a single greedy deploy pass does not get.
+  const double f = cfg.convergence_factor;
+  report.converged =
+      report.all_resumed && std::isfinite(report.final_cost) &&
+      std::isfinite(report.fresh_cost) &&
+      report.final_cost <= f * report.fresh_cost + kEps;
+
+  digest << "final cost " << std::hexfloat << report.final_cost
+         << " fresh " << report.fresh_cost << std::defaultfloat
+         << " resumed " << (report.all_resumed ? 1 : 0) << " viol "
+         << report.violations << '\n';
+  report.digest = digest.str();
+  return report;
+}
+
+}  // namespace iflow::engine

@@ -1,0 +1,135 @@
+// Seeded chaos harness for the failure & churn subsystem (DESIGN.md §10).
+//
+// A FaultInjector replays a deterministic event schedule — node crashes,
+// processing failures, link flaps, restores and stream-rate spikes —
+// against a live Middleware. After EVERY event the harness re-validates
+// every active deployment with verify::validate (structural + placement
+// checks for untouched deployments; full semantic + cost checks for the
+// ones the event just re-planned) and records a digest line, so a fixed
+// seed yields a bitwise-identical transcript regardless of the planner
+// thread count (the PR-2 determinism contract extended to churn).
+//
+// `run_churn` drives a complete scenario: deploy a workload, replay the
+// schedule, then restore everything still down and adapt until quiescent.
+// The report asserts the convergence invariants the chaos tests (and the
+// differential fuzzer's --churn mode) check:
+//   * zero validator violations across the whole run;
+//   * every suspended query resumed after full restoration;
+//   * the churned system's total cost lands within a configurable factor
+//     of a fresh Middleware optimizing the same end-state from scratch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/middleware.h"
+
+namespace iflow::engine {
+
+struct ChaosConfig {
+  /// Events to replay (the chaos tests use >= 30 per scenario).
+  int events = 32;
+  /// Concurrently down nodes (crashed or processing-failed). The injector
+  /// additionally never takes down more than half the network, so the
+  /// hierarchy always keeps members.
+  int max_down_nodes = 2;
+  /// Concurrently administratively-down link pairs.
+  int max_down_links = 3;
+  /// Probability of drawing a restore when something is down (biases
+  /// schedules toward churn rather than monotone destruction).
+  double restore_bias = 0.45;
+  /// Probability of a rate-spike event (scales a random stream's rate by a
+  /// factor in [0.25, 4] and runs adapt()).
+  double spike_probability = 0.15;
+  /// Planner threads pinned on the middleware workspace (determinism
+  /// checks run the same seed at 1 and N and diff the digests).
+  int threads = 1;
+  /// Post-churn total cost must be <= this factor times a fresh
+  /// optimization of the same end state (and vice versa).
+  double convergence_factor = 2.0;
+  /// Drift threshold handed to the Middleware under test.
+  double drift_threshold = 1.2;
+};
+
+enum class ChaosEventKind : std::uint8_t {
+  kCrashNode,    // node stops forwarding; incident links die with it
+  kFailNode,     // processing service dies; node keeps forwarding
+  kRestoreNode,  // recovers from either failure class
+  kFailLink,     // administrative link-pair failure (possible partition)
+  kRestoreLink,
+  kRateSpike,    // stream rate scaled; adapt() re-plans drifted queries
+};
+
+const char* to_string(ChaosEventKind k);
+
+struct ChaosEvent {
+  ChaosEventKind kind = ChaosEventKind::kCrashNode;
+  net::NodeId a = net::kInvalidNode;   // node, or link end
+  net::NodeId b = net::kInvalidNode;   // other link end (links only)
+  query::StreamId stream = query::kInvalidStream;  // rate spikes only
+  double rate = 0.0;                   // new tuple rate (rate spikes only)
+};
+
+/// One replayed event plus the system state it left behind.
+struct ChaosStep {
+  ChaosEvent event;
+  std::vector<Redeployment> redeployments;
+  std::size_t active = 0;
+  std::size_t suspended = 0;
+  double total_cost = 0.0;     // finite: only intact actives are summed
+  std::size_t violations = 0;  // validator violations after this event
+  std::string violation_detail;  // first violation of this step, if any
+};
+
+struct ChaosReport {
+  std::vector<ChaosStep> steps;
+  std::size_t violations = 0;        // summed over steps + final sweep
+  std::string violation_detail;      // first violation description, if any
+  bool all_resumed = false;          // every query active after restoration
+  bool converged = false;            // cost within convergence_factor
+  double final_cost = 0.0;           // churned middleware, post-restore
+  double fresh_cost = 0.0;           // fresh middleware on the end state
+  /// One line per step (event + hexfloat cost + counts); bitwise-identical
+  /// across planner thread counts for a fixed seed.
+  std::string digest;
+};
+
+/// Draws valid events against the injector's model of what is currently
+/// down: it never double-fails a target, only restores things that are
+/// down, respects the concurrency caps and never empties the hierarchy.
+/// Deterministic for a fixed (network shape, config, seed).
+class FaultInjector {
+ public:
+  FaultInjector(const net::Network& net, const query::Catalog& catalog,
+                const ChaosConfig& cfg, std::uint64_t seed);
+
+  /// Next event of the schedule. Always returns an applicable event.
+  ChaosEvent next();
+
+  const std::vector<net::NodeId>& down_nodes() const { return down_nodes_; }
+  const std::vector<std::pair<net::NodeId, net::NodeId>>& down_links() const {
+    return down_links_;
+  }
+
+ private:
+  ChaosConfig cfg_;
+  Prng prng_;
+  std::size_t node_count_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> link_pairs_;  // distinct
+  std::vector<query::StreamId> streams_;
+  std::vector<double> base_rates_;
+  std::vector<net::NodeId> down_nodes_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> down_links_;
+};
+
+/// Replays `cfg.events` injector-drawn events against a Middleware built
+/// over copies of `net`/`catalog`, validating after every event, then
+/// restores everything and checks convergence (see ChaosReport). The
+/// copies keep the caller's instances pristine for replay comparisons.
+ChaosReport run_churn(net::Network net, query::Catalog catalog,
+                      const std::vector<query::Query>& queries, int max_cs,
+                      Algorithm algorithm, std::uint64_t seed,
+                      const ChaosConfig& cfg = {});
+
+}  // namespace iflow::engine

@@ -1,26 +1,103 @@
 #include "engine/middleware.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
 
 #include "query/rates.h"
 
 namespace iflow::engine {
 
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kMigrated: return "migrated";
+    case Outcome::kAccepted: return "accepted";
+    case Outcome::kSuspended: return "suspended";
+    case Outcome::kResumed: return "resumed";
+  }
+  return "?";
+}
+
 Middleware::Middleware(net::Network& net, query::Catalog& catalog,
                        int max_cs, Algorithm algorithm, std::uint64_t seed,
                        double drift_threshold)
     : net_(&net), catalog_(&catalog), max_cs_(max_cs), algorithm_(algorithm),
-      prng_(seed), drift_threshold_(drift_threshold) {
+      seed_(seed), drift_threshold_(drift_threshold) {
   IFLOW_CHECK(drift_threshold > 1.0);
   rebuild_views();
 }
 
-void Middleware::rebuild_views() {
+void Middleware::rebuild_routing() {
   routing_ = std::make_unique<net::RoutingTables>(
       net::RoutingTables::build(*net_));
-  Prng fork = prng_.fork(net_->version());
+}
+
+void Middleware::rebuild_views() {
+  rebuild_routing();
+  // The clustering is a pure function of (middleware seed, network
+  // version): a fresh Prng per rebuild, not a draw from an advancing
+  // stream, so two middlewares with the same seed looking at the same
+  // network state produce the same hierarchy regardless of how many
+  // rebuilds each one has been through. reoptimize()'s joint pass relies
+  // on this to reproduce what a from-scratch deployment would plan.
+  Prng fork = Prng(seed_).fork(net_->version());
   hierarchy_ = std::make_unique<cluster::Hierarchy>(
       cluster::Hierarchy::build(*net_, *routing_, max_cs_, fork));
+  // A rebuild re-admits every node; prune the ones that are currently down
+  // so the hierarchy keeps reflecting the live membership.
+  for (net::NodeId n = 0; n < net_->node_count(); ++n) {
+    if (host_down(n) && hierarchy_->contains(n)) {
+      hierarchy_->remove_node(n, *routing_);
+    }
+  }
+}
+
+bool Middleware::host_down(net::NodeId n) const {
+  return !net_->node_alive(n) ||
+         std::find(failed_nodes_.begin(), failed_nodes_.end(), n) !=
+             failed_nodes_.end();
+}
+
+bool Middleware::endpoints_healthy(const query::Query& q) const {
+  if (host_down(q.sink)) return false;
+  for (query::StreamId s : q.sources) {
+    if (host_down(catalog_->stream(s).source)) return false;
+  }
+  return true;
+}
+
+bool Middleware::deployment_intact(const Active& a) const {
+  const query::Deployment& d = a.deployment;
+  for (const query::LeafUnit& u : d.units) {
+    if (host_down(u.location)) return false;
+  }
+  for (const query::DeployedOp& op : d.ops) {
+    if (host_down(op.node)) return false;
+  }
+  if (host_down(d.sink)) return false;
+  // Every data edge must still be routable (a partition can sever edges
+  // between perfectly healthy hosts).
+  const auto loc_of = [&d](int child) {
+    return query::child_is_unit(child)
+               ? d.units[static_cast<std::size_t>(
+                             query::child_unit_index(child))]
+                     .location
+               : d.ops[static_cast<std::size_t>(child)].node;
+  };
+  for (const query::DeployedOp& op : d.ops) {
+    for (int child : {op.left, op.right}) {
+      const net::NodeId from = loc_of(child);
+      if (from != op.node && !routing_->reachable(from, op.node)) return false;
+    }
+  }
+  const net::NodeId root = d.root_node();
+  if (root != d.sink && !routing_->reachable(root, d.sink)) return false;
+  return true;
 }
 
 opt::OptimizerEnv Middleware::env() {
@@ -31,10 +108,13 @@ opt::OptimizerEnv Middleware::env() {
   e.hierarchy = hierarchy_.get();
   e.registry = &registry_;
   e.reuse = true;
-  if (!failed_nodes_.empty() || !overloaded_nodes_.empty()) {
+  bool any_excluded = !failed_nodes_.empty() || !overloaded_nodes_.empty();
+  for (net::NodeId n = 0; n < net_->node_count() && !any_excluded; ++n) {
+    any_excluded = !net_->node_alive(n);
+  }
+  if (any_excluded) {
     const auto excluded = [this](net::NodeId n) {
-      return std::find(failed_nodes_.begin(), failed_nodes_.end(), n) !=
-                 failed_nodes_.end() ||
+      return host_down(n) ||
              std::find(overloaded_nodes_.begin(), overloaded_nodes_.end(),
                        n) != overloaded_nodes_.end();
     };
@@ -55,12 +135,8 @@ opt::OptimizeResult Middleware::replan(const Active& a) {
     query::RateModel rates(*catalog_, other.q);
     advert::advertise_deployment(fresh, other.deployment, rates);
   }
-  if (!failed_nodes_.empty()) {
-    fresh.remove_located([this](net::NodeId n) {
-      return std::find(failed_nodes_.begin(), failed_nodes_.end(), n) !=
-             failed_nodes_.end();
-    });
-  }
+  // Advertisements stranded on down hosts are not reusable.
+  fresh.remove_located([this](net::NodeId n) { return host_down(n); });
   advert::Registry saved = std::move(registry_);
   registry_ = std::move(fresh);
   auto optimizer = make_optimizer();
@@ -82,9 +158,19 @@ std::unique_ptr<opt::Optimizer> Middleware::make_optimizer() {
 }
 
 opt::OptimizeResult Middleware::deploy(const query::Query& q) {
+  if (!endpoints_healthy(q)) {
+    suspended_.push_back(SuspendedQuery{q, 0.0, 0});
+    opt::OptimizeResult res;
+    res.feasible = false;
+    return res;
+  }
   auto optimizer = make_optimizer();
   opt::OptimizeResult res = optimizer->optimize(q);
-  IFLOW_CHECK(res.feasible);
+  if (!res.feasible || !std::isfinite(res.actual_cost)) {
+    suspended_.push_back(SuspendedQuery{q, 0.0, 0});
+    res.feasible = false;
+    return res;
+  }
   query::RateModel rates(*catalog_, q);
   advert::advertise_deployment(registry_, res.deployment, rates);
   active_.push_back(Active{q, res.deployment, res.actual_cost});
@@ -101,52 +187,170 @@ void Middleware::set_stream_rate(query::StreamId stream, double tuple_rate) {
   catalog_->set_tuple_rate(stream, tuple_rate);
 }
 
-std::vector<Redeployment> Middleware::fail_node(net::NodeId n) {
-  IFLOW_CHECK(n < net_->node_count());
-  for (query::StreamId s = 0; s < catalog_->stream_count(); ++s) {
-    IFLOW_CHECK_MSG(catalog_->stream(s).source != n,
-                    "cannot fail a node hosting stream source "
-                        << catalog_->stream(s).name);
-  }
-  for (const Active& a : active_) {
-    IFLOW_CHECK_MSG(a.q.sink != n, "cannot fail the sink of an active query");
-  }
-  if (std::find(failed_nodes_.begin(), failed_nodes_.end(), n) ==
-      failed_nodes_.end()) {
-    failed_nodes_.push_back(n);
-  }
-  hierarchy_->remove_node(n, *routing_);
-
-  std::vector<Redeployment> redeployed;
-  for (Active& a : active_) {
-    bool affected = false;
-    for (const query::DeployedOp& op : a.deployment.ops) {
-      affected |= (op.node == n);
-    }
-    for (const query::LeafUnit& u : a.deployment.units) {
-      affected |= (u.derived && u.location == n);
-    }
-    if (!affected) continue;
-    const opt::OptimizeResult res = replan(a);
-    IFLOW_CHECK(res.feasible);
-    Redeployment r;
-    r.query = a.q.id;
-    r.planned_cost = a.planned_cost;
-    query::RateModel rates(*catalog_, a.q);
-    r.drifted_cost = query::deployment_cost(a.deployment, rates, *routing_);
-    r.adapted_cost = res.actual_cost;
-    a.deployment = res.deployment;
-    a.planned_cost = res.actual_cost;
-    redeployed.push_back(r);
-  }
-  // Advertisements referencing the failed node (or moved operators) are
-  // stale: rebuild from the surviving deployments.
+void Middleware::refresh_registry() {
   registry_.clear();
   for (const Active& a : active_) {
     query::RateModel rates(*catalog_, a.q);
     advert::advertise_deployment(registry_, a.deployment, rates);
   }
-  return redeployed;
+}
+
+void Middleware::resume_pass(std::vector<Redeployment>& out) {
+  for (std::size_t i = 0; i < suspended_.size();) {
+    SuspendedQuery& s = suspended_[i];
+    if (s.attempts >= max_resume_attempts_ || !endpoints_healthy(s.q)) {
+      ++i;
+      continue;
+    }
+    auto optimizer = make_optimizer();
+    const opt::OptimizeResult res = optimizer->optimize(s.q);
+    if (!res.feasible || !std::isfinite(res.actual_cost)) {
+      ++s.attempts;
+      ++i;
+      continue;
+    }
+    Redeployment r;
+    r.query = s.q.id;
+    r.planned_cost = s.last_planned_cost;
+    r.drifted_cost = kInf;  // the query was down, delivering nothing
+    r.adapted_cost = res.actual_cost;
+    r.outcome = Outcome::kResumed;
+    out.push_back(r);
+    active_.push_back(Active{std::move(s.q), res.deployment, res.actual_cost});
+    query::RateModel rates(*catalog_, active_.back().q);
+    advert::advertise_deployment(registry_, active_.back().deployment, rates);
+    suspended_.erase(suspended_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+std::vector<Redeployment> Middleware::reconcile(bool try_resume) {
+  std::vector<Redeployment> out;
+  for (std::size_t i = 0; i < active_.size();) {
+    Active& a = active_[i];
+    const bool healthy = endpoints_healthy(a.q);
+    if (healthy && deployment_intact(a)) {
+      ++i;
+      continue;
+    }
+    Redeployment r;
+    r.query = a.q.id;
+    r.planned_cost = a.planned_cost;
+    query::RateModel rates(*catalog_, a.q);
+    r.drifted_cost = query::deployment_cost(a.deployment, rates, *routing_);
+    opt::OptimizeResult res;
+    if (healthy) res = replan(a);
+    if (healthy && res.feasible && std::isfinite(res.actual_cost)) {
+      r.adapted_cost = res.actual_cost;
+      r.outcome = Outcome::kMigrated;
+      a.deployment = res.deployment;
+      a.planned_cost = res.actual_cost;
+      ++i;
+    } else {
+      r.adapted_cost = kInf;
+      r.outcome = Outcome::kSuspended;
+      suspended_.push_back(
+          SuspendedQuery{std::move(a.q), a.planned_cost, 0});
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    out.push_back(r);
+  }
+  // Advertisements referencing down hosts or moved operators are stale:
+  // rebuild from the surviving deployments (resume planning needs them).
+  refresh_registry();
+  if (try_resume) resume_pass(out);
+  return out;
+}
+
+std::vector<Redeployment> Middleware::fail_node(net::NodeId n) {
+  IFLOW_CHECK(n < net_->node_count());
+  IFLOW_CHECK_MSG(net_->node_alive(n),
+                  "node " << n << " is crashed, not processing-failed");
+  IFLOW_CHECK_MSG(std::find(failed_nodes_.begin(), failed_nodes_.end(), n) ==
+                      failed_nodes_.end(),
+                  "node " << n << " already failed");
+  failed_nodes_.push_back(n);
+  if (hierarchy_->contains(n)) hierarchy_->remove_node(n, *routing_);
+  return reconcile(false);
+}
+
+std::vector<Redeployment> Middleware::crash_node(net::NodeId n) {
+  IFLOW_CHECK(n < net_->node_count());
+  IFLOW_CHECK_MSG(std::find(failed_nodes_.begin(), failed_nodes_.end(), n) ==
+                      failed_nodes_.end(),
+                  "node " << n << " is processing-failed; restore it first");
+  net_->crash_node(n);  // checks it was alive
+  rebuild_routing();
+  if (hierarchy_->contains(n)) {
+    hierarchy_->remove_node(n, *routing_);
+  } else {
+    hierarchy_->refresh(*routing_);
+  }
+  return reconcile(false);
+}
+
+std::vector<Redeployment> Middleware::restore_node(net::NodeId n) {
+  IFLOW_CHECK(n < net_->node_count());
+  const auto it = std::find(failed_nodes_.begin(), failed_nodes_.end(), n);
+  const bool was_failed = it != failed_nodes_.end();
+  const bool was_crashed = !net_->node_alive(n);
+  IFLOW_CHECK_MSG(was_failed || was_crashed,
+                  "node " << n << " is neither failed nor crashed");
+  if (was_failed) failed_nodes_.erase(it);
+  if (was_crashed) {
+    net_->restore_node(n);
+    rebuild_routing();
+    hierarchy_->refresh(*routing_);
+  }
+  if (!hierarchy_->contains(n)) {
+    Prng fork = Prng(seed_).fork(net_->version());
+    hierarchy_->add_node(n, *routing_, fork);
+  }
+  // Recovery resets the retry budget: everything suspended gets a fresh
+  // chance now that the world improved.
+  for (SuspendedQuery& s : suspended_) s.attempts = 0;
+  return reconcile(true);
+}
+
+std::vector<Redeployment> Middleware::fail_link(net::NodeId a, net::NodeId b) {
+  net_->fail_link(a, b);
+  rebuild_routing();
+  hierarchy_->refresh(*routing_);
+  return reconcile(false);
+}
+
+std::vector<Redeployment> Middleware::restore_link(net::NodeId a,
+                                                   net::NodeId b) {
+  net_->restore_link(a, b);
+  rebuild_routing();
+  hierarchy_->refresh(*routing_);
+  for (SuspendedQuery& s : suspended_) s.attempts = 0;
+  return reconcile(true);
+}
+
+void Middleware::set_max_resume_attempts(int attempts) {
+  IFLOW_CHECK(attempts >= 1);
+  max_resume_attempts_ = attempts;
+}
+
+std::vector<net::NodeId> Middleware::excluded_hosts() const {
+  std::vector<net::NodeId> out;
+  for (net::NodeId n = 0; n < net_->node_count(); ++n) {
+    if (host_down(n) ||
+        std::find(overloaded_nodes_.begin(), overloaded_nodes_.end(), n) !=
+            overloaded_nodes_.end()) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+std::vector<Middleware::ActiveView> Middleware::active_views() const {
+  std::vector<ActiveView> out;
+  out.reserve(active_.size());
+  for (const Active& a : active_) {
+    out.push_back(ActiveView{&a.q, &a.deployment, a.planned_cost});
+  }
+  return out;
 }
 
 void Middleware::set_node_capacity(double max_input_bytes_per_s) {
@@ -198,7 +402,7 @@ std::vector<Redeployment> Middleware::rebalance_load() {
       }
       if (!hosted) continue;
       const opt::OptimizeResult res = replan(a);
-      IFLOW_CHECK(res.feasible);
+      if (!res.feasible) continue;  // nowhere better to move right now
       Redeployment r;
       r.query = a.q.id;
       r.planned_cost = a.planned_cost;
@@ -210,10 +414,98 @@ std::vector<Redeployment> Middleware::rebalance_load() {
       redeployed.push_back(r);
     }
     // Refresh advertisements after migrations.
-    registry_.clear();
-    for (const Active& a : active_) {
+    refresh_registry();
+  }
+  return redeployed;
+}
+
+std::vector<Redeployment> Middleware::reoptimize(int max_rounds) {
+  IFLOW_CHECK(max_rounds >= 1);
+  // Incremental hierarchy repair is built for fast per-event reaction, but
+  // a long churn episode degrades the partition quality (each removal and
+  // greedy re-join moves the clustering further from what a fresh
+  // k-medoids pass would produce), which in turn degrades every
+  // hierarchical planner's scopes. The settle pass can afford to
+  // re-cluster from scratch before replanning.
+  rebuild_views();
+  std::vector<Redeployment> redeployed;
+  for (int round = 0; round < max_rounds; ++round) {
+    bool moved = false;
+    for (Active& a : active_) {
       query::RateModel rates(*catalog_, a.q);
-      advert::advertise_deployment(registry_, a.deployment, rates);
+      const double current =
+          query::deployment_cost(a.deployment, rates, *routing_);
+      const opt::OptimizeResult res = replan(a);
+      if (!res.feasible || !std::isfinite(res.actual_cost)) continue;
+      // Strict relative improvement only, so the pass terminates instead
+      // of shuffling between cost-equal placements.
+      if (res.actual_cost >= current * (1.0 - 1e-9)) continue;
+      Redeployment r;
+      r.query = a.q.id;
+      r.planned_cost = a.planned_cost;
+      r.drifted_cost = current;
+      r.adapted_cost = res.actual_cost;
+      r.outcome = Outcome::kMigrated;
+      a.deployment = res.deployment;
+      a.planned_cost = res.actual_cost;
+      redeployed.push_back(r);
+      moved = true;
+    }
+    if (!moved) break;
+    // The next round's replans must see the moved operators.
+    refresh_registry();
+  }
+
+  // Per-query replanning moves one deployment at a time, so a reuse chain
+  // the staggered recovery never formed — a provider/consumer pair that is
+  // only profitable if both move — is a local minimum it cannot escape.
+  // Build a full joint re-deployment (every active planned afresh in
+  // query-id order with advertisements accumulating, exactly like an
+  // initial deployment sequence) and adopt it when strictly cheaper.
+  std::vector<std::size_t> order(active_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return active_[a].q.id < active_[b].q.id;
+  });
+  advert::Registry saved = std::move(registry_);
+  registry_ = advert::Registry{};
+  std::vector<query::Deployment> cand(active_.size());
+  std::vector<double> cand_cost(active_.size(), kInf);
+  bool cand_feasible = true;
+  for (std::size_t i : order) {
+    auto optimizer = make_optimizer();
+    opt::OptimizeResult res = optimizer->optimize(active_[i].q);
+    if (!res.feasible || !std::isfinite(res.actual_cost)) {
+      cand_feasible = false;
+      break;
+    }
+    query::RateModel rates(*catalog_, active_[i].q);
+    advert::advertise_deployment(registry_, res.deployment, rates);
+    cand[i] = std::move(res.deployment);
+    cand_cost[i] = res.actual_cost;
+  }
+  registry_ = std::move(saved);
+  if (cand_feasible && !active_.empty()) {
+    double cand_total = 0.0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      query::RateModel rates(*catalog_, active_[i].q);
+      cand_total += query::deployment_cost(cand[i], rates, *routing_);
+    }
+    if (cand_total < total_current_cost() * (1.0 - 1e-9)) {
+      for (std::size_t i = 0; i < active_.size(); ++i) {
+        Active& a = active_[i];
+        query::RateModel rates(*catalog_, a.q);
+        Redeployment r;
+        r.query = a.q.id;
+        r.planned_cost = a.planned_cost;
+        r.drifted_cost = query::deployment_cost(a.deployment, rates, *routing_);
+        r.adapted_cost = cand_cost[i];
+        r.outcome = Outcome::kMigrated;
+        a.deployment = std::move(cand[i]);
+        a.planned_cost = cand_cost[i];
+        redeployed.push_back(r);
+      }
+      refresh_registry();
     }
   }
   return redeployed;
@@ -237,7 +529,7 @@ std::vector<Redeployment> Middleware::adapt() {
     if (current <= a.planned_cost * drift_threshold_) continue;
 
     const opt::OptimizeResult res = replan(a);
-    IFLOW_CHECK(res.feasible);
+    if (!res.feasible || !std::isfinite(res.actual_cost)) continue;
 
     Redeployment r;
     r.query = a.q.id;
@@ -246,9 +538,11 @@ std::vector<Redeployment> Middleware::adapt() {
     r.adapted_cost = res.actual_cost;
     // Only migrate when re-optimization actually helps.
     if (res.actual_cost < current) {
+      r.outcome = Outcome::kMigrated;
       a.deployment = res.deployment;
       a.planned_cost = res.actual_cost;
     } else {
+      r.outcome = Outcome::kAccepted;
       r.adapted_cost = current;
       a.planned_cost = current;  // accept the new normal
     }
@@ -256,12 +550,10 @@ std::vector<Redeployment> Middleware::adapt() {
   }
   if (!redeployed.empty()) {
     // Advertisements may reference moved operators: rebuild them all.
-    registry_.clear();
-    for (const Active& a : active_) {
-      query::RateModel rates(*catalog_, a.q);
-      advert::advertise_deployment(registry_, a.deployment, rates);
-    }
+    refresh_registry();
   }
+  // The retry queue rides along with every adapt sweep.
+  resume_pass(redeployed);
   return redeployed;
 }
 

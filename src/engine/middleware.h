@@ -11,6 +11,20 @@
 //     rebuilds routing and the hierarchy;
 //   * adapt()               — re-optimizes every query whose current cost
 //     drifted past the threshold relative to its planned cost.
+//
+// Failure model (DESIGN.md §10). Two degradation classes:
+//   * fail_node   — the processing service dies but the node keeps
+//     forwarding: it leaves the hierarchy and the placement candidate set;
+//   * crash_node  — the node vanishes entirely: its links stop carrying
+//     traffic and the network may partition.
+// Link faults (fail_link/restore_link) can partition the network without
+// any node dying. After every fault the middleware reconciles: deployments
+// that merely reference a broken host or unroutable edge are re-planned
+// (kMigrated); queries whose source or sink is down — or that currently
+// admit no feasible plan — are *suspended*, not thrown. Suspended queries
+// sit in a retry queue with bounded redeploy attempts; every restore_*
+// re-admits the host to the hierarchy + registry, resets the attempt
+// budget, and resumes whatever has become plannable (kResumed).
 #pragma once
 
 #include <memory>
@@ -24,11 +38,22 @@ namespace iflow::engine {
 
 enum class Algorithm { kTopDown, kBottomUp, kExhaustive };
 
+/// What happened to one query during a fault/adapt cycle.
+enum class Outcome : std::uint8_t {
+  kMigrated,   // re-planned onto a new placement
+  kAccepted,   // drifted, but re-planning could not beat the current cost
+  kSuspended,  // endpoints down or no feasible plan; parked in retry queue
+  kResumed,    // previously suspended, successfully re-deployed
+};
+
+const char* to_string(Outcome o);
+
 struct Redeployment {
   query::QueryId query = 0;
   double planned_cost = 0.0;   // cost at original deployment time
-  double drifted_cost = 0.0;   // cost under the changed network
-  double adapted_cost = 0.0;   // cost after re-optimization
+  double drifted_cost = 0.0;   // cost under the changed network (+inf = down)
+  double adapted_cost = 0.0;   // cost after re-optimization (+inf = suspended)
+  Outcome outcome = Outcome::kMigrated;
 };
 
 class Middleware {
@@ -40,6 +65,9 @@ class Middleware {
              double drift_threshold = 1.2);
 
   /// Optimizes and records a query; reuse is on (advertisements flow).
+  /// When the query's source/sink is currently down — or no feasible plan
+  /// exists — the query is parked in the suspended queue instead and the
+  /// result reports feasible = false.
   opt::OptimizeResult deploy(const query::Query& q);
 
   /// Applies a network condition change and refreshes routing + hierarchy.
@@ -54,9 +82,27 @@ class Middleware {
   /// the processing service — links keep forwarding). The node leaves the
   /// hierarchy, is excluded from future placements, and every deployment
   /// with an operator or reused provider on it is re-planned immediately.
-  /// Returns the redeployments performed. Throws if a stream source or an
-  /// active sink lives there (those cannot migrate).
+  /// Queries sourcing or sinking on the node are suspended (Outcome
+  /// kSuspended), not thrown. Returns the redeployments performed.
   std::vector<Redeployment> fail_node(net::NodeId n);
+
+  /// Full crash: the node also stops forwarding, so every incident link
+  /// goes down with it and the network may partition. Routing is rebuilt,
+  /// the node leaves the hierarchy, and the actives are reconciled exactly
+  /// as for fail_node (plus edge-reachability checks).
+  std::vector<Redeployment> crash_node(net::NodeId n);
+
+  /// Recovers a node from either failure class: re-admits it to the
+  /// network (if crashed), the hierarchy and the registry, resets the
+  /// suspended queries' attempt budgets, and resumes what can be resumed.
+  std::vector<Redeployment> restore_node(net::NodeId n);
+
+  /// Takes the (a, b) link down; routing is rebuilt and actives whose data
+  /// edges became unroutable are migrated or suspended.
+  std::vector<Redeployment> fail_link(net::NodeId a, net::NodeId b);
+
+  /// Brings the (a, b) link back and resumes what can be resumed.
+  std::vector<Redeployment> restore_link(net::NodeId a, net::NodeId b);
 
   /// Per-node processing capacity, expressed as the total operator INPUT
   /// byte rate a node may host (the paper's §1.1: "node N2 may be
@@ -74,8 +120,25 @@ class Middleware {
   std::vector<Redeployment> rebalance_load();
 
   /// Re-optimizes every active query whose cost drifted beyond the
-  /// threshold; returns what was redeployed.
+  /// threshold, then retries the suspended queue; returns what was
+  /// redeployed or resumed.
   std::vector<Redeployment> adapt();
+
+  /// Global convergence pass: re-clusters the hierarchy from scratch
+  /// (incremental repairs accumulate partition-quality drift over a long
+  /// churn episode), then replans EVERY active query (drifted or not)
+  /// against the others' current operators and accepts strict
+  /// improvements, repeating until a fixpoint or the round budget. Where
+  /// adapt() chases drift, reoptimize() recovers the reuse opportunities a
+  /// staggered recovery leaves behind — queries resumed one at a time plan
+  /// against whatever advertisements existed at that moment, and their
+  /// planned cost equals their current cost, so adapt() never revisits
+  /// them. A final joint pass re-deploys the whole workload from scratch
+  /// (in query-id order) and adopts the result when cheaper, escaping the
+  /// local minima single-query moves cannot (reuse chains where provider
+  /// and consumer must move together). Run it after full restoration to
+  /// settle the system.
+  std::vector<Redeployment> reoptimize(int max_rounds = 3);
 
   /// Current total cost of all active deployments under current routing.
   double total_current_cost() const;
@@ -83,7 +146,45 @@ class Middleware {
   const net::RoutingTables& routing() const { return *routing_; }
   const cluster::Hierarchy& hierarchy() const { return *hierarchy_; }
   const advert::Registry& registry() const { return registry_; }
+  const net::Network& network() const { return *net_; }
+  const query::Catalog& catalog() const { return *catalog_; }
   std::size_t active_queries() const { return active_.size(); }
+
+  /// A query parked by a failure, waiting for recovery. `attempts` counts
+  /// failed resume attempts since the last restore_* (each restore resets
+  /// the budget); once it reaches the max the query only retries on the
+  /// next restore.
+  struct SuspendedQuery {
+    query::Query q;
+    double last_planned_cost = 0.0;
+    int attempts = 0;
+  };
+
+  const std::vector<SuspendedQuery>& suspended() const { return suspended_; }
+  std::size_t suspended_queries() const { return suspended_.size(); }
+
+  /// Max resume attempts between restores (default 3, >= 1).
+  void set_max_resume_attempts(int attempts);
+
+  /// Nodes currently excluded from hosting operators: processing-failed,
+  /// crashed, or load-shed. Sorted ascending.
+  std::vector<net::NodeId> excluded_hosts() const;
+
+  /// The environment a plan would be validated/planned against right now
+  /// (exposed for the chaos harness and external validators).
+  opt::OptimizerEnv planning_env() { return env(); }
+
+  /// Planner workspace (exposed so harnesses can pin the thread count for
+  /// determinism checks).
+  opt::PlanWorkspace& workspace() { return workspace_; }
+
+  /// Read-only view of one active query for monitoring/validation.
+  struct ActiveView {
+    const query::Query* query = nullptr;
+    const query::Deployment* deployment = nullptr;
+    double planned_cost = 0.0;
+  };
+  std::vector<ActiveView> active_views() const;
 
   /// Current deployments of all active queries (monitoring, diagnostics).
   std::vector<const query::Deployment*> deployments() const {
@@ -103,12 +204,33 @@ class Middleware {
   opt::OptimizerEnv env();
   std::unique_ptr<opt::Optimizer> make_optimizer();
   void rebuild_views();
+  void rebuild_routing();
+
+  /// True when n cannot host, source or sink right now (crashed or
+  /// processing-failed; overload exclusion is hosting-only).
+  bool host_down(net::NodeId n) const;
+
+  /// Every source stream node and the sink are up.
+  bool endpoints_healthy(const query::Query& q) const;
+
+  /// No element on a down host and every data edge still routable.
+  bool deployment_intact(const Active& a) const;
+
+  /// Rebuilds the advertisement registry from the active deployments.
+  void refresh_registry();
+
+  /// Post-fault sweep: migrates or suspends broken actives, refreshes the
+  /// registry, and (on recovery paths) retries the suspended queue.
+  std::vector<Redeployment> reconcile(bool try_resume);
+
+  /// Retries suspended queries with remaining attempt budget.
+  void resume_pass(std::vector<Redeployment>& out);
 
   net::Network* net_;
   query::Catalog* catalog_;
   int max_cs_;
   Algorithm algorithm_;
-  Prng prng_;
+  std::uint64_t seed_;  // hierarchy rebuilds derive pure per-version Prngs
   double drift_threshold_;
 
   /// Re-optimizes one active query against everyone else's operators;
@@ -121,9 +243,11 @@ class Middleware {
   opt::PlanWorkspace workspace_;
   advert::Registry registry_;
   std::vector<Active> active_;
+  std::vector<SuspendedQuery> suspended_;
   std::vector<net::NodeId> failed_nodes_;
   std::vector<net::NodeId> overloaded_nodes_;  // load-shed, still forwarding
   double node_capacity_ = 0.0;                 // 0 = unlimited
+  int max_resume_attempts_ = 3;
 };
 
 }  // namespace iflow::engine

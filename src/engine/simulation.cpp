@@ -61,7 +61,8 @@ Simulation::InstanceId Simulation::source_for(query::StreamId s) {
   sources_.emplace(s, id);
   // First emission: random phase so colocated sources do not synchronise.
   const double rate = catalog_->stream(s).tuple_rate;
-  schedule(Event{prng_.uniform(0.0, 1.0 / rate), next_seq_++, id, -1, nullptr});
+  schedule(
+      Event{prng_.uniform(0.0, 1.0 / rate), next_seq_++, id, -1, nullptr, {}});
   return id;
 }
 
@@ -186,6 +187,77 @@ void Simulation::deploy(const query::Deployment& d,
     // tuples arriving there are forwarded to any later subscriber.
     register_producer(instances_[sink_id].streams, d.sink, sink_id);
   }
+
+  // Health watch for availability/downtime accounting under faults.
+  QueryWatch watch;
+  watch.query = d.query;
+  query::Mask full = 0;
+  for (const query::LeafUnit& u : d.units) full |= u.mask;
+  watch.expected_rate = rates.tuple_rate(full);
+  if (d.aggregate.enabled()) {
+    // Expected non-empty groups per tumbling window (occupancy formula),
+    // emitted once per window.
+    const double per_window = watch.expected_rate * d.aggregate.window_s;
+    const double g = std::max(1.0, d.aggregate.groups);
+    const double nonempty = g * (1.0 - std::pow(1.0 - 1.0 / g, per_window));
+    watch.expected_rate = nonempty / d.aggregate.window_s;
+  }
+  for (const query::LeafUnit& u : d.units) watch.nodes.push_back(u.location);
+  for (const query::DeployedOp& op : d.ops) watch.nodes.push_back(op.node);
+  watch.nodes.push_back(d.sink);
+  const auto loc_of = [&d](int child) {
+    return query::child_is_unit(child)
+               ? d.units[static_cast<std::size_t>(
+                             query::child_unit_index(child))]
+                     .location
+               : d.ops[static_cast<std::size_t>(child)].node;
+  };
+  for (const query::DeployedOp& op : d.ops) {
+    for (int child : {op.left, op.right}) {
+      const net::NodeId from = loc_of(child);
+      if (from != op.node) watch.edges.emplace_back(from, op.node);
+    }
+  }
+  if (d.root_node() != d.sink) watch.edges.emplace_back(d.root_node(), d.sink);
+  watches_.push_back(std::move(watch));
+}
+
+void Simulation::schedule_fault(const SimFault& f) {
+  IFLOW_CHECK_MSG(!ran_, "schedule_fault before run()");
+  IFLOW_CHECK(f.time >= 0.0);
+  if (!fnet_) {
+    fnet_ = std::make_unique<net::Network>(*net_);
+  }
+  faults_.push_back(f);
+  const auto idx = static_cast<InstanceId>(faults_.size() - 1);
+  schedule(Event{f.time, next_seq_++, idx, kFaultPort, nullptr, {}});
+}
+
+void Simulation::apply_fault(double now, const SimFault& f) {
+  switch (f.kind) {
+    case SimFault::Kind::kFailLink: fnet_->fail_link(f.a, f.b); break;
+    case SimFault::Kind::kRestoreLink: fnet_->restore_link(f.a, f.b); break;
+    case SimFault::Kind::kCrashNode: fnet_->crash_node(f.a); break;
+    case SimFault::Kind::kRestoreNode: fnet_->restore_node(f.a); break;
+  }
+  frt_ = std::make_unique<net::RoutingTables>(
+      net::RoutingTables::build(*fnet_));
+  update_watches(now);
+}
+
+void Simulation::update_watches(double now) {
+  for (QueryWatch& w : watches_) {
+    bool down = false;
+    for (net::NodeId n : w.nodes) down |= !fnet_->node_alive(n);
+    for (const auto& [a, b] : w.edges) down |= !frt_->reachable(a, b);
+    if (down && !w.broken) {
+      w.broken = true;
+      w.broken_since = now;
+    } else if (!down && w.broken) {
+      w.broken = false;
+      w.downtime_s += now - w.broken_since;
+    }
+  }
 }
 
 void Simulation::schedule(Event e) { events_.push(std::move(e)); }
@@ -249,27 +321,43 @@ void Simulation::send(double now, net::NodeId from, const TuplePtr& tuple,
   }
   const net::NodeId dest = instances_[to.instance].node;
   double arrive = now;
+  std::vector<std::uint32_t> links;
+  if (fnet_ && !fnet_->node_alive(dest)) {
+    ++tuples_dropped_;
+    return;
+  }
   if (from != dest) {
-    const std::vector<net::NodeId> path = rt_->cost_path(from, dest);
+    const std::vector<net::NodeId> path = cur_rt().cost_path(from, dest);
+    if (path.empty()) {  // partitioned: nothing to carry the tuple
+      ++tuples_dropped_;
+      return;
+    }
+    links.reserve(path.size() - 1);
     for (std::size_t h = 0; h + 1 < path.size(); ++h) {
       const auto it = link_index_.find(link_key(path[h], path[h + 1]));
       IFLOW_CHECK(it != link_index_.end());
       const net::Link& link = net_->links()[it->second];
       link_bytes_[it->second] += tuple->width;
+      links.push_back(static_cast<std::uint32_t>(it->second));
       arrive += link.delay_ms / 1000.0 + tuple->width * 8.0 / link.bandwidth_bps;
     }
   }
-  schedule(Event{arrive, next_seq_++, to.instance, to.port, tuple});
+  schedule(Event{arrive, next_seq_++, to.instance, to.port, tuple,
+                 std::move(links)});
 }
 
 void Simulation::emit_from_source(double now, InstanceId id) {
   Instance& inst = instances_[id];
-  const TuplePtr t = make_source_tuple(inst.source_stream, now);
-  ++tuples_emitted_;
-  for (const Consumer& c : inst.consumers) send(now, inst.node, t, c, id);
+  // A crashed source node emits nothing but keeps its clock ticking, so it
+  // resumes production as soon as the node is restored.
+  if (!fnet_ || fnet_->node_alive(inst.node)) {
+    const TuplePtr t = make_source_tuple(inst.source_stream, now);
+    ++tuples_emitted_;
+    for (const Consumer& c : inst.consumers) send(now, inst.node, t, c, id);
+  }
   const double rate = catalog_->stream(inst.source_stream).tuple_rate;
   const double gap = cfg_.poisson ? prng_.exponential(rate) : 1.0 / rate;
-  schedule(Event{now + gap, next_seq_++, id, -1, nullptr});
+  schedule(Event{now + gap, next_seq_++, id, -1, nullptr, {}});
 }
 
 void Simulation::arrive_at(double now, InstanceId id, int port,
@@ -350,10 +438,28 @@ void Simulation::run() {
     const Event e = events_.top();
     events_.pop();
     if (e.time >= cfg_.duration_s) break;
-    if (e.port < 0) {
+    if (e.port == kFaultPort) {
+      apply_fault(e.time, faults_[e.instance]);
+    } else if (e.port < 0) {
       emit_from_source(e.time, e.instance);
     } else {
+      if (fnet_) {
+        // In-flight tuples die with the links/nodes they were crossing.
+        bool dropped = !fnet_->node_alive(instances_[e.instance].node);
+        for (std::uint32_t li : e.links) dropped |= !fnet_->usable(li);
+        if (dropped) {
+          ++tuples_dropped_;
+          continue;
+        }
+      }
       arrive_at(e.time, e.instance, e.port, e.tuple);
+    }
+  }
+  // Close out open downtime intervals at the horizon.
+  for (QueryWatch& w : watches_) {
+    if (w.broken) {
+      w.broken = false;
+      w.downtime_s += cfg_.duration_s - w.broken_since;
     }
   }
 }
@@ -416,6 +522,23 @@ std::uint64_t Simulation::tuples_delivered(query::QueryId q) const {
 
 double Simulation::delivered_rate(query::QueryId q) const {
   return static_cast<double>(tuples_delivered(q)) / cfg_.duration_s;
+}
+
+double Simulation::availability(query::QueryId q) const {
+  double expected = 0.0;
+  for (const QueryWatch& w : watches_) {
+    if (w.query == q) expected += w.expected_rate;
+  }
+  if (expected <= 0.0) return 0.0;
+  return delivered_rate(q) / expected;
+}
+
+double Simulation::downtime_s(query::QueryId q) const {
+  double total = 0.0;
+  for (const QueryWatch& w : watches_) {
+    if (w.query == q) total += w.downtime_s;
+  }
+  return total;
 }
 
 }  // namespace iflow::engine

@@ -44,6 +44,23 @@
 
 namespace iflow::engine {
 
+/// A mid-execution network fault, applied at `time` while the event loop
+/// runs. Faults mutate a private copy of the network: in-flight tuples
+/// whose remaining route crosses a dead link (or whose destination died)
+/// are dropped, and sources on dead nodes pause until restored.
+struct SimFault {
+  enum class Kind : std::uint8_t {
+    kFailLink,
+    kRestoreLink,
+    kCrashNode,
+    kRestoreNode,
+  };
+  double time = 0.0;
+  Kind kind = Kind::kCrashNode;
+  net::NodeId a = net::kInvalidNode;  // the node, or the link's first end
+  net::NodeId b = net::kInvalidNode;  // the link's second end (links only)
+};
+
 struct EngineConfig {
   double duration_s = 30.0;
   /// Sliding window of the symmetric hash joins. 0.5 s makes measured join
@@ -90,6 +107,9 @@ class Simulation {
   /// run().
   void deploy(const query::Deployment& d, const query::RateModel& rates);
 
+  /// Registers a fault to inject mid-run. Must be called before run().
+  void schedule_fault(const SimFault& f);
+
   /// Executes the event loop for the configured duration. Call once.
   void run();
 
@@ -112,6 +132,17 @@ class Simulation {
   /// Mean end-to-end result latency (freshest-input emission to sink
   /// arrival) in milliseconds; 0 when nothing was delivered.
   double mean_latency_ms(query::QueryId q) const;
+
+  /// Delivered rate over the analytic no-fault output rate of the query
+  /// (1.0 ± sampling noise when nothing failed; degrades under faults).
+  double availability(query::QueryId q) const;
+
+  /// Total time the query's deployment was broken — some element on a dead
+  /// node or some data edge unroutable — during the run.
+  double downtime_s(query::QueryId q) const;
+
+  /// Tuples dropped at dead nodes or on severed links.
+  std::uint64_t tuples_dropped() const { return tuples_dropped_; }
 
  private:
   using InstanceId = std::uint32_t;
@@ -161,12 +192,28 @@ class Simulation {
   struct Event {
     double time;
     std::uint64_t seq;  // FIFO tie-break
-    InstanceId instance;
-    int port;        // -1 for source self-emission
+    InstanceId instance;  // fault index when port == kFaultPort
+    int port;        // -1 for source self-emission, -2 for a fault
     TuplePtr tuple;  // null for source self-emission
+    /// Link indices the tuple traversed (charged at send time); the arrival
+    /// is dropped if any of them died while the tuple was in flight.
+    std::vector<std::uint32_t> links;
     bool operator>(const Event& o) const {
       return std::tie(time, seq) > std::tie(o.time, o.seq);
     }
+  };
+
+  static constexpr int kFaultPort = -2;
+
+  /// Per-deployment health watch for availability/downtime accounting.
+  struct QueryWatch {
+    query::QueryId query = 0;
+    double expected_rate = 0.0;  // analytic no-fault result tuples/s
+    std::vector<net::NodeId> nodes;
+    std::vector<std::pair<net::NodeId, net::NodeId>> edges;
+    bool broken = false;
+    double broken_since = 0.0;
+    double downtime_s = 0.0;
   };
 
   InstanceId source_for(query::StreamId s);
@@ -183,6 +230,10 @@ class Simulation {
   void schedule(Event e);
   void emit_from_source(double now, InstanceId id);
   void arrive_at(double now, InstanceId id, int port, const TuplePtr& tuple);
+  void apply_fault(double now, const SimFault& f);
+  void update_watches(double now);
+  const net::Network& cur_net() const { return fnet_ ? *fnet_ : *net_; }
+  const net::RoutingTables& cur_rt() const { return frt_ ? *frt_ : *rt_; }
   TuplePtr make_source_tuple(query::StreamId s, double now);
   TuplePtr join_tuples(const Tuple& a, const Tuple& b) const;
   bool matches(const Tuple& a, const Tuple& b) const;
@@ -205,6 +256,13 @@ class Simulation {
   std::uint64_t next_seq_ = 0;
   std::uint64_t tuples_emitted_ = 0;
   bool ran_ = false;
+  // Fault state: a private mutable copy of the network (created lazily by
+  // the first schedule_fault) plus routing rebuilt at each fault time.
+  std::vector<SimFault> faults_;
+  std::unique_ptr<net::Network> fnet_;
+  std::unique_ptr<net::RoutingTables> frt_;
+  std::vector<QueryWatch> watches_;
+  std::uint64_t tuples_dropped_ = 0;
 };
 
 }  // namespace iflow::engine

@@ -1,11 +1,13 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <queue>
 
 namespace iflow::net {
 
 NodeId Network::add_node(NodeKind kind) {
   kinds_.push_back(kind);
+  alive_.push_back(1);
   incident_.emplace_back();
   return static_cast<NodeId>(kinds_.size() - 1);
 }
@@ -37,6 +39,86 @@ void Network::set_link_cost(NodeId a, NodeId b, double cost_per_byte) {
   IFLOW_CHECK_MSG(false, "no link between " << a << " and " << b);
 }
 
+void Network::fail_link(NodeId a, NodeId b) {
+  bool found = false;
+  bool changed = false;
+  for (auto idx : incident(a)) {
+    Link& l = links_[idx];
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+      found = true;
+      if (l.up) {
+        l.up = false;
+        changed = true;
+      }
+    }
+  }
+  IFLOW_CHECK_MSG(found, "no link between " << a << " and " << b);
+  IFLOW_CHECK_MSG(changed, "link " << a << "-" << b << " is already down");
+  ++version_;
+}
+
+void Network::restore_link(NodeId a, NodeId b) {
+  bool found = false;
+  bool changed = false;
+  for (auto idx : incident(a)) {
+    Link& l = links_[idx];
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+      found = true;
+      if (!l.up) {
+        l.up = true;
+        changed = true;
+      }
+    }
+  }
+  IFLOW_CHECK_MSG(found, "no link between " << a << " and " << b);
+  IFLOW_CHECK_MSG(changed, "link " << a << "-" << b << " is not down");
+  ++version_;
+}
+
+void Network::crash_node(NodeId n) {
+  IFLOW_CHECK(n < node_count());
+  IFLOW_CHECK_MSG(alive_[n], "node " << n << " is already crashed");
+  alive_[n] = 0;
+  ++version_;
+}
+
+void Network::restore_node(NodeId n) {
+  IFLOW_CHECK(n < node_count());
+  IFLOW_CHECK_MSG(!alive_[n], "node " << n << " is not crashed");
+  alive_[n] = 1;
+  ++version_;
+}
+
+bool Network::node_alive(NodeId n) const {
+  IFLOW_CHECK(n < node_count());
+  return alive_[n] != 0;
+}
+
+bool Network::link_up(std::uint32_t link_index) const {
+  IFLOW_CHECK(link_index < links_.size());
+  return links_[link_index].up;
+}
+
+bool Network::usable(std::uint32_t link_index) const {
+  IFLOW_CHECK(link_index < links_.size());
+  const Link& l = links_[link_index];
+  return l.up && alive_[l.a] != 0 && alive_[l.b] != 0;
+}
+
+std::uint32_t Network::cheapest_usable_link(NodeId a, NodeId b) const {
+  std::uint32_t best = kInvalidLink;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (auto idx : incident(a)) {
+    const Link& l = links_[idx];
+    const bool matches = (l.a == a && l.b == b) || (l.a == b && l.b == a);
+    if (matches && usable(idx) && l.cost_per_byte < best_cost) {
+      best = idx;
+      best_cost = l.cost_per_byte;
+    }
+  }
+  return best;
+}
+
 NodeKind Network::kind(NodeId n) const {
   IFLOW_CHECK(n < node_count());
   return kinds_[n];
@@ -48,16 +130,26 @@ const std::vector<std::uint32_t>& Network::incident(NodeId n) const {
 }
 
 bool Network::connected() const {
-  if (node_count() == 0) return true;
+  const std::size_t alive_total = static_cast<std::size_t>(
+      std::count(alive_.begin(), alive_.end(), char{1}));
+  if (alive_total == 0) return true;
   std::vector<char> seen(node_count(), 0);
   std::queue<NodeId> frontier;
-  frontier.push(0);
-  seen[0] = 1;
+  NodeId start = kInvalidNode;
+  for (NodeId n = 0; n < node_count(); ++n) {
+    if (alive_[n]) {
+      start = n;
+      break;
+    }
+  }
+  frontier.push(start);
+  seen[start] = 1;
   std::size_t reached = 1;
   while (!frontier.empty()) {
     const NodeId n = frontier.front();
     frontier.pop();
     for (auto idx : incident_[n]) {
+      if (!usable(idx)) continue;
       const Link& l = links_[idx];
       const NodeId other = (l.a == n) ? l.b : l.a;
       if (!seen[other]) {
@@ -67,7 +159,7 @@ bool Network::connected() const {
       }
     }
   }
-  return reached == node_count();
+  return reached == alive_total;
 }
 
 }  // namespace iflow::net

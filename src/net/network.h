@@ -10,6 +10,13 @@
 //
 // Links are mutable at runtime (set_link_cost) so the middleware layer can
 // perturb the network and re-trigger optimisation (adaptivity experiments).
+//
+// Fault model: links can fail and be restored (fail_link/restore_link), and
+// nodes can crash and be restored (crash_node/restore_node). A crashed node
+// takes all of its incident links down implicitly: the links keep their `up`
+// flag, but usable() is false while either endpoint is dead, so a restored
+// node gets its surviving links back without extra bookkeeping. Every fault
+// transition bumps version() so dependent tables can detect staleness.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +30,8 @@ namespace iflow::net {
 
 using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr std::uint32_t kInvalidLink =
+    std::numeric_limits<std::uint32_t>::max();
 
 /// Undirected physical link between two nodes.
 struct Link {
@@ -31,6 +40,9 @@ struct Link {
   double cost_per_byte = 0.0;
   double delay_ms = 0.0;
   double bandwidth_bps = 0.0;
+  /// Administrative state: false after fail_link until restore_link. A link
+  /// that is `up` may still be unusable if an endpoint node is crashed.
+  bool up = true;
 };
 
 /// Node classification produced by the topology generator; purely
@@ -55,23 +67,56 @@ class Network {
   /// link exists.
   void set_link_cost(NodeId a, NodeId b, double cost_per_byte);
 
+  /// Takes the (a, b) link down. With parallel links, all of them go down —
+  /// a fault between two nodes severs the whole adjacency. Throws if no such
+  /// link exists or every one of them is already down.
+  void fail_link(NodeId a, NodeId b);
+
+  /// Brings every down (a, b) link back up. Throws if no such link exists or
+  /// none of them is down.
+  void restore_link(NodeId a, NodeId b);
+
+  /// Full node crash: the node stops forwarding as well as processing, so
+  /// every incident link becomes unusable. Throws if already crashed.
+  void crash_node(NodeId n);
+
+  /// Brings a crashed node back. Incident links that were individually
+  /// failed stay down; the rest become usable again. Throws if alive.
+  void restore_node(NodeId n);
+
+  bool node_alive(NodeId n) const;
+
+  /// Administrative link flag only (ignores endpoint liveness).
+  bool link_up(std::uint32_t link_index) const;
+
+  /// True when the link can carry traffic: up and both endpoints alive.
+  bool usable(std::uint32_t link_index) const;
+
   std::size_t node_count() const { return kinds_.size(); }
   std::size_t link_count() const { return links_.size(); }
   const std::vector<Link>& links() const { return links_; }
   NodeKind kind(NodeId n) const;
 
+  /// Index of the cheapest usable (a, b) link, or kInvalidLink when the two
+  /// nodes are not usably adjacent. This is the link Dijkstra relaxes, so
+  /// the engine uses it to charge bytes hop by hop.
+  std::uint32_t cheapest_usable_link(NodeId a, NodeId b) const;
+
   /// Indices into links() of the links incident to n.
   const std::vector<std::uint32_t>& incident(NodeId n) const;
 
-  /// True when every node can reach every other node.
+  /// True when every *alive* node can reach every other alive node over
+  /// usable links. Dead nodes do not count against connectivity.
   bool connected() const;
 
-  /// Monotonically increases whenever link attributes change; routing tables
-  /// record the version they were built against so staleness is detectable.
+  /// Monotonically increases whenever link attributes or fault state change;
+  /// routing tables record the version they were built against so staleness
+  /// is detectable.
   std::uint64_t version() const { return version_; }
 
  private:
   std::vector<NodeKind> kinds_;
+  std::vector<char> alive_;
   std::vector<Link> links_;
   std::vector<std::vector<std::uint32_t>> incident_;
   std::uint64_t version_ = 0;

@@ -1,5 +1,6 @@
 #include "net/routing.h"
 
+#include <cmath>
 #include <limits>
 #include <queue>
 
@@ -17,7 +18,9 @@ struct QueueEntry {
 
 /// Single-source Dijkstra under a caller-selected link weight. Fills `dist`
 /// and `parent` (predecessor on the shortest path tree), and optionally
-/// accumulates a secondary additive metric along the chosen paths.
+/// accumulates a secondary additive metric along the chosen paths. Links
+/// that are down — or whose endpoints are crashed — are never relaxed, so a
+/// partitioned network simply leaves unreachable entries at infinity.
 template <typename WeightFn>
 void dijkstra(const Network& net, NodeId src, WeightFn weight,
               std::vector<double>& dist, std::vector<NodeId>& parent,
@@ -25,15 +28,17 @@ void dijkstra(const Network& net, NodeId src, WeightFn weight,
   const std::size_t n = net.node_count();
   dist.assign(n, kInf);
   parent.assign(n, kInvalidNode);
-  if (secondary != nullptr) secondary->assign(n, 0.0);
+  if (secondary != nullptr) secondary->assign(n, kInf);
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
   dist[src] = 0.0;
+  if (secondary != nullptr) (*secondary)[src] = 0.0;
   pq.push({0.0, src});
   while (!pq.empty()) {
     const auto [d, u] = pq.top();
     pq.pop();
     if (d > dist[u]) continue;
     for (auto idx : net.incident(u)) {
+      if (!net.usable(idx)) continue;
       const Link& l = net.links()[idx];
       const NodeId v = (l.a == u) ? l.b : l.a;
       const double nd = d + weight(l);
@@ -52,14 +57,13 @@ void dijkstra(const Network& net, NodeId src, WeightFn weight,
 }  // namespace
 
 RoutingTables RoutingTables::build(const Network& net) {
-  IFLOW_CHECK_MSG(net.connected(), "routing requires a connected network");
   RoutingTables rt;
   const std::size_t n = net.node_count();
   rt.n_ = n;
   rt.version_ = net.version();
-  rt.cost_.assign(n * n, 0.0);
-  rt.delay_.assign(n * n, 0.0);
-  rt.cost_path_delay_.assign(n * n, 0.0);
+  rt.cost_.assign(n * n, kInf);
+  rt.delay_.assign(n * n, kInf);
+  rt.cost_path_delay_.assign(n * n, kInf);
   rt.next_hop_.assign(n * n, kInvalidNode);
 
   std::vector<double> link_delay(net.link_count());
@@ -78,7 +82,9 @@ RoutingTables RoutingTables::build(const Network& net) {
     for (NodeId dst = 0; dst < n; ++dst) {
       rt.cost_[static_cast<std::size_t>(src) * n + dst] = dist[dst];
       rt.cost_path_delay_[static_cast<std::size_t>(src) * n + dst] = along[dst];
-      if (dst == src) continue;
+      // Unreachable destinations keep next_hop at kInvalidNode — walking the
+      // predecessor chain would spin on kInvalidNode parents.
+      if (dst == src || dist[dst] == kInf) continue;
       // Walk the predecessor chain back to the node adjacent to src.
       NodeId hop = dst;
       while (parent[hop] != src) hop = parent[hop];
@@ -95,6 +101,10 @@ RoutingTables RoutingTables::build(const Network& net) {
   return rt;
 }
 
+bool RoutingTables::reachable(NodeId a, NodeId b) const {
+  return std::isfinite(cost(a, b));
+}
+
 NodeId RoutingTables::next_hop(NodeId from, NodeId to) const {
   IFLOW_CHECK(from < n_ && to < n_);
   IFLOW_CHECK_MSG(from != to, "no hop from a node to itself");
@@ -102,6 +112,8 @@ NodeId RoutingTables::next_hop(NodeId from, NodeId to) const {
 }
 
 std::vector<NodeId> RoutingTables::cost_path(NodeId a, NodeId b) const {
+  IFLOW_CHECK(a < n_ && b < n_);
+  if (a != b && !reachable(a, b)) return {};
   std::vector<NodeId> path{a};
   while (a != b) {
     a = next_hop(a, b);

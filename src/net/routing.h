@@ -18,25 +18,34 @@ namespace iflow::net {
 class RoutingTables {
  public:
   /// Runs Dijkstra from every node under both metrics. O(N · E log N).
-  /// The network must be connected.
+  /// The network may be partitioned: pairs in different components (or pairs
+  /// involving a crashed node) get infinite cost/delay and no next hop.
   static RoutingTables build(const Network& net);
 
-  /// Per-byte cost of the cost-optimal a→b path (0 when a == b).
+  /// Per-byte cost of the cost-optimal a→b path. 0 when a == b (even for a
+  /// crashed node — liveness is the Network's concern, not the metric's);
+  /// +inf when b is unreachable from a.
   double cost(NodeId a, NodeId b) const { return at(cost_, a, b); }
 
-  /// One-way latency of the delay-optimal a→b path in milliseconds.
+  /// One-way latency of the delay-optimal a→b path in milliseconds
+  /// (+inf when unreachable).
   double delay_ms(NodeId a, NodeId b) const { return at(delay_, a, b); }
 
   /// Latency accumulated along the *cost-optimal* path; this is what data
-  /// tuples experience in the engine.
+  /// tuples experience in the engine (+inf when unreachable).
   double data_path_delay_ms(NodeId a, NodeId b) const {
     return at(cost_path_delay_, a, b);
   }
 
-  /// Cost-optimal route from a to b, inclusive of both endpoints.
+  /// True when a usable a→b route existed at build time (a == b included).
+  bool reachable(NodeId a, NodeId b) const;
+
+  /// Cost-optimal route from a to b, inclusive of both endpoints. Empty —
+  /// never garbage — when b is unreachable from a.
   std::vector<NodeId> cost_path(NodeId a, NodeId b) const;
 
-  /// Next node after `from` on the cost-optimal route to `to`.
+  /// Next node after `from` on the cost-optimal route to `to`;
+  /// kInvalidNode when `to` is unreachable.
   NodeId next_hop(NodeId from, NodeId to) const;
 
   std::size_t node_count() const { return n_; }

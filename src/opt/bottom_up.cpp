@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <unordered_set>
 
 #include "opt/view_planner.h"
@@ -112,6 +113,10 @@ OptimizeResult BottomUpOptimizer::optimize(const query::Query& q) {
         env_, level, ci, inputs, target, delivery, rates, q.id,
         final_deployment, stats, refine_views_,
         (target == full) ? delivery_rate_for(q, rates) : -1.0);
+    if (code == kInfeasibleCode) {
+      out.feasible = false;
+      return out;
+    }
 
     out.levels_used = level;
     // Control latency: the query climbed one more level of the chain.
@@ -129,7 +134,13 @@ OptimizeResult BottomUpOptimizer::optimize(const query::Query& q) {
     partial.final_code = code;
     if (covered == full) break;
   }
-  IFLOW_CHECK_MSG(covered == full, "sources uncovered after the top level");
+  if (covered != full) {
+    // Some source never became local — it is outside the hierarchy (failed
+    // host) or outside the sink's chain entirely. Not an assertion: report
+    // the query as currently unplannable.
+    out.feasible = false;
+    return out;
+  }
   for (const ViewPlanStats& s : stats) {
     out.plans_considered += s.plans;
     out.deploy_time_ms += s.dispatch_ms + s.plans * env_.plan_eval_us / 1000.0;
@@ -140,6 +151,14 @@ OptimizeResult BottomUpOptimizer::optimize(const query::Query& q) {
   out.feasible = true;
   out.deployment = std::move(final_deployment);
   out.actual_cost = query::deployment_cost(out.deployment, rt);
+  // As in Top-Down: refined sub-views never price their outgoing edge, so
+  // under a partition the assembled deployment can be unroutable even
+  // though every level's plan was feasible. Feasible implies finite cost.
+  if (!std::isfinite(out.actual_cost)) {
+    OptimizeResult infeasible;
+    infeasible.feasible = false;
+    return infeasible;
+  }
   out.planned_cost = out.actual_cost;
   IFLOW_VERIFY_RESULT(out, env_, q);
   return out;

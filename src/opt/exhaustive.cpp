@@ -1,5 +1,7 @@
 #include "opt/exhaustive.h"
 
+#include <cmath>
+
 #include "opt/view.h"
 #include "query/rates.h"
 #include "verify/validator.h"
@@ -29,6 +31,11 @@ OptimizeResult ExhaustiveOptimizer::optimize(const query::Query& q) {
   out.deployment.aggregate = q.aggregate;
   out.planned_cost = res.cost;
   out.actual_cost = query::deployment_cost(out.deployment, rt);
+  if (!std::isfinite(out.actual_cost)) {  // feasible implies finite cost
+    OptimizeResult infeasible;
+    infeasible.feasible = false;
+    return infeasible;
+  }
   out.plans_considered = res.plans_considered;
   out.levels_used = 1;
   // Centralised search: all statistics are at one node; deployment time is

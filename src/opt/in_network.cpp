@@ -101,6 +101,13 @@ OptimizeResult InNetworkOptimizer::optimize(const query::Query& q) {
       }
       examined += 1.0;
     }
+    if (chosen == net::kInvalidNode) {
+      // Every candidate priced at infinity (inputs unreachable): report
+      // infeasible instead of assembling a deployment with a hole in it.
+      OptimizeResult out;
+      out.feasible = false;
+      return out;
+    }
     op_nodes[v] = chosen;
   }
 

@@ -34,9 +34,8 @@ OptimizeResult PlanThenDeployOptimizer::optimize(const query::Query& q) {
       plan.tree, plan.units, rates, q.sink, sites,
       DistanceOracle::routing(rt), delivery_rate_for(q, rates),
       workspace_for(env_));
-  IFLOW_CHECK(placement.feasible);
-
   OptimizeResult out;
+  if (!placement.feasible) return out;
   out.feasible = true;
   out.deployment = assemble_deployment(plan.tree, plan.units, rates,
                                        placement.op_nodes, q.sink, q.id);

@@ -1,5 +1,7 @@
 #include "opt/top_down.h"
 
+#include <cmath>
+
 #include "opt/view_planner.h"
 #include "query/rates.h"
 #include "verify/validator.h"
@@ -23,9 +25,14 @@ OptimizeResult TopDownOptimizer::optimize(const query::Query& q) {
   final_deployment.sink = q.sink;
   std::vector<ViewPlanStats> stats(static_cast<std::size_t>(h.height()));
 
-  plan_view_recursive(env_, h.height(), 0, inputs, rates.full(), q.sink,
-                      rates, q.id, final_deployment, stats, /*refine=*/true,
-                      delivery_rate_for(q, rates));
+  const int code = plan_view_recursive(
+      env_, h.height(), 0, inputs, rates.full(), q.sink, rates, q.id,
+      final_deployment, stats, /*refine=*/true, delivery_rate_for(q, rates));
+  if (code == kInfeasibleCode) {
+    OptimizeResult out;
+    out.feasible = false;
+    return out;
+  }
   final_deployment.aggregate = q.aggregate;
   query::validate_deployment(final_deployment);
 
@@ -33,6 +40,16 @@ OptimizeResult TopDownOptimizer::optimize(const query::Query& q) {
   out.feasible = true;
   out.deployment = std::move(final_deployment);
   out.actual_cost = query::deployment_cost(out.deployment, rt);
+  // Every per-view plan can be feasible and yet the assembled whole be
+  // unroutable: a refined sub-view does not price its outgoing edge (its
+  // delivery is kInvalidNode), so under a partition it can land in a
+  // different component than its consumer. Surface that as infeasibility —
+  // feasible results always have finite cost.
+  if (!std::isfinite(out.actual_cost)) {
+    OptimizeResult infeasible;
+    infeasible.feasible = false;
+    return infeasible;
+  }
   out.planned_cost = out.actual_cost;
   out.levels_used = h.height();
 

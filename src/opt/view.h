@@ -18,6 +18,12 @@ namespace iflow::opt {
 
 inline constexpr int kNoCode = std::numeric_limits<int>::min();
 
+/// Sentinel returned by plan_view_recursive when some view cannot be planned
+/// (e.g. a source priced out of the hierarchy by a failure). Distinct from
+/// every real child code: ops are >= 0 and unit codes ~u never reach
+/// INT_MIN + 1 for realistic unit counts.
+inline constexpr int kInfeasibleCode = std::numeric_limits<int>::min() + 1;
+
 /// Planner leaf unit plus its identity in the final deployment, if any.
 struct ViewInput {
   query::LeafUnit unit;

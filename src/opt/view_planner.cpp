@@ -38,7 +38,10 @@ int plan_view_recursive(const OptimizerEnv& env, int level,
   }
 
   const PlannerResult res = plan_optimal(in, workspace_for(env));
-  IFLOW_CHECK_MSG(res.feasible, "view inputs cannot cover the target");
+  // Infeasible views (inputs cannot cover the target, or every placement is
+  // priced at infinity by a partition) propagate a sentinel instead of
+  // throwing; the optimizer surfaces feasible = false.
+  if (!res.feasible) return kInfeasibleCode;
   auto& stat = stats[static_cast<std::size_t>(level - 1)];
   stat.plans += res.plans_considered;
   for (const query::DeployedOp& op : res.deployment.ops) {
@@ -101,6 +104,7 @@ int plan_view_recursive(const OptimizerEnv& env, int level,
               inputs[static_cast<std::size_t>(res.unit_sources[j])]);
         } else if (comp[static_cast<std::size_t>(child)] != c) {
           const int code = self(self, comp[static_cast<std::size_t>(child)]);
+          if (code == kInfeasibleCode) return kInfeasibleCode;
           const query::DeployedOp& co =
               dep.ops[static_cast<std::size_t>(child)];
           ViewInput vi;
@@ -123,6 +127,7 @@ int plan_view_recursive(const OptimizerEnv& env, int level,
         env, level - 1, sub_cluster, sub_inputs, top.mask, sub_delivery,
         rates, qid, final_deployment, stats, /*refine=*/true,
         is_root ? delivery_bytes_rate : -1.0);
+    if (code == kInfeasibleCode) return kInfeasibleCode;
     comp_code[static_cast<std::size_t>(c)] = code;
     return code;
   };

@@ -3,6 +3,8 @@
 // operator migration is the middleware's job).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "engine/middleware.h"
 #include "net/gtitm.h"
 #include "workload/generator.h"
@@ -117,12 +119,99 @@ TEST(FailureTest, SubsequentDeploysAvoidFailedNodes) {
   }
 }
 
-TEST(FailureTest, RefusesToFailSourcesAndSinks) {
+TEST(FailureTest, SuspendsQueriesWithFailedSource) {
   World w(5, 2);
   Middleware mw(w.net, w.wl.catalog, 4, Algorithm::kTopDown, 3);
   for (const query::Query& q : w.wl.queries) mw.deploy(q);
-  EXPECT_THROW(mw.fail_node(w.wl.catalog.stream(0).source), CheckError);
-  EXPECT_THROW(mw.fail_node(w.wl.queries.front().sink), CheckError);
+  const std::size_t before = mw.active_queries();
+  ASSERT_GT(before, 0u);
+
+  // Failing a source node suspends (never throws) every query drawing from
+  // it; the others keep running or migrate.
+  const net::NodeId src = w.wl.catalog.stream(0).source;
+  std::size_t drawing = 0;
+  for (const query::Query& q : w.wl.queries) {
+    for (query::StreamId s : q.sources) {
+      if (w.wl.catalog.stream(s).source == src) {
+        ++drawing;
+        break;
+      }
+    }
+  }
+  const auto reds = mw.fail_node(src);
+  std::size_t suspended = 0;
+  for (const Redeployment& r : reds) {
+    if (r.outcome == Outcome::kSuspended) ++suspended;
+  }
+  EXPECT_EQ(suspended, drawing);
+  EXPECT_EQ(mw.suspended_queries(), drawing);
+  EXPECT_EQ(mw.active_queries(), before - drawing);
+  for (const Middleware::SuspendedQuery& sq : mw.suspended()) {
+    EXPECT_EQ(sq.attempts, 0);
+  }
+
+  // Restoring the node resumes every suspended query.
+  const auto resumed = mw.restore_node(src);
+  std::size_t resumed_count = 0;
+  for (const Redeployment& r : resumed) {
+    if (r.outcome == Outcome::kResumed) ++resumed_count;
+  }
+  EXPECT_EQ(resumed_count, drawing);
+  EXPECT_EQ(mw.suspended_queries(), 0u);
+  EXPECT_EQ(mw.active_queries(), before);
+}
+
+TEST(FailureTest, SuspendsQueriesWithFailedSink) {
+  World w(5, 2);
+  Middleware mw(w.net, w.wl.catalog, 4, Algorithm::kTopDown, 3);
+  for (const query::Query& q : w.wl.queries) mw.deploy(q);
+  const std::size_t before = mw.active_queries();
+  const net::NodeId sink = w.wl.queries.front().sink;
+  std::size_t sinking = 0;
+  for (const query::Query& q : w.wl.queries) sinking += (q.sink == sink);
+
+  const auto reds = mw.fail_node(sink);
+  std::size_t suspended = 0;
+  for (const Redeployment& r : reds) {
+    if (r.outcome == Outcome::kSuspended) ++suspended;
+  }
+  EXPECT_EQ(suspended, sinking);
+  EXPECT_EQ(mw.active_queries(), before - sinking);
+
+  const auto resumed = mw.restore_node(sink);
+  EXPECT_EQ(mw.suspended_queries(), 0u);
+  EXPECT_EQ(mw.active_queries(), before);
+  for (const Redeployment& r : resumed) {
+    if (r.outcome == Outcome::kResumed) {
+      EXPECT_TRUE(std::isfinite(r.adapted_cost));
+    }
+  }
+}
+
+TEST(FailureTest, DeployWhileEndpointDownParksTheQuery) {
+  World w(5, 2);
+  Middleware mw(w.net, w.wl.catalog, 4, Algorithm::kTopDown, 3);
+  const net::NodeId src = w.wl.catalog.stream(0).source;
+  mw.fail_node(src);
+  query::Query q;
+  for (const query::Query& cand : w.wl.queries) {
+    bool uses = false;
+    for (query::StreamId s : cand.sources) {
+      uses |= (w.wl.catalog.stream(s).source == src);
+    }
+    if (uses) {
+      q = cand;
+      break;
+    }
+  }
+  ASSERT_FALSE(q.sources.empty());
+  const opt::OptimizeResult res = mw.deploy(q);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(mw.suspended_queries(), 1u);
+  EXPECT_EQ(mw.active_queries(), 0u);
+  mw.restore_node(src);
+  EXPECT_EQ(mw.suspended_queries(), 0u);
+  EXPECT_EQ(mw.active_queries(), 1u);
 }
 
 TEST(FailureTest, UnaffectedDeploymentsStayPut) {

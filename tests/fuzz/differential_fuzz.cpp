@@ -25,6 +25,14 @@
 // hexfloat cost line per (seed, optimizer), so CI can diff a --threads 1
 // run against a --threads N run and assert the parallel site sweep is
 // bitwise-identical to the serial one.
+//
+// --churn switches to the failure/churn harness: each iteration derives a
+// random network + workload, replays a seeded fault schedule (crashes,
+// processing failures, link flaps, restores, rate spikes) through
+// engine::run_churn, and fails the iteration on any validator violation,
+// unresumed query after full restoration, or missed convergence. With
+// --digest it prints the per-step transcript (hexfloat costs), which must
+// be identical across --threads values for the same seed.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +44,7 @@
 
 #include "cluster/hierarchy.h"
 #include "cluster/theory.h"
+#include "engine/chaos.h"
 #include "net/gtitm.h"
 #include "opt/bottom_up.h"
 #include "opt/exhaustive.h"
@@ -46,6 +55,7 @@
 #include "opt/top_down.h"
 #include "query/rates.h"
 #include "verify/validator.h"
+#include "workload/generator.h"
 
 namespace iflow {
 namespace {
@@ -56,6 +66,7 @@ struct Options {
   int threads = 1;
   bool verbose = false;
   bool digest = false;
+  bool churn = false;
 };
 
 /// One self-contained random instance. Everything is derived from the seed,
@@ -365,6 +376,51 @@ void check_instance(std::uint64_t seed, const Options& opt,
   }
 }
 
+/// One churn-fuzz iteration: random world, seeded fault schedule, full
+/// invariant sweep via engine::run_churn.
+void check_churn_instance(std::uint64_t seed, const Options& opt,
+                          IterationLog& log) {
+  Prng prng(seed);
+  net::TransitStubParams p;
+  p.transit_count = 1 + static_cast<int>(prng.index(2));
+  p.stub_domains_per_transit = 2;
+  p.stub_domain_size = 3 + static_cast<int>(prng.index(3));
+  net::Network net = net::make_transit_stub(p, prng);
+  workload::WorkloadParams wp;
+  wp.num_streams = 5 + static_cast<int>(prng.index(3));
+  wp.min_joins = 2;
+  wp.max_joins = 3;
+  Prng wprng(seed + 1);
+  const int queries = 3 + static_cast<int>(prng.index(3));
+  workload::Workload wl = workload::make_workload(net, wp, queries, wprng);
+
+  engine::ChaosConfig cfg;
+  cfg.events = 30 + static_cast<int>(prng.index(11));
+  cfg.threads = opt.threads;
+  const engine::ChaosReport report =
+      engine::run_churn(net, wl.catalog, wl.queries, 4,
+                        engine::Algorithm::kTopDown, seed, cfg);
+  if (opt.digest) {
+    std::istringstream lines(report.digest);
+    std::string line;
+    while (std::getline(lines, line)) {
+      std::cout << "churn " << seed << ' ' << line << '\n';
+    }
+  }
+  if (report.violations != 0) {
+    log.fail("churn: validator violations: " + report.violation_detail);
+  }
+  if (!report.all_resumed) {
+    log.fail("churn: queries left suspended after full restoration");
+  }
+  if (!report.converged) {
+    std::ostringstream os;
+    os << "churn: no convergence: final " << report.final_cost << " vs fresh "
+       << report.fresh_cost;
+    log.fail(os.str());
+  }
+}
+
 int run(const Options& opt) {
   opt::PlanWorkspace ws(opt.threads);
   int failed_iterations = 0;
@@ -372,7 +428,11 @@ int run(const Options& opt) {
     const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
     IterationLog log{seed};
     try {
-      check_instance(seed, opt, ws, log);
+      if (opt.churn) {
+        check_churn_instance(seed, opt, log);
+      } else {
+        check_instance(seed, opt, ws, log);
+      }
     } catch (const std::exception& e) {
       log.fail(std::string("exception: ") + e.what());
     }
@@ -421,9 +481,11 @@ int main(int argc, char** argv) {
       opt.verbose = true;
     } else if (arg == "--digest") {
       opt.digest = true;
+    } else if (arg == "--churn") {
+      opt.churn = true;
     } else {
       std::cerr << "usage: differential_fuzz [--iterations N] [--seed S] "
-                   "[--threads T] [--digest] [--verbose]\n";
+                   "[--threads T] [--digest] [--churn] [--verbose]\n";
       return 2;
     }
   }

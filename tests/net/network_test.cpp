@@ -75,5 +75,61 @@ TEST(NetworkTest, ConnectivityDetection) {
   EXPECT_TRUE(empty.connected());
 }
 
+TEST(NetworkTest, LinkFaultTogglesUsabilityAndBumpsVersion) {
+  Network n = make_triangle();
+  const auto v = n.version();
+  n.fail_link(0, 1);
+  EXPECT_GT(n.version(), v);
+  EXPECT_FALSE(n.link_up(0));
+  EXPECT_FALSE(n.usable(0));
+  EXPECT_TRUE(n.usable(1));
+  EXPECT_EQ(n.cheapest_usable_link(0, 1), kInvalidLink);
+  // Double-fail and restore-of-up are programming errors.
+  EXPECT_THROW(n.fail_link(0, 1), CheckError);
+  EXPECT_THROW(n.restore_link(1, 2), CheckError);
+  n.restore_link(0, 1);
+  EXPECT_TRUE(n.usable(0));
+  EXPECT_EQ(n.cheapest_usable_link(0, 1), 0u);
+}
+
+TEST(NetworkTest, CrashMakesIncidentLinksUnusableWithoutDowningThem) {
+  Network n = make_triangle();
+  n.crash_node(1);
+  EXPECT_FALSE(n.node_alive(1));
+  // Links (0,1) and (1,2) are administratively up but unusable.
+  EXPECT_TRUE(n.link_up(0));
+  EXPECT_FALSE(n.usable(0));
+  EXPECT_TRUE(n.link_up(1));
+  EXPECT_FALSE(n.usable(1));
+  EXPECT_TRUE(n.usable(2));  // (0,2) untouched
+  EXPECT_THROW(n.crash_node(1), CheckError);
+  n.restore_node(1);
+  EXPECT_TRUE(n.node_alive(1));
+  EXPECT_TRUE(n.usable(0));
+  EXPECT_TRUE(n.usable(1));
+  EXPECT_THROW(n.restore_node(1), CheckError);
+}
+
+TEST(NetworkTest, RestoreAfterCrashKeepsAdministrativelyDownLinks) {
+  Network n = make_triangle();
+  n.fail_link(0, 1);
+  n.crash_node(1);
+  n.restore_node(1);
+  EXPECT_FALSE(n.usable(0));  // failed before the crash, stays down
+  EXPECT_TRUE(n.usable(1));   // (1,2) came back with the node
+}
+
+TEST(NetworkTest, ConnectivityIgnoresDeadNodes) {
+  Network n = make_triangle();
+  n.add_node();           // isolated → disconnected
+  EXPECT_FALSE(n.connected());
+  n.crash_node(3);        // dead nodes do not count against connectivity
+  EXPECT_TRUE(n.connected());
+  n.crash_node(1);        // triangle minus a corner is still connected
+  EXPECT_TRUE(n.connected());
+  n.fail_link(0, 2);      // now 0 and 2 are cut off from each other
+  EXPECT_FALSE(n.connected());
+}
+
 }  // namespace
 }  // namespace iflow::net

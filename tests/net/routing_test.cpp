@@ -141,11 +141,97 @@ TEST(RoutingTest, NextHopWalkReconstructsCostPath) {
   }
 }
 
-TEST(RoutingTest, RequiresConnectedNetwork) {
+TEST(RoutingTest, DisconnectedPairsCostInfinity) {
+  // Two isolated nodes: routing must build (no throw) and report the pair
+  // as unreachable, symmetrically, with self-distances intact.
   Network net;
   net.add_node();
   net.add_node();
-  EXPECT_THROW(RoutingTables::build(net), CheckError);
+  const RoutingTables rt = RoutingTables::build(net);
+  EXPECT_TRUE(std::isinf(rt.cost(0, 1)));
+  EXPECT_TRUE(std::isinf(rt.cost(1, 0)));
+  EXPECT_TRUE(std::isinf(rt.delay_ms(0, 1)));
+  EXPECT_DOUBLE_EQ(rt.cost(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(rt.cost(1, 1), 0.0);
+  EXPECT_FALSE(rt.reachable(0, 1));
+  EXPECT_TRUE(rt.reachable(0, 0));
+}
+
+TEST(RoutingTest, UnreachablePathIsEmptyAndNextHopInvalid) {
+  // Two disjoint components; cross-component queries return structured
+  // "no route" answers, never garbage or a hang.
+  Network net;
+  for (int i = 0; i < 4; ++i) net.add_node();
+  net.add_link(0, 1, 1.0, 1.0, 1e6);
+  net.add_link(2, 3, 1.0, 1.0, 1e6);
+  const RoutingTables rt = RoutingTables::build(net);
+  EXPECT_TRUE(rt.cost_path(0, 2).empty());
+  EXPECT_TRUE(rt.cost_path(3, 1).empty());
+  EXPECT_EQ(rt.next_hop(0, 2), kInvalidNode);
+  EXPECT_EQ(rt.next_hop(3, 1), kInvalidNode);
+  // Within-component answers are unaffected.
+  EXPECT_DOUBLE_EQ(rt.cost(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(rt.cost(2, 3), 1.0);
+  const std::vector<NodeId> path = rt.cost_path(2, 3);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], 2u);
+  EXPECT_EQ(path[1], 3u);
+}
+
+TEST(RoutingTest, FailedLinkSeversAndRestoreHeals) {
+  Network net = make_line(3, 2.0, 10.0);
+  net.fail_link(1, 2);
+  const RoutingTables cut = RoutingTables::build(net);
+  EXPECT_FALSE(cut.reachable(0, 2));
+  EXPECT_TRUE(cut.reachable(0, 1));
+  net.restore_link(1, 2);
+  const RoutingTables healed = RoutingTables::build(net);
+  EXPECT_DOUBLE_EQ(healed.cost(0, 2), 4.0);
+}
+
+TEST(RoutingTest, CrashedNodeRoutesAroundOrPartitions) {
+  // Square: crashing a corner reroutes traffic the long way; self-distance
+  // of the dead node stays 0 but nothing can reach it.
+  Network net;
+  for (int i = 0; i < 4; ++i) net.add_node();
+  net.add_link(0, 1, 1.0, 1.0, 1e6);
+  net.add_link(1, 2, 1.0, 1.0, 1e6);
+  net.add_link(2, 3, 1.0, 1.0, 1e6);
+  net.add_link(3, 0, 1.0, 1.0, 1e6);
+  net.crash_node(1);
+  const RoutingTables rt = RoutingTables::build(net);
+  EXPECT_DOUBLE_EQ(rt.cost(0, 2), 2.0);  // via 3, not via dead 1
+  EXPECT_FALSE(rt.reachable(0, 1));
+  EXPECT_FALSE(rt.reachable(2, 1));
+  EXPECT_DOUBLE_EQ(rt.cost(1, 1), 0.0);
+  net.restore_node(1);
+  const RoutingTables healed = RoutingTables::build(net);
+  EXPECT_DOUBLE_EQ(healed.cost(0, 2), 2.0);
+  EXPECT_TRUE(healed.reachable(0, 1));
+}
+
+TEST(RoutingTest, CrashDisablesParallelLinksButKeepsAdminState) {
+  // A crashed endpoint makes even administratively-up links unusable;
+  // restoring the node brings exactly the still-up links back.
+  Network net;
+  net.add_node();
+  net.add_node();
+  net.add_node();
+  net.add_link(0, 1, 1.0, 1.0, 1e6);
+  net.add_link(1, 2, 1.0, 1.0, 1e6);
+  net.add_link(0, 2, 5.0, 1.0, 1e6);
+  net.crash_node(1);
+  const RoutingTables rt = RoutingTables::build(net);
+  EXPECT_DOUBLE_EQ(rt.cost(0, 2), 5.0);  // forced onto the expensive edge
+  net.fail_link(0, 2);
+  const RoutingTables cut = RoutingTables::build(net);
+  EXPECT_FALSE(cut.reachable(0, 2));
+  net.restore_node(1);
+  const RoutingTables partial = RoutingTables::build(net);
+  EXPECT_DOUBLE_EQ(partial.cost(0, 2), 2.0);  // via 1; (0,2) still down
+  net.restore_link(0, 2);
+  const RoutingTables healed = RoutingTables::build(net);
+  EXPECT_DOUBLE_EQ(healed.cost(0, 2), 2.0);
 }
 
 TEST(RoutingTest, RecordsBuildVersion) {
