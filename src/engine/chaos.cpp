@@ -22,6 +22,9 @@ const char* to_string(ChaosEventKind k) {
     case ChaosEventKind::kFailLink: return "fail-link";
     case ChaosEventKind::kRestoreLink: return "restore-link";
     case ChaosEventKind::kRateSpike: return "rate-spike";
+    case ChaosEventKind::kSetLinkLoss: return "set-link-loss";
+    case ChaosEventKind::kSetLinkJitter: return "set-link-jitter";
+    case ChaosEventKind::kQueuePressure: return "queue-pressure";
   }
   return "?";
 }
@@ -56,6 +59,34 @@ ChaosEvent FaultInjector::next() {
     const std::size_t i = prng_.index(streams_.size());
     e.stream = streams_[i];
     e.rate = base_rates_[i] * prng_.uniform(0.25, 4.0);
+    return e;
+  }
+
+  // Delivery-layer events: none of these change what is down, so they sit
+  // outside the budget/restore bookkeeping. Re-drawing loss or jitter on a
+  // pair that already has some simply overwrites it.
+  if (!link_pairs_.empty() && prng_.chance(cfg_.loss_probability)) {
+    e.kind = ChaosEventKind::kSetLinkLoss;
+    const auto& p = prng_.pick(link_pairs_);
+    e.a = p.first;
+    e.b = p.second;
+    e.rate = prng_.uniform(0.0, cfg_.max_link_loss);
+    return e;
+  }
+  if (!link_pairs_.empty() && prng_.chance(cfg_.jitter_probability)) {
+    e.kind = ChaosEventKind::kSetLinkJitter;
+    const auto& p = prng_.pick(link_pairs_);
+    e.a = p.first;
+    e.b = p.second;
+    e.rate = prng_.uniform(0.0, cfg_.max_jitter_ms);
+    return e;
+  }
+  if (prng_.chance(cfg_.queue_probability)) {
+    e.kind = ChaosEventKind::kQueuePressure;
+    // Per-tuple service time; the top of the range keeps operator
+    // utilization under ~0.4 at the generator's spiked stream rates, so
+    // backpressure queues stay shallow and event-time results unaffected.
+    e.rate = prng_.uniform(0.0001, 0.0005);
     return e;
   }
 
@@ -144,9 +175,13 @@ std::size_t validate_actives(Middleware& mw,
                              const std::unordered_set<query::QueryId>& replanned,
                              std::string* first_detail) {
   opt::OptimizerEnv env = mw.planning_env();
+  const std::vector<net::NodeId> excluded = mw.excluded_hosts();
   std::size_t violations = 0;
   for (const Middleware::ActiveView& v : mw.active_views()) {
     verify::ValidateOptions vopts;
+    // No active deployment may keep an operator or derived unit on a
+    // failed, crashed or load-shed host (kExcludedHost).
+    vopts.excluded_hosts = &excluded;
     if (replanned.count(v.query->id) > 0) {
       vopts.query = v.query;
       vopts.planned_cost = v.planned_cost;
@@ -181,6 +216,12 @@ void digest_line(std::ostringstream& os, std::size_t step,
   if (e.kind == ChaosEventKind::kRateSpike) {
     os << 's' << e.stream << ' ' << std::hexfloat << e.rate
        << std::defaultfloat;
+  } else if (e.kind == ChaosEventKind::kSetLinkLoss ||
+             e.kind == ChaosEventKind::kSetLinkJitter) {
+    os << e.a << '-' << e.b << ' ' << std::hexfloat << e.rate
+       << std::defaultfloat;
+  } else if (e.kind == ChaosEventKind::kQueuePressure) {
+    os << std::hexfloat << e.rate << std::defaultfloat;
   } else {
     os << e.a;
     if (e.b != net::kInvalidNode) os << '-' << e.b;
@@ -205,6 +246,10 @@ ChaosReport run_churn(net::Network net, query::Catalog catalog,
 
   FaultInjector inj(net, catalog, cfg, seed ^ 0xC4A05E7A11DEADULL);
 
+  // Queue pressure applies to the post-churn delivery check; the last drawn
+  // event wins.
+  double queue_service_s = 0.0;
+
   for (int i = 0; i < cfg.events; ++i) {
     ChaosStep step;
     step.event = inj.next();
@@ -228,6 +273,15 @@ ChaosReport run_churn(net::Network net, query::Catalog catalog,
       case ChaosEventKind::kRateSpike:
         mw.set_stream_rate(e.stream, e.rate);
         step.redeployments = mw.adapt();
+        break;
+      case ChaosEventKind::kSetLinkLoss:
+        mw.set_link_loss(e.a, e.b, e.rate);
+        break;
+      case ChaosEventKind::kSetLinkJitter:
+        mw.set_link_jitter(e.a, e.b, e.rate);
+        break;
+      case ChaosEventKind::kQueuePressure:
+        queue_service_s = e.rate;
         break;
     }
     step.violations = validate_actives(mw, replanned_ids(step.redeployments),
@@ -298,6 +352,105 @@ ChaosReport run_churn(net::Network net, query::Catalog catalog,
          << " fresh " << report.fresh_cost << std::defaultfloat
          << " resumed " << (report.all_resumed ? 1 : 0) << " viol "
          << report.violations << '\n';
+
+  // Post-churn delivery contract: deploy the surviving actives into two
+  // reliable-mode simulations — one over the churned network with its
+  // accumulated loss/jitter, one over a loss-free copy — driven by the same
+  // engine seed (sources draw only from the main engine Prng, so both runs
+  // emit identical tuples). With per-link loss under the retry budget's
+  // tolerance, ack-based retransmission plus receiver dedup must make the
+  // lossy run deliver exactly the loss-free counts, with zero tuples lost
+  // after retries.
+  if (cfg.delivery_check) {
+    EngineConfig ec;
+    // delivery_duration_s is the emission window; the extra 30 s is a
+    // settle window during which sources are quiet but the full retry
+    // chain (~23 s at 12 retries capped at 2 s) completes.
+    ec.duration_s = cfg.delivery_duration_s + 30.0;
+    ec.reliability.enabled = true;
+    // The count-equality contract needs parameters sized to the topology,
+    // not to wall-clock goodput. GT-ITM paths run to ~1 s round trip, so
+    // the backoff cap must exceed the worst RTT or every in-flight ack
+    // loses the race and the channel retransmits forever; the window must
+    // exceed the bandwidth-delay product of a spiked stream (4 × 100 t/s
+    // × 1 s RTT) or backpressure stalls delay tuples without bound; and
+    // join partners are retained for the whole run so a retransmit-delayed
+    // tuple still meets everything it would have met loss-free.
+    ec.reliability.max_backoff_s = 2.0;
+    ec.reliability.window = 1024;
+    ec.reliability.lateness_s = ec.duration_s;
+    ec.reliability.drain_s = 30.0;
+    if (queue_service_s > 0.0) {
+      ec.reliability.service_s = queue_service_s;
+      ec.reliability.queue_capacity = 96;
+      ec.reliability.overflow = OverflowPolicy::kBackpressure;
+    }
+    const std::uint64_t sim_seed = seed ^ 0x0DE11FE12ULL;
+    const std::vector<Middleware::ActiveView> views = mw.active_views();
+
+    // Dependency-ordered deploy: derived leaf units bind to operators of
+    // already-deployed queries, so sweep to a fixpoint — a reuse chain of
+    // depth d deploys in d sweeps. A sweep without progress means a
+    // provider is missing outright (the middleware's stranded-reuse repair
+    // should prevent this); report the check as not runnable then.
+    const auto deploy_all = [&](Simulation& sim) -> bool {
+      std::vector<bool> done(views.size(), false);
+      std::size_t remaining = views.size();
+      bool progress = true;
+      while (remaining > 0 && progress) {
+        progress = false;
+        for (std::size_t i = 0; i < views.size(); ++i) {
+          if (done[i]) continue;
+          try {
+            sim.deploy(*views[i].deployment,
+                       query::RateModel(mw.catalog(), *views[i].query));
+            done[i] = true;
+            --remaining;
+            progress = true;
+          } catch (const CheckError&) {
+            // Provider not deployed yet; retry next sweep.
+          }
+        }
+      }
+      return remaining == 0;
+    };
+
+    const net::Network& lossy_net = mw.network();
+    net::Network clean_net = lossy_net;
+    for (const net::Link& l : lossy_net.links()) {
+      clean_net.set_link_loss(l.a, l.b, 0.0);
+      clean_net.set_link_jitter(l.a, l.b, 0.0);
+    }
+    const net::RoutingTables lossy_rt = net::RoutingTables::build(lossy_net);
+    const net::RoutingTables clean_rt = net::RoutingTables::build(clean_net);
+
+    Simulation lossy(lossy_net, lossy_rt, mw.catalog(), ec, sim_seed);
+    Simulation clean(clean_net, clean_rt, mw.catalog(), ec, sim_seed);
+    if (deploy_all(lossy) && deploy_all(clean)) {
+      lossy.run();
+      clean.run();
+      report.delivery_checked = true;
+      bool ok = true;
+      for (const Middleware::ActiveView& v : views) {
+        const query::QueryId q = v.query->id;
+        if (lossy.tuples_delivered(q) != clean.tuples_delivered(q)) {
+          ok = false;
+        }
+        const DeliveryStats ds = lossy.delivery_stats(q);
+        if (ds.lost != 0) ok = false;
+        report.delivered_total += ds.delivered;
+        report.retransmits_total += ds.retransmits;
+        report.duplicates_total += ds.duplicates;
+      }
+      report.delivery_ok = ok;
+    }
+    digest << "delivery checked " << (report.delivery_checked ? 1 : 0)
+           << " ok " << (report.delivery_ok ? 1 : 0) << " delivered "
+           << report.delivered_total << " retrans "
+           << report.retransmits_total << " dup " << report.duplicates_total
+           << '\n';
+  }
+
   report.digest = digest.str();
   return report;
 }

@@ -42,6 +42,34 @@ struct ChaosConfig {
   /// Probability of a rate-spike event (scales a random stream's rate by a
   /// factor in [0.25, 4] and runs adapt()).
   double spike_probability = 0.15;
+  /// Probability of a set-link-loss event (a random link pair's loss
+  /// probability is re-drawn in [0, max_link_loss]). Loss does not affect
+  /// planning costs; it exercises the engine's reliable delivery layer via
+  /// the post-churn delivery check.
+  double loss_probability = 0.0;
+  /// Probability of a set-link-jitter event (delay jitter re-drawn in
+  /// [0, max_jitter_ms]).
+  double jitter_probability = 0.0;
+  /// Probability of a queue-pressure event: the post-churn delivery check
+  /// runs with bounded per-operator queues (kBackpressure) and the drawn
+  /// per-tuple service time, so retransmission interacts with queueing.
+  double queue_probability = 0.0;
+  /// Upper bound of drawn per-link loss probabilities. Kept well under the
+  /// default retry budget's tolerance (12 retries at <= 5% per-hop loss
+  /// makes residual loss negligible over a bounded run).
+  double max_link_loss = 0.04;
+  /// Upper bound of drawn per-link delay jitter (must stay far below the
+  /// engine's lateness allowance so event-time results are unaffected).
+  double max_jitter_ms = 2.0;
+  /// Run the post-churn delivery contract: deploy the surviving actives
+  /// into two reliable-mode simulations — one over the churned network
+  /// (with its accumulated loss/jitter), one over a loss-free copy — and
+  /// require per-query delivered counts to match exactly with zero tuples
+  /// lost after retries (at-least-once + dedup = effectively exactly-once).
+  bool delivery_check = false;
+  /// Horizon of the delivery-check simulations (must exceed the engine's
+  /// default drain window).
+  double delivery_duration_s = 20.0;
   /// Planner threads pinned on the middleware workspace (determinism
   /// checks run the same seed at 1 and N and diff the digests).
   int threads = 1;
@@ -58,7 +86,10 @@ enum class ChaosEventKind : std::uint8_t {
   kRestoreNode,  // recovers from either failure class
   kFailLink,     // administrative link-pair failure (possible partition)
   kRestoreLink,
-  kRateSpike,    // stream rate scaled; adapt() re-plans drifted queries
+  kRateSpike,      // stream rate scaled; adapt() re-plans drifted queries
+  kSetLinkLoss,    // link loss probability re-drawn (delivery layer)
+  kSetLinkJitter,  // link delay jitter re-drawn (delivery layer)
+  kQueuePressure,  // delivery check runs with bounded queues + service time
 };
 
 const char* to_string(ChaosEventKind k);
@@ -68,7 +99,10 @@ struct ChaosEvent {
   net::NodeId a = net::kInvalidNode;   // node, or link end
   net::NodeId b = net::kInvalidNode;   // other link end (links only)
   query::StreamId stream = query::kInvalidStream;  // rate spikes only
-  double rate = 0.0;                   // new tuple rate (rate spikes only)
+  /// Overloaded by kind: new tuple rate (kRateSpike), loss probability
+  /// (kSetLinkLoss), jitter in ms (kSetLinkJitter), per-tuple service time
+  /// in seconds (kQueuePressure).
+  double rate = 0.0;
 };
 
 /// One replayed event plus the system state it left behind.
@@ -90,6 +124,12 @@ struct ChaosReport {
   bool converged = false;            // cost within convergence_factor
   double final_cost = 0.0;           // churned middleware, post-restore
   double fresh_cost = 0.0;           // fresh middleware on the end state
+  /// Post-churn delivery contract (only when cfg.delivery_check).
+  bool delivery_checked = false;   // both sims deployed + ran to completion
+  bool delivery_ok = false;        // per-query lossy == loss-free, 0 lost
+  std::uint64_t delivered_total = 0;    // lossy run, summed over queries
+  std::uint64_t retransmits_total = 0;  // retransmissions the loss forced
+  std::uint64_t duplicates_total = 0;   // duplicates the dedup suppressed
   /// One line per step (event + hexfloat cost + counts); bitwise-identical
   /// across planner thread counts for a fixed seed.
   std::string digest;

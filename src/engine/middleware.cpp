@@ -11,6 +11,18 @@ namespace iflow::engine {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Global stream set of a mask under a query's rate model, sorted — the
+// identity the engine keys producers by.
+std::vector<query::StreamId> global_streams(const query::RateModel& rates,
+                                            query::Mask m) {
+  std::vector<query::StreamId> out;
+  for (int i = 0; i < rates.k(); ++i) {
+    if (m >> i & 1) out.push_back(rates.stream(i));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
 }
 
 const char* to_string(Outcome o) {
@@ -97,7 +109,79 @@ bool Middleware::deployment_intact(const Active& a) const {
   }
   const net::NodeId root = d.root_node();
   if (root != d.sink && !routing_->reachable(root, d.sink)) return false;
+  return derived_units_bound(a);
+}
+
+bool Middleware::exports_at(const Active& b, net::NodeId loc,
+                            const std::vector<query::StreamId>& want) const {
+  query::RateModel rb(*catalog_, b.q);
+  for (const query::DeployedOp& op : b.deployment.ops) {
+    if (op.node == loc && global_streams(rb, op.mask) == want) return true;
+  }
+  // A non-aggregated sink re-exports the full result stream set.
+  if (!b.deployment.aggregate.enabled() && b.deployment.sink == loc) {
+    query::Mask full = 0;
+    for (const query::LeafUnit& bu : b.deployment.units) full |= bu.mask;
+    if (global_streams(rb, full) == want) return true;
+  }
+  return false;
+}
+
+bool Middleware::derived_units_bound(const Active& a) const {
+  bool any_derived = false;
+  for (const query::LeafUnit& u : a.deployment.units) any_derived |= u.derived;
+  if (!any_derived) return true;
+  query::RateModel own(*catalog_, a.q);
+  for (const query::LeafUnit& u : a.deployment.units) {
+    if (!u.derived) continue;
+    const auto want = global_streams(own, u.mask);
+    bool found = false;
+    for (const Active& b : active_) {
+      if (b.q.id == a.q.id) continue;
+      if (exports_at(b, u.location, want)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
   return true;
+}
+
+std::vector<bool> Middleware::transitive_dependents(const Active& root) const {
+  std::vector<bool> dep(active_.size(), false);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    dep[i] = active_[i].q.id == root.q.id;
+  }
+  // Fixpoint: an active depends on root when any of its derived units could
+  // bind to an export of an already-dependent active. Conservative — a unit
+  // with several matching providers counts as depending on all of them.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (dep[i]) continue;
+      const Active& b = active_[i];
+      query::RateModel rb(*catalog_, b.q);
+      bool draws = false;
+      for (const query::LeafUnit& u : b.deployment.units) {
+        if (!u.derived) continue;
+        const auto want = global_streams(rb, u.mask);
+        for (std::size_t j = 0; j < active_.size(); ++j) {
+          if (dep[j] && exports_at(active_[j], u.location, want)) {
+            draws = true;
+            break;
+          }
+        }
+        if (draws) break;
+      }
+      if (draws) {
+        dep[i] = true;
+        changed = true;
+      }
+    }
+  }
+  return dep;
 }
 
 opt::OptimizerEnv Middleware::env() {
@@ -128,10 +212,15 @@ opt::OptimizerEnv Middleware::env() {
 
 opt::OptimizeResult Middleware::replan(const Active& a) {
   // Plan against a registry of everyone else's operators: this query's own
-  // stale advertisements must not be reused.
+  // stale advertisements must not be reused, and neither may those of
+  // queries that (transitively) derive from this query's results. Reusing a
+  // dependent's re-export would plan a cycle in which each side claims the
+  // other produces the data and nothing is grounded in a real source.
+  const std::vector<bool> dep = transitive_dependents(a);
   advert::Registry fresh;
-  for (const Active& other : active_) {
-    if (other.q.id == a.q.id) continue;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (dep[i]) continue;
+    const Active& other = active_[i];
     query::RateModel rates(*catalog_, other.q);
     advert::advertise_deployment(fresh, other.deployment, rates);
   }
@@ -183,6 +272,24 @@ void Middleware::set_link_cost(net::NodeId a, net::NodeId b,
   rebuild_views();
 }
 
+void Middleware::set_link_loss(net::NodeId a, net::NodeId b, double loss) {
+  net_->set_link_loss(a, b, loss);
+  // Loss does not change costs or reachability, but it bumps the network
+  // version; rebuild routing so version-stamped tables stay fresh, and
+  // repoint the hierarchy at the new tables (its cached distances are
+  // value-identical, but the old snapshot is gone). The clustering itself
+  // is untouched: link quality must not shuffle partitions.
+  rebuild_routing();
+  hierarchy_->refresh(*routing_);
+}
+
+void Middleware::set_link_jitter(net::NodeId a, net::NodeId b,
+                                 double jitter_ms) {
+  net_->set_link_jitter(a, b, jitter_ms);
+  rebuild_routing();
+  hierarchy_->refresh(*routing_);
+}
+
 void Middleware::set_stream_rate(query::StreamId stream, double tuple_rate) {
   catalog_->set_tuple_rate(stream, tuple_rate);
 }
@@ -225,38 +332,49 @@ void Middleware::resume_pass(std::vector<Redeployment>& out) {
 
 std::vector<Redeployment> Middleware::reconcile(bool try_resume) {
   std::vector<Redeployment> out;
-  for (std::size_t i = 0; i < active_.size();) {
-    Active& a = active_[i];
-    const bool healthy = endpoints_healthy(a.q);
-    if (healthy && deployment_intact(a)) {
-      ++i;
-      continue;
+  // Fixpoint sweep: migrating (or suspending) one active can strand the
+  // derived units of another that reuses its operators, so keep sweeping
+  // until a pass changes nothing. Each pass migrates or suspends at least
+  // one query, so active_.size() + 1 rounds always suffice.
+  for (std::size_t round = 0; round <= active_.size() + 1; ++round) {
+    bool changed = false;
+    for (std::size_t i = 0; i < active_.size();) {
+      Active& a = active_[i];
+      const bool healthy = endpoints_healthy(a.q);
+      if (healthy && deployment_intact(a)) {
+        ++i;
+        continue;
+      }
+      changed = true;
+      Redeployment r;
+      r.query = a.q.id;
+      r.planned_cost = a.planned_cost;
+      // The deployment is broken — a dead host, a severed edge or a
+      // stranded reuse binding — so it is delivering nothing, whatever its
+      // nominal cost would be.
+      r.drifted_cost = kInf;
+      opt::OptimizeResult res;
+      if (healthy) res = replan(a);
+      if (healthy && res.feasible && std::isfinite(res.actual_cost)) {
+        r.adapted_cost = res.actual_cost;
+        r.outcome = Outcome::kMigrated;
+        a.deployment = res.deployment;
+        a.planned_cost = res.actual_cost;
+        ++i;
+      } else {
+        r.adapted_cost = kInf;
+        r.outcome = Outcome::kSuspended;
+        suspended_.push_back(
+            SuspendedQuery{std::move(a.q), a.planned_cost, 0});
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+      out.push_back(r);
     }
-    Redeployment r;
-    r.query = a.q.id;
-    r.planned_cost = a.planned_cost;
-    query::RateModel rates(*catalog_, a.q);
-    r.drifted_cost = query::deployment_cost(a.deployment, rates, *routing_);
-    opt::OptimizeResult res;
-    if (healthy) res = replan(a);
-    if (healthy && res.feasible && std::isfinite(res.actual_cost)) {
-      r.adapted_cost = res.actual_cost;
-      r.outcome = Outcome::kMigrated;
-      a.deployment = res.deployment;
-      a.planned_cost = res.actual_cost;
-      ++i;
-    } else {
-      r.adapted_cost = kInf;
-      r.outcome = Outcome::kSuspended;
-      suspended_.push_back(
-          SuspendedQuery{std::move(a.q), a.planned_cost, 0});
-      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
-    }
-    out.push_back(r);
+    // Advertisements referencing down hosts or moved operators are stale:
+    // rebuild from the surviving deployments (resume planning needs them).
+    refresh_registry();
+    if (!changed) break;
   }
-  // Advertisements referencing down hosts or moved operators are stale:
-  // rebuild from the surviving deployments (resume planning needs them).
-  refresh_registry();
   if (try_resume) resume_pass(out);
   return out;
 }
@@ -344,6 +462,16 @@ std::vector<net::NodeId> Middleware::excluded_hosts() const {
   return out;
 }
 
+std::vector<std::pair<query::QueryId, DeliveryStats>>
+Middleware::collect_delivery_stats(const Simulation& sim) const {
+  std::vector<std::pair<query::QueryId, DeliveryStats>> out;
+  out.reserve(active_.size());
+  for (const Active& a : active_) {
+    out.emplace_back(a.q.id, sim.delivery_stats(a.q.id));
+  }
+  return out;
+}
+
 std::vector<Middleware::ActiveView> Middleware::active_views() const {
   std::vector<ActiveView> out;
   out.reserve(active_.size());
@@ -362,15 +490,22 @@ std::vector<double> Middleware::node_loads() const {
   std::vector<double> load(net_->node_count(), 0.0);
   for (const Active& a : active_) {
     const query::Deployment& d = a.deployment;
+    // Deployed operators keep carrying the current stream volumes (the
+    // data conditions may have moved since deployment, see
+    // set_stream_rate), so monitored load re-prices every input edge
+    // against the live RateModel rather than the plan-time snapshot
+    // recorded in the deployment. A rate spike therefore shows up as
+    // overload immediately, before any replan refreshes the records.
+    const query::RateModel rates(*catalog_, a.q);
     for (const query::DeployedOp& op : d.ops) {
       for (int child : {op.left, op.right}) {
-        const double rate =
+        const query::Mask m =
             query::child_is_unit(child)
                 ? d.units[static_cast<std::size_t>(
                               query::child_unit_index(child))]
-                      .bytes_rate
-                : d.ops[static_cast<std::size_t>(child)].out_bytes_rate;
-        load[op.node] += rate;
+                      .mask
+                : d.ops[static_cast<std::size_t>(child)].mask;
+        load[op.node] += rates.bytes_rate(m);
       }
     }
   }
@@ -380,7 +515,13 @@ std::vector<double> Middleware::node_loads() const {
 std::vector<Redeployment> Middleware::rebalance_load() {
   std::vector<Redeployment> redeployed;
   if (node_capacity_ <= 0.0) return redeployed;
-  for (std::size_t round = 0; round < net_->node_count(); ++round) {
+  // Worst case every node needs a shed round AND a later anchored-suspend
+  // round (a shed node is only suspendable one round after it was shed, and
+  // with every node excluded replans fall back to unrestricted placement,
+  // bouncing the stuck load between already-shed hosts). One extra round
+  // lets the loop observe quiescence.
+  const std::size_t max_rounds = 2 * net_->node_count() + 1;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
     const std::vector<double> load = node_loads();
     net::NodeId worst = net::kInvalidNode;
     for (net::NodeId n = 0; n < net_->node_count(); ++n) {
@@ -392,7 +533,46 @@ std::vector<Redeployment> Middleware::rebalance_load() {
     if (worst == net::kInvalidNode) break;
     if (std::find(overloaded_nodes_.begin(), overloaded_nodes_.end(),
                   worst) != overloaded_nodes_.end()) {
-      break;  // already shed and its remaining load cannot move
+      // Already shed yet still overloaded: whatever sits here cannot move.
+      // If the stuck load belongs to queries anchored to this node — their
+      // own source or sink lives here, so no replan can ever vacate it —
+      // suspend those queries (load shedding at query granularity) instead
+      // of giving up with the node still drowning. They only retry after a
+      // restore resets the attempt budget.
+      bool suspended_any = false;
+      for (std::size_t i = 0; i < active_.size();) {
+        Active& a = active_[i];
+        bool hosted = false;
+        for (const query::DeployedOp& op : a.deployment.ops) {
+          hosted |= (op.node == worst);
+        }
+        bool anchored = (a.q.sink == worst);
+        for (query::StreamId s : a.q.sources) {
+          anchored |= (catalog_->stream(s).source == worst);
+        }
+        if (!hosted || !anchored) {
+          ++i;
+          continue;
+        }
+        Redeployment r;
+        r.query = a.q.id;
+        r.planned_cost = a.planned_cost;
+        query::RateModel rates(*catalog_, a.q);
+        r.drifted_cost =
+            query::deployment_cost(a.deployment, rates, *routing_);
+        r.adapted_cost = kInf;
+        r.outcome = Outcome::kSuspended;
+        redeployed.push_back(r);
+        suspended_.push_back(SuspendedQuery{std::move(a.q), a.planned_cost,
+                                            max_resume_attempts_});
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+        suspended_any = true;
+      }
+      if (!suspended_any) {
+        break;  // already shed and its remaining load cannot move
+      }
+      refresh_registry();
+      continue;
     }
     overloaded_nodes_.push_back(worst);
     for (Active& a : active_) {
@@ -416,6 +596,10 @@ std::vector<Redeployment> Middleware::rebalance_load() {
     // Refresh advertisements after migrations.
     refresh_registry();
   }
+  // Migrations (and overload suspensions) can strand derived units of
+  // queries that reused the moved operators; repair before returning.
+  const std::vector<Redeployment> repaired = reconcile(false);
+  redeployed.insert(redeployed.end(), repaired.begin(), repaired.end());
   return redeployed;
 }
 
@@ -508,6 +692,9 @@ std::vector<Redeployment> Middleware::reoptimize(int max_rounds) {
       refresh_registry();
     }
   }
+  // Single-query moves can strand reuse consumers; repair at a fixpoint.
+  const std::vector<Redeployment> repaired = reconcile(false);
+  redeployed.insert(redeployed.end(), repaired.begin(), repaired.end());
   return redeployed;
 }
 
@@ -551,6 +738,10 @@ std::vector<Redeployment> Middleware::adapt() {
   if (!redeployed.empty()) {
     // Advertisements may reference moved operators: rebuild them all.
     refresh_registry();
+    // A migration can strand the derived units of a query that reused the
+    // moved operators; repair before resuming.
+    const std::vector<Redeployment> repaired = reconcile(false);
+    redeployed.insert(redeployed.end(), repaired.begin(), repaired.end());
   }
   // The retry queue rides along with every adapt sweep.
   resume_pass(redeployed);

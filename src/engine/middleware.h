@@ -28,7 +28,9 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 
+#include "engine/simulation.h"
 #include "opt/bottom_up.h"
 #include "opt/exhaustive.h"
 #include "opt/search/workspace.h"
@@ -72,6 +74,13 @@ class Middleware {
 
   /// Applies a network condition change and refreshes routing + hierarchy.
   void set_link_cost(net::NodeId a, net::NodeId b, double cost_per_byte);
+
+  /// Monitored link-quality changes: loss probability and delay jitter.
+  /// Neither affects routing or planning costs — they feed the engine's
+  /// reliable delivery layer — but both are system state the middleware
+  /// owns, so they flow through here like every other condition change.
+  void set_link_loss(net::NodeId a, net::NodeId b, double loss);
+  void set_link_jitter(net::NodeId a, net::NodeId b, double jitter_ms);
 
   /// Applies a data condition change: a stream's observed rate moved.
   /// Deployed operators keep carrying the new volume; adapt() re-plans the
@@ -186,6 +195,12 @@ class Middleware {
   };
   std::vector<ActiveView> active_views() const;
 
+  /// Per-active-query delivery accounting read out of a (finished) reliable
+  /// simulation the actives were deployed into — the middleware's
+  /// monitoring surface for the engine's delivery semantics.
+  std::vector<std::pair<query::QueryId, DeliveryStats>> collect_delivery_stats(
+      const Simulation& sim) const;
+
   /// Current deployments of all active queries (monitoring, diagnostics).
   std::vector<const query::Deployment*> deployments() const {
     std::vector<const query::Deployment*> out;
@@ -215,6 +230,23 @@ class Middleware {
 
   /// No element on a down host and every data edge still routable.
   bool deployment_intact(const Active& a) const;
+
+  /// Every derived leaf unit still has a live provider among the *other*
+  /// actives: an operator (or re-exported non-aggregated result) with the
+  /// same global stream set at the unit's node. Migrating a provider can
+  /// strand its consumers even though every host is healthy.
+  bool derived_units_bound(const Active& a) const;
+
+  /// True when active `b` exports the global stream set `want` at `loc`:
+  /// a deployed operator there, or (non-aggregated) its sink re-exporting
+  /// the full result.
+  bool exports_at(const Active& b, net::NodeId loc,
+                  const std::vector<query::StreamId>& want) const;
+
+  /// Flags every active whose derived units transitively draw on `root`'s
+  /// results (root itself included), indexed like `active_`. replan() must
+  /// not reuse these — doing so would create an ungrounded reuse cycle.
+  std::vector<bool> transitive_dependents(const Active& root) const;
 
   /// Rebuilds the advertisement registry from the active deployments.
   void refresh_registry();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace iflow::engine {
 
@@ -24,9 +25,22 @@ std::uint64_t link_key(net::NodeId a, net::NodeId b) {
 Simulation::Simulation(const net::Network& net, const net::RoutingTables& rt,
                        const query::Catalog& catalog, const EngineConfig& cfg,
                        std::uint64_t seed)
-    : net_(&net), rt_(&rt), catalog_(&catalog), cfg_(cfg), prng_(seed) {
+    : net_(&net),
+      rt_(&rt),
+      catalog_(&catalog),
+      cfg_(cfg),
+      prng_(seed),
+      net_prng_(seed ^ 0xAC4DE11FE55ULL) {
   IFLOW_CHECK(cfg.duration_s > 0.0);
   IFLOW_CHECK(cfg.window_s > 0.0);
+  if (cfg.reliability.enabled) {
+    const ReliabilityConfig& r = cfg.reliability;
+    IFLOW_CHECK_MSG(cfg.duration_s > r.drain_s,
+                    "duration must exceed the drain window");
+    IFLOW_CHECK(r.ack_timeout_s > 0.0 && r.backoff_factor >= 1.0);
+    IFLOW_CHECK(r.max_backoff_s >= r.ack_timeout_s);
+    IFLOW_CHECK(r.max_retries >= 0 && r.window > 0);
+  }
   link_bytes_.assign(net.link_count(), 0.0);
   for (std::size_t i = 0; i < net.link_count(); ++i) {
     link_index_.emplace(link_key(net.links()[i].a, net.links()[i].b), i);
@@ -93,17 +107,35 @@ void Simulation::deploy(const query::Deployment& d,
     return streams;
   };
 
+  // Wires a data edge. In reliable mode every edge gets its own channel
+  // (sequence numbers, replay buffer, dedup) attributed to the deploying
+  // query; the legacy plane ships over the edge fire-and-forget.
+  auto connect = [this, &d](InstanceId from, InstanceId to, int port) {
+    Consumer c{to, port, d.query, kNoChannel};
+    if (cfg_.reliability.enabled) {
+      Channel ch;
+      ch.producer = from;
+      ch.consumer = to;
+      ch.port = port;
+      ch.query = d.query;
+      channels_.push_back(std::move(ch));
+      c.channel = static_cast<std::uint32_t>(channels_.size() - 1);
+    }
+    instances_[from].consumers.push_back(c);
+  };
+
   // Interposes a selection operator at `node` in front of `producer`.
-  auto filtered = [this](InstanceId producer, net::NodeId node,
-                         double pass_probability) {
+  auto filtered = [this, &d, &connect](InstanceId producer, net::NodeId node,
+                                       double pass_probability) {
     Instance filter;
     filter.kind = Kind::kFilter;
     filter.node = node;
     filter.streams = instances_[producer].streams;
     filter.pass_probability = pass_probability;
+    filter.owner = d.query;
     instances_.push_back(std::move(filter));
     const auto id = static_cast<InstanceId>(instances_.size() - 1);
-    instances_[producer].consumers.push_back(Consumer{id, 0});
+    connect(producer, id, 0);
     return id;
   };
 
@@ -138,6 +170,7 @@ void Simulation::deploy(const query::Deployment& d,
     inst.kind = Kind::kJoin;
     inst.node = op.node;
     inst.streams = streams_of_mask(op.mask);
+    inst.owner = d.query;
     instances_.push_back(std::move(inst));
     const auto id = static_cast<InstanceId>(instances_.size() - 1);
     op_instance.push_back(id);
@@ -148,7 +181,7 @@ void Simulation::deploy(const query::Deployment& d,
               ? unit_producer[static_cast<std::size_t>(
                     query::child_unit_index(child))]
               : op_instance[static_cast<std::size_t>(child)];
-      instances_[producer].consumers.push_back(Consumer{id, port++});
+      connect(producer, id, port++);
     }
     register_producer(instances_[id].streams, op.node, id);
   }
@@ -158,6 +191,7 @@ void Simulation::deploy(const query::Deployment& d,
   sink.kind = Kind::kSink;
   sink.node = d.sink;
   sink.query = d.query;
+  sink.owner = d.query;
   sink.streams = streams_of_mask([&] {
     query::Mask all = 0;
     for (const query::LeafUnit& u : d.units) all |= u.mask;
@@ -174,15 +208,16 @@ void Simulation::deploy(const query::Deployment& d,
     agg.node = instances_[root].node;
     agg.streams = instances_[sink_id].streams;
     agg.aggregation = d.aggregate;
+    agg.owner = d.query;
     instances_.push_back(std::move(agg));
     const auto agg_id = static_cast<InstanceId>(instances_.size() - 1);
-    instances_[root].consumers.push_back(Consumer{agg_id, 0});
+    connect(root, agg_id, 0);
     root = agg_id;
-    instances_[root].consumers.push_back(Consumer{sink_id, 0});
+    connect(root, sink_id, 0);
     // Aggregated results are query-specific; they are not re-exported as
     // derived streams.
   } else {
-    instances_[root].consumers.push_back(Consumer{sink_id, 0});
+    connect(root, sink_id, 0);
     // The sink re-exports the full result (it is itself a derived source):
     // tuples arriving there are forwarded to any later subscriber.
     register_producer(instances_[sink_id].streams, d.sink, sink_id);
@@ -239,6 +274,12 @@ void Simulation::apply_fault(double now, const SimFault& f) {
     case SimFault::Kind::kRestoreLink: fnet_->restore_link(f.a, f.b); break;
     case SimFault::Kind::kCrashNode: fnet_->crash_node(f.a); break;
     case SimFault::Kind::kRestoreNode: fnet_->restore_node(f.a); break;
+    case SimFault::Kind::kSetLinkLoss:
+      fnet_->set_link_loss(f.a, f.b, f.value);
+      break;
+    case SimFault::Kind::kSetLinkJitter:
+      fnet_->set_link_jitter(f.a, f.b, f.value);
+      break;
   }
   frt_ = std::make_unique<net::RoutingTables>(
       net::RoutingTables::build(*fnet_));
@@ -319,6 +360,10 @@ void Simulation::send(double now, net::NodeId from, const TuplePtr& tuple,
     instances_[producer].tuples_sent += 1;
     instances_[producer].bytes_sent += tuple->width;
   }
+  if (to.channel != kNoChannel) {
+    channel_send(now, to.channel, tuple);
+    return;
+  }
   const net::NodeId dest = instances_[to.instance].node;
   double arrive = now;
   std::vector<std::uint32_t> links;
@@ -346,11 +391,249 @@ void Simulation::send(double now, net::NodeId from, const TuplePtr& tuple,
                  std::move(links)});
 }
 
+// --- Reliable data plane ---------------------------------------------------
+
+void Simulation::channel_send(double now, std::uint32_t ch,
+                              const TuplePtr& tuple) {
+  Channel& c = channels_[ch];
+  if (c.pending.size() >= cfg_.reliability.window) {
+    // Sliding window full: park the tuple in the ack-trimmed backlog. This
+    // is how backpressure propagates upstream — the producer's output
+    // simply waits until the consumer acks something.
+    c.backlog.push_back(tuple);
+    return;
+  }
+  const std::uint64_t seq = c.next_seq++;
+  c.pending.emplace(seq, PendingTuple{tuple, 0});
+  transmit(now, ch, seq, /*is_retransmit=*/false);
+}
+
+void Simulation::transmit(double now, std::uint32_t ch, std::uint64_t seq,
+                          bool is_retransmit) {
+  Channel& c = channels_[ch];
+  const auto it = c.pending.find(seq);
+  IFLOW_CHECK(it != c.pending.end());
+  const TuplePtr& tuple = it->second.tuple;
+  const net::NodeId from = instances_[c.producer].node;
+  const net::NodeId dest = instances_[c.consumer].node;
+  double arrive = now;
+  std::vector<std::uint32_t> links;
+  bool lost = false;
+  if (fnet_ && !fnet_->node_alive(dest)) {
+    // Nothing reaches a dead node; the timeout below will replay the tuple
+    // once the node (or a route to it) comes back — or give up after the
+    // retry budget.
+    lost = true;
+  } else if (from != dest) {
+    const std::vector<net::NodeId> path = cur_rt().cost_path(from, dest);
+    if (path.empty()) {
+      lost = true;  // partitioned; replay after the route heals
+    } else {
+      links.reserve(path.size() - 1);
+      for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+        const auto li = link_index_.find(link_key(path[h], path[h + 1]));
+        IFLOW_CHECK(li != link_index_.end());
+        const net::Link& link = cur_net().links()[li->second];
+        // The lossy hop still carried the bytes: charge up to and
+        // including the hop that drops the tuple.
+        link_bytes_[li->second] += tuple->width;
+        if (is_retransmit) {
+          c.retransmit_bytes += tuple->width;
+        } else {
+          c.data_bytes += tuple->width;
+        }
+        links.push_back(static_cast<std::uint32_t>(li->second));
+        arrive +=
+            link.delay_ms / 1000.0 + tuple->width * 8.0 / link.bandwidth_bps;
+        if (link.loss > 0.0 && net_prng_.chance(link.loss)) {
+          lost = true;
+          break;
+        }
+        if (link.jitter_ms > 0.0) {
+          arrive += net_prng_.uniform(0.0, link.jitter_ms / 1000.0);
+        }
+      }
+    }
+  }
+  if (!lost) {
+    schedule(Event{arrive, next_seq_++, c.consumer, c.port, tuple,
+                   std::move(links), ch, seq});
+  }
+  // Always arm the retransmit timer; a timely ack disarms it by erasing the
+  // pending entry before it fires.
+  const ReliabilityConfig& r = cfg_.reliability;
+  const double timeout =
+      std::min(r.ack_timeout_s * std::pow(r.backoff_factor,
+                                          static_cast<double>(
+                                              it->second.retries)),
+               r.max_backoff_s);
+  schedule(
+      Event{now + timeout, next_seq_++, c.producer, kTimeoutPort, nullptr, {},
+            ch, seq});
+}
+
+void Simulation::send_ack(double now, std::uint32_t ch, std::uint64_t seq) {
+  Channel& c = channels_[ch];
+  const net::NodeId from = instances_[c.consumer].node;
+  const net::NodeId dest = instances_[c.producer].node;
+  double arrive = now;
+  std::vector<std::uint32_t> links;
+  if (fnet_ && !fnet_->node_alive(dest)) return;  // sender is gone
+  if (from != dest) {
+    const std::vector<net::NodeId> path = cur_rt().cost_path(from, dest);
+    if (path.empty()) return;
+    links.reserve(path.size() - 1);
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      const auto li = link_index_.find(link_key(path[h], path[h + 1]));
+      IFLOW_CHECK(li != link_index_.end());
+      const net::Link& link = cur_net().links()[li->second];
+      // Acks are a few bytes — not charged to link totals.
+      links.push_back(static_cast<std::uint32_t>(li->second));
+      arrive += link.delay_ms / 1000.0;
+      if (link.loss > 0.0 && net_prng_.chance(link.loss)) return;  // ack lost
+      if (link.jitter_ms > 0.0) {
+        arrive += net_prng_.uniform(0.0, link.jitter_ms / 1000.0);
+      }
+    }
+  }
+  schedule(Event{arrive, next_seq_++, c.producer, kAckPort, nullptr,
+                 std::move(links), ch, seq});
+}
+
+void Simulation::handle_ack(double now, std::uint32_t ch, std::uint64_t seq) {
+  Channel& c = channels_[ch];
+  const auto it = c.pending.find(seq);
+  if (it == c.pending.end()) return;  // duplicate ack
+  c.pending.erase(it);
+  pump_backlog(now, ch);
+}
+
+void Simulation::handle_timeout(double now, std::uint32_t ch,
+                                std::uint64_t seq) {
+  Channel& c = channels_[ch];
+  const auto it = c.pending.find(seq);
+  if (it == c.pending.end()) return;  // acked in time
+  if (it->second.retries >= cfg_.reliability.max_retries) {
+    ++c.lost;  // retry budget exhausted: lost-after-retries
+    c.pending.erase(it);
+    pump_backlog(now, ch);
+    return;
+  }
+  ++it->second.retries;
+  ++c.retransmits;
+  transmit(now, ch, seq, /*is_retransmit=*/true);
+}
+
+void Simulation::pump_backlog(double now, std::uint32_t ch) {
+  Channel& c = channels_[ch];
+  while (!c.backlog.empty() &&
+         c.pending.size() < cfg_.reliability.window) {
+    const TuplePtr tuple = c.backlog.front();
+    c.backlog.pop_front();
+    const std::uint64_t seq = c.next_seq++;
+    c.pending.emplace(seq, PendingTuple{tuple, 0});
+    transmit(now, ch, seq, /*is_retransmit=*/false);
+  }
+}
+
+void Simulation::receive(double now, std::uint32_t ch, std::uint64_t seq,
+                         int port, const TuplePtr& tuple) {
+  Channel& c = channels_[ch];
+  if (seq < c.seen_floor || c.seen.count(seq)) {
+    // Retransmit of something already delivered (the ack was lost or slow):
+    // suppress the duplicate but re-ack so the sender trims its buffer.
+    ++c.duplicates;
+    send_ack(now, ch, seq);
+    return;
+  }
+  Instance& inst = instances_[c.consumer];
+  const ReliabilityConfig& r = cfg_.reliability;
+  const bool queued = r.queue_capacity > 0 && r.service_s > 0.0 &&
+                      inst.kind != Kind::kSource;
+  auto mark_seen = [&c] (std::uint64_t s) {
+    c.seen.insert(s);
+    while (c.seen.erase(c.seen_floor)) ++c.seen_floor;
+  };
+  if (!queued) {
+    mark_seen(seq);
+    send_ack(now, ch, seq);
+    arrive_at(now, c.consumer, port, tuple);
+    return;
+  }
+  if (inst.inbox.size() >= r.queue_capacity) {
+    switch (r.overflow) {
+      case OverflowPolicy::kBackpressure:
+        // Refuse: no ack, no dedup entry. The sender's timeout replays the
+        // tuple; meanwhile service completions drain the queue, so the
+        // retransmit eventually finds room — bounded depth, no drops, no
+        // deadlock.
+        return;
+      case OverflowPolicy::kDropNewest:
+        ++inst.shed;
+        mark_seen(seq);
+        send_ack(now, ch, seq);  // shed deliberately: ack so nobody replays
+        return;
+      case OverflowPolicy::kDropOldest:
+        ++inst.shed;
+        inst.inbox.pop_front();
+        break;
+    }
+  }
+  mark_seen(seq);
+  send_ack(now, ch, seq);
+  inst.inbox.emplace_back(port, tuple);
+  inst.max_queue_depth = std::max(inst.max_queue_depth, inst.inbox.size());
+  if (!inst.busy) {
+    inst.busy = true;
+    schedule(Event{now + r.service_s, next_seq_++, c.consumer, kServicePort,
+                   nullptr, {}});
+  }
+}
+
+void Simulation::handle_service(double now, InstanceId id) {
+  Instance& inst = instances_[id];
+  if (inst.inbox.empty()) {
+    inst.busy = false;
+    return;
+  }
+  const auto [port, tuple] = inst.inbox.front();
+  inst.inbox.pop_front();
+  arrive_at(now, id, port, tuple);
+  if (inst.inbox.empty()) {
+    inst.busy = false;
+  } else {
+    schedule(Event{now + cfg_.reliability.service_s, next_seq_++, id,
+                   kServicePort, nullptr, {}});
+  }
+}
+
+bool Simulation::hash_pass(const Tuple& t, InstanceId id, double p) const {
+  // FNV-1a over the tuple's content plus an instance salt. (h >> 11) spans
+  // 53 uniform bits, so u is uniform in [0, 1) and P(u < p) = p.
+  std::uint64_t h =
+      1469598103934665603ULL ^ ((id + 1) * 0x9E3779B97F4A7C15ULL);
+  for (std::uint32_t k : t.keys) h = (h ^ k) * 1099511628211ULL;
+  std::uint64_t born_bits = 0;
+  static_assert(sizeof(born_bits) == sizeof(t.born));
+  std::memcpy(&born_bits, &t.born, sizeof(born_bits));
+  h = (h ^ (born_bits >> 32)) * 1099511628211ULL;
+  h = (h ^ (born_bits & 0xFFFFFFFFULL)) * 1099511628211ULL;
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+// ---------------------------------------------------------------------------
+
 void Simulation::emit_from_source(double now, InstanceId id) {
   Instance& inst = instances_[id];
   // A crashed source node emits nothing but keeps its clock ticking, so it
-  // resumes production as soon as the node is restored.
-  if (!fnet_ || fnet_->node_alive(inst.node)) {
+  // resumes production as soon as the node is restored. In reliable mode the
+  // source also goes quiet for the final drain window so in-flight and
+  // retransmitted tuples settle before the horizon; the cutoff is a pure
+  // function of time, so lossy and loss-free runs emit identically.
+  const bool draining = cfg_.reliability.enabled &&
+                        now >= cfg_.duration_s - cfg_.reliability.drain_s;
+  if ((!fnet_ || fnet_->node_alive(inst.node)) && !draining) {
     const TuplePtr t = make_source_tuple(inst.source_stream, now);
     ++tuples_emitted_;
     for (const Consumer& c : inst.consumers) send(now, inst.node, t, c, id);
@@ -373,7 +656,13 @@ void Simulation::arrive_at(double now, InstanceId id, int port,
     return;
   }
   if (inst.kind == Kind::kFilter) {
-    if (prng_.chance(inst.pass_probability)) {
+    // Reliable mode decides by content hash instead of the shared Prng
+    // stream, so the decision is identical for a tuple however (and however
+    // often) it arrives — a precondition for the exactly-once contract.
+    const bool pass = cfg_.reliability.enabled
+                          ? hash_pass(*tuple, id, inst.pass_probability)
+                          : prng_.chance(inst.pass_probability);
+    if (pass) {
       for (const Consumer& c : inst.consumers) {
         send(now, inst.node, tuple, c, id);
       }
@@ -381,6 +670,44 @@ void Simulation::arrive_at(double now, InstanceId id, int port,
     return;
   }
   if (inst.kind == Kind::kAggregate) {
+    // Group assignment: hash of the tuple's join keys.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::uint32_t k : tuple->keys) {
+      h = (h ^ k) * 1099511628211ULL;
+    }
+    const auto groups =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                       std::llround(inst.aggregation.groups)));
+    if (cfg_.reliability.enabled) {
+      // Event-time tumbling windows with a lateness watermark: a window
+      // flushes once max-born has moved `lateness_s` past its end, so
+      // retransmit-delayed tuples still land in their window and both the
+      // flush set and the per-window group sets are delivery-schedule
+      // independent.
+      inst.max_born = std::max(inst.max_born, tuple->born);
+      const double win = inst.aggregation.window_s;
+      const auto w = static_cast<std::int64_t>(std::floor(tuple->born / win));
+      inst.agg_windows[w].insert(h % groups);
+      const double watermark = inst.max_born - cfg_.reliability.lateness_s;
+      while (!inst.agg_windows.empty()) {
+        const auto first = inst.agg_windows.begin();
+        const double end = static_cast<double>(first->first + 1) * win;
+        if (end > watermark) break;
+        for (std::uint64_t group : first->second) {
+          auto out = std::make_shared<Tuple>();
+          out->born = end;  // event time, not flush time
+          out->constituents = inst.streams;
+          out->keys.assign(inst.streams.size() * catalog_->stream_count(),
+                           static_cast<std::uint32_t>(group));
+          out->width = inst.aggregation.out_width;
+          for (const Consumer& c : inst.consumers) {
+            send(now, inst.node, out, c, id);
+          }
+        }
+        inst.agg_windows.erase(first);
+      }
+      return;
+    }
     const auto w = static_cast<std::int64_t>(now / inst.aggregation.window_s);
     if (w != inst.window_index) {
       // Window closed: one output tuple per non-empty group.
@@ -400,20 +727,38 @@ void Simulation::arrive_at(double now, InstanceId id, int port,
       inst.groups_seen.clear();
       inst.window_index = w;
     }
-    // Group assignment: hash of the tuple's join keys.
-    std::uint64_t h = 1469598103934665603ULL;
-    for (std::uint32_t k : tuple->keys) {
-      h = (h ^ k) * 1099511628211ULL;
-    }
-    const auto groups =
-        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
-                                       std::llround(inst.aggregation.groups)));
     inst.groups_seen.insert(h % groups);
     return;
   }
   IFLOW_CHECK(inst.kind == Kind::kJoin);
   IFLOW_CHECK(port == 0 || port == 1);
   const int other = 1 - port;
+  if (cfg_.reliability.enabled) {
+    // Event-time join: window entries are keyed by born, a pair matches iff
+    // their borns lie within window_s, and partners are retained an extra
+    // lateness_s so a retransmit-delayed tuple still meets everything it
+    // would have met loss-free. Each qualifying pair emits exactly once —
+    // when its later-arriving member probes (channel dedup guarantees each
+    // member arrives once).
+    inst.max_born = std::max(inst.max_born, tuple->born);
+    const double horizon =
+        inst.max_born - cfg_.window_s - cfg_.reliability.lateness_s;
+    for (auto* w : {&inst.window[0], &inst.window[1]}) {
+      while (!w->empty() && w->front().first < horizon) {
+        w->pop_front();
+      }
+    }
+    for (const auto& [born, candidate] : inst.window[other]) {
+      if (std::abs(born - tuple->born) > cfg_.window_s) continue;
+      if (!matches(*tuple, *candidate)) continue;
+      const TuplePtr joined = join_tuples(*tuple, *candidate);
+      for (const Consumer& c : inst.consumers) {
+        send(now, inst.node, joined, c, id);
+      }
+    }
+    inst.window[port].emplace_back(tuple->born, tuple);
+    return;
+  }
   // Expire both windows, probe the opposite one, emit matches, store self.
   for (auto* w : {&inst.window[0], &inst.window[1]}) {
     while (!w->empty() && w->front().first < now - cfg_.window_s) {
@@ -440,6 +785,23 @@ void Simulation::run() {
     if (e.time >= cfg_.duration_s) break;
     if (e.port == kFaultPort) {
       apply_fault(e.time, faults_[e.instance]);
+    } else if (e.port == kTimeoutPort) {
+      // Timers are local to the sender and never dropped — they are what
+      // drives recovery when everything else is.
+      handle_timeout(e.time, e.channel, e.tseq);
+    } else if (e.port == kServicePort) {
+      // Operator state (queues included) survives short crashes: the
+      // process restarts with its state, so service completions always run.
+      handle_service(e.time, e.instance);
+    } else if (e.port == kAckPort) {
+      if (fnet_) {
+        // In-flight acks die with the links/nodes they were crossing; the
+        // sender will retransmit and the receiver re-ack.
+        bool dropped = !fnet_->node_alive(instances_[e.instance].node);
+        for (std::uint32_t li : e.links) dropped |= !fnet_->usable(li);
+        if (dropped) continue;
+      }
+      handle_ack(e.time, e.channel, e.tseq);
     } else if (e.port < 0) {
       emit_from_source(e.time, e.instance);
     } else {
@@ -452,7 +814,11 @@ void Simulation::run() {
           continue;
         }
       }
-      arrive_at(e.time, e.instance, e.port, e.tuple);
+      if (e.channel != kNoChannel) {
+        receive(e.time, e.channel, e.tseq, e.port, e.tuple);
+      } else {
+        arrive_at(e.time, e.instance, e.port, e.tuple);
+      }
     }
   }
   // Close out open downtime intervals at the horizon.
@@ -531,6 +897,35 @@ double Simulation::availability(query::QueryId q) const {
   }
   if (expected <= 0.0) return 0.0;
   return delivered_rate(q) / expected;
+}
+
+DeliveryStats Simulation::delivery_stats(query::QueryId q) const {
+  DeliveryStats s;
+  for (const Channel& c : channels_) {
+    if (c.query != q) continue;
+    s.retransmits += c.retransmits;
+    s.duplicates += c.duplicates;
+    s.lost += c.lost;
+    s.data_bytes += c.data_bytes;
+    s.retransmit_bytes += c.retransmit_bytes;
+  }
+  for (const Instance& inst : instances_) {
+    if (inst.kind == Kind::kSink && inst.query == q) {
+      s.delivered += inst.delivered;
+    }
+    if (inst.owner == q) {
+      s.shed += inst.shed;
+      s.max_queue_depth = std::max(s.max_queue_depth, inst.max_queue_depth);
+    }
+  }
+  // Goodput over the emission window (sources go quiet during the drain).
+  const double horizon = cfg_.reliability.enabled
+                             ? cfg_.duration_s - cfg_.reliability.drain_s
+                             : cfg_.duration_s;
+  if (horizon > 0.0) {
+    s.goodput_tps = static_cast<double>(s.delivered) / horizon;
+  }
+  return s;
 }
 
 double Simulation::downtime_s(query::QueryId q) const {

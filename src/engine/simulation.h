@@ -29,12 +29,14 @@
 
 #include <deque>
 #include <limits>
+#include <map>
 #include <memory>
 #include <queue>
 #include <set>
 #include <string>
 #include <tuple>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/prng.h"
@@ -54,11 +56,72 @@ struct SimFault {
     kRestoreLink,
     kCrashNode,
     kRestoreNode,
+    kSetLinkLoss,    // sets the (a, b) loss probability to `value`
+    kSetLinkJitter,  // sets the (a, b) jitter bound to `value` ms
   };
   double time = 0.0;
   Kind kind = Kind::kCrashNode;
   net::NodeId a = net::kInvalidNode;  // the node, or the link's first end
   net::NodeId b = net::kInvalidNode;  // the link's second end (links only)
+  double value = 0.0;                 // loss probability or jitter ms
+};
+
+/// What a bounded operator input queue does when an admitted tuple would
+/// exceed the capacity.
+enum class OverflowPolicy : std::uint8_t {
+  kBackpressure,  // refuse (no ack): the sender retries and slows down
+  kDropOldest,    // shed the oldest queued tuple (freshest results win)
+  kDropNewest,    // shed the arriving tuple (load shedding at the door)
+};
+
+/// Parameters of the reliable delivery layer (ack/retransmit, bounded
+/// queues, replay buffers). Disabled by default: the legacy fire-and-forget
+/// data plane remains the model-validation baseline.
+///
+/// Determinism contract: with `enabled`, the data plane draws loss and
+/// jitter from a dedicated Prng stream and replaces the order-sensitive
+/// randomness of operators (filter passes) with content hashes, so two runs
+/// of the same seed that differ only in link loss/jitter emit the same
+/// source tuples and — provided every delivery delay stays under
+/// `lateness_s` and nothing exhausts the retry budget — deliver the same
+/// per-query result counts (at-least-once + dedup = exactly-once).
+struct ReliabilityConfig {
+  bool enabled = false;
+  /// Initial retransmit timeout; doubles (capped) on every retry.
+  double ack_timeout_s = 0.05;
+  double backoff_factor = 2.0;
+  double max_backoff_s = 0.4;
+  /// Retransmissions per tuple before it counts as lost-after-retries.
+  int max_retries = 12;
+  /// Max un-acked tuples in flight per producer->consumer channel; excess
+  /// waits in the sender's replay buffer (ack-trimmed upstream buffering).
+  std::size_t window = 64;
+  /// Bounded input queue capacity per operator; 0 = unbounded. Only
+  /// meaningful with service_s > 0 (instantaneous operators never queue).
+  std::size_t queue_capacity = 0;
+  OverflowPolicy overflow = OverflowPolicy::kBackpressure;
+  /// Per-tuple processing time of non-source operators.
+  double service_s = 0.0;
+  /// Event-time slack: joins retain partners and aggregates hold windows
+  /// open this much longer, so tuples delayed by retransmission still meet
+  /// the partners they would have met loss-free.
+  double lateness_s = 3.0;
+  /// Sources stop emitting this long before the horizon so in-flight and
+  /// retransmitted tuples settle; keep drain_s > lateness_s.
+  double drain_s = 5.0;
+};
+
+/// Per-query delivery-semantics accounting (reliable mode only).
+struct DeliveryStats {
+  std::uint64_t delivered = 0;    // results accepted at the sink
+  std::uint64_t shed = 0;         // dropped by queue overflow policy
+  std::uint64_t lost = 0;         // lost after exhausting the retry budget
+  std::uint64_t duplicates = 0;   // retransmit duplicates suppressed
+  std::uint64_t retransmits = 0;  // retransmissions sent
+  double goodput_tps = 0.0;       // delivered results per second
+  double data_bytes = 0.0;        // link bytes of first transmissions
+  double retransmit_bytes = 0.0;  // link bytes of retransmissions
+  std::size_t max_queue_depth = 0;
 };
 
 struct EngineConfig {
@@ -71,6 +134,7 @@ struct EngineConfig {
   bool poisson = true;
   /// Must match the RateModel projection used when planning.
   double projection_factor = 1.0;
+  ReliabilityConfig reliability;
 };
 
 /// A tuple flowing through the system: the base streams it joins and, per
@@ -144,12 +208,52 @@ class Simulation {
   /// Tuples dropped at dead nodes or on severed links.
   std::uint64_t tuples_dropped() const { return tuples_dropped_; }
 
+  /// Delivery-semantics accounting for a query (reliable mode; zeros
+  /// otherwise). Shed counts and queue depths of operators shared between
+  /// queries are attributed to the query that deployed them first.
+  DeliveryStats delivery_stats(query::QueryId q) const;
+
  private:
   using InstanceId = std::uint32_t;
+
+  static constexpr std::uint32_t kNoChannel =
+      std::numeric_limits<std::uint32_t>::max();
 
   struct Consumer {
     InstanceId instance;
     int port;  // 0/1 for joins; ignored for sinks
+    /// Query whose deployment created this data edge (stats attribution).
+    query::QueryId query = 0;
+    /// Reliable-mode channel index, kNoChannel in the legacy data plane.
+    std::uint32_t channel = kNoChannel;
+  };
+
+  /// Reliable-mode state of one producer->consumer data edge: sender-side
+  /// sequence numbers, the un-acked in-flight set (which doubles as the
+  /// ack-trimmed replay buffer), the sliding-window backlog, and the
+  /// receiver-side dedup set.
+  struct PendingTuple {
+    TuplePtr tuple;
+    int retries = 0;
+  };
+  struct Channel {
+    InstanceId producer = 0;
+    InstanceId consumer = 0;
+    int port = 0;
+    query::QueryId query = 0;
+    std::uint64_t next_seq = 0;
+    std::unordered_map<std::uint64_t, PendingTuple> pending;
+    std::deque<TuplePtr> backlog;  // waiting for window space
+    // Receiver dedup: every seq < seen_floor was delivered, plus the
+    // out-of-order set above the floor (kept small by floor advancement).
+    std::uint64_t seen_floor = 0;
+    std::unordered_set<std::uint64_t> seen;
+    // Counters.
+    std::uint64_t retransmits = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t lost = 0;
+    double data_bytes = 0.0;
+    double retransmit_bytes = 0.0;
   };
 
   enum class Kind : std::uint8_t {
@@ -187,6 +291,16 @@ class Simulation {
     std::uint64_t tuples_in = 0;
     std::uint64_t tuples_sent = 0;
     double bytes_sent = 0.0;
+    // Reliable-mode state.
+    query::QueryId owner = 0;  // query whose deploy created this instance
+    std::deque<std::pair<int, TuplePtr>> inbox;  // bounded input queue
+    bool busy = false;          // a service completion event is scheduled
+    std::size_t max_queue_depth = 0;
+    std::uint64_t shed = 0;     // dropped by the overflow policy
+    // Event-time watermark input: max born seen across all inputs.
+    double max_born = -std::numeric_limits<double>::infinity();
+    // Event-time aggregate windows (reliable mode): window index -> groups.
+    std::map<std::int64_t, std::set<std::uint64_t>> agg_windows;
   };
 
   struct Event {
@@ -198,12 +312,19 @@ class Simulation {
     /// Link indices the tuple traversed (charged at send time); the arrival
     /// is dropped if any of them died while the tuple was in flight.
     std::vector<std::uint32_t> links;
+    /// Reliable-mode routing: which channel the event belongs to (data,
+    /// ack, timeout) and the channel sequence number it refers to.
+    std::uint32_t channel = kNoChannel;
+    std::uint64_t tseq = 0;
     bool operator>(const Event& o) const {
       return std::tie(time, seq) > std::tie(o.time, o.seq);
     }
   };
 
   static constexpr int kFaultPort = -2;
+  static constexpr int kAckPort = -3;      // ack arriving back at the sender
+  static constexpr int kTimeoutPort = -4;  // retransmit timer firing
+  static constexpr int kServicePort = -5;  // queued operator finishes a tuple
 
   /// Per-deployment health watch for availability/downtime accounting.
   struct QueryWatch {
@@ -231,6 +352,21 @@ class Simulation {
   void emit_from_source(double now, InstanceId id);
   void arrive_at(double now, InstanceId id, int port, const TuplePtr& tuple);
   void apply_fault(double now, const SimFault& f);
+  // Reliable data plane (cfg_.reliability.enabled).
+  void channel_send(double now, std::uint32_t ch, const TuplePtr& tuple);
+  void transmit(double now, std::uint32_t ch, std::uint64_t seq,
+                bool is_retransmit);
+  void send_ack(double now, std::uint32_t ch, std::uint64_t seq);
+  void handle_ack(double now, std::uint32_t ch, std::uint64_t seq);
+  void handle_timeout(double now, std::uint32_t ch, std::uint64_t seq);
+  void handle_service(double now, InstanceId id);
+  void receive(double now, std::uint32_t ch, std::uint64_t seq, int port,
+               const TuplePtr& tuple);
+  void pump_backlog(double now, std::uint32_t ch);
+  /// Deterministic content-hash replacement for prng_.chance in reliable
+  /// mode: the pass/fail decision depends only on the tuple and the filter
+  /// instance, so it is identical across lossy and loss-free runs.
+  bool hash_pass(const Tuple& t, InstanceId id, double p) const;
   void update_watches(double now);
   const net::Network& cur_net() const { return fnet_ ? *fnet_ : *net_; }
   const net::RoutingTables& cur_rt() const { return frt_ ? *frt_ : *rt_; }
@@ -245,6 +381,11 @@ class Simulation {
   const query::Catalog* catalog_;
   EngineConfig cfg_;
   Prng prng_;
+  /// Dedicated stream for link loss and jitter draws so the main stream —
+  /// source schedules and key draws — is identical between a lossy run and
+  /// its loss-free baseline.
+  Prng net_prng_;
+  std::vector<Channel> channels_;
 
   std::vector<Instance> instances_;
   std::unordered_map<query::StreamId, InstanceId> sources_;

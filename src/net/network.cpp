@@ -39,6 +39,34 @@ void Network::set_link_cost(NodeId a, NodeId b, double cost_per_byte) {
   IFLOW_CHECK_MSG(false, "no link between " << a << " and " << b);
 }
 
+void Network::set_link_loss(NodeId a, NodeId b, double loss) {
+  IFLOW_CHECK_MSG(loss >= 0.0 && loss < 1.0, "loss must be in [0, 1)");
+  bool found = false;
+  for (auto idx : incident(a)) {
+    Link& l = links_[idx];
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+      l.loss = loss;
+      found = true;
+    }
+  }
+  IFLOW_CHECK_MSG(found, "no link between " << a << " and " << b);
+  ++version_;
+}
+
+void Network::set_link_jitter(NodeId a, NodeId b, double jitter_ms) {
+  IFLOW_CHECK_MSG(jitter_ms >= 0.0, "negative jitter");
+  bool found = false;
+  for (auto idx : incident(a)) {
+    Link& l = links_[idx];
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+      l.jitter_ms = jitter_ms;
+      found = true;
+    }
+  }
+  IFLOW_CHECK_MSG(found, "no link between " << a << " and " << b);
+  ++version_;
+}
+
 void Network::fail_link(NodeId a, NodeId b) {
   bool found = false;
   bool changed = false;

@@ -40,6 +40,13 @@ struct Link {
   double cost_per_byte = 0.0;
   double delay_ms = 0.0;
   double bandwidth_bps = 0.0;
+  /// Per-transmission drop probability in [0, 1). The network only stores
+  /// the parameter; the engine draws the actual losses from its own seeded
+  /// Prng so runs stay deterministic. 0 = lossless (default).
+  double loss = 0.0;
+  /// Upper bound of the uniform extra delay the engine may add per
+  /// traversal, on top of delay_ms. 0 = no jitter (default).
+  double jitter_ms = 0.0;
   /// Administrative state: false after fail_link until restore_link. A link
   /// that is `up` may still be unusable if an endpoint node is crashed.
   bool up = true;
@@ -66,6 +73,16 @@ class Network {
   /// experiments to model changing network conditions. Throws if no such
   /// link exists.
   void set_link_cost(NodeId a, NodeId b, double cost_per_byte);
+
+  /// Sets the drop probability of every (a, b) link (parallel links model
+  /// one lossy adjacency). Requires 0 <= loss < 1; throws if no such link
+  /// exists. Loss does not affect routing or planning costs — only the
+  /// engine's delivery layer reads it.
+  void set_link_loss(NodeId a, NodeId b, double loss);
+
+  /// Sets the delay-jitter bound of every (a, b) link. Requires
+  /// jitter_ms >= 0; throws if no such link exists.
+  void set_link_jitter(NodeId a, NodeId b, double jitter_ms);
 
   /// Takes the (a, b) link down. With parallel links, all of them go down —
   /// a fault between two nodes severs the whole adjacency. Throws if no such

@@ -93,6 +93,7 @@ const char* to_string(ViolationCode code) {
     case ViolationCode::kPlannedCostMismatch: return "planned-cost-mismatch";
     case ViolationCode::kMarginalCostMismatch:
       return "marginal-cost-mismatch";
+    case ViolationCode::kExcludedHost: return "excluded-host";
   }
   return "unknown";
 }
@@ -230,6 +231,33 @@ std::vector<Violation> validate(const query::Deployment& d,
     if (consumed[d.units.size() + i] == 0) {
       report.add(ViolationCode::kOrphanOp, "op ", i,
                  " is consumed by nobody and is not the root");
+    }
+  }
+
+  // --- Excluded hosts ------------------------------------------------------
+  // A failed or load-shed host may keep forwarding, sourcing and sinking,
+  // but it must not run operators: every join op and every derived-unit
+  // binding (a subscription to a provider operator executing there) on an
+  // excluded host is a violation. Base units are source taps, and the sink
+  // is not an operator — both stay legal on excluded hosts.
+  if (opts.excluded_hosts != nullptr && !opts.excluded_hosts->empty()) {
+    const auto excluded = [&opts](net::NodeId n) {
+      return std::find(opts.excluded_hosts->begin(),
+                       opts.excluded_hosts->end(),
+                       n) != opts.excluded_hosts->end();
+    };
+    for (std::size_t i = 0; i < d.ops.size(); ++i) {
+      if (excluded(d.ops[i].node)) {
+        report.add(ViolationCode::kExcludedHost, "op ", i,
+                   " on excluded host ", d.ops[i].node);
+      }
+    }
+    for (std::size_t u = 0; u < d.units.size(); ++u) {
+      if (d.units[u].derived && excluded(d.units[u].location)) {
+        report.add(ViolationCode::kExcludedHost, "derived unit ", u,
+                   " bound to a provider on excluded host ",
+                   d.units[u].location);
+      }
     }
   }
 

@@ -52,6 +52,7 @@ enum class ViolationCode {
   kOpRateDrift,           // op output rates disagree with the RateModel
   kPlannedCostMismatch,   // planned cost far from deployment_cost()
   kMarginalCostMismatch,  // deployment_cost() != independent edge re-sum
+  kExcludedHost,          // element on a failed or load-shed host
 };
 
 const char* to_string(ViolationCode code);
@@ -77,6 +78,12 @@ struct ValidateOptions {
   /// scope holds one. When absent, scopes are assumed derivable from the
   /// environment (whole network or hierarchy clusters).
   const std::vector<std::vector<net::NodeId>>* op_scopes = nullptr;
+  /// Hosts no deployed element may sit on — failed, crashed or load-shed
+  /// nodes (`Middleware::excluded_hosts()`). Unlike the processing-node
+  /// restriction this has no cluster fallback: a deployment that keeps an
+  /// operator, a derived unit or its sink on an excluded host is invalid
+  /// outright (kExcludedHost). Sorted or not; checked by linear scan.
+  const std::vector<net::NodeId>* excluded_hosts = nullptr;
 };
 
 /// Runs every applicable invariant and returns the violations (empty =

@@ -98,6 +98,75 @@ TEST(ChaosTest, ReplaySameSeedIsIdentical) {
   EXPECT_EQ(a.digest, b.digest);
 }
 
+/// Loss, jitter and queue-pressure events mixed into the usual crash/flap
+/// churn. After the schedule the delivery contract must hold: with per-link
+/// loss capped far below the retry budget's tolerance, every surviving
+/// query delivers exactly its loss-free baseline counts (at-least-once +
+/// dedup = effectively exactly-once) with zero tuples lost after retries.
+ChaosConfig loss_config() {
+  ChaosConfig cfg;
+  cfg.events = kEventsPerScenario;
+  cfg.loss_probability = 0.25;
+  cfg.jitter_probability = 0.15;
+  cfg.queue_probability = 0.1;
+  cfg.delivery_check = true;
+  return cfg;
+}
+
+TEST(ChaosTest, LossChurnPreservesDeliveryCounts) {
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t seed = kBaseSeed + 40 + static_cast<std::uint64_t>(i);
+    Scenario s(seed);
+    const ChaosReport report = run_churn(s.net, s.wl.catalog, s.wl.queries,
+                                         4, Algorithm::kTopDown, seed,
+                                         loss_config());
+    EXPECT_EQ(report.violations, 0u)
+        << "seed " << seed << ": " << report.violation_detail;
+    EXPECT_TRUE(report.all_resumed) << "seed " << seed;
+    ASSERT_TRUE(report.delivery_checked) << "seed " << seed;
+    EXPECT_TRUE(report.delivery_ok) << "seed " << seed;
+    EXPECT_GT(report.delivered_total, 0u) << "seed " << seed;
+
+    // The schedule genuinely mixed delivery-layer events with faults.
+    bool saw_loss = false;
+    bool saw_fault = false;
+    for (const ChaosStep& step : report.steps) {
+      switch (step.event.kind) {
+        case ChaosEventKind::kSetLinkLoss:
+        case ChaosEventKind::kSetLinkJitter:
+          EXPECT_GE(step.event.rate, 0.0);
+          saw_loss = true;
+          break;
+        case ChaosEventKind::kCrashNode:
+        case ChaosEventKind::kFailNode:
+        case ChaosEventKind::kFailLink:
+          saw_fault = true;
+          break;
+        default:
+          break;
+      }
+    }
+    EXPECT_TRUE(saw_loss) << "seed " << seed;
+    EXPECT_TRUE(saw_fault) << "seed " << seed;
+  }
+}
+
+TEST(ChaosTest, LossChurnDigestIsThreadCountInvariant) {
+  const std::uint64_t seed = kBaseSeed + 41;
+  Scenario s(seed);
+  ChaosConfig serial = loss_config();
+  serial.threads = 1;
+  ChaosConfig parallel = loss_config();
+  parallel.threads = 4;
+  const ChaosReport a = run_churn(s.net, s.wl.catalog, s.wl.queries, 4,
+                                  Algorithm::kTopDown, seed, serial);
+  const ChaosReport b = run_churn(s.net, s.wl.catalog, s.wl.queries, 4,
+                                  Algorithm::kTopDown, seed, parallel);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.delivered_total, b.delivered_total);
+  EXPECT_EQ(a.retransmits_total, b.retransmits_total);
+}
+
 TEST(ChaosTest, InjectorNeverDrawsInvalidEvents) {
   Scenario s(kBaseSeed + 5);
   ChaosConfig cfg;

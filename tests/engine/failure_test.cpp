@@ -241,5 +241,50 @@ TEST(FailureTest, UnaffectedDeploymentsStayPut) {
   EXPECT_NEAR(mw.total_current_cost(), before, 1e-9 * (1.0 + before));
 }
 
+TEST(FailureTest, OverloadedAnchorSuspendsInsteadOfLooping) {
+  // Two nodes, each an endpoint of the single query: stream A and the sink
+  // on node 0, stream B on node 1. Wherever the join runs, its input load
+  // lands on one of the query's own anchor nodes, so once a rate spike
+  // pushes that load over capacity no replan can ever vacate the node.
+  net::Network net;
+  net.add_node();
+  net.add_node();
+  net.add_link(0, 1, 1.0, 1.0, 1e6);
+  query::Catalog catalog;
+  const query::StreamId a = catalog.add_stream("A", 0, 50.0, 100.0);
+  const query::StreamId b = catalog.add_stream("B", 1, 50.0, 100.0);
+  catalog.set_selectivity(a, b, 0.01);
+  query::Query q;
+  q.id = 1;
+  q.sources = {a, b};
+  q.sink = 0;
+
+  Middleware mw(net, catalog, 4, Algorithm::kTopDown, 99);
+  ASSERT_TRUE(mw.deploy(q).feasible);
+  const std::vector<double> loads = mw.node_loads();
+  const double peak = *std::max_element(loads.begin(), loads.end());
+  ASSERT_GT(peak, 0.0);
+  mw.set_node_capacity(peak * 1.5);
+  EXPECT_TRUE(mw.rebalance_load().empty());  // within capacity as deployed
+
+  // Spike both streams 10x: every possible host is now overloaded and
+  // anchored. rebalance_load() must suspend the query (load shedding at
+  // query granularity) rather than terminate with the node still drowning
+  // — the historical behaviour was breaking out with "nothing can move".
+  mw.set_stream_rate(a, 500.0);
+  mw.set_stream_rate(b, 500.0);
+  const std::vector<Redeployment> moves = mw.rebalance_load();
+  bool suspended = false;
+  for (const Redeployment& r : moves) {
+    suspended |= (r.outcome == Outcome::kSuspended && r.query == q.id);
+  }
+  EXPECT_TRUE(suspended);
+  EXPECT_EQ(mw.active_queries(), 0u);
+  EXPECT_EQ(mw.suspended_queries(), 1u);
+  // The shed node carries no operator load any more.
+  const std::vector<double> after = mw.node_loads();
+  for (const double l : after) EXPECT_DOUBLE_EQ(l, 0.0);
+}
+
 }  // namespace
 }  // namespace iflow::engine

@@ -33,6 +33,13 @@
 // unresumed query after full restoration, or missed convergence. With
 // --digest it prints the per-step transcript (hexfloat costs), which must
 // be identical across --threads values for the same seed.
+//
+// --loss is a seeded loss-rate sweep through the same harness with the
+// delivery contract armed: per-link loss ceilings in [0.5%, 5%] (always
+// within the default retry budget's tolerance), loss/jitter/queue-pressure
+// events mixed into the churn, and a post-churn reliable-delivery check
+// that must match the loss-free baseline exactly with zero tuples lost
+// after retries.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -67,6 +74,7 @@ struct Options {
   bool verbose = false;
   bool digest = false;
   bool churn = false;
+  bool loss = false;
 };
 
 /// One self-contained random instance. Everything is derived from the seed,
@@ -421,6 +429,66 @@ void check_churn_instance(std::uint64_t seed, const Options& opt,
   }
 }
 
+/// One loss-fuzz iteration: a seeded loss-rate sweep through the chaos
+/// harness with the delivery contract armed. Each iteration draws its own
+/// per-link loss ceiling in [0.5%, 5%] — always within what the default
+/// retry budget tolerates — mixes loss/jitter/queue-pressure events into
+/// the usual crash/flap churn, and requires the post-churn lossy run to
+/// deliver exactly the loss-free baseline counts with zero tuples lost
+/// after retries. With --digest the transcript (which includes the
+/// delivered/retransmit counts) must be identical across --threads values.
+void check_loss_instance(std::uint64_t seed, const Options& opt,
+                         IterationLog& log) {
+  Prng prng(seed);
+  net::TransitStubParams p;
+  p.transit_count = 1 + static_cast<int>(prng.index(2));
+  p.stub_domains_per_transit = 2;
+  p.stub_domain_size = 3 + static_cast<int>(prng.index(2));
+  net::Network net = net::make_transit_stub(p, prng);
+  workload::WorkloadParams wp;
+  wp.num_streams = 5;
+  wp.min_joins = 2;
+  wp.max_joins = 3;
+  Prng wprng(seed + 1);
+  const int queries = 3 + static_cast<int>(prng.index(2));
+  workload::Workload wl = workload::make_workload(net, wp, queries, wprng);
+
+  engine::ChaosConfig cfg;
+  cfg.events = 24;
+  cfg.threads = opt.threads;
+  cfg.loss_probability = 0.35;
+  cfg.jitter_probability = 0.2;
+  cfg.queue_probability = 0.15;
+  cfg.max_link_loss = prng.uniform(0.005, 0.05);  // the loss-rate sweep
+  cfg.delivery_check = true;
+  cfg.delivery_duration_s = 15.0;
+  const engine::ChaosReport report =
+      engine::run_churn(net, wl.catalog, wl.queries, 4,
+                        engine::Algorithm::kTopDown, seed, cfg);
+  if (opt.digest) {
+    std::istringstream lines(report.digest);
+    std::string line;
+    while (std::getline(lines, line)) {
+      std::cout << "loss " << seed << ' ' << line << '\n';
+    }
+  }
+  if (report.violations != 0) {
+    log.fail("loss: validator violations: " + report.violation_detail);
+  }
+  if (!report.all_resumed) {
+    log.fail("loss: queries left suspended after full restoration");
+  }
+  if (!report.delivery_checked) {
+    log.fail("loss: delivery check could not deploy the surviving actives");
+  } else if (!report.delivery_ok) {
+    std::ostringstream os;
+    os << "loss: delivery contract broken at max_link_loss "
+       << cfg.max_link_loss << " (delivered " << report.delivered_total
+       << ", retransmits " << report.retransmits_total << ")";
+    log.fail(os.str());
+  }
+}
+
 int run(const Options& opt) {
   opt::PlanWorkspace ws(opt.threads);
   int failed_iterations = 0;
@@ -428,7 +496,9 @@ int run(const Options& opt) {
     const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
     IterationLog log{seed};
     try {
-      if (opt.churn) {
+      if (opt.loss) {
+        check_loss_instance(seed, opt, log);
+      } else if (opt.churn) {
         check_churn_instance(seed, opt, log);
       } else {
         check_instance(seed, opt, ws, log);
@@ -483,9 +553,11 @@ int main(int argc, char** argv) {
       opt.digest = true;
     } else if (arg == "--churn") {
       opt.churn = true;
+    } else if (arg == "--loss") {
+      opt.loss = true;
     } else {
       std::cerr << "usage: differential_fuzz [--iterations N] [--seed S] "
-                   "[--threads T] [--digest] [--churn] [--verbose]\n";
+                   "[--threads T] [--digest] [--churn] [--loss] [--verbose]\n";
       return 2;
     }
   }

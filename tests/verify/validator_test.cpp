@@ -392,6 +392,27 @@ TEST(ValidatorMutationTest, MarginalAccountingMismatch) {
       has_violation(f.check(d), ViolationCode::kMarginalCostMismatch));
 }
 
+TEST(ValidatorMutationTest, OperatorOnExcludedHost) {
+  Fixture f;
+  const query::Deployment& d = f.good.deployment;
+
+  // Excluding the host of a deployed operator fires, and fires alone: a
+  // failed or load-shed node must not keep hosting processing.
+  ValidateOptions o = f.opts();
+  const std::vector<net::NodeId> hosting = {d.ops[0].node};
+  o.excluded_hosts = &hosting;
+  expect_only(validate(d, f.env, o), ViolationCode::kExcludedHost);
+
+  // Excluding a node that hosts no operator stays silent — base units
+  // (source taps) and the sink are endpoint roles, not hosted processing,
+  // so load shedding does not invalidate them.
+  net::NodeId idle = 0;
+  while (idle == d.ops[0].node || idle == d.ops[1].node) ++idle;
+  const std::vector<net::NodeId> off = {idle};
+  o.excluded_hosts = &off;
+  EXPECT_TRUE(validate(d, f.env, o).empty());
+}
+
 TEST(ValidatorHookTest, CheckResultThrowsOnCorruptDeployment) {
   Fixture f;
   opt::OptimizeResult corrupt = f.good;
