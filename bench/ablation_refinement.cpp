@@ -25,9 +25,8 @@ int main(int argc, char** argv) {
                "deploy ms/query", "vs exhaustive"});
 
   for (int cs : {8, 32}) {
-    Prng hp(seed + static_cast<std::uint64_t>(cs));
     const cluster::Hierarchy hierarchy =
-        cluster::Hierarchy::build(rig.net, rig.rt, cs, hp);
+        build_hierarchy(rig, cs, seed + static_cast<std::uint64_t>(cs));
 
     double exhaustive_total = 0.0;
     struct Variant {
@@ -40,13 +39,9 @@ int main(int argc, char** argv) {
     std::vector<Variant> variants = {{"refined", true}, {"fast", false}};
 
     for (int w = 0; w < kWorkloads; ++w) {
-      Prng wp_prng(seed + 100 + static_cast<std::uint64_t>(w));
-      workload::WorkloadParams wp;
-      wp.num_streams = 10;
-      wp.min_joins = 2;
-      wp.max_joins = 5;
       const workload::Workload wl =
-          workload::make_workload(rig.net, wp, kQueries, wp_prng);
+          make_seeded_workload(rig, paper_workload_params(), kQueries,
+                               seed + 100 + static_cast<std::uint64_t>(w));
 
       exhaustive_total +=
           run_incremental(Alg::kExhaustive, rig, nullptr, wl, false, seed)

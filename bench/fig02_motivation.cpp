@@ -14,17 +14,12 @@ int main(int argc, char** argv) {
 
   Prng net_prng(seed);
   Rig rig(net::make_transit_stub(net::scale_to(64), net_prng));
-  Prng hier_prng(seed + 1);
-  const cluster::Hierarchy hierarchy =
-      cluster::Hierarchy::build(rig.net, rig.rt, 32, hier_prng);
+  const cluster::Hierarchy hierarchy = build_hierarchy(rig, 32, seed + 1);
 
-  workload::WorkloadParams wp;
-  wp.num_streams = 10;
-  wp.min_joins = 4;  // exactly 5 sources per query
-  wp.max_joins = 4;
-  Prng wl_prng(seed + 2);
-  const workload::Workload wl =
-      workload::make_workload(rig.net, wp, 10, wl_prng);
+  // Exactly 5 sources per query.
+  const workload::Workload wl = make_seeded_workload(
+      rig, paper_workload_params(/*min_joins=*/4, /*max_joins=*/4), 10,
+      seed + 2);
 
   const RunStats relaxation =
       run_incremental(Alg::kRelaxation, rig, nullptr, wl, true, seed);

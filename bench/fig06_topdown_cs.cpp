@@ -23,16 +23,11 @@ int main(int argc, char** argv) {
     std::vector<std::vector<double>> curves;
     for (int w = 0; w < kWorkloads; ++w) {
       // A fresh clustering per workload averages out k-medoids seeding.
-      Prng hp(seed + static_cast<std::uint64_t>(cs * 100 + w));
-      const cluster::Hierarchy hierarchy =
-          cluster::Hierarchy::build(rig.net, rig.rt, cs, hp);
-      Prng wp_prng(seed + 1000 + static_cast<std::uint64_t>(w));
-      workload::WorkloadParams wp;
-      wp.num_streams = 10;
-      wp.min_joins = 2;
-      wp.max_joins = 5;
+      const cluster::Hierarchy hierarchy = build_hierarchy(
+          rig, cs, seed + static_cast<std::uint64_t>(cs * 100 + w));
       const workload::Workload wl =
-          workload::make_workload(rig.net, wp, kQueries, wp_prng);
+          make_seeded_workload(rig, paper_workload_params(), kQueries,
+                               seed + 1000 + static_cast<std::uint64_t>(w));
       curves.push_back(
           run_incremental(Alg::kTopDown, rig, &hierarchy, wl, true, seed)
               .cumulative_cost);

@@ -15,9 +15,7 @@ int main(int argc, char** argv) {
 
   Prng net_prng(seed);
   Rig rig(paper_network(net_prng));
-  Prng hp(seed + 32);
-  const cluster::Hierarchy hierarchy =
-      cluster::Hierarchy::build(rig.net, rig.rt, 32, hp);
+  const cluster::Hierarchy hierarchy = build_hierarchy(rig, 32, seed + 32);
 
   struct Series {
     std::string name;
@@ -33,13 +31,9 @@ int main(int argc, char** argv) {
   };
 
   for (int w = 0; w < kWorkloads; ++w) {
-    Prng wp_prng(seed + 1000 + static_cast<std::uint64_t>(w));
-    workload::WorkloadParams wp;
-    wp.num_streams = 10;
-    wp.min_joins = 2;
-    wp.max_joins = 5;
     const workload::Workload wl =
-        workload::make_workload(rig.net, wp, kQueries, wp_prng);
+        make_seeded_workload(rig, paper_workload_params(), kQueries,
+                             seed + 1000 + static_cast<std::uint64_t>(w));
     for (Series& s : series) {
       s.curves.push_back(
           run_incremental(s.alg, rig, &hierarchy, wl, true, seed, /*zones=*/5)

@@ -33,17 +33,13 @@ int main(int argc, char** argv) {
   for (int size : sizes) {
     Prng net_prng(seed + static_cast<std::uint64_t>(size));
     Rig rig(net::make_transit_stub(net::scale_to(size), net_prng));
-    Prng hp(seed + 7);
-    const cluster::Hierarchy hierarchy =
-        cluster::Hierarchy::build(rig.net, rig.rt, 32, hp);
+    const cluster::Hierarchy hierarchy = build_hierarchy(rig, 32, seed + 7);
 
-    workload::WorkloadParams wp;
-    wp.num_streams = kStreams;
-    wp.min_joins = kSourcesPerQuery - 1;
-    wp.max_joins = kSourcesPerQuery - 1;
-    Prng wl_prng(seed + 11);
-    const workload::Workload wl =
-        workload::make_workload(rig.net, wp, kQueries, wl_prng);
+    const workload::Workload wl = make_seeded_workload(
+        rig,
+        paper_workload_params(kSourcesPerQuery - 1, kSourcesPerQuery - 1,
+                              kStreams),
+        kQueries, seed + 11);
 
     // Measured per-query averages (no reuse: the paper measures a single
     // query's planning).

@@ -20,8 +20,8 @@ int main(int argc, char** argv) {
   Rig rig(emulab_network(net_prng));
   std::vector<cluster::Hierarchy> hierarchies;
   for (int cs : cluster_sizes) {
-    Prng hp(seed + static_cast<std::uint64_t>(cs));
-    hierarchies.push_back(cluster::Hierarchy::build(rig.net, rig.rt, cs, hp));
+    hierarchies.push_back(
+        build_hierarchy(rig, cs, seed + static_cast<std::uint64_t>(cs)));
   }
 
   std::cout << "Figure 10: average deployment time (s) vs query size\n"
@@ -37,13 +37,9 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<double>> mean_secs(6);
   for (int k : query_sizes) {
-    workload::WorkloadParams wp;
-    wp.num_streams = 8;
-    wp.min_joins = k - 1;
-    wp.max_joins = k - 1;
-    Prng wl_prng(seed + static_cast<std::uint64_t>(k));
-    const workload::Workload wl =
-        workload::make_workload(rig.net, wp, kQueriesPerSize, wl_prng);
+    const workload::Workload wl = make_seeded_workload(
+        rig, paper_workload_params(k - 1, k - 1, /*num_streams=*/8),
+        kQueriesPerSize, seed + static_cast<std::uint64_t>(k));
 
     std::vector<double> secs;
     for (const Alg alg : {Alg::kBottomUpFast, Alg::kBottomUp, Alg::kTopDown}) {

@@ -18,17 +18,14 @@ int main(int argc, char** argv) {
   Rig rig(emulab_network(net_prng));
   std::vector<cluster::Hierarchy> hierarchies;
   for (int cs : cluster_sizes) {
-    Prng hp(seed + static_cast<std::uint64_t>(cs));
-    hierarchies.push_back(cluster::Hierarchy::build(rig.net, rig.rt, cs, hp));
+    hierarchies.push_back(
+        build_hierarchy(rig, cs, seed + static_cast<std::uint64_t>(cs)));
   }
 
-  workload::WorkloadParams wp;
-  wp.num_streams = 8;
-  wp.min_joins = 1;
-  wp.max_joins = 4;
-  Prng wl_prng(seed + 1);
-  const workload::Workload wl =
-      workload::make_workload(rig.net, wp, kQueries, wl_prng);
+  const workload::Workload wl = make_seeded_workload(
+      rig, paper_workload_params(/*min_joins=*/1, /*max_joins=*/4,
+                                 /*num_streams=*/8),
+      kQueries, seed + 1);
 
   const RunStats bu4 =
       run_incremental(Alg::kBottomUp, rig, &hierarchies[0], wl, true, seed);

@@ -55,6 +55,35 @@ struct Rig {
   explicit Rig(net::Network n) : net(std::move(n)), rt(net::RoutingTables::build(net)) {}
 };
 
+/// Hierarchy over a rig's network. Callers pass the fully derived seed they
+/// previously used inline (e.g. `seed + 32`), so bench output stays
+/// byte-identical to the pre-helper versions.
+inline cluster::Hierarchy build_hierarchy(const Rig& rig, int max_cs,
+                                          std::uint64_t hier_seed) {
+  Prng hp(hier_seed);
+  return cluster::Hierarchy::build(rig.net, rig.rt, max_cs, hp);
+}
+
+/// The paper's workload shape (10 streams, 2–5 joins per query by default).
+inline workload::WorkloadParams paper_workload_params(int min_joins = 2,
+                                                      int max_joins = 5,
+                                                      int num_streams = 10) {
+  workload::WorkloadParams wp;
+  wp.num_streams = num_streams;
+  wp.min_joins = min_joins;
+  wp.max_joins = max_joins;
+  return wp;
+}
+
+/// Workload over the rig's network from a fully derived seed.
+inline workload::Workload make_seeded_workload(const Rig& rig,
+                                               const workload::WorkloadParams& wp,
+                                               int num_queries,
+                                               std::uint64_t wl_seed) {
+  Prng prng(wl_seed);
+  return workload::make_workload(rig.net, wp, num_queries, prng);
+}
+
 enum class Alg {
   kExhaustive,
   kTopDown,

@@ -13,9 +13,7 @@ int main(int argc, char** argv) {
 
   Prng net_prng(seed);
   Rig rig(paper_network(net_prng));
-  Prng hp(seed + 32);
-  const cluster::Hierarchy hierarchy =
-      cluster::Hierarchy::build(rig.net, rig.rt, 32, hp);
+  const cluster::Hierarchy hierarchy = build_hierarchy(rig, 32, seed + 32);
 
   std::cout << "Multi-query consolidation vs incremental deployment "
                "(top-down, max_cs=32, seed "
@@ -25,13 +23,11 @@ int main(int argc, char** argv) {
   double inc_total = 0.0;
   double con_total = 0.0;
   for (int w = 0; w < kWorkloads; ++w) {
-    Prng wp_prng(seed + 100 + static_cast<std::uint64_t>(w));
-    workload::WorkloadParams wp;
-    wp.num_streams = 8;  // denser sharing than the figure workloads
-    wp.min_joins = 2;
-    wp.max_joins = 4;
-    const workload::Workload wl =
-        workload::make_workload(rig.net, wp, kQueries, wp_prng);
+    // 8 streams: denser sharing than the figure workloads.
+    const workload::Workload wl = make_seeded_workload(
+        rig, paper_workload_params(/*min_joins=*/2, /*max_joins=*/4,
+                                   /*num_streams=*/8),
+        kQueries, seed + 100 + static_cast<std::uint64_t>(w));
 
     const double incremental =
         run_incremental(Alg::kTopDown, rig, &hierarchy, wl, true, seed)

@@ -231,28 +231,124 @@ void digest_line(std::ostringstream& os, std::size_t step,
      << mw.suspended_queries() << " viol " << violations << '\n';
 }
 
-}  // namespace
+/// Where run_impl draws its events from: the seeded FaultInjector
+/// (run_churn) or a fixed scenario script (run_scripted). Both track what
+/// is currently down so the restoration sweep knows what to bring back.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+  virtual int count() const = 0;
+  virtual ChaosEvent next() = 0;
+  virtual const std::vector<net::NodeId>& down_nodes() const = 0;
+  virtual const std::vector<std::pair<net::NodeId, net::NodeId>>& down_links()
+      const = 0;
+};
 
-ChaosReport run_churn(net::Network net, query::Catalog catalog,
-                      const std::vector<query::Query>& queries, int max_cs,
-                      Algorithm algorithm, std::uint64_t seed,
-                      const ChaosConfig& cfg) {
+class InjectorSource final : public EventSource {
+ public:
+  InjectorSource(const net::Network& net, const query::Catalog& catalog,
+                 const ChaosConfig& cfg, std::uint64_t seed)
+      : events_(cfg.events), inj_(net, catalog, cfg, seed) {}
+  int count() const override { return events_; }
+  ChaosEvent next() override { return inj_.next(); }
+  const std::vector<net::NodeId>& down_nodes() const override {
+    return inj_.down_nodes();
+  }
+  const std::vector<std::pair<net::NodeId, net::NodeId>>& down_links()
+      const override {
+    return inj_.down_links();
+  }
+
+ private:
+  int events_;
+  FaultInjector inj_;
+};
+
+/// Replays a fixed script verbatim, checking applicability as it goes: the
+/// scenario generator must only script faults against up targets and
+/// restores against down ones (a malformed script is a harness bug, not a
+/// system-under-test failure).
+class ScriptSource final : public EventSource {
+ public:
+  explicit ScriptSource(const std::vector<ChaosEvent>& script)
+      : script_(script) {}
+  int count() const override { return static_cast<int>(script_.size()); }
+  ChaosEvent next() override {
+    IFLOW_CHECK(i_ < script_.size());
+    const ChaosEvent e = script_[i_++];
+    const auto node_it = [&] {
+      return std::find(down_nodes_.begin(), down_nodes_.end(), e.a);
+    };
+    const auto link_it = [&] {
+      const auto pair = std::make_pair(std::min(e.a, e.b), std::max(e.a, e.b));
+      return std::find(down_links_.begin(), down_links_.end(), pair);
+    };
+    switch (e.kind) {
+      case ChaosEventKind::kCrashNode:
+      case ChaosEventKind::kFailNode:
+        IFLOW_CHECK_MSG(node_it() == down_nodes_.end(),
+                        "script double-faults a node");
+        down_nodes_.push_back(e.a);
+        break;
+      case ChaosEventKind::kRestoreNode: {
+        const auto it = node_it();
+        IFLOW_CHECK_MSG(it != down_nodes_.end(),
+                        "script restores an up node");
+        down_nodes_.erase(it);
+        break;
+      }
+      case ChaosEventKind::kFailLink:
+        IFLOW_CHECK_MSG(link_it() == down_links_.end(),
+                        "script double-fails a link pair");
+        down_links_.emplace_back(std::min(e.a, e.b), std::max(e.a, e.b));
+        break;
+      case ChaosEventKind::kRestoreLink: {
+        const auto it = link_it();
+        IFLOW_CHECK_MSG(it != down_links_.end(),
+                        "script restores an up link pair");
+        down_links_.erase(it);
+        break;
+      }
+      default:
+        break;  // rate/loss/jitter/queue events change nothing that is down
+    }
+    return e;
+  }
+  const std::vector<net::NodeId>& down_nodes() const override {
+    return down_nodes_;
+  }
+  const std::vector<std::pair<net::NodeId, net::NodeId>>& down_links()
+      const override {
+    return down_links_;
+  }
+
+ private:
+  std::vector<ChaosEvent> script_;
+  std::size_t i_ = 0;
+  std::vector<net::NodeId> down_nodes_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> down_links_;
+};
+
+ChaosReport run_impl(net::Network net, query::Catalog catalog,
+                     const std::vector<query::Query>& queries, int max_cs,
+                     Algorithm algorithm, std::uint64_t seed,
+                     const ChaosConfig& cfg, EventSource& src) {
   ChaosReport report;
   std::ostringstream digest;
 
   Middleware mw(net, catalog, max_cs, algorithm, seed, cfg.drift_threshold);
   mw.workspace().set_threads(cfg.threads);
-  for (const query::Query& q : queries) mw.deploy(q);
-
-  FaultInjector inj(net, catalog, cfg, seed ^ 0xC4A05E7A11DEADULL);
+  for (const query::Query& q : queries) {
+    report.deploy_time_ms += mw.deploy(q).deploy_time_ms;
+  }
 
   // Queue pressure applies to the post-churn delivery check; the last drawn
   // event wins.
   double queue_service_s = 0.0;
 
-  for (int i = 0; i < cfg.events; ++i) {
+  for (int i = 0; i < src.count(); ++i) {
     ChaosStep step;
-    step.event = inj.next();
+    step.event = src.next();
     const ChaosEvent& e = step.event;
     switch (e.kind) {
       case ChaosEventKind::kCrashNode:
@@ -307,10 +403,10 @@ ChaosReport run_churn(net::Network net, query::Catalog catalog,
     report.violations +=
         validate_actives(mw, replanned_ids(reds), &report.violation_detail);
   };
-  for (const auto& [a, b] : inj.down_links()) {
+  for (const auto& [a, b] : src.down_links()) {
     validate_after(mw.restore_link(a, b));
   }
-  for (const net::NodeId n : inj.down_nodes()) {
+  for (const net::NodeId n : src.down_nodes()) {
     validate_after(mw.restore_node(n));
   }
   for (int round = 0; round < 5; ++round) {
@@ -380,6 +476,9 @@ ChaosReport run_churn(net::Network net, query::Catalog catalog,
     ec.reliability.window = 1024;
     ec.reliability.lateness_s = ec.duration_s;
     ec.reliability.drain_s = 30.0;
+    // Scenario rate curves shape emission in BOTH twins identically, so the
+    // count-equality contract is unaffected.
+    ec.rate_factor = cfg.rate_modulation;
     if (queue_service_s > 0.0) {
       ec.reliability.service_s = queue_service_s;
       ec.reliability.queue_capacity = 96;
@@ -441,18 +540,46 @@ ChaosReport run_churn(net::Network net, query::Catalog catalog,
         report.delivered_total += ds.delivered;
         report.retransmits_total += ds.retransmits;
         report.duplicates_total += ds.duplicates;
+        report.mean_availability += lossy.availability(q);
       }
+      if (!views.empty()) {
+        report.mean_availability /= static_cast<double>(views.size());
+      }
+      report.goodput_tps = static_cast<double>(report.delivered_total) /
+                           cfg.delivery_duration_s;
       report.delivery_ok = ok;
     }
     digest << "delivery checked " << (report.delivery_checked ? 1 : 0)
            << " ok " << (report.delivery_ok ? 1 : 0) << " delivered "
            << report.delivered_total << " retrans "
            << report.retransmits_total << " dup " << report.duplicates_total
-           << '\n';
+           << " avail " << std::hexfloat << report.mean_availability
+           << " goodput " << report.goodput_tps << std::defaultfloat << '\n';
   }
 
   report.digest = digest.str();
   return report;
+}
+
+}  // namespace
+
+ChaosReport run_churn(net::Network net, query::Catalog catalog,
+                      const std::vector<query::Query>& queries, int max_cs,
+                      Algorithm algorithm, std::uint64_t seed,
+                      const ChaosConfig& cfg) {
+  InjectorSource src(net, catalog, cfg, seed ^ 0xC4A05E7A11DEADULL);
+  return run_impl(std::move(net), std::move(catalog), queries, max_cs,
+                  algorithm, seed, cfg, src);
+}
+
+ChaosReport run_scripted(net::Network net, query::Catalog catalog,
+                         const std::vector<query::Query>& queries, int max_cs,
+                         Algorithm algorithm, std::uint64_t seed,
+                         const std::vector<ChaosEvent>& script,
+                         const ChaosConfig& cfg) {
+  ScriptSource src(script);
+  return run_impl(std::move(net), std::move(catalog), queries, max_cs,
+                  algorithm, seed, cfg, src);
 }
 
 }  // namespace iflow::engine

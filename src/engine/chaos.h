@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,12 @@ struct ChaosConfig {
   /// Horizon of the delivery-check simulations (must exceed the engine's
   /// default drain window).
   double delivery_duration_s = 20.0;
+  /// Optional time-varying source rates for the delivery-check simulations
+  /// (scenario rate curves): multiplier on a stream's catalog rate at
+  /// simulation time t. Must be a pure function — the digest stays bitwise
+  /// stable because both the lossy and the loss-free twin see it. Null =
+  /// constant catalog rates.
+  std::function<double(query::StreamId, double)> rate_modulation;
   /// Planner threads pinned on the middleware workspace (determinism
   /// checks run the same seed at 1 and N and diff the digests).
   int threads = 1;
@@ -124,12 +131,21 @@ struct ChaosReport {
   bool converged = false;            // cost within convergence_factor
   double final_cost = 0.0;           // churned middleware, post-restore
   double fresh_cost = 0.0;           // fresh middleware on the end state
+  /// Modeled planning latency of the initial workload deployment (summed
+  /// OptimizeResult::deploy_time_ms over the first deploy sweep).
+  double deploy_time_ms = 0.0;
   /// Post-churn delivery contract (only when cfg.delivery_check).
   bool delivery_checked = false;   // both sims deployed + ran to completion
   bool delivery_ok = false;        // per-query lossy == loss-free, 0 lost
   std::uint64_t delivered_total = 0;    // lossy run, summed over queries
   std::uint64_t retransmits_total = 0;  // retransmissions the loss forced
   std::uint64_t duplicates_total = 0;   // duplicates the dedup suppressed
+  /// Mean per-query availability of the lossy run (delivered rate over the
+  /// analytic no-fault rate at the *base* catalog rates; rate-modulated
+  /// scenarios legitimately land away from 1.0).
+  double mean_availability = 0.0;
+  /// Aggregate delivered results per second of the lossy run.
+  double goodput_tps = 0.0;
   /// One line per step (event + hexfloat cost + counts); bitwise-identical
   /// across planner thread counts for a fixed seed.
   std::string digest;
@@ -171,5 +187,19 @@ ChaosReport run_churn(net::Network net, query::Catalog catalog,
                       const std::vector<query::Query>& queries, int max_cs,
                       Algorithm algorithm, std::uint64_t seed,
                       const ChaosConfig& cfg = {});
+
+/// Replays a FIXED event script (scenario failure scripts: correlated
+/// whole-cluster outages, flapping regions, loss storms) instead of
+/// injector-drawn events; cfg.events is ignored — the whole script runs.
+/// The script must be applicable in order: no double-faulting a down
+/// target, no restoring something that is up (the scenario generator
+/// guarantees this; violations throw). Everything else — per-event
+/// validation, the restoration sweep, convergence and the optional
+/// delivery contract — matches run_churn.
+ChaosReport run_scripted(net::Network net, query::Catalog catalog,
+                         const std::vector<query::Query>& queries, int max_cs,
+                         Algorithm algorithm, std::uint64_t seed,
+                         const std::vector<ChaosEvent>& script,
+                         const ChaosConfig& cfg = {});
 
 }  // namespace iflow::engine

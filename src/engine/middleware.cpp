@@ -5,6 +5,9 @@
 #include <limits>
 #include <numeric>
 
+#include "opt/in_network.h"
+#include "opt/plan_then_deploy.h"
+#include "opt/relaxation.h"
 #include "query/rates.h"
 
 namespace iflow::engine {
@@ -23,6 +26,18 @@ std::vector<query::StreamId> global_streams(const query::RateModel& rates,
   std::sort(out.begin(), out.end());
   return out;
 }
+}
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kTopDown: return "top-down";
+    case Algorithm::kBottomUp: return "bottom-up";
+    case Algorithm::kExhaustive: return "exhaustive";
+    case Algorithm::kPlanThenDeploy: return "plan-then-deploy";
+    case Algorithm::kRelaxation: return "relaxation";
+    case Algorithm::kInNetwork: return "in-network";
+  }
+  return "?";
 }
 
 const char* to_string(Outcome o) {
@@ -242,6 +257,16 @@ std::unique_ptr<opt::Optimizer> Middleware::make_optimizer() {
       return std::make_unique<opt::BottomUpOptimizer>(env());
     case Algorithm::kExhaustive:
       return std::make_unique<opt::ExhaustiveOptimizer>(env());
+    case Algorithm::kPlanThenDeploy:
+      return std::make_unique<opt::PlanThenDeployOptimizer>(env());
+    case Algorithm::kRelaxation:
+      // Paper §3.3 settings: 4 relaxation and 4 embedding iterations. The
+      // seed is the middleware's, so replans stay deterministic per seed.
+      return std::make_unique<opt::RelaxationOptimizer>(
+          env(), seed_, /*relax_iterations=*/4, /*embed_iterations=*/4);
+    case Algorithm::kInNetwork:
+      return std::make_unique<opt::InNetworkOptimizer>(env(), seed_,
+                                                       /*zones=*/5);
   }
   IFLOW_CHECK_MSG(false, "unknown algorithm");
 }

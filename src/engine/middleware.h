@@ -38,7 +38,21 @@
 
 namespace iflow::engine {
 
-enum class Algorithm { kTopDown, kBottomUp, kExhaustive };
+/// Which optimizer the middleware re-plans with. All six library
+/// optimizers are available so conformance suites can drive every one of
+/// them through the same fault/adaptation machinery; the heuristic
+/// baselines (plan-then-deploy, relaxation, in-network) read the same
+/// OptimizerEnv, so host exclusions and reuse flow to them unchanged.
+enum class Algorithm {
+  kTopDown,
+  kBottomUp,
+  kExhaustive,
+  kPlanThenDeploy,
+  kRelaxation,
+  kInNetwork,
+};
+
+const char* to_string(Algorithm a);
 
 /// What happened to one query during a fault/adapt cycle.
 enum class Outcome : std::uint8_t {

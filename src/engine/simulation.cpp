@@ -74,7 +74,7 @@ Simulation::InstanceId Simulation::source_for(query::StreamId s) {
   const auto id = static_cast<InstanceId>(instances_.size() - 1);
   sources_.emplace(s, id);
   // First emission: random phase so colocated sources do not synchronise.
-  const double rate = catalog_->stream(s).tuple_rate;
+  const double rate = source_rate(s, 0.0);
   schedule(
       Event{prng_.uniform(0.0, 1.0 / rate), next_seq_++, id, -1, nullptr, {}});
   return id;
@@ -638,9 +638,18 @@ void Simulation::emit_from_source(double now, InstanceId id) {
     ++tuples_emitted_;
     for (const Consumer& c : inst.consumers) send(now, inst.node, t, c, id);
   }
-  const double rate = catalog_->stream(inst.source_stream).tuple_rate;
+  const double rate = source_rate(inst.source_stream, now);
   const double gap = cfg_.poisson ? prng_.exponential(rate) : 1.0 / rate;
   schedule(Event{now + gap, next_seq_++, id, -1, nullptr, {}});
+}
+
+double Simulation::source_rate(query::StreamId s, double now) const {
+  const double base = catalog_->stream(s).tuple_rate;
+  if (!cfg_.rate_factor) return base;
+  // The floor keeps the clock ticking through curve troughs (a stalled
+  // source would never observe the factor rising again) and keeps the
+  // exponential draw well-defined.
+  return std::max(0.01 * base, base * cfg_.rate_factor(s, now));
 }
 
 void Simulation::arrive_at(double now, InstanceId id, int port,

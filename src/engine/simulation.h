@@ -28,6 +28,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -134,6 +135,12 @@ struct EngineConfig {
   bool poisson = true;
   /// Must match the RateModel projection used when planning.
   double projection_factor = 1.0;
+  /// Optional time-varying source rates (scenario rate curves): multiplier
+  /// applied to a stream's catalog rate at simulation time t. Must be a
+  /// pure function so runs stay deterministic; values are clamped to a
+  /// small positive floor so source clocks keep ticking through troughs.
+  /// Null = constant catalog rates.
+  std::function<double(query::StreamId, double)> rate_factor;
   ReliabilityConfig reliability;
 };
 
@@ -370,6 +377,9 @@ class Simulation {
   void update_watches(double now);
   const net::Network& cur_net() const { return fnet_ ? *fnet_ : *net_; }
   const net::RoutingTables& cur_rt() const { return frt_ ? *frt_ : *rt_; }
+  /// Instantaneous emission rate of stream s: catalog rate times the
+  /// configured rate_factor (floored so the source clock never stalls).
+  double source_rate(query::StreamId s, double now) const;
   TuplePtr make_source_tuple(query::StreamId s, double now);
   TuplePtr join_tuples(const Tuple& a, const Tuple& b) const;
   bool matches(const Tuple& a, const Tuple& b) const;

@@ -89,6 +89,23 @@ Network make_transit_stub(const TransitStubParams& p, Prng& prng) {
   return net;
 }
 
+int stub_domain_count(const TransitStubParams& p) {
+  return p.transit_count * p.stub_domains_per_transit;
+}
+
+std::vector<NodeId> stub_domain_members(const TransitStubParams& p,
+                                        int index) {
+  IFLOW_CHECK(index >= 0 && index < stub_domain_count(p));
+  const NodeId first = static_cast<NodeId>(
+      p.transit_count + index * p.stub_domain_size);
+  std::vector<NodeId> members;
+  members.reserve(static_cast<std::size_t>(p.stub_domain_size));
+  for (int s = 0; s < p.stub_domain_size; ++s) {
+    members.push_back(first + static_cast<NodeId>(s));
+  }
+  return members;
+}
+
 TransitStubParams scale_to(int target_nodes) {
   IFLOW_CHECK(target_nodes >= 8);
   TransitStubParams p;

@@ -52,6 +52,17 @@ struct TransitStubParams {
 /// state.
 Network make_transit_stub(const TransitStubParams& params, Prng& prng);
 
+/// Number of stub domains the parameters produce.
+int stub_domain_count(const TransitStubParams& params);
+
+/// Node ids of stub domain `index` (row-major over (transit node, domain)).
+/// The generator lays out ids deterministically — transit nodes first, then
+/// each stub domain contiguously — so domain membership is recoverable from
+/// the parameters alone. Scenario generators use this for geo-clustered
+/// placement and region-correlated failure scripts.
+std::vector<NodeId> stub_domain_members(const TransitStubParams& params,
+                                        int index);
+
 /// Picks a structure whose node count is close to `target_nodes`, scaling
 /// the paper's 128-node shape; used by the Fig 9 network-size sweep
 /// (128 … 1024 nodes).

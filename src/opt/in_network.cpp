@@ -1,5 +1,6 @@
 #include "opt/in_network.h"
 
+#include <cmath>
 #include <limits>
 
 #include "cluster/kmedoids.h"
@@ -117,6 +118,13 @@ OptimizeResult InNetworkOptimizer::optimize(const query::Query& q) {
                                        q.sink, q.id);
   out.deployment.aggregate = q.aggregate;
   out.actual_cost = query::deployment_cost(out.deployment, rt);
+  // The per-operator chooser prices inputs, not the final delivery hop, so
+  // a partitioned sink can still leave the whole at infinity.
+  if (!std::isfinite(out.actual_cost)) {
+    OptimizeResult infeasible;
+    infeasible.feasible = false;
+    return infeasible;
+  }
   out.planned_cost = out.actual_cost;
   out.plans_considered = examined;
   out.levels_used = 1;

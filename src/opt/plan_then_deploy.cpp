@@ -41,6 +41,13 @@ OptimizeResult PlanThenDeployOptimizer::optimize(const query::Query& q) {
                                        placement.op_nodes, q.sink, q.id);
   out.deployment.aggregate = q.aggregate;
   out.actual_cost = query::deployment_cost(out.deployment, rt);
+  // Under a partition the placement can price every assignment at infinity
+  // yet still pick one — feasible results always have finite cost.
+  if (!std::isfinite(out.actual_cost)) {
+    OptimizeResult infeasible;
+    infeasible.feasible = false;
+    return infeasible;
+  }
   out.planned_cost = placement.cost;
   // Plan phase enumerates covers × trees; the deployment phase, done
   // exhaustively, examines |N|^ops assignments of the fixed tree.

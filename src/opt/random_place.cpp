@@ -1,5 +1,7 @@
 #include "opt/random_place.h"
 
+#include <cmath>
+
 #include "opt/static_plan.h"
 #include "opt/view.h"
 #include "query/rates.h"
@@ -34,6 +36,12 @@ OptimizeResult RandomPlacementOptimizer::optimize(const query::Query& q) {
                                        q.sink, q.id);
   out.deployment.aggregate = q.aggregate;
   out.actual_cost = query::deployment_cost(out.deployment, rt);
+  // Random draws ignore reachability; feasible results must price finite.
+  if (!std::isfinite(out.actual_cost)) {
+    OptimizeResult infeasible;
+    infeasible.feasible = false;
+    return infeasible;
+  }
   out.planned_cost = out.actual_cost;
   out.plans_considered = plan.plans_examined + ops;  // one draw per operator
   out.levels_used = 1;

@@ -1,5 +1,6 @@
 #include "opt/relaxation.h"
 
+#include <cmath>
 #include <limits>
 
 #include "opt/static_plan.h"
@@ -127,6 +128,13 @@ OptimizeResult RelaxationOptimizer::optimize(const query::Query& q) {
                                        q.sink, q.id);
   out.deployment.aggregate = q.aggregate;
   out.actual_cost = query::deployment_cost(out.deployment, rt);
+  // Feasible results always have finite cost: under a partition every
+  // relaxation move can be priced at infinity and the start point kept.
+  if (!std::isfinite(out.actual_cost)) {
+    OptimizeResult infeasible;
+    infeasible.feasible = false;
+    return infeasible;
+  }
   out.planned_cost = out.actual_cost;
   out.plans_considered =
       plan.plans_examined + ops * static_cast<double>(relax_iterations_);

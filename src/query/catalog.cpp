@@ -39,6 +39,12 @@ void Catalog::set_tuple_rate(StreamId id, double tuple_rate) {
   streams_[id].tuple_rate = tuple_rate;
 }
 
+void Catalog::set_source(StreamId id, net::NodeId source) {
+  IFLOW_CHECK(id < stream_count());
+  IFLOW_CHECK(source != net::kInvalidNode);
+  streams_[id].source = source;
+}
+
 void Catalog::set_columns(StreamId id, std::vector<std::string> columns) {
   IFLOW_CHECK(id < stream_count());
   streams_[id].columns = std::move(columns);

@@ -46,6 +46,11 @@ class Catalog {
   /// change; the middleware re-triggers optimization on such events).
   void set_tuple_rate(StreamId id, double tuple_rate);
 
+  /// Relocates a stream's source node. Scenario generators use this to
+  /// constrain placements (geo-clustering) after uniform generation; must
+  /// happen before any deployment references the stream.
+  void set_source(StreamId id, net::NodeId source);
+
   /// Declares the stream's schema for SQL binding.
   void set_columns(StreamId id, std::vector<std::string> columns);
 

@@ -40,6 +40,13 @@
 // events mixed into the churn, and a post-churn reliable-delivery check
 // that must match the loss-free baseline exactly with zero tuples lost
 // after retries.
+//
+// --scenario fuzzes the scenario generator: each iteration re-seeds a
+// random catalogue entry (jittering its query count and failure-script
+// intensity), replays it through run_churn / run_scripted under a random
+// optimizer, and holds the full contract set — zero violations, full
+// resumption, convergence, exact delivery. With --digest the per-scenario
+// transcript must be identical across --threads values.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -63,6 +70,7 @@
 #include "query/rates.h"
 #include "verify/validator.h"
 #include "workload/generator.h"
+#include "workload/scenario.h"
 
 namespace iflow {
 namespace {
@@ -75,6 +83,7 @@ struct Options {
   bool digest = false;
   bool churn = false;
   bool loss = false;
+  bool scenario = false;
 };
 
 /// One self-contained random instance. Everything is derived from the seed,
@@ -489,6 +498,64 @@ void check_loss_instance(std::uint64_t seed, const Options& opt,
   }
 }
 
+/// One scenario-fuzz iteration: a catalogue entry re-seeded and jittered,
+/// replayed through the chaos harness under a random optimizer.
+void check_scenario_instance(std::uint64_t seed, const Options& opt,
+                             IterationLog& log) {
+  Prng prng(seed);
+  const auto& names = workload::scenario_names();
+  workload::ScenarioSpec spec =
+      workload::scenario_spec(names[prng.index(names.size())]);
+  spec.seed = seed;
+  spec.num_queries = 3 + static_cast<int>(prng.index(3));
+  spec.failure_rounds = 1 + static_cast<int>(prng.index(3));
+  const workload::Scenario sc = workload::build_scenario(spec);
+
+  const engine::Algorithm algs[] = {engine::Algorithm::kTopDown,
+                                    engine::Algorithm::kBottomUp,
+                                    engine::Algorithm::kExhaustive};
+  const engine::Algorithm alg = algs[prng.index(3)];
+
+  engine::ChaosConfig cfg;
+  cfg.events = 16;
+  cfg.threads = opt.threads;
+  cfg.delivery_check = true;
+  cfg.rate_modulation = sc.rate_modulation();
+  const engine::ChaosReport report =
+      sc.script.empty()
+          ? engine::run_churn(sc.net, sc.workload.catalog, sc.workload.queries,
+                              4, alg, seed, cfg)
+          : engine::run_scripted(sc.net, sc.workload.catalog,
+                                 sc.workload.queries, 4, alg, seed, sc.script,
+                                 cfg);
+  if (opt.digest) {
+    std::istringstream lines(report.digest);
+    std::string line;
+    while (std::getline(lines, line)) {
+      std::cout << "scenario " << seed << ' ' << spec.name << ' ' << line
+                << '\n';
+    }
+  }
+  if (report.violations != 0) {
+    log.fail("scenario " + spec.name +
+             ": validator violations: " + report.violation_detail);
+  }
+  if (!report.all_resumed) {
+    log.fail("scenario " + spec.name + ": queries left suspended");
+  }
+  if (!report.converged) {
+    std::ostringstream os;
+    os << "scenario " << spec.name << ": no convergence: final "
+       << report.final_cost << " vs fresh " << report.fresh_cost;
+    log.fail(os.str());
+  }
+  if (!report.delivery_checked) {
+    log.fail("scenario " + spec.name + ": delivery check did not run");
+  } else if (!report.delivery_ok) {
+    log.fail("scenario " + spec.name + ": delivery contract broken");
+  }
+}
+
 int run(const Options& opt) {
   opt::PlanWorkspace ws(opt.threads);
   int failed_iterations = 0;
@@ -496,7 +563,9 @@ int run(const Options& opt) {
     const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
     IterationLog log{seed};
     try {
-      if (opt.loss) {
+      if (opt.scenario) {
+        check_scenario_instance(seed, opt, log);
+      } else if (opt.loss) {
         check_loss_instance(seed, opt, log);
       } else if (opt.churn) {
         check_churn_instance(seed, opt, log);
@@ -555,9 +624,12 @@ int main(int argc, char** argv) {
       opt.churn = true;
     } else if (arg == "--loss") {
       opt.loss = true;
+    } else if (arg == "--scenario") {
+      opt.scenario = true;
     } else {
       std::cerr << "usage: differential_fuzz [--iterations N] [--seed S] "
-                   "[--threads T] [--digest] [--churn] [--loss] [--verbose]\n";
+                   "[--threads T] [--digest] [--churn] [--loss] [--scenario] "
+                   "[--verbose]\n";
       return 2;
     }
   }

@@ -1,0 +1,134 @@
+// Multi-query SQL scripts: several statements compiled against one shared
+// catalog, the way a scenario (or an operator at a console) registers a
+// query family. Statements share base streams and sinks, so the bound
+// queries are exactly the shapes the multi-query optimizer exploits —
+// identical derived streams (global selectivities) and fan-in at common
+// sinks, including UNION ALL branches.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "advert/registry.h"
+#include "net/gtitm.h"
+#include "opt/exhaustive.h"
+#include "opt/optimizer.h"
+#include "sql/binder.h"
+
+namespace iflow::sql {
+namespace {
+
+query::Catalog flight_catalog() {
+  query::Catalog cat;
+  cat.add_stream("FLIGHTS", 0, 20.0, 80.0);
+  cat.add_stream("WEATHER", 1, 10.0, 60.0);
+  cat.add_stream("CHECKINS", 2, 30.0, 40.0);
+  cat.add_stream("BAGGAGE", 3, 25.0, 40.0);
+  cat.set_selectivity(0, 1, 0.01);
+  cat.set_selectivity(0, 2, 0.02);
+  cat.set_selectivity(0, 3, 0.015);
+  cat.set_selectivity(1, 2, 0.01);
+  return cat;
+}
+
+TEST(SqlScriptTest, StatementsShareSourcesThroughOneCatalog) {
+  const query::Catalog cat = flight_catalog();
+  // Three statements of one script: all join FLIGHTS, two also share
+  // WEATHER. Ids are assigned sequentially as a script would.
+  const BoundQuery q0 = compile(
+      "SELECT * FROM FLIGHTS, WEATHER WHERE FLIGHTS.DESTN = WEATHER.CITY",
+      cat, 0, 9);
+  const BoundQuery q1 = compile(
+      "SELECT * FROM FLIGHTS, WEATHER, CHECKINS "
+      "WHERE FLIGHTS.DESTN = WEATHER.CITY AND FLIGHTS.NUM = CHECKINS.FLNUM",
+      cat, 1, 10);
+  const BoundQuery q2 = compile(
+      "SELECT * FROM FLIGHTS, BAGGAGE WHERE FLIGHTS.NUM = BAGGAGE.FLNUM",
+      cat, 2, 9);
+
+  // Shared stream names resolve to the SAME catalog ids in every statement:
+  // two queries joining (FLIGHTS, WEATHER) describe identical derived
+  // streams, which is what makes cross-query reuse semantically sound.
+  EXPECT_EQ(q0.query.sources, (std::vector<query::StreamId>{0, 1}));
+  EXPECT_EQ(q1.query.sources, (std::vector<query::StreamId>{0, 1, 2}));
+  EXPECT_EQ(q2.query.sources, (std::vector<query::StreamId>{0, 3}));
+  // q0 and q2 share a sink (fan-in), q1 delivers elsewhere.
+  EXPECT_EQ(q0.query.sink, q2.query.sink);
+  EXPECT_NE(q0.query.sink, q1.query.sink);
+  // Ids stay distinct — the middleware keys deployments on them.
+  std::set<query::QueryId> ids{q0.query.id, q1.query.id, q2.query.id};
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(SqlScriptTest, ScriptFamilyReusesOperatorsAcrossQueries) {
+  Prng prng(21);
+  net::TransitStubParams p;
+  p.transit_count = 2;
+  p.stub_domains_per_transit = 2;
+  p.stub_domain_size = 4;
+  const net::Network net = net::make_transit_stub(p, prng);
+  const auto rt = net::RoutingTables::build(net);
+  const query::Catalog cat = flight_catalog();
+
+  // A script whose statements all contain the (FLIGHTS, WEATHER) join.
+  const std::vector<std::string> script = {
+      "SELECT * FROM FLIGHTS, WEATHER WHERE FLIGHTS.DESTN = WEATHER.CITY",
+      "SELECT * FROM FLIGHTS, WEATHER, CHECKINS "
+      "WHERE FLIGHTS.DESTN = WEATHER.CITY AND FLIGHTS.NUM = CHECKINS.FLNUM",
+      "SELECT * FROM WEATHER, FLIGHTS WHERE WEATHER.CITY = FLIGHTS.DESTN",
+  };
+
+  const auto run = [&](bool reuse) {
+    advert::Registry registry;
+    opt::OptimizerEnv env;
+    env.catalog = &cat;
+    env.network = &net;
+    env.routing = &rt;
+    env.registry = &registry;
+    env.reuse = reuse;
+    opt::Session session(env, std::make_unique<opt::ExhaustiveOptimizer>(env));
+    query::QueryId id = 0;
+    for (const std::string& text : script) {
+      const BoundQuery b = compile(text, cat, id, /*sink=*/5);
+      ++id;
+      EXPECT_TRUE(session.submit(b.query).feasible);
+    }
+    return session.cumulative_cost();
+  };
+
+  const double with_reuse = run(true);
+  const double without_reuse = run(false);
+  // The shared (FLIGHTS, WEATHER) operator is paid for once under reuse.
+  EXPECT_LT(with_reuse, without_reuse);
+}
+
+TEST(SqlScriptTest, UnionAllBranchesShareSourcesAndSink) {
+  const query::Catalog cat = flight_catalog();
+  const auto bound = compile_union(
+      "SELECT * FROM FLIGHTS, WEATHER WHERE FLIGHTS.DESTN = WEATHER.CITY "
+      "UNION ALL "
+      "SELECT * FROM FLIGHTS, CHECKINS WHERE FLIGHTS.NUM = CHECKINS.FLNUM",
+      cat, 4, 7);
+  ASSERT_EQ(bound.size(), 2u);
+  // Both branches fan into one sink under consecutive ids …
+  EXPECT_EQ(bound[0].query.sink, 7u);
+  EXPECT_EQ(bound[1].query.sink, 7u);
+  EXPECT_EQ(bound[0].query.id, 4u);
+  EXPECT_EQ(bound[1].query.id, 5u);
+  // … and share the FLIGHTS base stream.
+  EXPECT_EQ(bound[0].query.sources.front(), 0u);
+  EXPECT_EQ(bound[1].query.sources.front(), 0u);
+}
+
+TEST(SqlScriptTest, UnionBranchesKeepIndependentFilters) {
+  const query::Catalog cat = flight_catalog();
+  const auto bound = compile_union(
+      "SELECT * FROM FLIGHTS WHERE FLIGHTS.DEPARTING = 'ATLANTA' "
+      "UNION ALL SELECT * FROM FLIGHTS",
+      cat, 0, 3);
+  ASSERT_EQ(bound.size(), 2u);
+  EXPECT_LT(bound[0].query.filter(0), 1.0);   // filtered branch
+  EXPECT_EQ(bound[1].query.filter(0), 1.0);   // unfiltered branch
+}
+
+}  // namespace
+}  // namespace iflow::sql
