@@ -1,7 +1,10 @@
 #include "cluster/hierarchy.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <queue>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "cluster/kmedoids.h"
@@ -11,17 +14,18 @@ namespace iflow::cluster {
 namespace {
 
 constexpr std::size_t kNoCluster = std::numeric_limits<std::size_t>::max();
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Member of `members` minimising the total traversal cost to the rest;
 /// deterministic coordinator (re-)election.
 net::NodeId elect_coordinator(const std::vector<net::NodeId>& members,
-                              const net::RoutingTables& rt) {
+                              const DistanceFn& dist) {
   IFLOW_CHECK(!members.empty());
   net::NodeId best = members.front();
-  double best_sum = std::numeric_limits<double>::infinity();
+  double best_sum = kInf;
   for (auto c : members) {
     double sum = 0.0;
-    for (auto m : members) sum += rt.cost(c, m);
+    for (auto m : members) sum += dist(c, m);
     if (sum < best_sum) {
       best_sum = sum;
       best = c;
@@ -30,7 +34,73 @@ net::NodeId elect_coordinator(const std::vector<net::NodeId>& members,
   return best;
 }
 
+net::NodeId elect_coordinator(const std::vector<net::NodeId>& members,
+                              const net::RoutingTables& rt) {
+  return elect_coordinator(
+      members, [&rt](std::uint32_t a, std::uint32_t b) { return rt.cost(a, b); });
+}
+
+/// Pairwise costs among `items` materialized as a row-major matrix through
+/// one routing row per item (fill_costs pins each source row exactly once),
+/// plus the item→matrix-index map the DistanceFn needs.
+std::vector<double> pairwise_costs(
+    const std::vector<net::NodeId>& items, const net::RoutingTables& rt,
+    std::unordered_map<net::NodeId, std::uint32_t>* pos) {
+  const std::size_t m = items.size();
+  pos->clear();
+  for (std::size_t i = 0; i < m; ++i) {
+    (*pos)[items[i]] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<double> mat(m * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    rt.fill_costs(items[i], items.data(), m, mat.data() + i * m);
+  }
+  return mat;
+}
+
 }  // namespace
+
+std::vector<double> induced_distances(
+    const net::Network& net, const std::vector<net::NodeId>& members) {
+  const std::size_t m = members.size();
+  std::unordered_map<net::NodeId, std::uint32_t> local;
+  local.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    local[members[i]] = static_cast<std::uint32_t>(i);
+  }
+  // Induced adjacency: only links with both endpoints inside the set.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adj(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (auto idx : net.incident(members[i])) {
+      if (!net.usable(idx)) continue;
+      const net::Link& l = net.links()[idx];
+      const net::NodeId other = (l.a == members[i]) ? l.b : l.a;
+      const auto it = local.find(other);
+      if (it == local.end()) continue;
+      adj[i].emplace_back(it->second, l.cost_per_byte);
+    }
+  }
+  std::vector<double> mat(m * m, kInf);
+  using Entry = std::pair<double, std::uint32_t>;
+  for (std::size_t s = 0; s < m; ++s) {
+    double* dist = mat.data() + s * m;
+    dist[s] = 0.0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    pq.push({0.0, static_cast<std::uint32_t>(s)});
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (const auto& [v, w] : adj[u]) {
+        if (d + w < dist[v]) {
+          dist[v] = d + w;
+          pq.push({dist[v], v});
+        }
+      }
+    }
+  }
+  return mat;
+}
 
 Hierarchy Hierarchy::build(const net::Network& net,
                            const net::RoutingTables& rt, int max_cs,
@@ -68,6 +138,107 @@ Hierarchy Hierarchy::build(const net::Network& net,
     IFLOW_CHECK_MSG(km.clusters.size() >= 2,
                     "clustering must make progress above max_cs nodes");
     std::vector<std::uint32_t> next;
+    next.reserve(km.clusters.size());
+    for (std::size_t c = 0; c < km.clusters.size(); ++c) {
+      Cluster cl;
+      cl.members.assign(km.clusters[c].begin(), km.clusters[c].end());
+      cl.coordinator = km.medoids[c];
+      next.push_back(cl.coordinator);
+      level.push_back(std::move(cl));
+    }
+    h.levels_.push_back(std::move(level));
+    items = std::move(next);
+  }
+
+  h.rebuild_derived(rt);
+  return h;
+}
+
+Hierarchy Hierarchy::build_partitioned(
+    const net::Network& net, const net::RoutingTables& rt,
+    const std::vector<std::vector<net::NodeId>>& partitions, int max_cs,
+    Prng& prng) {
+  IFLOW_CHECK_MSG(max_cs >= 2, "max_cs must be at least 2");
+  IFLOW_CHECK(!partitions.empty());
+  Hierarchy h;
+  h.max_cs_ = max_cs;
+  h.node_count_ = net.node_count();
+  h.local_leaf_metrics_ = true;
+  h.net_ = &net;
+
+  // Level 1: each partition becomes one cluster (or, when it exceeds
+  // max_cs, a local k-medoids split of it). All metrics here are induced —
+  // the global routing tables are never consulted per physical node.
+  std::vector<Cluster> leaf_level;
+  std::unordered_set<net::NodeId> covered;
+  for (const auto& part : partitions) {
+    IFLOW_CHECK_MSG(!part.empty(), "empty partition");
+    for (auto m : part) {
+      IFLOW_CHECK(m < net.node_count());
+      IFLOW_CHECK_MSG(covered.insert(m).second,
+                      "node " << m << " in two partitions");
+    }
+    std::unordered_map<net::NodeId, std::uint32_t> pos;
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      pos[part[i]] = static_cast<std::uint32_t>(i);
+    }
+    const std::vector<double> local = induced_distances(net, part);
+    const std::size_t m = part.size();
+    const DistanceFn dist = [&local, &pos, m](std::uint32_t a,
+                                              std::uint32_t b) {
+      return local[static_cast<std::size_t>(pos.at(a)) * m + pos.at(b)];
+    };
+    if (part.size() <= static_cast<std::size_t>(max_cs)) {
+      Cluster cl;
+      cl.members = part;
+      cl.coordinator = elect_coordinator(cl.members, dist);
+      leaf_level.push_back(std::move(cl));
+      continue;
+    }
+    const int k = static_cast<int>((part.size() + max_cs - 1) /
+                                   static_cast<std::size_t>(max_cs));
+    KMedoidsResult km =
+        k_medoids(part, k, static_cast<std::size_t>(max_cs), dist, prng);
+    for (std::size_t c = 0; c < km.clusters.size(); ++c) {
+      Cluster cl;
+      cl.members.assign(km.clusters[c].begin(), km.clusters[c].end());
+      cl.coordinator = km.medoids[c];
+      leaf_level.push_back(std::move(cl));
+    }
+  }
+  IFLOW_CHECK_MSG(covered.size() == net.node_count(),
+                  "partitions cover " << covered.size() << " of "
+                                      << net.node_count() << " nodes");
+  std::vector<net::NodeId> items;
+  items.reserve(leaf_level.size());
+  for (const auto& cl : leaf_level) items.push_back(cl.coordinator);
+  h.levels_.push_back(std::move(leaf_level));
+
+  // Levels >= 2 cluster the promoted coordinators over true routing costs,
+  // materialized once per round (one routing row per coordinator).
+  while (true) {
+    std::unordered_map<net::NodeId, std::uint32_t> pos;
+    const std::vector<double> mat = pairwise_costs(items, rt, &pos);
+    const std::size_t m = items.size();
+    const DistanceFn dist = [&mat, &pos, m](std::uint32_t a, std::uint32_t b) {
+      return mat[static_cast<std::size_t>(pos.at(a)) * m + pos.at(b)];
+    };
+    std::vector<Cluster> level;
+    if (items.size() <= static_cast<std::size_t>(max_cs)) {
+      Cluster top;
+      top.members = items;
+      top.coordinator = elect_coordinator(top.members, dist);
+      level.push_back(std::move(top));
+      h.levels_.push_back(std::move(level));
+      break;
+    }
+    const int k = static_cast<int>((items.size() + max_cs - 1) /
+                                   static_cast<std::size_t>(max_cs));
+    KMedoidsResult km =
+        k_medoids(items, k, static_cast<std::size_t>(max_cs), dist, prng);
+    IFLOW_CHECK_MSG(km.clusters.size() >= 2,
+                    "clustering must make progress above max_cs nodes");
+    std::vector<net::NodeId> next;
     next.reserve(km.clusters.size());
     for (std::size_t c = 0; c < km.clusters.size(); ++c) {
       Cluster cl;
@@ -161,6 +332,16 @@ void Hierarchy::rebuild_derived(const net::RoutingTables& rt) {
         IFLOW_CHECK(m < n);
         cluster_idx_[li][m] = ci;
       }
+      if (li == 0 && local_leaf_metrics_) {
+        // Scale path: d(1) from each cluster's induced subgraph — an upper
+        // bound on the true intra-cluster cost, never a routing row per
+        // physical node.
+        const std::vector<double> local = induced_distances(*net_, cl.members);
+        for (double v : local) {
+          if (std::isfinite(v)) d_[li] = std::max(d_[li], v);
+        }
+        continue;
+      }
       for (auto a : cl.members) {
         for (auto b : cl.members) {
           d_[li] = std::max(d_[li], rt.cost(a, b));
@@ -197,6 +378,7 @@ void Hierarchy::rebuild_derived(const net::RoutingTables& rt) {
       }
     }
   }
+  ++version_;
 }
 
 void Hierarchy::add_node(net::NodeId n, const net::RoutingTables& rt,

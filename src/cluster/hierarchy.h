@@ -41,6 +41,20 @@ class Hierarchy {
   static Hierarchy build(const net::Network& net, const net::RoutingTables& rt,
                          int max_cs, Prng& prng);
 
+  /// Scale-path construction: level-1 clusters come from caller-supplied
+  /// disjoint physical partitions (e.g. GT-ITM stub domains) instead of a
+  /// global k-medoids over the all-pairs matrix. Intra-partition metrics
+  /// (coordinator election, splits of oversize partitions, d(1)) are
+  /// computed on the induced subgraph of each partition — an upper bound on
+  /// the true traversal cost, so the Theorem-1 slack stays sound — and the
+  /// routing tables are only consulted for promoted coordinators, one row
+  /// per coordinator. Partitions must be non-empty, disjoint, and cover
+  /// node ids < net.node_count().
+  static Hierarchy build_partitioned(
+      const net::Network& net, const net::RoutingTables& rt,
+      const std::vector<std::vector<net::NodeId>>& partitions, int max_cs,
+      Prng& prng);
+
   /// Number of levels h; levels are numbered 1 (physical) .. h (single
   /// top-level cluster).
   int height() const { return static_cast<int>(levels_.size()); }
@@ -101,6 +115,16 @@ class Hierarchy {
   /// promotion chain); used by tests and after maintenance operations.
   void validate(const net::Network& net) const;
 
+  /// Bumps whenever the structure or its derived tables are refreshed;
+  /// distance oracles stamp themselves against this to detect staleness.
+  std::uint64_t version() const { return version_; }
+
+  /// True when built via build_partitioned: d(1) is the max *induced*
+  /// intra-cluster distance, which makes induced-subgraph leaf estimates
+  /// bounded by d(1) (the soundness precondition for SparseOracle's leaf
+  /// sketch tier).
+  bool local_leaf_metrics() const { return local_leaf_metrics_; }
+
  private:
   void rebuild_derived(const net::RoutingTables& rt);
   void handle_overflow(int level, std::size_t cluster_index,
@@ -108,6 +132,11 @@ class Hierarchy {
 
   int max_cs_ = 0;
   const net::RoutingTables* rt_ = nullptr;  // non-owning; outlives hierarchy
+  /// Set by build_partitioned: level-1 d(1) is recomputed on each cluster's
+  /// induced subgraph (needs the network) instead of all-pairs rt lookups.
+  bool local_leaf_metrics_ = false;
+  const net::Network* net_ = nullptr;  // non-owning; scale path only
+  std::uint64_t version_ = 0;
   std::size_t node_count_ = 0;
   std::vector<std::vector<Cluster>> levels_;  // levels_[l-1] = level l
 
@@ -119,5 +148,14 @@ class Hierarchy {
   // sparsely as (node -> vector) keyed by node id in a dense vector.
   std::vector<std::vector<std::vector<net::NodeId>>> underlying_;
 };
+
+/// Row-major |members| × |members| shortest-path costs over the subgraph
+/// induced by `members` (links whose endpoints are both in the set). Paths
+/// that would leave the subgraph are ignored, so entries are upper bounds on
+/// the true network distance — exactly the soundness direction Theorem 1
+/// needs for d(l). Unusable links are skipped; a crashed member is at
+/// infinity from everyone (0 from itself).
+std::vector<double> induced_distances(const net::Network& net,
+                                      const std::vector<net::NodeId>& members);
 
 }  // namespace iflow::cluster

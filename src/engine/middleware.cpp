@@ -60,8 +60,16 @@ Middleware::Middleware(net::Network& net, query::Catalog& catalog,
 }
 
 void Middleware::rebuild_routing() {
-  routing_ = std::make_unique<net::RoutingTables>(
-      net::RoutingTables::build(*net_));
+  // In-place incremental repair: the RoutingTables object is stable for the
+  // middleware's lifetime, so hierarchies and oracles never hold a dangling
+  // snapshot; sync() replays the network's mutation log (quality-only
+  // batches are free, fault batches invalidate only what they touched).
+  if (routing_ == nullptr) {
+    routing_ = std::make_unique<net::RoutingTables>(
+        net::RoutingTables::build(*net_));
+    return;
+  }
+  routing_->sync(*net_);
 }
 
 void Middleware::rebuild_views() {
@@ -299,20 +307,17 @@ void Middleware::set_link_cost(net::NodeId a, net::NodeId b,
 
 void Middleware::set_link_loss(net::NodeId a, net::NodeId b, double loss) {
   net_->set_link_loss(a, b, loss);
-  // Loss does not change costs or reachability, but it bumps the network
-  // version; rebuild routing so version-stamped tables stay fresh, and
-  // repoint the hierarchy at the new tables (its cached distances are
-  // value-identical, but the old snapshot is gone). The clustering itself
-  // is untouched: link quality must not shuffle partitions.
+  // Loss does not change costs or reachability: sync() recognises the
+  // quality-only batch and just advances the tables' version stamp. The
+  // routing object — and therefore the hierarchy's snapshot pointer — is
+  // untouched, so no hierarchy refresh is needed either.
   rebuild_routing();
-  hierarchy_->refresh(*routing_);
 }
 
 void Middleware::set_link_jitter(net::NodeId a, net::NodeId b,
                                  double jitter_ms) {
   net_->set_link_jitter(a, b, jitter_ms);
   rebuild_routing();
-  hierarchy_->refresh(*routing_);
 }
 
 void Middleware::set_stream_rate(query::StreamId stream, double tuple_rate) {

@@ -281,8 +281,12 @@ void Simulation::apply_fault(double now, const SimFault& f) {
       fnet_->set_link_jitter(f.a, f.b, f.value);
       break;
   }
-  frt_ = std::make_unique<net::RoutingTables>(
-      net::RoutingTables::build(*fnet_));
+  if (frt_ == nullptr) {
+    frt_ = std::make_unique<net::RoutingTables>(
+        net::RoutingTables::build(*fnet_));
+  } else {
+    frt_->sync(*fnet_);
+  }
   update_watches(now);
 }
 

@@ -5,6 +5,36 @@
 
 namespace iflow::net {
 
+namespace {
+
+/// Entries retained in the mutation journal. Large enough that any
+/// within-reaction reader (middleware sync after each fault entry point,
+/// chaos replay) never falls off the tail; falling off just costs a full
+/// rebuild, never correctness.
+constexpr std::size_t kMutationLogCapacity = 4096;
+
+}  // namespace
+
+void Network::record(MutationKind kind, NodeId a, NodeId b, bool relaxing) {
+  ++version_;
+  log_.push_back(Mutation{version_, kind, a, b, relaxing});
+  if (log_.size() > kMutationLogCapacity) {
+    const std::size_t drop = log_.size() - kMutationLogCapacity;
+    log_base_ = log_[drop - 1].version;
+    log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+}
+
+std::optional<std::vector<Mutation>> Network::mutations_since(
+    std::uint64_t since) const {
+  if (since < log_base_) return std::nullopt;
+  std::vector<Mutation> out;
+  for (const Mutation& m : log_) {
+    if (m.version > since) out.push_back(m);
+  }
+  return out;
+}
+
 NodeId Network::add_node(NodeKind kind) {
   kinds_.push_back(kind);
   alive_.push_back(1);
@@ -23,7 +53,7 @@ void Network::add_link(NodeId a, NodeId b, double cost_per_byte,
   const auto idx = static_cast<std::uint32_t>(links_.size() - 1);
   incident_[a].push_back(idx);
   incident_[b].push_back(idx);
-  ++version_;
+  record(MutationKind::kTopology, a, b, /*relaxing=*/true);
 }
 
 void Network::set_link_cost(NodeId a, NodeId b, double cost_per_byte) {
@@ -31,8 +61,9 @@ void Network::set_link_cost(NodeId a, NodeId b, double cost_per_byte) {
   for (auto idx : incident(a)) {
     Link& l = links_[idx];
     if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+      const bool relaxing = cost_per_byte < l.cost_per_byte;
       l.cost_per_byte = cost_per_byte;
-      ++version_;
+      record(MutationKind::kLinkCost, a, b, relaxing);
       return;
     }
   }
@@ -50,7 +81,7 @@ void Network::set_link_loss(NodeId a, NodeId b, double loss) {
     }
   }
   IFLOW_CHECK_MSG(found, "no link between " << a << " and " << b);
-  ++version_;
+  record(MutationKind::kQuality, a, b, /*relaxing=*/false);
 }
 
 void Network::set_link_jitter(NodeId a, NodeId b, double jitter_ms) {
@@ -64,7 +95,7 @@ void Network::set_link_jitter(NodeId a, NodeId b, double jitter_ms) {
     }
   }
   IFLOW_CHECK_MSG(found, "no link between " << a << " and " << b);
-  ++version_;
+  record(MutationKind::kQuality, a, b, /*relaxing=*/false);
 }
 
 void Network::fail_link(NodeId a, NodeId b) {
@@ -82,7 +113,7 @@ void Network::fail_link(NodeId a, NodeId b) {
   }
   IFLOW_CHECK_MSG(found, "no link between " << a << " and " << b);
   IFLOW_CHECK_MSG(changed, "link " << a << "-" << b << " is already down");
-  ++version_;
+  record(MutationKind::kLinkDown, a, b, /*relaxing=*/false);
 }
 
 void Network::restore_link(NodeId a, NodeId b) {
@@ -100,21 +131,21 @@ void Network::restore_link(NodeId a, NodeId b) {
   }
   IFLOW_CHECK_MSG(found, "no link between " << a << " and " << b);
   IFLOW_CHECK_MSG(changed, "link " << a << "-" << b << " is not down");
-  ++version_;
+  record(MutationKind::kLinkUp, a, b, /*relaxing=*/true);
 }
 
 void Network::crash_node(NodeId n) {
   IFLOW_CHECK(n < node_count());
   IFLOW_CHECK_MSG(alive_[n], "node " << n << " is already crashed");
   alive_[n] = 0;
-  ++version_;
+  record(MutationKind::kNodeDown, n, kInvalidNode, /*relaxing=*/false);
 }
 
 void Network::restore_node(NodeId n) {
   IFLOW_CHECK(n < node_count());
   IFLOW_CHECK_MSG(!alive_[n], "node " << n << " is not crashed");
   alive_[n] = 1;
-  ++version_;
+  record(MutationKind::kNodeUp, n, kInvalidNode, /*relaxing=*/true);
 }
 
 bool Network::node_alive(NodeId n) const {

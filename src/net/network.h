@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,34 @@ using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 inline constexpr std::uint32_t kInvalidLink =
     std::numeric_limits<std::uint32_t>::max();
+
+/// Classification of one recorded Network change, coarse enough for
+/// derived structures (routing tables, hierarchies) to decide what a
+/// change can possibly invalidate.
+enum class MutationKind : std::uint8_t {
+  kTopology,  // link added: adjacency itself changed
+  kLinkCost,  // cost_per_byte of an adjacency changed
+  kLinkDown,  // fail_link: the (a, b) adjacency went administratively down
+  kLinkUp,    // restore_link
+  kNodeDown,  // crash_node: every incident link of `a` became unusable
+  kNodeUp,    // restore_node
+  kQuality,   // loss / jitter only: routing metrics are unaffected
+};
+
+/// One entry of the Network's bounded mutation log.
+struct Mutation {
+  /// Network::version() right after this change was applied.
+  std::uint64_t version = 0;
+  MutationKind kind = MutationKind::kTopology;
+  /// Link endpoints, or the node in `a` for node events.
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  /// True when the change can only shorten shortest paths (restores, cost
+  /// decreases): already-optimal cached routes may be beatable afterwards.
+  /// False means paths can only lengthen, so routes avoiding the touched
+  /// element stay optimal.
+  bool relaxing = false;
+};
 
 /// Undirected physical link between two nodes.
 struct Link {
@@ -131,12 +160,26 @@ class Network {
   /// is detectable.
   std::uint64_t version() const { return version_; }
 
+  /// Mutations applied after version `since`, oldest first, or nullopt when
+  /// the bounded log has already discarded entries that recent (the caller
+  /// must treat everything as dirty and rebuild). An empty vector means the
+  /// caller is up to date.
+  std::optional<std::vector<Mutation>> mutations_since(
+      std::uint64_t since) const;
+
  private:
+  void record(MutationKind kind, NodeId a, NodeId b, bool relaxing);
+
   std::vector<NodeKind> kinds_;
   std::vector<char> alive_;
   std::vector<Link> links_;
   std::vector<std::vector<std::uint32_t>> incident_;
   std::uint64_t version_ = 0;
+  /// Bounded change journal for incremental repair of derived tables.
+  /// `log_base_` is the version the oldest retained entry applies on top
+  /// of; a reader at or past it can replay instead of rebuilding.
+  std::vector<Mutation> log_;
+  std::uint64_t log_base_ = 0;
 };
 
 }  // namespace iflow::net

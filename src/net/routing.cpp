@@ -1,8 +1,11 @@
 #include "net/routing.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <queue>
+#include <unordered_map>
 
 namespace iflow::net {
 
@@ -54,17 +57,95 @@ void dijkstra(const Network& net, NodeId src, WeightFn weight,
   }
 }
 
+/// Fills one source's next-hop entries from its predecessor tree. Memoized
+/// descent: each node's first hop is resolved once and shared by every
+/// deeper destination, O(N) total instead of the per-destination chain walk
+/// (quadratic on deep paths). `out` must hold n entries.
+void fill_next_hops(NodeId src, const std::vector<NodeId>& parent,
+                    const std::vector<double>& dist, NodeId* out) {
+  const std::size_t n = parent.size();
+  std::fill(out, out + n, kInvalidNode);
+  std::vector<NodeId> chain;
+  for (NodeId dst = 0; dst < n; ++dst) {
+    if (dst == src || !std::isfinite(dist[dst]) || out[dst] != kInvalidNode) {
+      continue;
+    }
+    chain.clear();
+    NodeId hop = dst;
+    while (parent[hop] != src && out[hop] == kInvalidNode) {
+      chain.push_back(hop);
+      hop = parent[hop];
+    }
+    const NodeId first = (out[hop] != kInvalidNode) ? out[hop] : hop;
+    out[hop] = first;
+    for (NodeId v : chain) out[v] = first;
+  }
+}
+
+/// Reconstructs src→dst from a predecessor tree (inclusive of endpoints);
+/// empty when unreachable.
+std::vector<NodeId> path_from_parents(NodeId src, NodeId dst,
+                                      const std::vector<NodeId>& parent,
+                                      const std::vector<double>& dist) {
+  if (src == dst) return {src};
+  if (!std::isfinite(dist[dst])) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = dst; v != src; v = parent[v]) path.push_back(v);
+  path.push_back(src);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// Bytes one resident sparse row occupies (three double vectors, three id
+/// vectors).
+std::size_t row_bytes(std::size_t n) {
+  return n * (3 * sizeof(double) + 3 * sizeof(NodeId));
+}
+
 }  // namespace
 
-RoutingTables RoutingTables::build(const Network& net) {
+/// Sparse-tier state: the bounded per-source row cache plus a snapshot of
+/// the per-link delays Dijkstra's secondary accumulation reads.
+struct RoutingTables::Cache {
+  std::size_t max_rows = 512;
+  std::vector<double> link_delay;
+  std::mutex mu;
+  std::unordered_map<NodeId, Row> rows;
+  std::uint64_t tick = 0;
+  std::size_t peak_rows = 0;
+};
+
+RoutingTables::RoutingTables() = default;
+RoutingTables::~RoutingTables() = default;
+RoutingTables::RoutingTables(RoutingTables&&) noexcept = default;
+RoutingTables& RoutingTables::operator=(RoutingTables&&) noexcept = default;
+
+RoutingTables RoutingTables::build(const Network& net,
+                                   const RoutingOptions& opts) {
   RoutingTables rt;
+  const bool use_sparse =
+      opts.mode == RoutingMode::kSparse ||
+      (opts.mode == RoutingMode::kAuto &&
+       net.node_count() > opts.dense_node_limit);
+  if (use_sparse) {
+    rt.cache_ = std::make_unique<Cache>();
+    rt.cache_->max_rows = std::max<std::size_t>(1, opts.max_cached_rows);
+    rt.net_ = &net;
+    rt.reset_sparse(net);
+  } else {
+    rt.rebuild_dense(net);
+  }
+  return rt;
+}
+
+void RoutingTables::rebuild_dense(const Network& net) {
   const std::size_t n = net.node_count();
-  rt.n_ = n;
-  rt.version_ = net.version();
-  rt.cost_.assign(n * n, kInf);
-  rt.delay_.assign(n * n, kInf);
-  rt.cost_path_delay_.assign(n * n, kInf);
-  rt.next_hop_.assign(n * n, kInvalidNode);
+  n_ = n;
+  version_ = net.version();
+  cost_.assign(n * n, kInf);
+  delay_.assign(n * n, kInf);
+  cost_path_delay_.assign(n * n, kInf);
+  next_hop_.assign(n * n, kInvalidNode);
 
   std::vector<double> link_delay(net.link_count());
   for (std::size_t i = 0; i < net.link_count(); ++i) {
@@ -80,25 +161,91 @@ RoutingTables RoutingTables::build(const Network& net) {
         net, src, [](const Link& l) { return l.cost_per_byte; }, dist, parent,
         link_delay.data(), &along);
     for (NodeId dst = 0; dst < n; ++dst) {
-      rt.cost_[static_cast<std::size_t>(src) * n + dst] = dist[dst];
-      rt.cost_path_delay_[static_cast<std::size_t>(src) * n + dst] = along[dst];
-      // Unreachable destinations keep next_hop at kInvalidNode — walking the
-      // predecessor chain would spin on kInvalidNode parents.
-      if (dst == src || dist[dst] == kInf) continue;
-      // Walk the predecessor chain back to the node adjacent to src.
-      NodeId hop = dst;
-      while (parent[hop] != src) hop = parent[hop];
-      rt.next_hop_[static_cast<std::size_t>(src) * n + dst] = hop;
+      cost_[static_cast<std::size_t>(src) * n + dst] = dist[dst];
+      cost_path_delay_[static_cast<std::size_t>(src) * n + dst] = along[dst];
     }
+    fill_next_hops(src, parent, dist,
+                   next_hop_.data() + static_cast<std::size_t>(src) * n);
     // Delay-weighted pass for the control plane.
     dijkstra(
         net, src, [](const Link& l) { return l.delay_ms; }, dist, parent,
         nullptr, nullptr);
     for (NodeId dst = 0; dst < n; ++dst) {
-      rt.delay_[static_cast<std::size_t>(src) * n + dst] = dist[dst];
+      delay_[static_cast<std::size_t>(src) * n + dst] = dist[dst];
     }
   }
-  return rt;
+}
+
+void RoutingTables::reset_sparse(const Network& net) {
+  n_ = net.node_count();
+  version_ = net.version();
+  cache_->rows.clear();
+  cache_->link_delay.resize(net.link_count());
+  for (std::size_t i = 0; i < net.link_count(); ++i) {
+    cache_->link_delay[i] = net.links()[i].delay_ms;
+  }
+}
+
+RoutingTables::Row& RoutingTables::row_locked(NodeId src) const {
+  Cache& c = *cache_;
+  auto it = c.rows.find(src);
+  if (it == c.rows.end()) {
+    // Lazily computed rows read the live network; the cached rows all hold
+    // values for `version_`, so computing against a newer network state
+    // would silently mix snapshots. sync() first.
+    IFLOW_CHECK_MSG(
+        net_->version() == version_,
+        "sparse routing query against a mutated network (table at version "
+            << version_ << ", network at " << net_->version()
+            << "): call sync() before querying");
+    Row row;
+    dijkstra(
+        *net_, src, [](const Link& l) { return l.cost_per_byte; }, row.cost,
+        row.parent, c.link_delay.data(), &row.cost_path_delay);
+    row.next_hop.assign(n_, kInvalidNode);
+    fill_next_hops(src, row.parent, row.cost, row.next_hop.data());
+    dijkstra(
+        *net_, src, [](const Link& l) { return l.delay_ms; }, row.delay,
+        row.delay_parent, nullptr, nullptr);
+    it = c.rows.emplace(src, std::move(row)).first;
+    if (c.rows.size() > c.max_rows) {
+      // Evict the least-recently-used row (ticks are unique, so the victim
+      // does not depend on map iteration order).
+      auto victim = c.rows.end();
+      for (auto r = c.rows.begin(); r != c.rows.end(); ++r) {
+        if (r->first == src) continue;
+        if (victim == c.rows.end() ||
+            r->second.last_used < victim->second.last_used) {
+          victim = r;
+        }
+      }
+      c.rows.erase(victim);
+    }
+    c.peak_rows = std::max(c.peak_rows, c.rows.size());
+  }
+  it->second.last_used = ++c.tick;
+  return it->second;
+}
+
+double RoutingTables::cost(NodeId a, NodeId b) const {
+  if (cache_ == nullptr) return at(cost_, a, b);
+  IFLOW_CHECK(a < n_ && b < n_);
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return row_locked(a).cost[b];
+}
+
+double RoutingTables::delay_ms(NodeId a, NodeId b) const {
+  if (cache_ == nullptr) return at(delay_, a, b);
+  IFLOW_CHECK(a < n_ && b < n_);
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return row_locked(a).delay[b];
+}
+
+double RoutingTables::data_path_delay_ms(NodeId a, NodeId b) const {
+  if (cache_ == nullptr) return at(cost_path_delay_, a, b);
+  IFLOW_CHECK(a < n_ && b < n_);
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return row_locked(a).cost_path_delay[b];
 }
 
 bool RoutingTables::reachable(NodeId a, NodeId b) const {
@@ -108,11 +255,22 @@ bool RoutingTables::reachable(NodeId a, NodeId b) const {
 NodeId RoutingTables::next_hop(NodeId from, NodeId to) const {
   IFLOW_CHECK(from < n_ && to < n_);
   IFLOW_CHECK_MSG(from != to, "no hop from a node to itself");
-  return next_hop_[static_cast<std::size_t>(from) * n_ + to];
+  if (cache_ == nullptr) {
+    return next_hop_[static_cast<std::size_t>(from) * n_ + to];
+  }
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return row_locked(from).next_hop[to];
 }
 
 std::vector<NodeId> RoutingTables::cost_path(NodeId a, NodeId b) const {
   IFLOW_CHECK(a < n_ && b < n_);
+  if (cache_ != nullptr) {
+    // One lock, one row: the predecessor chain gives the whole path without
+    // per-hop row lookups.
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    const Row& row = row_locked(a);
+    return path_from_parents(a, b, row.parent, row.cost);
+  }
   if (a != b && !reachable(a, b)) return {};
   std::vector<NodeId> path{a};
   while (a != b) {
@@ -120,6 +278,184 @@ std::vector<NodeId> RoutingTables::cost_path(NodeId a, NodeId b) const {
     path.push_back(a);
   }
   return path;
+}
+
+void RoutingTables::fill_costs(NodeId src, const NodeId* dst,
+                               std::size_t count, double* out) const {
+  IFLOW_CHECK(src < n_);
+  if (cache_ == nullptr) {
+    const double* row = cost_.data() + static_cast<std::size_t>(src) * n_;
+    for (std::size_t i = 0; i < count; ++i) {
+      IFLOW_CHECK(dst[i] < n_);
+      out[i] = row[dst[i]];
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  const Row& row = row_locked(src);
+  for (std::size_t i = 0; i < count; ++i) {
+    IFLOW_CHECK(dst[i] < n_);
+    out[i] = row.cost[dst[i]];
+  }
+}
+
+RoutingSyncStats RoutingTables::sync(const Network& net) {
+  RoutingSyncStats st;
+  if (cache_ == nullptr) {
+    if (net.node_count() != n_) {
+      rebuild_dense(net);
+      st.full_rebuild = true;
+      return st;
+    }
+    if (net.version() == version_) return st;
+    const auto muts = net.mutations_since(version_);
+    if (muts.has_value() &&
+        std::all_of(muts->begin(), muts->end(), [](const Mutation& m) {
+          return m.kind == MutationKind::kQuality;
+        })) {
+      version_ = net.version();
+      st.quality_only = true;
+      return st;
+    }
+    rebuild_dense(net);
+    st.full_rebuild = true;
+    return st;
+  }
+
+  IFLOW_CHECK_MSG(&net == net_,
+                  "sparse routing tables are bound to the network instance "
+                  "they were built from");
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  if (net.version() == version_ && net.node_count() == n_) {
+    st.rows_retained = cache_->rows.size();
+    return st;
+  }
+  const auto muts = net.mutations_since(version_);
+  if (!muts.has_value() || net.node_count() != n_) {
+    // The journal no longer reaches back to our version (or nodes were
+    // added): everything is potentially stale.
+    reset_sparse(net);
+    st.full_rebuild = true;
+    return st;
+  }
+
+  // Classify the batch. `structural` events can shorten paths anywhere or
+  // change the node set, so every cached row goes; the rest invalidate by
+  // shortest-path-tree membership.
+  bool structural = false;
+  bool quality_only = true;
+  std::vector<std::pair<NodeId, NodeId>> cost_tree_events;  // cost increases
+  std::vector<std::pair<NodeId, NodeId>> both_tree_events;  // link failures
+  std::vector<NodeId> downs;                                // node crashes
+  for (const Mutation& m : *muts) {
+    if (m.kind == MutationKind::kQuality) continue;
+    quality_only = false;
+    switch (m.kind) {
+      case MutationKind::kTopology:
+      case MutationKind::kLinkUp:
+      case MutationKind::kNodeUp:
+        structural = true;
+        break;
+      case MutationKind::kLinkCost:
+        if (m.relaxing) {
+          structural = true;
+        } else {
+          cost_tree_events.emplace_back(m.a, m.b);
+        }
+        break;
+      case MutationKind::kLinkDown:
+        both_tree_events.emplace_back(m.a, m.b);
+        break;
+      case MutationKind::kNodeDown:
+        downs.push_back(m.a);
+        break;
+      case MutationKind::kQuality:
+        break;
+    }
+  }
+  if (quality_only) {
+    version_ = net.version();
+    st.quality_only = true;
+    st.rows_retained = cache_->rows.size();
+    return st;
+  }
+  if (structural) {
+    reset_sparse(net);
+    st.full_rebuild = true;
+    return st;
+  }
+
+  const auto is_down = [&downs](NodeId v) {
+    return v != kInvalidNode &&
+           std::find(downs.begin(), downs.end(), v) != downs.end();
+  };
+  // A non-relaxing event only invalidates rows whose shortest-path trees
+  // used the touched element: routes that avoided it were optimal among a
+  // superset of paths and stay optimal when alternatives only got worse.
+  for (auto it = cache_->rows.begin(); it != cache_->rows.end();) {
+    const Row& row = it->second;
+    bool drop = is_down(it->first);
+    for (const auto& [a, b] : both_tree_events) {
+      if (drop) break;
+      drop = row.parent[a] == b || row.parent[b] == a ||
+             row.delay_parent[a] == b || row.delay_parent[b] == a;
+    }
+    for (const auto& [a, b] : cost_tree_events) {
+      if (drop) break;
+      drop = row.parent[a] == b || row.parent[b] == a;
+    }
+    if (!drop && !downs.empty()) {
+      // A crashed node that relays traffic for this source invalidates the
+      // row; one that is a leaf in both trees only unreaches itself.
+      for (std::size_t x = 0; x < n_ && !drop; ++x) {
+        drop = is_down(row.parent[x]) || is_down(row.delay_parent[x]);
+      }
+    }
+    if (drop) {
+      it = cache_->rows.erase(it);
+      ++st.rows_dropped;
+      continue;
+    }
+    if (!downs.empty()) {
+      Row& w = it->second;
+      for (NodeId v : downs) {
+        w.cost[v] = kInf;
+        w.delay[v] = kInf;
+        w.cost_path_delay[v] = kInf;
+        w.next_hop[v] = kInvalidNode;
+        w.parent[v] = kInvalidNode;
+        w.delay_parent[v] = kInvalidNode;
+      }
+      ++st.rows_patched;
+    } else {
+      ++st.rows_retained;
+    }
+    ++it;
+  }
+  version_ = net.version();
+  return st;
+}
+
+std::size_t RoutingTables::cached_rows() const {
+  if (cache_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return cache_->rows.size();
+}
+
+std::size_t RoutingTables::memory_bytes() const {
+  if (cache_ == nullptr) return dense_equivalent_bytes(n_);
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return cache_->rows.size() * row_bytes(n_);
+}
+
+std::size_t RoutingTables::peak_memory_bytes() const {
+  if (cache_ == nullptr) return dense_equivalent_bytes(n_);
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return cache_->peak_rows * row_bytes(n_);
+}
+
+std::size_t RoutingTables::dense_equivalent_bytes(std::size_t n) {
+  return n * n * (3 * sizeof(double) + sizeof(NodeId));
 }
 
 }  // namespace iflow::net

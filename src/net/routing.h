@@ -2,42 +2,108 @@
 //
 // The data plane routes along cost-optimal paths (minimising per-byte cost,
 // the paper's optimisation metric); the control plane (deployment messages,
-// advertisements) routes along delay-optimal paths. RoutingTables computes
-// both with repeated Dijkstra and keeps a next-hop table for the data plane
-// so the engine can charge bytes to each physical link on the route.
+// advertisements) routes along delay-optimal paths.
+//
+// Two storage tiers behind one query interface:
+//   * dense  — the classic all-pairs snapshot (repeated Dijkstra, O(N²)
+//     memory). Default below RoutingOptions::dense_node_limit nodes, where
+//     the matrices are small and every query is a flat array read.
+//   * sparse — per-source rows computed by Dijkstra on demand and kept in a
+//     bounded LRU cache, O(cached_rows · N) memory. Default at scale
+//     (10k–100k-node topologies), where a dense matrix would not fit.
+// Both tiers produce bitwise-identical values for identical queries (the
+// same per-source Dijkstra runs either eagerly or lazily), so planner
+// digests do not depend on the tier.
+//
+// Repair is incremental: `sync()` replays the Network's mutation log
+// instead of rebuilding from scratch. Quality-only changes (loss, jitter)
+// are free; in sparse mode non-relaxing events (link failures, cost
+// increases, node crashes) only invalidate cached rows whose shortest-path
+// trees actually used the touched element.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/network.h"
 
 namespace iflow::net {
 
-/// Immutable all-pairs shortest-path snapshot of a Network. Rebuild after
-/// the network changes (stale tables are detectable through version()).
+enum class RoutingMode : std::uint8_t {
+  kAuto,   // dense up to RoutingOptions::dense_node_limit nodes, else sparse
+  kDense,  // force the all-pairs snapshot
+  kSparse  // force lazy per-source rows
+};
+
+struct RoutingOptions {
+  RoutingMode mode = RoutingMode::kAuto;
+  /// Sparse tier: per-source rows kept resident before LRU eviction.
+  std::size_t max_cached_rows = 512;
+  /// kAuto switches to the sparse tier above this node count. The default
+  /// keeps every paper-scale topology (<= 1024 nodes) on the dense tier.
+  std::size_t dense_node_limit = 2048;
+};
+
+/// What one `sync()` call did, for tests and the scale bench.
+struct RoutingSyncStats {
+  /// Dense in-place rebuild, or a sparse drop-everything (relaxing event,
+  /// topology change, or mutation-log truncation).
+  bool full_rebuild = false;
+  /// Routing-neutral batch (loss/jitter only): nothing recomputed.
+  bool quality_only = false;
+  std::size_t rows_retained = 0;  // sparse: cached rows that stayed exact
+  std::size_t rows_dropped = 0;   // sparse: cached rows invalidated
+  std::size_t rows_patched = 0;   // sparse: rows fixed up in place
+};
+
+/// All-pairs shortest-path view of a Network (see file comment for the
+/// dense/sparse tiers). Queries are const and thread-safe; after the
+/// network mutates, call `sync()` (or rebuild) before querying again —
+/// the sparse tier CHECKs against stale lazy computation.
 class RoutingTables {
  public:
-  /// Runs Dijkstra from every node under both metrics. O(N · E log N).
-  /// The network may be partitioned: pairs in different components (or pairs
-  /// involving a crashed node) get infinite cost/delay and no next hop.
-  static RoutingTables build(const Network& net);
+  RoutingTables();
+  ~RoutingTables();
+  RoutingTables(RoutingTables&&) noexcept;
+  RoutingTables& operator=(RoutingTables&&) noexcept;
+
+  /// Dense tier: runs Dijkstra from every node under both metrics,
+  /// O(N · E log N). Sparse tier: records the topology and computes rows on
+  /// first use. The network may be partitioned: pairs in different
+  /// components (or pairs involving a crashed node) get infinite cost/delay
+  /// and no next hop.
+  static RoutingTables build(const Network& net,
+                             const RoutingOptions& opts = {});
+
+  /// Replays the network's mutation log against this table in place:
+  ///   * loss/jitter-only batches just advance the recorded version;
+  ///   * dense tables rebuild their matrices in place (same buffers);
+  ///   * sparse tables drop only the cached rows an event can have touched:
+  ///     a non-relaxing link event keeps every row whose cost- and
+  ///     delay-shortest-path trees avoid that adjacency; a crashed node
+  ///     that is a leaf in both trees is patched to unreachable without
+  ///     recomputation. Relaxing events (restores, cost decreases) and
+  ///     topology changes drop all rows — a shorter path may appear
+  ///     anywhere.
+  /// In sparse mode `net` must be the same instance the table was built
+  /// against (the lazy tier recomputes rows from it).
+  RoutingSyncStats sync(const Network& net);
 
   /// Per-byte cost of the cost-optimal a→b path. 0 when a == b (even for a
   /// crashed node — liveness is the Network's concern, not the metric's);
   /// +inf when b is unreachable from a.
-  double cost(NodeId a, NodeId b) const { return at(cost_, a, b); }
+  double cost(NodeId a, NodeId b) const;
 
   /// One-way latency of the delay-optimal a→b path in milliseconds
   /// (+inf when unreachable).
-  double delay_ms(NodeId a, NodeId b) const { return at(delay_, a, b); }
+  double delay_ms(NodeId a, NodeId b) const;
 
   /// Latency accumulated along the *cost-optimal* path; this is what data
   /// tuples experience in the engine (+inf when unreachable).
-  double data_path_delay_ms(NodeId a, NodeId b) const {
-    return at(cost_path_delay_, a, b);
-  }
+  double data_path_delay_ms(NodeId a, NodeId b) const;
 
-  /// True when a usable a→b route existed at build time (a == b included).
+  /// True when a usable a→b route exists (a == b included).
   bool reachable(NodeId a, NodeId b) const;
 
   /// Cost-optimal route from a to b, inclusive of both endpoints. Empty —
@@ -48,12 +114,52 @@ class RoutingTables {
   /// kInvalidNode when `to` is unreachable.
   NodeId next_hop(NodeId from, NodeId to) const;
 
+  /// Bulk row read: out[i] = cost(src, dst[i]). On the sparse tier this
+  /// pins the source row once instead of taking the cache lock per lookup —
+  /// the planner materializes its matrices through this.
+  void fill_costs(NodeId src, const NodeId* dst, std::size_t count,
+                  double* out) const;
+
   std::size_t node_count() const { return n_; }
 
-  /// Network::version() at build time.
+  /// Network::version() at build/sync time.
   std::uint64_t built_against() const { return version_; }
 
+  /// True when this table uses the lazy per-source tier.
+  bool sparse() const { return cache_ != nullptr; }
+
+  /// Sparse tier: rows currently resident (0 on the dense tier).
+  std::size_t cached_rows() const;
+
+  /// Current table footprint in bytes (matrices, or resident rows).
+  std::size_t memory_bytes() const;
+
+  /// High-water footprint since build (equals memory_bytes() when dense).
+  std::size_t peak_memory_bytes() const;
+
+  /// Footprint a dense all-pairs snapshot of `n` nodes would need — the
+  /// denominator of the scale bench's memory-ratio criterion.
+  static std::size_t dense_equivalent_bytes(std::size_t n);
+
  private:
+  /// One lazily computed source row: both metrics plus the predecessor
+  /// trees `sync()` needs for invalidation tests.
+  struct Row {
+    std::vector<double> cost;             // cost-weighted distances
+    std::vector<double> delay;            // delay-weighted distances
+    std::vector<double> cost_path_delay;  // delay along cost-optimal paths
+    std::vector<NodeId> next_hop;         // first hop on cost-optimal path
+    std::vector<NodeId> parent;           // cost-tree predecessor
+    std::vector<NodeId> delay_parent;     // delay-tree predecessor
+    std::uint64_t last_used = 0;          // LRU tick
+  };
+  struct Cache;  // defined in routing.cpp; holds the mutex + row map
+
+  void rebuild_dense(const Network& net);
+  void reset_sparse(const Network& net);
+  /// Locates or computes the row for `src`; caller holds the cache mutex.
+  Row& row_locked(NodeId src) const;
+
   double at(const std::vector<double>& m, NodeId a, NodeId b) const {
     IFLOW_CHECK(a < n_ && b < n_);
     return m[static_cast<std::size_t>(a) * n_ + b];
@@ -61,10 +167,17 @@ class RoutingTables {
 
   std::size_t n_ = 0;
   std::uint64_t version_ = 0;
+
+  // Dense tier storage (empty in sparse mode).
   std::vector<double> cost_;             // cost-weighted distances
   std::vector<double> delay_;            // delay-weighted distances
   std::vector<double> cost_path_delay_;  // delay along cost-optimal paths
   std::vector<NodeId> next_hop_;         // next_hop_[a*n+b]: first hop a→b
+
+  // Sparse tier (null in dense mode). The network pointer is non-owning and
+  // must outlive the table; lazy rows are computed from it.
+  const Network* net_ = nullptr;
+  std::unique_ptr<Cache> cache_;
 };
 
 }  // namespace iflow::net

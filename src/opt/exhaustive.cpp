@@ -19,7 +19,7 @@ OptimizeResult ExhaustiveOptimizer::optimize(const query::Query& q) {
   in.target = rates.full();
   in.delivery = q.sink;
   in.sites = all_sites(env_);
-  in.dist = DistanceOracle::routing(rt);
+  in.dist = planning_oracle(env_);
   in.query_id = q.id;
   in.delivery_bytes_rate = delivery_rate_for(q, rates);
 
@@ -29,13 +29,15 @@ OptimizeResult ExhaustiveOptimizer::optimize(const query::Query& q) {
   if (!res.feasible) return out;
   out.deployment = res.deployment;
   out.deployment.aggregate = q.aggregate;
-  out.planned_cost = res.cost;
   out.actual_cost = query::deployment_cost(out.deployment, rt);
   if (!std::isfinite(out.actual_cost)) {  // feasible implies finite cost
     OptimizeResult infeasible;
     infeasible.feasible = false;
     return infeasible;
   }
+  // Under the sparse oracle the planner's objective is an estimate, not the
+  // exact deployed cost the validator reproduces.
+  out.planned_cost = env_.sparse != nullptr ? out.actual_cost : res.cost;
   out.plans_considered = res.plans_considered;
   out.levels_used = 1;
   // Centralised search: all statistics are at one node; deployment time is

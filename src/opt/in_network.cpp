@@ -16,7 +16,7 @@ InNetworkOptimizer::InNetworkOptimizer(const OptimizerEnv& env,
     : env_(env) {
   IFLOW_CHECK(env.network && env.routing);
   IFLOW_CHECK(zones >= 1);
-  const net::RoutingTables& rt = *env.routing;
+  const DistanceOracle dist = planning_oracle(env);
   std::vector<std::uint32_t> items(env.network->node_count());
   for (std::size_t i = 0; i < items.size(); ++i) {
     items[i] = static_cast<std::uint32_t>(i);
@@ -24,7 +24,7 @@ InNetworkOptimizer::InNetworkOptimizer(const OptimizerEnv& env,
   Prng prng(seed);
   const cluster::KMedoidsResult km = cluster::k_medoids(
       items, zones, items.size(),
-      [&rt](std::uint32_t a, std::uint32_t b) { return rt.cost(a, b); }, prng);
+      [&dist](std::uint32_t a, std::uint32_t b) { return dist(a, b); }, prng);
   zone_of_.assign(items.size(), -1);
   for (std::size_t z = 0; z < km.clusters.size(); ++z) {
     zones_.emplace_back(km.clusters[z].begin(), km.clusters[z].end());
@@ -35,6 +35,9 @@ InNetworkOptimizer::InNetworkOptimizer(const OptimizerEnv& env,
 OptimizeResult InNetworkOptimizer::optimize(const query::Query& q) {
   IFLOW_CHECK(env_.catalog && env_.network && env_.routing);
   const net::RoutingTables& rt = *env_.routing;
+  // Candidate pricing goes through the planning oracle; the data-path walk
+  // (cost_path) is structural and stays on the exact tables.
+  const DistanceOracle dist = planning_oracle(env_);
   query::RateModel rates(*env_.catalog, q, env_.projection_factor);
 
   const std::vector<query::LeafUnit> bases =
@@ -94,8 +97,8 @@ OptimizeResult InNetworkOptimizer::optimize(const query::Query& q) {
     double best = std::numeric_limits<double>::infinity();
     net::NodeId chosen = net::kInvalidNode;
     for (net::NodeId cand : candidates) {
-      double c = lrate * rt.cost(lloc, cand) + rrate * rt.cost(rloc, cand);
-      if (is_root) c += out_rate * rt.cost(cand, q.sink);
+      double c = lrate * dist(lloc, cand) + rrate * dist(rloc, cand);
+      if (is_root) c += out_rate * dist(cand, q.sink);
       if (c < best) {
         best = c;
         chosen = cand;

@@ -18,6 +18,7 @@
 #include "cluster/hierarchy.h"
 #include "net/network.h"
 #include "net/routing.h"
+#include "opt/search/distance_oracle.h"
 #include "query/catalog.h"
 #include "query/plan.h"
 #include "query/query.h"
@@ -52,7 +53,18 @@ struct OptimizerEnv {
   /// issues. Non-owning; null = the thread-local default workspace (see
   /// workspace_for).
   PlanWorkspace* workspace = nullptr;
+  /// Scale path: when set, whole-network searches price candidates through
+  /// this tiered oracle instead of exact routing rows (see planning_oracle).
+  /// Optimizers that plan sparsely report planned_cost = actual_cost, since
+  /// their internal objective is an estimate the validator should not be
+  /// asked to reproduce. Non-owning.
+  const SparseOracle* sparse = nullptr;
 };
+
+/// The distance source whole-network searches should plan with: the sparse
+/// tiered oracle when the environment configures one, exact routing costs
+/// otherwise.
+DistanceOracle planning_oracle(const OptimizerEnv& env);
 
 /// Restricts `sites` to the environment's processing nodes; returns `sites`
 /// unchanged when no restriction is configured or nothing would remain.

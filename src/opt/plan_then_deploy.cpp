@@ -32,7 +32,7 @@ OptimizeResult PlanThenDeployOptimizer::optimize(const query::Query& q) {
   const std::vector<net::NodeId> sites = all_sites(env_);
   const TreePlacement placement = place_tree_optimal(
       plan.tree, plan.units, rates, q.sink, sites,
-      DistanceOracle::routing(rt), delivery_rate_for(q, rates),
+      planning_oracle(env_), delivery_rate_for(q, rates),
       workspace_for(env_));
   OptimizeResult out;
   if (!placement.feasible) return out;
@@ -48,7 +48,8 @@ OptimizeResult PlanThenDeployOptimizer::optimize(const query::Query& q) {
     infeasible.feasible = false;
     return infeasible;
   }
-  out.planned_cost = placement.cost;
+  // Sparse-oracle placements optimise an estimate; report the exact cost.
+  out.planned_cost = env_.sparse != nullptr ? out.actual_cost : placement.cost;
   // Plan phase enumerates covers × trees; the deployment phase, done
   // exhaustively, examines |N|^ops assignments of the fixed tree.
   out.plans_considered =

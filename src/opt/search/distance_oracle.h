@@ -1,23 +1,33 @@
 // Concrete distance oracles for the joint plan+placement search.
 //
-// Every search in the library measures distances one of three ways: actual
+// Every search in the library measures distances one of four ways: actual
 // routing costs (exhaustive search, phased baselines, Bottom-Up level 1),
-// Theorem-1 level-l estimates (per-cluster Top-Down / Bottom-Up steps), or
-// cost-space coordinates (Pietzuch-style relaxation). A DistanceOracle is a
-// small tagged value naming one of those sources, cheap to copy and to call
-// — a switch on the tag instead of the type-erased std::function the old
-// planner paid on every lookup. The planner calls it only while
-// materializing dense unit×site / site×site matrices once per invocation;
-// the DP hot loops read flat arrays.
+// Theorem-1 level-l estimates (per-cluster Top-Down / Bottom-Up steps),
+// cost-space coordinates (Pietzuch-style relaxation), or the tiered
+// SparseOracle (the scale path: exact-on-demand inside leaf clusters,
+// Theorem-1 across them). A DistanceOracle is a small tagged value naming
+// one of those sources, cheap to copy and to call — a switch on the tag
+// instead of the type-erased std::function the old planner paid on every
+// lookup. The planner calls it only while materializing dense unit×site /
+// site×site matrices once per invocation; the DP hot loops read flat
+// arrays.
 //
-// All three sources are (pseudo-)metrics: actual shortest-path costs and
-// Theorem-1 estimates satisfy the triangle inequality, and the cost space
-// is Euclidean.
+// Staleness: each factory stamps the oracle with the source's version
+// (RoutingTables::built_against(), Hierarchy::version(), SparseOracle
+// stamp). In Debug every query re-checks the live version against the
+// stamp, so a snapshot that outlived a routing rebuild fails loudly instead
+// of reading a stale (or freed) table — the bug class PR 5 hit when
+// loss/jitter events triggered rebuilds mid-plan.
+//
+// All four sources are (pseudo-)metrics: actual shortest-path costs and
+// Theorem-1 estimates satisfy the triangle inequality, the cost space is
+// Euclidean, and the sparse tiers are max(exact, bounded over-estimates).
 #pragma once
 
 #include "cluster/hierarchy.h"
 #include "net/routing.h"
 #include "opt/cost_space.h"
+#include "opt/search/sparse_oracle.h"
 
 namespace iflow::opt {
 
@@ -31,6 +41,7 @@ class DistanceOracle {
     DistanceOracle o;
     o.kind_ = Kind::kRouting;
     o.routing_ = &rt;
+    o.stamp_ = rt.built_against();
     return o;
   }
 
@@ -41,6 +52,7 @@ class DistanceOracle {
     o.kind_ = Kind::kHierarchy;
     o.hierarchy_ = &h;
     o.level_ = level;
+    o.stamp_ = h.version();
     return o;
   }
 
@@ -52,16 +64,30 @@ class DistanceOracle {
     return o;
   }
 
+  /// Tiered sparse estimates (see sparse_oracle.h).
+  static DistanceOracle sparse(const SparseOracle& so) {
+    DistanceOracle o;
+    o.kind_ = Kind::kSparse;
+    o.sparse_ = &so;
+    o.stamp_ = so.stamp();
+    return o;
+  }
+
   bool valid() const { return kind_ != Kind::kInvalid; }
 
   double operator()(net::NodeId a, net::NodeId b) const {
     switch (kind_) {
       case Kind::kRouting:
+        IFLOW_DCHECK(routing_->built_against() == stamp_);
         return routing_->cost(a, b);
       case Kind::kHierarchy:
+        IFLOW_DCHECK(hierarchy_->version() == stamp_);
         return hierarchy_->est_cost(a, b, level_);
       case Kind::kCostSpace:
         return CostSpace::distance(space_->position(a), space_->position(b));
+      case Kind::kSparse:
+        IFLOW_DCHECK(sparse_->stamp() == stamp_);
+        return sparse_->distance(a, b);
       case Kind::kInvalid:
         break;
     }
@@ -69,13 +95,35 @@ class DistanceOracle {
                          "distance query on an invalid DistanceOracle");
   }
 
+  /// Bulk row read: out[i] = (*this)(src, dst[i]). Routing oracles pin the
+  /// source row once (one lock + one potential Dijkstra on the sparse
+  /// routing tier) instead of paying per-entry; the planner materializes
+  /// its per-source matrix rows through this.
+  void fill_from(net::NodeId src, const net::NodeId* dst, std::size_t count,
+                 double* out) const {
+    if (kind_ == Kind::kRouting) {
+      IFLOW_DCHECK(routing_->built_against() == stamp_);
+      routing_->fill_costs(src, dst, count, out);
+      return;
+    }
+    for (std::size_t i = 0; i < count; ++i) out[i] = (*this)(src, dst[i]);
+  }
+
  private:
-  enum class Kind : std::uint8_t { kInvalid, kRouting, kHierarchy, kCostSpace };
+  enum class Kind : std::uint8_t {
+    kInvalid,
+    kRouting,
+    kHierarchy,
+    kCostSpace,
+    kSparse
+  };
 
   Kind kind_ = Kind::kInvalid;
   const net::RoutingTables* routing_ = nullptr;
   const cluster::Hierarchy* hierarchy_ = nullptr;
   const CostSpace* space_ = nullptr;
+  const SparseOracle* sparse_ = nullptr;
+  std::uint64_t stamp_ = 0;
   int level_ = 0;
 };
 

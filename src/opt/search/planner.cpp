@@ -162,16 +162,12 @@ PlannerResult plan_optimal(const PlannerInput& in, PlanWorkspace& ws) {
   const DistanceOracle& dist = in.dist;
   sweep(pool, S, [&](std::size_t q0, std::size_t q1) {
     for (std::size_t q = q0; q < q1; ++q) {
-      double* row = site_from + q * S;
-      for (std::size_t p = 0; p < S; ++p) {
-        row[p] = dist(in.sites[q], in.sites[p]);
-      }
+      dist.fill_from(in.sites[q], in.sites.data(), S, site_from + q * S);
     }
   });
   for (std::size_t u = 0; u < U; ++u) {
-    double* row = unit_site + u * S;
-    const net::NodeId loc = in.units[u].location;
-    for (std::size_t p = 0; p < S; ++p) row[p] = dist(loc, in.sites[p]);
+    dist.fill_from(in.units[u].location, in.sites.data(), S,
+                   unit_site + u * S);
   }
   if (deliver) {
     for (std::size_t p = 0; p < S; ++p) {
@@ -417,14 +413,12 @@ TreePlacement place_tree_optimal(const query::JoinTree& tree,
   if (internal_edges) {
     sweep(pool, S, [&](std::size_t q0, std::size_t q1) {
       for (std::size_t q = q0; q < q1; ++q) {
-        double* row = site_from + q * S;
-        for (std::size_t p = 0; p < S; ++p) row[p] = dist(sites[q], sites[p]);
+        dist.fill_from(sites[q], sites.data(), S, site_from + q * S);
       }
     });
   }
   for (std::size_t u = 0; u < U; ++u) {
-    double* row = unit_site + u * S;
-    for (std::size_t p = 0; p < S; ++p) row[p] = dist(units[u].location, sites[p]);
+    dist.fill_from(units[u].location, sites.data(), S, unit_site + u * S);
   }
 
   for (std::size_t v = 0; v < V; ++v) {

@@ -32,6 +32,12 @@ PlanWorkspace& workspace_for(const OptimizerEnv& env) {
   return env.workspace != nullptr ? *env.workspace : default_workspace();
 }
 
+DistanceOracle planning_oracle(const OptimizerEnv& env) {
+  if (env.sparse != nullptr) return DistanceOracle::sparse(*env.sparse);
+  IFLOW_CHECK(env.routing != nullptr);
+  return DistanceOracle::routing(*env.routing);
+}
+
 double delivery_rate_for(const query::Query& q,
                          const query::RateModel& rates) {
   if (!q.aggregate.enabled()) return -1.0;

@@ -31,7 +31,12 @@ int plan_view_recursive(const OptimizerEnv& env, int level,
   in.target = target;
   in.delivery = delivery;
   in.sites = restrict_sites(env, cl.members);
-  in.dist = DistanceOracle::hierarchy(h, level);
+  // Physical-level refinement can price through the tiered sparse oracle
+  // (leaf sketches instead of exact routing rows); coarser levels are
+  // already Theorem-1 estimates by construction.
+  in.dist = (level == 1 && env.sparse != nullptr)
+                ? DistanceOracle::sparse(*env.sparse)
+                : DistanceOracle::hierarchy(h, level);
   in.query_id = qid;
   if (delivery != net::kInvalidNode) {
     in.delivery_bytes_rate = delivery_bytes_rate;

@@ -274,6 +274,111 @@ TEST(HierarchyEdgeTest, RemoveThenReAddRoundTripPreservesInvariants) {
   }
 }
 
+std::vector<std::vector<net::NodeId>> domain_partitions(
+    const net::TransitStubParams& p) {
+  std::vector<std::vector<net::NodeId>> parts;
+  std::vector<net::NodeId> transit;
+  for (int t = 0; t < p.transit_count; ++t) {
+    transit.push_back(static_cast<net::NodeId>(t));
+  }
+  parts.push_back(std::move(transit));
+  for (int d = 0; d < net::stub_domain_count(p); ++d) {
+    parts.push_back(net::stub_domain_members(p, d));
+  }
+  return parts;
+}
+
+TEST(PartitionedHierarchyTest, BuildValidatesAndSetsLocalLeafMetrics) {
+  Fixture f(41);
+  const net::TransitStubParams p;
+  Prng prng(1);
+  const Hierarchy h =
+      Hierarchy::build_partitioned(f.net, f.rt, domain_partitions(p), 10, prng);
+  h.validate(f.net);
+  EXPECT_TRUE(h.local_leaf_metrics());
+  EXPECT_GE(h.height(), 2);
+  // No partition exceeds max_cs = 10, so leaves map 1:1 onto partitions.
+  EXPECT_EQ(h.level(1).size(), domain_partitions(p).size());
+  // Stub-domain members stay co-clustered.
+  const std::vector<net::NodeId> dom = net::stub_domain_members(p, 0);
+  for (net::NodeId m : dom) {
+    EXPECT_EQ(h.cluster_of(m, 1), h.cluster_of(dom[0], 1));
+  }
+}
+
+TEST(PartitionedHierarchyTest, OversizedPartitionsAreSplit) {
+  Fixture f(42);
+  const net::TransitStubParams p;
+  Prng prng(2);
+  const Hierarchy h =
+      Hierarchy::build_partitioned(f.net, f.rt, domain_partitions(p), 4, prng);
+  h.validate(f.net);
+  for (const Cluster& cl : h.level(1)) {
+    EXPECT_LE(cl.members.size(), 4u);
+  }
+}
+
+TEST(PartitionedHierarchyTest, Theorem1HoldsWithInducedLeafMetrics) {
+  // The soundness property the sparse oracle leans on: even though d(1) is
+  // computed on induced subgraphs, actual <= est + sum 2 d(i) must hold.
+  Fixture f(43);
+  const net::TransitStubParams p;
+  for (int max_cs : {4, 10}) {
+    Prng prng(3);
+    const Hierarchy h = Hierarchy::build_partitioned(
+        f.net, f.rt, domain_partitions(p), max_cs, prng);
+    for (int l = 1; l <= h.height(); ++l) {
+      const double slack = theorem1_slack(h, l);
+      for (net::NodeId a = 0; a < f.net.node_count(); a += 5) {
+        for (net::NodeId b = 0; b < f.net.node_count(); b += 7) {
+          EXPECT_LE(f.rt.cost(a, b), h.est_cost(a, b, l) + slack + 1e-9)
+              << "max_cs " << max_cs << " level " << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(PartitionedHierarchyTest, RejectsOverlappingOrNonCoveringPartitions) {
+  Fixture f(44);
+  Prng prng(4);
+  // Overlap: node 0 in two partitions.
+  std::vector<std::vector<net::NodeId>> overlap{{0, 1}, {0, 2}};
+  EXPECT_THROW(Hierarchy::build_partitioned(f.net, f.rt, overlap, 8, prng),
+               CheckError);
+  // Non-covering: misses most node ids.
+  std::vector<std::vector<net::NodeId>> partial{{0, 1, 2}};
+  EXPECT_THROW(Hierarchy::build_partitioned(f.net, f.rt, partial, 8, prng),
+               CheckError);
+}
+
+TEST(PartitionedHierarchyTest, RefreshBumpsVersion) {
+  Fixture f(45);
+  const net::TransitStubParams p;
+  Prng prng(5);
+  Hierarchy h =
+      Hierarchy::build_partitioned(f.net, f.rt, domain_partitions(p), 10, prng);
+  const std::uint64_t before = h.version();
+  h.refresh(f.rt);
+  EXPECT_GT(h.version(), before);
+}
+
+TEST(InducedDistancesTest, EntriesUpperBoundGlobalDistances) {
+  Fixture f(46);
+  const net::TransitStubParams p;
+  const std::vector<net::NodeId> dom = net::stub_domain_members(p, 1);
+  const std::vector<double> m = induced_distances(f.net, dom);
+  const std::size_t k = dom.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(m[i * k + i], 0.0);
+    for (std::size_t j = 0; j < k; ++j) {
+      // Paths confined to the subgraph can only be as good as the network.
+      EXPECT_GE(m[i * k + j] + 1e-12, f.rt.cost(dom[i], dom[j]));
+      EXPECT_DOUBLE_EQ(m[i * k + j], m[j * k + i]);  // undirected
+    }
+  }
+}
+
 TEST(HierarchyEdgeTest, ContainsReflectsMembership) {
   Fixture f(34);
   Prng prng(9);

@@ -47,6 +47,14 @@
 // optimizer, and holds the full contract set — zero violations, full
 // resumption, convergence, exact delivery. With --digest the per-scenario
 // transcript must be identical across --threads values.
+//
+// --oracle differentially fuzzes the sparse distance oracle: each iteration
+// builds a partitioned hierarchy over a random transit–stub world, sweeps
+// validate_pair (|estimate - exact| <= slack on every sampled pair), and
+// plans every query twice — once against exact routing rows, once through
+// the tiered SparseOracle. Feasibility must be identical, sparse-planned
+// deployments must validate, and the sparse exhaustive optimum must stay
+// within the Theorem-1 slack budget of the dense optimum.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +62,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/hierarchy.h"
@@ -66,6 +75,7 @@
 #include "opt/plan_then_deploy.h"
 #include "opt/relaxation.h"
 #include "opt/search/planner.h"
+#include "opt/search/sparse_oracle.h"
 #include "opt/top_down.h"
 #include "query/rates.h"
 #include "verify/validator.h"
@@ -84,6 +94,7 @@ struct Options {
   bool churn = false;
   bool loss = false;
   bool scenario = false;
+  bool oracle = false;
 };
 
 /// One self-contained random instance. Everything is derived from the seed,
@@ -556,6 +567,121 @@ void check_scenario_instance(std::uint64_t seed, const Options& opt,
   }
 }
 
+/// One oracle-fuzz iteration: estimate-vs-exact sweep plus dense-vs-sparse
+/// differential planning over a partitioned hierarchy.
+void check_oracle_instance(std::uint64_t seed, const Options& opt,
+                           opt::PlanWorkspace& ws, IterationLog& log) {
+  Prng prng(seed);
+  net::TransitStubParams p;
+  p.transit_count = 1 + static_cast<int>(prng.index(3));
+  p.stub_domains_per_transit = 1 + static_cast<int>(prng.index(3));
+  p.stub_domain_size = 2 + static_cast<int>(prng.index(5));
+  net::Network net = net::make_transit_stub(p, prng);
+  const net::RoutingTables rt = net::RoutingTables::build(net);
+
+  std::vector<std::vector<net::NodeId>> partitions;
+  std::vector<net::NodeId> transit;
+  for (int t = 0; t < p.transit_count; ++t) {
+    transit.push_back(static_cast<net::NodeId>(t));
+  }
+  partitions.push_back(std::move(transit));
+  for (int d = 0; d < net::stub_domain_count(p); ++d) {
+    partitions.push_back(net::stub_domain_members(p, d));
+  }
+  const int max_cs = 3 + static_cast<int>(prng.index(3));  // [3, 5]
+  Prng hp(seed ^ 0x9E3779B97F4A7C15ULL);
+  const cluster::Hierarchy hierarchy =
+      cluster::Hierarchy::build_partitioned(net, rt, partitions, max_cs, hp);
+
+  opt::SparseOracleOptions oopts;
+  oopts.pivots_per_cluster = prng.chance(0.5) ? 2 : 4;  // hit both sketch paths
+  const opt::SparseOracle oracle(net, rt, hierarchy, oopts);
+
+  // Estimate-vs-exact sweep: validate_pair CHECKs the slack contract, so a
+  // violation surfaces as an exception failing the iteration.
+  const auto n = static_cast<net::NodeId>(net.node_count());
+  for (net::NodeId a = 0; a < n; a += 2) {
+    for (net::NodeId b = 0; b < n; b += 3) oracle.validate_pair(a, b);
+  }
+
+  workload::WorkloadParams wp;
+  wp.num_streams = 5 + static_cast<int>(prng.index(3));
+  wp.min_joins = 2;
+  wp.max_joins = 4;
+  Prng wprng(seed + 1);
+  const workload::Workload wl =
+      workload::make_workload(net, wp, 3, wprng);
+
+  opt::OptimizerEnv dense_env;
+  dense_env.catalog = &wl.catalog;
+  dense_env.network = &net;
+  dense_env.routing = &rt;
+  dense_env.hierarchy = &hierarchy;
+  dense_env.workspace = &ws;
+  opt::OptimizerEnv sparse_env = dense_env;
+  sparse_env.sparse = &oracle;
+
+  // Worst pairwise slack the oracle can inject into any priced edge.
+  const double max_slack =
+      cluster::theorem1_slack(hierarchy, hierarchy.height());
+  const double tol = 1e-6;
+
+  opt::ExhaustiveOptimizer dense_ex(dense_env), sparse_ex(sparse_env);
+  opt::TopDownOptimizer dense_td(dense_env), sparse_td(sparse_env);
+  opt::BottomUpOptimizer dense_bu(dense_env), sparse_bu(sparse_env);
+  const std::vector<std::pair<opt::Optimizer*, opt::Optimizer*>> pairs = {
+      {&dense_ex, &sparse_ex}, {&dense_td, &sparse_td}, {&dense_bu, &sparse_bu}};
+  for (const query::Query& q : wl.queries) {
+    for (const auto& [dense_alg, sparse_alg] : pairs) {
+      const opt::OptimizeResult dense_r = dense_alg->optimize(q);
+      const opt::OptimizeResult sparse_r = sparse_alg->optimize(q);
+      if (opt.digest) {
+        std::cout << "oracle " << seed << ' ' << sparse_alg->name() << ' '
+                  << q.name << ' ' << std::hexfloat << sparse_r.actual_cost
+                  << std::defaultfloat << '\n';
+      }
+      if (dense_r.feasible != sparse_r.feasible) {
+        log.fail(std::string(sparse_alg->name()) +
+                 ": feasibility diverges dense=" +
+                 std::to_string(dense_r.feasible) +
+                 " sparse=" + std::to_string(sparse_r.feasible));
+        continue;
+      }
+      if (!sparse_r.feasible) continue;
+      verify::ValidateOptions vopts;
+      vopts.query = &q;
+      vopts.planned_cost = sparse_r.planned_cost;
+      const auto violations =
+          verify::validate(sparse_r.deployment, sparse_env, vopts);
+      if (!violations.empty()) {
+        log.fail(std::string(sparse_alg->name()) +
+                 " (sparse): validator violations:\n" +
+                 verify::describe(violations));
+      }
+      // The sparse exhaustive search minimizes a pricing that differs from
+      // the truth by at most max_slack per edge, so its actual cost stays
+      // within one slack budget of each deployment's edge-rate mass of the
+      // dense optimum. Heuristics recurse on estimates in a way that
+      // compounds, so the cost bound is asserted for exhaustive only.
+      if (dense_alg == &dense_ex) {
+        double rate_mass = 0.0;
+        for (double r : edge_rates(dense_r.deployment)) rate_mass += r;
+        for (double r : edge_rates(sparse_r.deployment)) rate_mass += r;
+        const double budget = rate_mass * max_slack;
+        if (sparse_r.actual_cost >
+            dense_r.actual_cost + budget +
+                tol * (1.0 + dense_r.actual_cost + budget)) {
+          std::ostringstream os;
+          os << "sparse exhaustive exceeds the slack budget: "
+             << sparse_r.actual_cost << " > " << dense_r.actual_cost << " + "
+             << budget;
+          log.fail(os.str());
+        }
+      }
+    }
+  }
+}
+
 int run(const Options& opt) {
   opt::PlanWorkspace ws(opt.threads);
   int failed_iterations = 0;
@@ -563,7 +689,9 @@ int run(const Options& opt) {
     const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
     IterationLog log{seed};
     try {
-      if (opt.scenario) {
+      if (opt.oracle) {
+        check_oracle_instance(seed, opt, ws, log);
+      } else if (opt.scenario) {
         check_scenario_instance(seed, opt, log);
       } else if (opt.loss) {
         check_loss_instance(seed, opt, log);
@@ -626,10 +754,12 @@ int main(int argc, char** argv) {
       opt.loss = true;
     } else if (arg == "--scenario") {
       opt.scenario = true;
+    } else if (arg == "--oracle") {
+      opt.oracle = true;
     } else {
       std::cerr << "usage: differential_fuzz [--iterations N] [--seed S] "
                    "[--threads T] [--digest] [--churn] [--loss] [--scenario] "
-                   "[--verbose]\n";
+                   "[--oracle] [--verbose]\n";
       return 2;
     }
   }

@@ -1,0 +1,270 @@
+// Incremental routing repair must be observationally equivalent to a
+// from-scratch rebuild after any seeded fail/restore script.
+//
+// Distances (cost, delay, data-path delay) are compared exactly: retained
+// rows were produced by the same Dijkstra the fresh build runs, so any
+// difference is a stale-row bug. Paths are compared semantically instead of
+// node-by-node — a retained shortest-path tree may break equal-cost ties
+// differently from a fresh one, so the checker walks the reported path and
+// verifies its edge sums reproduce the reported metrics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/prng.h"
+#include "net/gtitm.h"
+#include "net/network.h"
+#include "net/routing.h"
+
+namespace iflow::net {
+namespace {
+
+// Walks rt's reported cost path for (a, b) and checks it is a real usable
+// path whose edge sums match the reported cost and data-path delay.
+void expect_path_consistent(const Network& net, const RoutingTables& rt,
+                            NodeId a, NodeId b) {
+  const std::vector<NodeId> path = rt.cost_path(a, b);
+  if (!rt.reachable(a, b)) {
+    EXPECT_TRUE(path.empty());
+    return;
+  }
+  ASSERT_FALSE(path.empty());
+  ASSERT_EQ(path.front(), a);
+  ASSERT_EQ(path.back(), b);
+  if (a != b) {
+    EXPECT_EQ(rt.next_hop(a, b), path[1]);
+  }
+  double cost = 0.0;
+  double delay = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const std::uint32_t li = net.cheapest_usable_link(path[i], path[i + 1]);
+    ASSERT_NE(li, kInvalidLink) << "path hop is not a usable adjacency";
+    cost += net.links()[li].cost_per_byte;
+    delay += net.links()[li].delay_ms;
+  }
+  EXPECT_NEAR(cost, rt.cost(a, b), 1e-9 * (1.0 + cost));
+  EXPECT_NEAR(delay, rt.data_path_delay_ms(a, b), 1e-9 * (1.0 + delay));
+}
+
+// Compares an incrementally synced table against a fresh build: exact
+// distance equality on all pairs, semantic path equality on a sample.
+void expect_equivalent(const Network& net, const RoutingTables& inc) {
+  ASSERT_EQ(inc.built_against(), net.version());
+  const RoutingTables fresh = RoutingTables::build(net);
+  const auto n = static_cast<NodeId>(net.node_count());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      ASSERT_EQ(inc.cost(a, b), fresh.cost(a, b)) << a << "->" << b;
+      ASSERT_EQ(inc.delay_ms(a, b), fresh.delay_ms(a, b)) << a << "->" << b;
+      ASSERT_EQ(inc.data_path_delay_ms(a, b), fresh.data_path_delay_ms(a, b))
+          << a << "->" << b;
+      ASSERT_EQ(inc.reachable(a, b), fresh.reachable(a, b));
+    }
+    expect_path_consistent(net, inc, a, static_cast<NodeId>((a * 7 + 3) % n));
+  }
+}
+
+struct Event {
+  enum Kind { kFailLink, kRestoreLink, kCrashNode, kRestoreNode } kind;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+};
+
+// Draws the next applicable fault/repair event. Fail/crash targets are
+// checked against the tracked down-sets so every event is a real state
+// change (the Network throws on double faults by contract).
+Event next_event(const Network& net, Prng& prng,
+                 std::vector<std::pair<NodeId, NodeId>>& down_links,
+                 std::vector<NodeId>& down_nodes) {
+  const auto norm = [](NodeId a, NodeId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  };
+  for (;;) {
+    const auto roll = prng.uniform_int(0, 99);
+    if (roll < 40 || (down_links.empty() && down_nodes.empty())) {
+      const Link& l = net.links()[prng.index(net.links().size())];
+      const auto key = norm(l.a, l.b);
+      if (std::find(down_links.begin(), down_links.end(), key) !=
+          down_links.end()) {
+        continue;
+      }
+      down_links.push_back(key);
+      return {Event::kFailLink, key.first, key.second};
+    }
+    if (roll < 55) {
+      const auto n = static_cast<NodeId>(prng.index(net.node_count()));
+      if (std::find(down_nodes.begin(), down_nodes.end(), n) !=
+          down_nodes.end()) {
+        continue;
+      }
+      down_nodes.push_back(n);
+      return {Event::kCrashNode, n, kInvalidNode};
+    }
+    if (roll < 85 && !down_links.empty()) {
+      const std::size_t j = prng.index(down_links.size());
+      const Event e{Event::kRestoreLink, down_links[j].first,
+                    down_links[j].second};
+      down_links.erase(down_links.begin() + static_cast<std::ptrdiff_t>(j));
+      return e;
+    }
+    if (!down_nodes.empty()) {
+      const std::size_t j = prng.index(down_nodes.size());
+      const Event e{Event::kRestoreNode, down_nodes[j], kInvalidNode};
+      down_nodes.erase(down_nodes.begin() + static_cast<std::ptrdiff_t>(j));
+      return e;
+    }
+  }
+}
+
+void apply(Network& net, const Event& e) {
+  switch (e.kind) {
+    case Event::kFailLink:
+      net.fail_link(e.a, e.b);
+      break;
+    case Event::kRestoreLink:
+      net.restore_link(e.a, e.b);
+      break;
+    case Event::kCrashNode:
+      net.crash_node(e.a);
+      break;
+    case Event::kRestoreNode:
+      net.restore_node(e.a);
+      break;
+  }
+}
+
+void run_script(RoutingMode mode, std::uint64_t seed, int length) {
+  Prng prng(seed);
+  Network net = make_transit_stub(TransitStubParams{}, prng);
+  RoutingOptions opts;
+  opts.mode = mode;
+  opts.max_cached_rows = net.node_count();  // keep all rows resident
+  RoutingTables rt = RoutingTables::build(net, opts);
+  std::vector<std::pair<NodeId, NodeId>> down_links;
+  std::vector<NodeId> down_nodes;
+  for (int i = 0; i < length; ++i) {
+    apply(net, next_event(net, prng, down_links, down_nodes));
+    rt.sync(net);
+    // expect_equivalent touches every pair, which on the sparse tier also
+    // re-warms every row — so the next event exercises retention/patching
+    // against a fully populated cache.
+    expect_equivalent(net, rt);
+  }
+}
+
+TEST(IncrementalRoutingTest, DenseSyncMatchesRebuildAcrossSeededScripts) {
+  for (const std::uint64_t seed : {11u, 29u, 47u}) {
+    run_script(RoutingMode::kDense, seed, 20);
+  }
+}
+
+TEST(IncrementalRoutingTest, SparseSyncMatchesRebuildAcrossSeededScripts) {
+  for (const std::uint64_t seed : {13u, 31u, 53u}) {
+    run_script(RoutingMode::kSparse, seed, 20);
+  }
+}
+
+TEST(IncrementalRoutingTest, SparseSyncDropsRowsWhoseTreesCrossedTheLink) {
+  // Line graph: every shortest-path tree crosses the middle link, so a
+  // failure there invalidates every cached row; the relaxing restore then
+  // flushes whatever was cached.
+  Network net;
+  for (int i = 0; i < 6; ++i) net.add_node();
+  for (NodeId i = 0; i + 1 < 6; ++i) net.add_link(i, i + 1, 1.0, 10.0, 1e6);
+  RoutingOptions opts;
+  opts.mode = RoutingMode::kSparse;
+  opts.max_cached_rows = 6;
+  RoutingTables rt = RoutingTables::build(net, opts);
+  for (NodeId a = 0; a < 6; ++a) rt.cost(a, 0);
+  ASSERT_EQ(rt.cached_rows(), 6u);
+
+  net.fail_link(2, 3);
+  RoutingSyncStats st = rt.sync(net);
+  EXPECT_FALSE(st.full_rebuild);
+  EXPECT_FALSE(st.quality_only);
+  EXPECT_EQ(st.rows_dropped, 6u);
+  EXPECT_EQ(st.rows_retained, 0u);
+  EXPECT_EQ(st.rows_patched, 0u);
+  expect_equivalent(net, rt);
+
+  ASSERT_GT(rt.cached_rows(), 0u);  // re-warmed by the equivalence sweep
+  net.restore_link(2, 3);
+  st = rt.sync(net);
+  EXPECT_EQ(st.rows_retained, 0u);
+  EXPECT_EQ(rt.cached_rows(), 0u);
+  expect_equivalent(net, rt);
+}
+
+TEST(IncrementalRoutingTest, SparseSyncRetainsRowsOffTheFailedLink) {
+  // Triangle with one expensive-and-slow edge (0, 2): neither the cost nor
+  // the delay shortest-path tree uses it, so failing it must retain every
+  // cached row unchanged.
+  Network net;
+  for (int i = 0; i < 3; ++i) net.add_node();
+  net.add_link(0, 1, 1.0, 10.0, 1e6);
+  net.add_link(1, 2, 1.0, 10.0, 1e6);
+  net.add_link(0, 2, 5.0, 50.0, 1e6);
+  RoutingOptions opts;
+  opts.mode = RoutingMode::kSparse;
+  opts.max_cached_rows = 3;
+  RoutingTables rt = RoutingTables::build(net, opts);
+  for (NodeId a = 0; a < 3; ++a) rt.cost(a, 0);
+  ASSERT_EQ(rt.cached_rows(), 3u);
+
+  net.fail_link(0, 2);
+  const RoutingSyncStats st = rt.sync(net);
+  EXPECT_FALSE(st.full_rebuild);
+  EXPECT_EQ(st.rows_retained, 3u);
+  EXPECT_EQ(st.rows_dropped, 0u);
+  EXPECT_EQ(rt.cached_rows(), 3u);
+  expect_equivalent(net, rt);
+}
+
+TEST(IncrementalRoutingTest, SparseSyncSurvivesLogTruncation) {
+  // More mutations than the journal holds: sync must fall back to a clean
+  // reset instead of applying a partial batch.
+  Prng prng(17);
+  Network net = make_transit_stub(TransitStubParams{}, prng);
+  RoutingOptions opts;
+  opts.mode = RoutingMode::kSparse;
+  RoutingTables rt = RoutingTables::build(net, opts);
+  rt.cost(0, 1);
+  const Link l = net.links()[3];
+  for (int i = 0; i < 3000; ++i) {
+    net.fail_link(l.a, l.b);
+    net.restore_link(l.a, l.b);
+  }
+  const RoutingSyncStats st = rt.sync(net);
+  EXPECT_TRUE(st.full_rebuild);
+  expect_equivalent(net, rt);
+}
+
+TEST(IncrementalRoutingTest, CrashedLeafNodeRowsArePatchedInPlace) {
+  // A line graph: crashing an endpoint leaves every other node's shortest-
+  // path trees structurally intact, so cached rows are patched (entries for
+  // the dead node set to infinity) instead of recomputed.
+  Network net;
+  for (int i = 0; i < 6; ++i) net.add_node();
+  for (NodeId i = 0; i + 1 < 6; ++i) net.add_link(i, i + 1, 1.0, 10.0, 1e6);
+  RoutingOptions opts;
+  opts.mode = RoutingMode::kSparse;
+  opts.max_cached_rows = 6;
+  RoutingTables rt = RoutingTables::build(net, opts);
+  for (NodeId a = 0; a < 5; ++a) rt.cost(a, 0);  // warm rows 0..4
+  net.crash_node(5);
+  const RoutingSyncStats st = rt.sync(net);
+  EXPECT_EQ(st.rows_dropped, 0u);
+  EXPECT_EQ(st.rows_patched, 5u);
+  EXPECT_FALSE(rt.reachable(0, 5));
+  EXPECT_TRUE(std::isinf(rt.cost(2, 5)));
+  expect_equivalent(net, rt);
+}
+
+}  // namespace
+}  // namespace iflow::net

@@ -4,8 +4,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <vector>
 
+#include "common/check.h"
 #include "common/prng.h"
 #include "net/gtitm.h"
 
@@ -240,6 +243,129 @@ TEST(RoutingTest, RecordsBuildVersion) {
   EXPECT_EQ(rt.built_against(), net.version());
   net.set_link_cost(0, 1, 9.0);
   EXPECT_NE(rt.built_against(), net.version());
+}
+
+TEST(RoutingTest, CostPathEdgeCases) {
+  // Self-loop, single-hop, and partitioned pairs pin the reconstruction
+  // contract on both tiers.
+  Network net;
+  for (int i = 0; i < 4; ++i) net.add_node();
+  net.add_link(0, 1, 1.0, 1.0, 1e6);  // 2 and 3 stay isolated
+  net.add_link(2, 3, 1.0, 1.0, 1e6);
+  for (const RoutingMode mode : {RoutingMode::kDense, RoutingMode::kSparse}) {
+    RoutingOptions opts;
+    opts.mode = mode;
+    const RoutingTables rt = RoutingTables::build(net, opts);
+    // Self-loop: the path is the node itself.
+    EXPECT_EQ(rt.cost_path(1, 1), (std::vector<NodeId>{1}));
+    EXPECT_EQ(rt.cost_path(3, 3), (std::vector<NodeId>{3}));
+    // Single hop.
+    EXPECT_EQ(rt.cost_path(0, 1), (std::vector<NodeId>{0, 1}));
+    EXPECT_EQ(rt.cost_path(1, 0), (std::vector<NodeId>{1, 0}));
+    // Partitioned pair: empty, never garbage.
+    EXPECT_TRUE(rt.cost_path(0, 2).empty());
+    EXPECT_TRUE(rt.cost_path(2, 1).empty());
+  }
+}
+
+TEST(RoutingTest, SparseTierMatchesDenseBitwise) {
+  // Both tiers run the identical per-source Dijkstra, so every query must
+  // agree bit for bit — including infinities and next hops.
+  Prng prng(91);
+  const Network net = make_transit_stub(TransitStubParams{}, prng);
+  const RoutingTables dense = RoutingTables::build(net);
+  RoutingOptions opts;
+  opts.mode = RoutingMode::kSparse;
+  opts.max_cached_rows = 8;  // force eviction + recomputation along the way
+  const RoutingTables sparse = RoutingTables::build(net, opts);
+  ASSERT_TRUE(sparse.sparse());
+  ASSERT_FALSE(dense.sparse());
+  const auto n = static_cast<NodeId>(net.node_count());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      ASSERT_EQ(dense.cost(a, b), sparse.cost(a, b)) << a << "," << b;
+      ASSERT_EQ(dense.delay_ms(a, b), sparse.delay_ms(a, b));
+      ASSERT_EQ(dense.data_path_delay_ms(a, b),
+                sparse.data_path_delay_ms(a, b));
+      if (a != b) {
+        ASSERT_EQ(dense.next_hop(a, b), sparse.next_hop(a, b));
+      }
+      ASSERT_EQ(dense.cost_path(a, b), sparse.cost_path(a, b));
+    }
+  }
+}
+
+TEST(RoutingTest, SparseFillCostsMatchesScalarQueries) {
+  Prng prng(92);
+  const Network net = make_transit_stub(TransitStubParams{}, prng);
+  RoutingOptions opts;
+  opts.mode = RoutingMode::kSparse;
+  const RoutingTables rt = RoutingTables::build(net);
+  const RoutingTables sparse = RoutingTables::build(net, opts);
+  std::vector<NodeId> dsts;
+  for (NodeId b = 0; b < net.node_count(); b += 3) dsts.push_back(b);
+  std::vector<double> out(dsts.size());
+  sparse.fill_costs(5, dsts.data(), dsts.size(), out.data());
+  for (std::size_t i = 0; i < dsts.size(); ++i) {
+    EXPECT_EQ(out[i], rt.cost(5, dsts[i]));
+  }
+}
+
+TEST(RoutingTest, SparseCacheHonoursRowCapAndTracksPeak) {
+  Prng prng(93);
+  const Network net = make_transit_stub(TransitStubParams{}, prng);
+  RoutingOptions opts;
+  opts.mode = RoutingMode::kSparse;
+  opts.max_cached_rows = 4;
+  const RoutingTables rt = RoutingTables::build(net, opts);
+  EXPECT_EQ(rt.cached_rows(), 0u);
+  EXPECT_EQ(rt.memory_bytes(), 0u);
+  for (NodeId a = 0; a < 10; ++a) rt.cost(a, 0);
+  EXPECT_LE(rt.cached_rows(), 4u);
+  EXPECT_GT(rt.cached_rows(), 0u);
+  EXPECT_EQ(rt.peak_memory_bytes(),
+            rt.memory_bytes() / rt.cached_rows() * 4u);
+  // Far below the dense footprint.
+  EXPECT_LT(rt.peak_memory_bytes(),
+            RoutingTables::dense_equivalent_bytes(net.node_count()));
+}
+
+TEST(RoutingTest, AutoModePicksTierByNodeCount) {
+  Network small = make_line(4);
+  EXPECT_FALSE(RoutingTables::build(small).sparse());
+  RoutingOptions opts;
+  opts.dense_node_limit = 3;
+  EXPECT_TRUE(RoutingTables::build(small, opts).sparse());
+}
+
+TEST(RoutingTest, SyncQualityOnlyBatchIsFree) {
+  Network net = make_line(4);
+  for (const RoutingMode mode : {RoutingMode::kDense, RoutingMode::kSparse}) {
+    RoutingOptions opts;
+    opts.mode = mode;
+    RoutingTables rt = RoutingTables::build(net, opts);
+    rt.cost(0, 3);  // populate a row on the sparse tier
+    net.set_link_loss(0, 1, 0.2);
+    net.set_link_jitter(1, 2, 3.0);
+    const RoutingSyncStats st = rt.sync(net);
+    EXPECT_TRUE(st.quality_only);
+    EXPECT_FALSE(st.full_rebuild);
+    EXPECT_EQ(rt.built_against(), net.version());
+    EXPECT_DOUBLE_EQ(rt.cost(0, 3), 3.0);
+    net.set_link_loss(0, 1, 0.0);  // reset for the next tier's pass
+    net.set_link_jitter(1, 2, 0.0);
+  }
+}
+
+TEST(RoutingTest, SparseQueryAfterMutationWithoutSyncThrows) {
+  Network net = make_line(4);
+  RoutingOptions opts;
+  opts.mode = RoutingMode::kSparse;
+  const RoutingTables rt = RoutingTables::build(net, opts);
+  rt.cost(0, 3);
+  net.fail_link(0, 1);
+  // Cached row reads would silently mix versions; a fresh row CHECKs.
+  EXPECT_THROW(rt.cost(1, 2), CheckError);
 }
 
 }  // namespace

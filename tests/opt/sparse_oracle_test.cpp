@@ -1,0 +1,235 @@
+#include "opt/search/sparse_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "cluster/hierarchy.h"
+#include "cluster/theory.h"
+#include "common/prng.h"
+#include "net/gtitm.h"
+#include "opt/bottom_up.h"
+#include "opt/optimizer.h"
+#include "opt/top_down.h"
+#include "query/rates.h"
+#include "workload/generator.h"
+
+namespace iflow::opt {
+namespace {
+
+// Stub domains plus the transit backbone as the caller-supplied leaf
+// partitions — the intended scale-path pairing for build_partitioned.
+std::vector<std::vector<net::NodeId>> domain_partitions(
+    const net::TransitStubParams& p) {
+  std::vector<std::vector<net::NodeId>> parts;
+  std::vector<net::NodeId> transit;
+  for (int t = 0; t < p.transit_count; ++t) {
+    transit.push_back(static_cast<net::NodeId>(t));
+  }
+  parts.push_back(std::move(transit));
+  for (int d = 0; d < net::stub_domain_count(p); ++d) {
+    parts.push_back(net::stub_domain_members(p, d));
+  }
+  return parts;
+}
+
+struct Rig {
+  net::TransitStubParams params;
+  net::Network net;
+  net::RoutingTables rt;
+  cluster::Hierarchy h;
+
+  explicit Rig(std::uint64_t seed, int max_cs = 10)
+      : net([&] {
+          Prng prng(seed);
+          return net::make_transit_stub(params, prng);
+        }()),
+        rt(net::RoutingTables::build(net)),
+        h([&] {
+          Prng prng(seed + 1);
+          return cluster::Hierarchy::build_partitioned(
+              net, rt, domain_partitions(params), max_cs, prng);
+        }()) {}
+};
+
+TEST(SparseOracleTest, SlackBoundHoldsOnEveryPair) {
+  Rig rig(201);
+  ASSERT_TRUE(rig.h.local_leaf_metrics());
+  SparseOracle oracle(rig.net, rig.rt, rig.h, {});
+  const auto n = static_cast<net::NodeId>(rig.net.node_count());
+  for (net::NodeId a = 0; a < n; ++a) {
+    for (net::NodeId b = 0; b < n; ++b) {
+      oracle.validate_pair(a, b);  // CHECKs |est - exact| <= slack
+      const SparseEstimate e = oracle.estimate(a, b);
+      ASSERT_LE(std::abs(e.value - rig.rt.cost(a, b)),
+                e.slack + 1e-9 * (1.0 + e.slack + rig.rt.cost(a, b)));
+    }
+  }
+}
+
+TEST(SparseOracleTest, PivotSketchesStayWithinDoubledLeafSlack) {
+  // pivots_per_cluster = 2 forces the farthest-point pivot path on every
+  // 8-node stub domain (m > 2 * pivots); the min-over-pivots estimate is
+  // bounded by 2 d(1) instead of d(1).
+  Rig rig(202);
+  SparseOracleOptions opts;
+  opts.pivots_per_cluster = 2;
+  SparseOracle oracle(rig.net, rig.rt, rig.h, opts);
+  const std::vector<net::NodeId> dom =
+      net::stub_domain_members(rig.params, 0);
+  for (const net::NodeId a : dom) {
+    for (const net::NodeId b : dom) {
+      oracle.validate_pair(a, b);
+      if (a != b) {
+        EXPECT_DOUBLE_EQ(oracle.slack(a, b), 2.0 * rig.h.d(1));
+      }
+    }
+  }
+}
+
+TEST(SparseOracleTest, TierSelection) {
+  Rig rig(203);
+  SparseOracle oracle(rig.net, rig.rt, rig.h, {});
+  const std::vector<net::NodeId> dom =
+      net::stub_domain_members(rig.params, 0);
+  // Identity tier.
+  EXPECT_EQ(oracle.distance(dom[0], dom[0]), 0.0);
+  EXPECT_EQ(oracle.slack(dom[0], dom[0]), 0.0);
+  // Leaf-sketch tier: same cluster, full 8x8 matrix, slack d(1).
+  ASSERT_EQ(rig.h.cluster_of(dom[0], 1), rig.h.cluster_of(dom[1], 1));
+  EXPECT_DOUBLE_EQ(oracle.slack(dom[0], dom[1]), rig.h.d(1));
+  // Theorem-1 tier: different stub domains meet at some level >= 2 with the
+  // cumulative slack of that level.
+  const std::vector<net::NodeId> other =
+      net::stub_domain_members(rig.params, 1);
+  ASSERT_NE(rig.h.cluster_of(dom[0], 1), rig.h.cluster_of(other[0], 1));
+  const double s = oracle.slack(dom[0], other[0]);
+  EXPECT_GT(s, 0.0);
+  bool matches_some_level = false;
+  for (int l = 2; l <= rig.h.height(); ++l) {
+    if (s == cluster::theorem1_slack(rig.h, l)) matches_some_level = true;
+  }
+  EXPECT_TRUE(matches_some_level);
+}
+
+TEST(SparseOracleTest, ExactLeavesOptionPricesLeafPairsExactly) {
+  Rig rig(204);
+  SparseOracleOptions opts;
+  opts.exact_leaves = true;
+  SparseOracle oracle(rig.net, rig.rt, rig.h, opts);
+  const std::vector<net::NodeId> dom =
+      net::stub_domain_members(rig.params, 0);
+  EXPECT_EQ(oracle.distance(dom[0], dom[1]), rig.rt.cost(dom[0], dom[1]));
+  EXPECT_EQ(oracle.slack(dom[0], dom[1]), 0.0);
+}
+
+TEST(SparseOracleTest, ClassicHierarchyDisablesTheSketchTier) {
+  // Hierarchy::build derives d(1) from routing rows, not induced subgraphs,
+  // so the induced-sketch slack argument does not apply; same-leaf pairs
+  // must fall back to exact routing lookups.
+  Prng prng(205);
+  net::TransitStubParams p;
+  const net::Network net = net::make_transit_stub(p, prng);
+  const net::RoutingTables rt = net::RoutingTables::build(net);
+  Prng hprng(206);
+  const cluster::Hierarchy h = cluster::Hierarchy::build(net, rt, 10, hprng);
+  ASSERT_FALSE(h.local_leaf_metrics());
+  SparseOracle oracle(net, rt, h, {});
+  for (net::NodeId a = 0; a < 20; ++a) {
+    for (net::NodeId b = 0; b < 20; ++b) {
+      if (h.cluster_of(a, 1) != h.cluster_of(b, 1)) continue;
+      EXPECT_EQ(oracle.distance(a, b), rt.cost(a, b));
+      EXPECT_EQ(oracle.slack(a, b), 0.0);
+      oracle.validate_pair(a, b);
+    }
+  }
+}
+
+TEST(SparseOracleTest, RemovedNodeEstimatesAtInfinity) {
+  Rig rig(207);
+  const net::NodeId victim = net::stub_domain_members(rig.params, 2)[3];
+  rig.net.crash_node(victim);
+  rig.rt.sync(rig.net);
+  rig.h.remove_node(victim, rig.rt);
+  SparseOracle oracle(rig.net, rig.rt, rig.h, {});
+  EXPECT_TRUE(std::isinf(oracle.distance(victim, 0)));
+  EXPECT_TRUE(std::isinf(oracle.distance(0, victim)));
+  // Severed pairs are the one case where an infinite estimate is legal.
+  oracle.validate_pair(victim, 0);
+  // Everyone else still prices within slack.
+  for (net::NodeId a = 0; a < 12; ++a) {
+    for (net::NodeId b = 0; b < 12; ++b) oracle.validate_pair(a, b);
+  }
+}
+
+TEST(SparseOracleTest, RefreshRestampsAfterHierarchyChange) {
+  Rig rig(208);
+  SparseOracle oracle(rig.net, rig.rt, rig.h, {});
+  const std::uint64_t before = oracle.stamp();
+  rig.h.refresh(rig.rt);  // bumps hierarchy version
+  oracle.refresh();
+  EXPECT_NE(oracle.stamp(), before);
+  oracle.validate_pair(3, 97);
+}
+
+TEST(SparseOracleTest, SketchMemoryIsASmallFractionOfDense) {
+  Rig rig(209);
+  SparseOracle oracle(rig.net, rig.rt, rig.h, {});
+  const auto n = static_cast<net::NodeId>(rig.net.node_count());
+  for (net::NodeId a = 0; a < n; ++a) {
+    oracle.distance(a, (a + 1) % n);  // touch every cluster's sketch
+  }
+  const std::size_t dense = net::RoutingTables::dense_equivalent_bytes(
+      rig.net.node_count());
+  EXPECT_GT(oracle.memory_bytes(), 0u);
+  EXPECT_LT(oracle.memory_bytes(), dense / 20);  // < 5% of dense
+}
+
+TEST(SparseOracleTest, SparsePlannedOptimizersProduceValidDeployments) {
+  // End-to-end: top-down / bottom-up planning through env.sparse must stay
+  // feasible and honour the planned == actual reporting contract.
+  net::TransitStubParams p;
+  p.transit_count = 2;
+  p.stub_domains_per_transit = 2;
+  p.stub_domain_size = 4;
+  Prng nprng(210);
+  net::Network net = net::make_transit_stub(p, nprng);
+  net::RoutingTables rt = net::RoutingTables::build(net);
+  Prng hprng(211);
+  cluster::Hierarchy h = cluster::Hierarchy::build_partitioned(
+      net, rt, domain_partitions(p), 4, hprng);
+  Prng wprng(212);
+  workload::WorkloadParams wp;
+  wp.num_streams = 6;
+  const workload::Workload wl = workload::make_workload(net, wp, 6, wprng);
+  SparseOracle oracle(net, rt, h, {});
+
+  OptimizerEnv env;
+  env.catalog = &wl.catalog;
+  env.network = &net;
+  env.routing = &rt;
+  env.hierarchy = &h;
+  OptimizerEnv sparse_env = env;
+  sparse_env.sparse = &oracle;
+
+  TopDownOptimizer dense_td(env);
+  TopDownOptimizer sparse_td(sparse_env);
+  BottomUpOptimizer sparse_bu(sparse_env);
+  for (const query::Query& q : wl.queries) {
+    const OptimizeResult dense_r = dense_td.optimize(q);
+    for (Optimizer* alg : std::vector<Optimizer*>{&sparse_td, &sparse_bu}) {
+      const OptimizeResult r = alg->optimize(q);
+      ASSERT_EQ(r.feasible, dense_r.feasible) << alg->name() << " " << q.name;
+      if (!r.feasible) continue;
+      EXPECT_NO_THROW(query::validate_deployment(r.deployment));
+      EXPECT_DOUBLE_EQ(r.planned_cost, r.actual_cost) << alg->name();
+      EXPECT_TRUE(std::isfinite(r.actual_cost));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iflow::opt
