@@ -1,0 +1,271 @@
+// Registration-churn microbenchmark: what does the multi-tenant churn
+// plane sustain, and what does admission control cost?
+//
+// Phase A sweeps three offered-load levels (node capacity at 1.0 / 0.7 /
+// 0.45 of the workload's uncapacitated peak) and drives a seeded
+// register/unregister loop against a live Middleware, timing every deploy.
+// Per level it reports sustained registration throughput, p99 plan latency,
+// the reuse hit-rate across churn and the admission rejection rate — the
+// rejection-vs-offered-load curve is the overload-safety story.
+//
+// Phase B sweeps seeds through engine::run_registration_churn and reports
+// the dirty-region settle criteria: the fraction of runs where a terminal
+// reoptimize() improves the settled cost by at most 5%, and the fraction
+// of actives each settle pass replanned. Results land in BENCH_churn.json
+// (uploaded by the CI perf-smoke job).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/chaos.h"
+#include "net/gtitm.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace iflow;
+
+constexpr int kNetSize = 128;
+constexpr int kQueries = 12;
+constexpr int kStreams = 16;
+constexpr int kMaxCs = 32;
+constexpr int kChurnEvents = 240;
+constexpr int kSettleEvery = 8;
+constexpr int kParitySeeds = 8;
+
+template <typename F>
+double time_ms(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double percentile(std::vector<double> v, double p) {
+  IFLOW_CHECK(!v.empty());
+  std::sort(v.begin(), v.end());
+  const double rank = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+struct World {
+  net::Network net;
+  workload::Workload wl;
+};
+
+World make_world() {
+  World w;
+  Prng net_prng(31);
+  w.net = net::make_transit_stub(net::scale_to(kNetSize), net_prng);
+  workload::WorkloadParams wp;
+  wp.num_streams = kStreams;
+  wp.min_joins = 2;
+  wp.max_joins = 3;
+  Prng wl_prng(32);
+  w.wl = workload::make_workload(w.net, wp, kQueries, wl_prng);
+  for (std::size_t i = 0; i < w.wl.queries.size(); ++i) {
+    w.wl.queries[i].tenant = static_cast<std::uint32_t>(i % 3);
+  }
+  return w;
+}
+
+double uncapacitated_peak(const World& w) {
+  net::Network net = w.net;
+  query::Catalog catalog = w.wl.catalog;
+  engine::Middleware mw(net, catalog, kMaxCs, engine::Algorithm::kTopDown,
+                        13);
+  mw.workspace().set_threads(1);
+  for (const query::Query& q : w.wl.queries) mw.deploy(q);
+  double peak = 0.0;
+  for (const double l : mw.node_loads()) peak = std::max(peak, l);
+  return peak;
+}
+
+struct LevelRow {
+  double load_factor = 0.0;    // offered load relative to capacity
+  double node_capacity = 0.0;  // bytes/s budget per node
+  double registers_per_s = 0.0;
+  double p99_plan_ms = 0.0;
+  double median_plan_ms = 0.0;
+  double reuse_hit_rate = 0.0;
+  double rejection_rate = 0.0;
+  std::size_t register_attempts = 0;
+  std::size_t admitted = 0;
+  std::size_t degraded = 0;
+  std::size_t rejected = 0;
+};
+
+LevelRow measure_level(const World& w, double capacity_fraction,
+                       double peak) {
+  net::Network net = w.net;
+  query::Catalog catalog = w.wl.catalog;
+  engine::Middleware mw(net, catalog, kMaxCs, engine::Algorithm::kTopDown,
+                        13);
+  mw.workspace().set_threads(1);
+  engine::AdmissionConfig ac;
+  ac.node_capacity = peak * capacity_fraction;
+  mw.set_admission_config(ac);
+
+  LevelRow row;
+  // Offered load is the full pool; capacity_fraction scales what fits.
+  row.load_factor = 1.0 / capacity_fraction;
+  row.node_capacity = ac.node_capacity;
+
+  Prng prng(41);
+  std::vector<char> in_system(w.wl.queries.size(), 0);
+  std::vector<double> plan_ms;
+  const auto loop_t0 = std::chrono::steady_clock::now();
+  for (int event = 0; event < kChurnEvents; ++event) {
+    std::vector<std::size_t> in, out;
+    for (std::size_t i = 0; i < in_system.size(); ++i) {
+      (in_system[i] != 0 ? in : out).push_back(i);
+    }
+    const bool unregister =
+        !in.empty() && (out.empty() || prng.chance(0.45));
+    if (unregister) {
+      const std::size_t pick = in[prng.index(in.size())];
+      mw.undeploy(w.wl.queries[pick].id);
+      in_system[pick] = 0;
+    } else {
+      const std::size_t pick = out[prng.index(out.size())];
+      const query::Query& q = w.wl.queries[pick];
+      ++row.register_attempts;
+      opt::OptimizeResult res;
+      plan_ms.push_back(time_ms([&] { res = mw.deploy(q); }));
+      if (res.feasible) {
+        in_system[pick] = 1;
+        if (mw.last_admission().decision ==
+            engine::AdmissionDecision::kAdmitDegraded) {
+          ++row.degraded;
+        }
+        ++row.admitted;
+        for (const query::LeafUnit& u : res.deployment.units) {
+          if (u.derived) {
+            row.reuse_hit_rate += 1.0;
+            break;
+          }
+        }
+      } else if (mw.last_admission().decision ==
+                 engine::AdmissionDecision::kReject) {
+        ++row.rejected;
+      } else {
+        in_system[pick] = 1;  // parked suspended
+      }
+    }
+    if ((event + 1) % kSettleEvery == 0) mw.settle();
+  }
+  const double loop_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    loop_t0)
+          .count();
+  row.registers_per_s =
+      static_cast<double>(row.register_attempts) / std::max(loop_s, 1e-9);
+  row.p99_plan_ms = percentile(plan_ms, 0.99);
+  row.median_plan_ms = percentile(plan_ms, 0.5);
+  row.reuse_hit_rate /= std::max<double>(1.0, row.admitted);
+  row.rejection_rate = static_cast<double>(row.rejected) /
+                       std::max<double>(1.0, row.register_attempts);
+  return row;
+}
+
+struct SettleRow {
+  std::size_t seeds = 0;
+  std::size_t parity_ok = 0;
+  double parity_fraction = 0.0;
+  double replan_fraction = 0.0;  // settle replans over actives present
+  double reuse_hit_rate = 0.0;   // across the churn runs
+};
+
+SettleRow measure_settle(const World& w) {
+  SettleRow row;
+  std::size_t replans = 0, actives = 0, reuse = 0, registered = 0;
+  for (int s = 0; s < kParitySeeds; ++s) {
+    engine::RegistrationChurnConfig cfg;
+    cfg.events = 48;
+    cfg.settle_every = kSettleEvery;
+    const engine::RegistrationChurnReport r =
+        engine::run_registration_churn(w.net, w.wl.catalog, w.wl.queries,
+                                       kMaxCs, engine::Algorithm::kTopDown,
+                                       100 + static_cast<std::uint64_t>(s),
+                                       cfg);
+    ++row.seeds;
+    if (r.parity_ok) ++row.parity_ok;
+    replans += r.settle_replans;
+    actives += r.settle_actives;
+    reuse += r.reuse_deployments;
+    registered += r.registrations;
+  }
+  row.parity_fraction = static_cast<double>(row.parity_ok) /
+                        std::max<double>(1.0, row.seeds);
+  row.replan_fraction =
+      static_cast<double>(replans) / std::max<double>(1.0, actives);
+  row.reuse_hit_rate =
+      static_cast<double>(reuse) / std::max<double>(1.0, registered);
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<LevelRow>& levels,
+                const SettleRow& settle) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"workload\": {\"nodes\": " << kNetSize
+      << ", \"queries\": " << kQueries << ", \"streams\": " << kStreams
+      << ", \"max_cs\": " << kMaxCs << ", \"events\": " << kChurnEvents
+      << ", \"settle_every\": " << kSettleEvery << ", \"threads\": 1},\n";
+  out << "  \"levels\": [\n";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const LevelRow& r = levels[i];
+    out << "    {\"offered_load_factor\": " << r.load_factor
+        << ", \"node_capacity\": " << r.node_capacity
+        << ", \"registers_per_s\": " << r.registers_per_s
+        << ", \"p99_plan_ms\": " << r.p99_plan_ms
+        << ", \"median_plan_ms\": " << r.median_plan_ms
+        << ", \"reuse_hit_rate\": " << r.reuse_hit_rate
+        << ", \"rejection_rate\": " << r.rejection_rate
+        << ", \"register_attempts\": " << r.register_attempts
+        << ", \"admitted\": " << r.admitted
+        << ", \"degraded\": " << r.degraded
+        << ", \"rejected\": " << r.rejected << "}"
+        << (i + 1 < levels.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"settle\": {\"seeds\": " << settle.seeds
+      << ", \"parity_fraction\": " << settle.parity_fraction
+      << ", \"replan_fraction\": " << settle.replan_fraction
+      << ", \"reuse_hit_rate\": " << settle.reuse_hit_rate << "}\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main() {
+  const World w = make_world();
+  const double peak = uncapacitated_peak(w);
+  IFLOW_CHECK(peak > 0.0);
+
+  std::vector<LevelRow> levels;
+  for (const double fraction : {1.0, 0.5, 0.3}) {
+    levels.push_back(measure_level(w, fraction, peak));
+    const LevelRow& r = levels.back();
+    std::cout << "load x" << r.load_factor << ": " << r.registers_per_s
+              << " registers/s, p99 plan " << r.p99_plan_ms
+              << " ms, reuse " << r.reuse_hit_rate << ", rejected "
+              << r.rejection_rate * 100.0 << "% of " << r.register_attempts
+              << " attempts\n";
+  }
+  const SettleRow settle = measure_settle(w);
+  std::cout << "settle parity " << settle.parity_ok << "/" << settle.seeds
+            << ", replan fraction " << settle.replan_fraction
+            << ", churn reuse " << settle.reuse_hit_rate << "\n";
+  write_json("BENCH_churn.json", levels, settle);
+  std::cout << "wrote BENCH_churn.json\n";
+  return 0;
+}

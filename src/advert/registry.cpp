@@ -22,7 +22,8 @@ void Registry::advertise(DerivedStream ds) {
   IFLOW_CHECK(ds.location != net::kInvalidNode);
   for (double f : ds.filters) IFLOW_CHECK(f > 0.0 && f <= 1.0);
   for (const DerivedStream& existing : streams_) {
-    if (existing.location == ds.location && existing.streams == ds.streams &&
+    if (existing.origin == ds.origin && existing.location == ds.location &&
+        existing.streams == ds.streams &&
         std::equal(existing.filters.begin(), existing.filters.end(),
                    ds.filters.begin(), nearly_equal)) {
       return;
@@ -40,6 +41,15 @@ std::size_t Registry::remove_located(
                                   return where(ds.location);
                                 }),
                  streams_.end());
+  return before - streams_.size();
+}
+
+std::size_t Registry::remove_origin(query::QueryId q) {
+  const std::size_t before = streams_.size();
+  streams_.erase(
+      std::remove_if(streams_.begin(), streams_.end(),
+                     [&](const DerivedStream& ds) { return ds.origin == q; }),
+      streams_.end());
   return before - streams_.size();
 }
 

@@ -56,9 +56,12 @@ struct ReuseMatch {
 /// the Catalog itself (their source nodes are public knowledge).
 class Registry {
  public:
-  /// Records a new derived stream. Duplicate (streams, filters, location)
-  /// entries are ignored — re-advertising an identical operator adds
-  /// nothing.
+  /// Records a new derived stream. Duplicate (origin, streams, filters,
+  /// location) entries are ignored — re-advertising an identical operator
+  /// adds nothing. Identity includes the originating query so that two
+  /// queries deploying identical operators each keep their own entry and
+  /// `remove_origin` can retract exactly one query's advertisements (the
+  /// warm-registry maintenance the churn plane relies on).
   void advertise(DerivedStream ds);
 
   /// Derived streams consumable by query `q` (exactly or by containment)
@@ -73,6 +76,16 @@ class Registry {
   /// Evicts advertisements whose provider matches the predicate (e.g.
   /// operators on a failed node). Returns how many were removed.
   std::size_t remove_located(const std::function<bool(net::NodeId)>& where);
+
+  /// Retracts every advertisement originating from query `q` (undeploy,
+  /// suspend, or pre-migration retraction). Returns how many were removed.
+  /// Together with `advertise` this keeps a long-lived registry warm across
+  /// churn without ever rebuilding it from the full active set.
+  std::size_t remove_origin(query::QueryId q);
+
+  /// Read-only view of every advertisement (diagnostics and the debug
+  /// warm-vs-rebuilt consistency check).
+  const std::vector<DerivedStream>& entries() const { return streams_; }
 
   std::size_t size() const { return streams_.size(); }
   void clear() { streams_.clear(); }

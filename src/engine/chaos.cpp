@@ -582,4 +582,518 @@ ChaosReport run_scripted(net::Network net, query::Catalog catalog,
                   algorithm, seed, cfg, src);
 }
 
+// ---------------------------------------------------------------------------
+// Registration churn (multi-tenant churn plane).
+// ---------------------------------------------------------------------------
+
+const char* to_string(RegistrationEventKind k) {
+  switch (k) {
+    case RegistrationEventKind::kRegister: return "register";
+    case RegistrationEventKind::kUnregister: return "unregister";
+    case RegistrationEventKind::kSetQuota: return "set-quota";
+    case RegistrationEventKind::kFailNode: return "fail-node";
+    case RegistrationEventKind::kRestoreNode: return "restore-node";
+    case RegistrationEventKind::kFailLink: return "fail-link";
+    case RegistrationEventKind::kRestoreLink: return "restore-link";
+    case RegistrationEventKind::kRateSpike: return "rate-spike";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Event supply for the registration runner: the seeded injector or a fixed
+/// script. next() sees the runner's in-system view because register /
+/// unregister eligibility depends on admission outcomes the injector cannot
+/// predict.
+class RegistrationSource {
+ public:
+  virtual ~RegistrationSource() = default;
+  virtual int count() const = 0;
+  virtual RegistrationEvent next(const std::vector<char>& in_system) = 0;
+  virtual const std::vector<net::NodeId>& down_nodes() const = 0;
+  virtual const std::vector<std::pair<net::NodeId, net::NodeId>>& down_links()
+      const = 0;
+};
+
+class RegistrationInjector final : public RegistrationSource {
+ public:
+  RegistrationInjector(const net::Network& net, const query::Catalog& catalog,
+                       const std::vector<query::Query>& pool,
+                       const RegistrationChurnConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg),
+        prng_(seed),
+        node_count_(net.node_count()),
+        pool_size_(pool.size()) {
+    std::unordered_set<std::uint64_t> seen;
+    for (const net::Link& l : net.links()) {
+      const net::NodeId a = std::min(l.a, l.b);
+      const net::NodeId b = std::max(l.a, l.b);
+      const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+      if (seen.insert(key).second) link_pairs_.emplace_back(a, b);
+    }
+    for (query::StreamId s = 0;
+         s < static_cast<query::StreamId>(catalog.stream_count()); ++s) {
+      streams_.push_back(s);
+      base_rates_.push_back(catalog.stream(s).tuple_rate);
+    }
+    for (const query::Query& q : pool) tenants_.push_back(q.tenant);
+    std::sort(tenants_.begin(), tenants_.end());
+    tenants_.erase(std::unique(tenants_.begin(), tenants_.end()),
+                   tenants_.end());
+  }
+
+  int count() const override { return cfg_.events; }
+
+  RegistrationEvent next(const std::vector<char>& in_system) override {
+    RegistrationEvent e;
+    if (prng_.chance(cfg_.fault_probability)) {
+      const bool anything_down = !down_nodes_.empty() || !down_links_.empty();
+      const bool node_budget =
+          down_nodes_.size() <
+              static_cast<std::size_t>(std::max(cfg_.max_down_nodes, 0)) &&
+          (down_nodes_.size() + 1) * 2 <= node_count_;
+      const bool link_budget =
+          down_links_.size() <
+              static_cast<std::size_t>(std::max(cfg_.max_down_links, 0)) &&
+          down_links_.size() < link_pairs_.size();
+      if (anything_down &&
+          (prng_.chance(cfg_.restore_bias) || (!node_budget && !link_budget))) {
+        const std::size_t pool = down_nodes_.size() + down_links_.size();
+        const std::size_t pick = prng_.index(pool);
+        if (pick < down_nodes_.size()) {
+          e.kind = RegistrationEventKind::kRestoreNode;
+          e.a = down_nodes_[pick];
+          down_nodes_.erase(down_nodes_.begin() +
+                            static_cast<std::ptrdiff_t>(pick));
+        } else {
+          const std::size_t li = pick - down_nodes_.size();
+          e.kind = RegistrationEventKind::kRestoreLink;
+          e.a = down_links_[li].first;
+          e.b = down_links_[li].second;
+          down_links_.erase(down_links_.begin() +
+                            static_cast<std::ptrdiff_t>(li));
+        }
+        return e;
+      }
+      if (node_budget || link_budget) {
+        const bool pick_node =
+            node_budget && (!link_budget || prng_.chance(0.5));
+        if (pick_node) {
+          std::vector<net::NodeId> up;
+          for (net::NodeId n = 0; n < static_cast<net::NodeId>(node_count_);
+               ++n) {
+            if (std::find(down_nodes_.begin(), down_nodes_.end(), n) ==
+                down_nodes_.end()) {
+              up.push_back(n);
+            }
+          }
+          e.kind = RegistrationEventKind::kFailNode;
+          e.a = prng_.pick(up);
+          down_nodes_.push_back(e.a);
+          return e;
+        }
+        std::vector<std::pair<net::NodeId, net::NodeId>> up;
+        for (const auto& p : link_pairs_) {
+          if (std::find(down_links_.begin(), down_links_.end(), p) ==
+              down_links_.end()) {
+            up.push_back(p);
+          }
+        }
+        const auto& p = prng_.pick(up);
+        e.kind = RegistrationEventKind::kFailLink;
+        e.a = p.first;
+        e.b = p.second;
+        down_links_.push_back(p);
+        return e;
+      }
+      // No fault budget and nothing to restore: fall through to churn.
+    }
+    if (!streams_.empty() && prng_.chance(cfg_.spike_probability)) {
+      e.kind = RegistrationEventKind::kRateSpike;
+      const std::size_t i = prng_.index(streams_.size());
+      e.stream = streams_[i];
+      e.rate = base_rates_[i] * prng_.uniform(0.25, 4.0);
+      return e;
+    }
+    if (!tenants_.empty() && prng_.chance(cfg_.quota_probability)) {
+      e.kind = RegistrationEventKind::kSetQuota;
+      e.tenant = prng_.pick(tenants_);
+      e.quota.weight = prng_.uniform(0.5, 2.0);
+      e.quota.max_queries = 1 + prng_.index(pool_size_);
+      return e;
+    }
+    std::vector<std::size_t> in, out;
+    for (std::size_t i = 0; i < in_system.size(); ++i) {
+      (in_system[i] != 0 ? in : out).push_back(i);
+    }
+    const bool unregister =
+        !in.empty() && (out.empty() || prng_.chance(cfg_.unregister_bias));
+    if (unregister) {
+      e.kind = RegistrationEventKind::kUnregister;
+      e.query = in[prng_.index(in.size())];
+    } else {
+      IFLOW_CHECK_MSG(!out.empty(),
+                      "registration churn over an empty query pool");
+      e.kind = RegistrationEventKind::kRegister;
+      e.query = out[prng_.index(out.size())];
+    }
+    return e;
+  }
+
+  const std::vector<net::NodeId>& down_nodes() const override {
+    return down_nodes_;
+  }
+  const std::vector<std::pair<net::NodeId, net::NodeId>>& down_links()
+      const override {
+    return down_links_;
+  }
+
+ private:
+  RegistrationChurnConfig cfg_;
+  Prng prng_;
+  std::size_t node_count_;
+  std::size_t pool_size_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> link_pairs_;
+  std::vector<query::StreamId> streams_;
+  std::vector<double> base_rates_;
+  std::vector<std::uint32_t> tenants_;
+  std::vector<net::NodeId> down_nodes_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> down_links_;
+};
+
+/// Replays a fixed registration script. Fault events must be applicable in
+/// order (same contract as ScriptSource); register/unregister events pass
+/// through — the runner skips the ones an admission rejection made moot.
+class RegistrationScriptSource final : public RegistrationSource {
+ public:
+  explicit RegistrationScriptSource(
+      const std::vector<RegistrationEvent>& script)
+      : script_(script) {}
+
+  int count() const override { return static_cast<int>(script_.size()); }
+
+  RegistrationEvent next(const std::vector<char>&) override {
+    IFLOW_CHECK(i_ < script_.size());
+    const RegistrationEvent e = script_[i_++];
+    switch (e.kind) {
+      case RegistrationEventKind::kFailNode: {
+        IFLOW_CHECK_MSG(std::find(down_nodes_.begin(), down_nodes_.end(),
+                                  e.a) == down_nodes_.end(),
+                        "registration script double-faults a node");
+        down_nodes_.push_back(e.a);
+        break;
+      }
+      case RegistrationEventKind::kRestoreNode: {
+        const auto it = std::find(down_nodes_.begin(), down_nodes_.end(), e.a);
+        IFLOW_CHECK_MSG(it != down_nodes_.end(),
+                        "registration script restores an up node");
+        down_nodes_.erase(it);
+        break;
+      }
+      case RegistrationEventKind::kFailLink: {
+        const auto pair =
+            std::make_pair(std::min(e.a, e.b), std::max(e.a, e.b));
+        IFLOW_CHECK_MSG(std::find(down_links_.begin(), down_links_.end(),
+                                  pair) == down_links_.end(),
+                        "registration script double-fails a link pair");
+        down_links_.push_back(pair);
+        break;
+      }
+      case RegistrationEventKind::kRestoreLink: {
+        const auto pair =
+            std::make_pair(std::min(e.a, e.b), std::max(e.a, e.b));
+        const auto it =
+            std::find(down_links_.begin(), down_links_.end(), pair);
+        IFLOW_CHECK_MSG(it != down_links_.end(),
+                        "registration script restores an up link pair");
+        down_links_.erase(it);
+        break;
+      }
+      default:
+        break;
+    }
+    return e;
+  }
+
+  const std::vector<net::NodeId>& down_nodes() const override {
+    return down_nodes_;
+  }
+  const std::vector<std::pair<net::NodeId, net::NodeId>>& down_links()
+      const override {
+    return down_links_;
+  }
+
+ private:
+  std::vector<RegistrationEvent> script_;
+  std::size_t i_ = 0;
+  std::vector<net::NodeId> down_nodes_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> down_links_;
+};
+
+/// Nodes over node_capacity plus links over their bandwidth headroom, per
+/// the incremental ledger. Rate spikes may legitimately push EXISTING
+/// actives over budget (admission gates arrivals; drift is rebalance
+/// territory) — the harness invariant is that an admitted registration
+/// never raises this count.
+std::size_t capacity_breaches(const Middleware& mw,
+                              const RegistrationChurnConfig& cfg) {
+  std::size_t n = 0;
+  if (cfg.node_capacity > 0.0) {
+    for (const double load : mw.ledger().node_load()) {
+      if (load > cfg.node_capacity + 1e-6) ++n;
+    }
+  }
+  if (cfg.link_utilization_cap > 0.0) {
+    const auto& links = mw.network().links();
+    const std::vector<double>& loads = mw.ledger().link_load();
+    for (std::size_t i = 0; i < loads.size() && i < links.size(); ++i) {
+      const double bw = links[i].bandwidth_bps;
+      if (bw <= 0.0) continue;
+      if (loads[i] > bw / 8.0 * cfg.link_utilization_cap + 1e-6) ++n;
+    }
+  }
+  return n;
+}
+
+void reg_digest_line(std::ostringstream& os, std::size_t step,
+                     const RegistrationEvent& e, const char* note,
+                     const Middleware& mw, double total_cost,
+                     std::size_t violations) {
+  os << "step " << step << ' ' << to_string(e.kind) << ' ';
+  switch (e.kind) {
+    case RegistrationEventKind::kRegister:
+    case RegistrationEventKind::kUnregister:
+      os << 'q' << e.query << ' ' << note;
+      break;
+    case RegistrationEventKind::kSetQuota:
+      os << 't' << e.tenant << " w " << std::hexfloat << e.quota.weight
+         << std::defaultfloat << " maxq " << e.quota.max_queries;
+      break;
+    case RegistrationEventKind::kRateSpike:
+      os << 's' << e.stream << ' ' << std::hexfloat << e.rate
+         << std::defaultfloat;
+      break;
+    default:
+      os << e.a;
+      if (e.b != net::kInvalidNode) os << '-' << e.b;
+      break;
+  }
+  os << " cost " << std::hexfloat << total_cost << std::defaultfloat
+     << " active " << mw.active_queries() << " suspended "
+     << mw.suspended_queries() << " viol " << violations << '\n';
+}
+
+RegistrationChurnReport run_registration_impl(
+    net::Network net, query::Catalog catalog,
+    const std::vector<query::Query>& pool, int max_cs, Algorithm algorithm,
+    std::uint64_t seed, const RegistrationChurnConfig& cfg,
+    RegistrationSource& src) {
+  RegistrationChurnReport report;
+  std::ostringstream digest;
+
+  Middleware mw(net, catalog, max_cs, algorithm, seed, cfg.drift_threshold);
+  mw.workspace().set_threads(cfg.threads);
+  AdmissionConfig ac;
+  ac.node_capacity = cfg.node_capacity;
+  ac.link_utilization_cap = cfg.link_utilization_cap;
+  mw.set_admission_config(ac);
+  for (const auto& [tenant, quota] : cfg.quotas) {
+    mw.set_tenant_quota(tenant, quota);
+  }
+
+  std::vector<char> in_system(pool.size(), 0);
+  std::size_t restores = 0;  // attempt-budget resets, for the backoff bound
+
+  const auto validate_after =
+      [&](const std::unordered_set<query::QueryId>& fresh) -> std::size_t {
+    std::string detail;
+    const std::size_t v = validate_actives(mw, fresh, &detail);
+    if (!detail.empty() && report.violation_detail.empty()) {
+      report.violation_detail = detail;
+    }
+    report.violations += v;
+    return v;
+  };
+
+  const auto settle_pass = [&](std::size_t step_no) {
+    const std::vector<Redeployment> reds = mw.settle();
+    ++report.settles;
+    const Middleware::SettleStats& st = mw.last_settle_stats();
+    report.settle_replans += st.replanned;
+    report.settle_moves += st.moved;
+    report.settle_actives += mw.active_queries();
+    const std::size_t v = validate_after(replanned_ids(reds));
+    digest << "settle " << step_no << " replanned " << st.replanned
+           << " moved " << st.moved << " cost " << std::hexfloat
+           << mw.total_current_cost() << std::defaultfloat << " viol " << v
+           << '\n';
+  };
+
+  for (int i = 0; i < src.count(); ++i) {
+    const RegistrationEvent e = src.next(in_system);
+    std::vector<Redeployment> reds;
+    std::unordered_set<query::QueryId> fresh;
+    const char* note = "";
+    switch (e.kind) {
+      case RegistrationEventKind::kRegister: {
+        IFLOW_CHECK(e.query < pool.size());
+        if (in_system[e.query] != 0) {
+          note = "noop";  // scripted replay of a register already in effect
+          break;
+        }
+        const query::Query& q = pool[e.query];
+        const std::size_t breaches_before = capacity_breaches(mw, cfg);
+        const opt::OptimizeResult res = mw.deploy(q);
+        if (res.feasible) {
+          in_system[e.query] = 1;
+          ++report.registrations;
+          report.deploy_time_ms += res.deploy_time_ms;
+          if (mw.last_admission().decision ==
+              AdmissionDecision::kAdmitDegraded) {
+            ++report.degraded;
+            note = "degraded";
+          } else {
+            ++report.admitted;
+            note = "admit";
+          }
+          for (const query::LeafUnit& u : res.deployment.units) {
+            if (u.derived) {
+              ++report.reuse_deployments;
+              break;
+            }
+          }
+          fresh.insert(q.id);
+          const std::size_t breaches_after = capacity_breaches(mw, cfg);
+          if (breaches_after > breaches_before) {
+            report.capacity_violations += breaches_after - breaches_before;
+          }
+        } else if (mw.last_admission().decision == AdmissionDecision::kReject) {
+          ++report.rejections;
+          note = "rejected";
+          if (report.first_rejection.empty()) {
+            report.first_rejection = mw.last_admission().reason;
+          }
+        } else {
+          // Endpoints down or momentarily unplannable: parked suspended,
+          // holding its tenant slot; the resume passes retry it.
+          in_system[e.query] = 1;
+          ++report.registrations;
+          ++report.parked;
+          note = "parked";
+        }
+        break;
+      }
+      case RegistrationEventKind::kUnregister: {
+        IFLOW_CHECK(e.query < pool.size());
+        if (mw.undeploy(pool[e.query].id, &reds)) {
+          in_system[e.query] = 0;
+          ++report.unregistrations;
+          note = "ok";
+        } else {
+          note = "noop";  // scripted unregister of a rejected registration
+        }
+        break;
+      }
+      case RegistrationEventKind::kSetQuota:
+        mw.set_tenant_quota(e.tenant, e.quota);
+        break;
+      case RegistrationEventKind::kFailNode:
+        reds = mw.fail_node(e.a);
+        break;
+      case RegistrationEventKind::kRestoreNode:
+        reds = mw.restore_node(e.a);
+        ++restores;
+        break;
+      case RegistrationEventKind::kFailLink:
+        reds = mw.fail_link(e.a, e.b);
+        break;
+      case RegistrationEventKind::kRestoreLink:
+        reds = mw.restore_link(e.a, e.b);
+        ++restores;
+        break;
+      case RegistrationEventKind::kRateSpike:
+        mw.set_stream_rate(e.stream, e.rate);
+        reds = mw.adapt();
+        break;
+    }
+    std::unordered_set<query::QueryId> ids = replanned_ids(reds);
+    ids.insert(fresh.begin(), fresh.end());
+    const std::size_t v = validate_after(ids);
+    reg_digest_line(digest, static_cast<std::size_t>(i), e, note, mw,
+                    mw.total_current_cost(), v);
+    if (cfg.settle_every > 0 && (i + 1) % cfg.settle_every == 0) {
+      settle_pass(static_cast<std::size_t>(i));
+    }
+  }
+
+  // Restore whatever the schedule left down, drain the suspended queue,
+  // then settle the remaining dirty region. Each restore resets the resume
+  // attempt budgets (and with them the exponential backoff skips).
+  for (const auto& [a, b] : src.down_links()) {
+    validate_after(replanned_ids(mw.restore_link(a, b)));
+    ++restores;
+  }
+  for (const net::NodeId n : src.down_nodes()) {
+    validate_after(replanned_ids(mw.restore_node(n)));
+    ++restores;
+  }
+  for (int round = 0; round < 5; ++round) {
+    const std::vector<Redeployment> r = mw.adapt();
+    validate_after(replanned_ids(r));
+    if (r.empty()) break;
+  }
+  settle_pass(static_cast<std::size_t>(src.count()));
+  report.final_cost = mw.total_current_cost();
+
+  // Settle parity: the incremental dirty-region path must leave at most
+  // parity_slack of the total cost on the table versus a full re-cluster.
+  validate_after(replanned_ids(mw.reoptimize()));
+  report.reopt_cost = mw.total_current_cost();
+  report.parity_ok = std::isfinite(report.final_cost) &&
+                     std::isfinite(report.reopt_cost) &&
+                     report.reopt_cost >=
+                         report.final_cost * (1.0 - cfg.parity_slack) - kEps;
+
+  // Bounded retries: each suspended query fails at most max_resume_attempts
+  // times between attempt-budget resets, and only restores reset budgets.
+  report.resume_failures = mw.resume_failures_total();
+  const std::uint64_t bound =
+      (static_cast<std::uint64_t>(restores) + 1) *
+      static_cast<std::uint64_t>(mw.max_resume_attempts()) * pool.size();
+  report.backoff_bounded = report.resume_failures <= bound;
+
+  report.ok = report.violations == 0 && report.capacity_violations == 0 &&
+              report.parity_ok && report.backoff_bounded;
+
+  digest << "final cost " << std::hexfloat << report.final_cost << " reopt "
+         << report.reopt_cost << std::defaultfloat << " reg "
+         << report.registrations << " rej " << report.rejections << " viol "
+         << report.violations << '\n';
+  report.digest = digest.str();
+  return report;
+}
+
+}  // namespace
+
+RegistrationChurnReport run_registration_churn(
+    net::Network net, query::Catalog catalog,
+    const std::vector<query::Query>& pool, int max_cs, Algorithm algorithm,
+    std::uint64_t seed, const RegistrationChurnConfig& cfg) {
+  RegistrationInjector src(net, catalog, pool, cfg,
+                           seed ^ 0x9E61577E4A71ULL);
+  return run_registration_impl(std::move(net), std::move(catalog), pool,
+                               max_cs, algorithm, seed, cfg, src);
+}
+
+RegistrationChurnReport run_registration_script(
+    net::Network net, query::Catalog catalog,
+    const std::vector<query::Query>& pool, int max_cs, Algorithm algorithm,
+    std::uint64_t seed, const std::vector<RegistrationEvent>& script,
+    const RegistrationChurnConfig& cfg) {
+  RegistrationScriptSource src(script);
+  return run_registration_impl(std::move(net), std::move(catalog), pool,
+                               max_cs, algorithm, seed, cfg, src);
+}
+
 }  // namespace iflow::engine

@@ -202,4 +202,137 @@ ChaosReport run_scripted(net::Network net, query::Catalog catalog,
                          const std::vector<ChaosEvent>& script,
                          const ChaosConfig& cfg = {});
 
+// ---------------------------------------------------------------------------
+// Registration churn: the multi-tenant churn plane (DESIGN.md §14).
+//
+// Where run_churn holds the query population fixed and churns the NETWORK,
+// run_registration_churn holds the network mostly steady and churns the
+// QUERY POPULATION: queries from a fixed pool register (through admission
+// control) and unregister continuously, interleaved with a low rate of
+// faults, restores, rate spikes and quota changes. After every event the
+// harness validates all actives, checks that no admitted deployment left a
+// node or link over its capacity budget, and appends a digest line; on a
+// cadence it runs the dirty-region settle pass. The report asserts the
+// churn-plane invariants the churn tests (and the differential fuzzer's
+// --register-churn mode) check:
+//   * zero validator violations and zero capacity violations;
+//   * settle parity: a terminal reoptimize() improves the settled total
+//     cost by at most `parity_slack`;
+//   * bounded retries: exponential backoff keeps total resume failures
+//     under (restores + 1) * max_resume_attempts * pool size.
+// ---------------------------------------------------------------------------
+
+enum class RegistrationEventKind : std::uint8_t {
+  kRegister,     // deploy a pool query through admission control
+  kUnregister,   // tear down an in-system query (with dependent repair)
+  kSetQuota,     // replace one tenant's quota (affects future admissions)
+  kFailNode,     // processing failure; node keeps forwarding
+  kRestoreNode,
+  kFailLink,     // administrative link-pair failure
+  kRestoreLink,
+  kRateSpike,    // stream rate re-drawn; adapt() re-plans drifted queries
+};
+
+const char* to_string(RegistrationEventKind k);
+
+struct RegistrationEvent {
+  RegistrationEventKind kind = RegistrationEventKind::kRegister;
+  std::size_t query = 0;     // pool index (register / unregister)
+  std::uint32_t tenant = 0;  // kSetQuota
+  TenantQuota quota;         // kSetQuota
+  net::NodeId a = net::kInvalidNode;               // faults / restores
+  net::NodeId b = net::kInvalidNode;               // link events
+  query::StreamId stream = query::kInvalidStream;  // rate spikes
+  double rate = 0.0;                               // new tuple rate
+};
+
+struct RegistrationChurnConfig {
+  /// Injector-drawn events to replay (scripted runs replay the whole
+  /// script and ignore this).
+  int events = 48;
+  /// P(unregister) when both a register and an unregister are possible.
+  double unregister_bias = 0.35;
+  /// Probability of a fault/restore event instead of population churn.
+  double fault_probability = 0.08;
+  /// P(restore | something is down) within the fault branch.
+  double restore_bias = 0.5;
+  /// Probability of a rate-spike event (rate re-drawn in [0.25, 4] x base).
+  double spike_probability = 0.08;
+  /// Probability of a quota-change event (random pool tenant's weight and
+  /// query cap re-drawn). Default off: quota churn is opt-in.
+  double quota_probability = 0.0;
+  int max_down_nodes = 1;
+  int max_down_links = 1;
+  /// Run the dirty-region settle pass every N events (0 = only at the end).
+  int settle_every = 6;
+  /// Admission budgets handed to the middleware (<= 0 = unlimited; see
+  /// AdmissionConfig). Link capacity stays opt-in.
+  double node_capacity = 0.0;
+  double link_utilization_cap = 0.0;
+  /// Initial per-tenant quotas.
+  std::vector<std::pair<std::uint32_t, TenantQuota>> quotas;
+  /// Planner threads (determinism checks diff digests across counts).
+  int threads = 1;
+  double drift_threshold = 1.2;
+  /// Settle parity: the terminal reoptimize() may improve the settled
+  /// total cost by at most this fraction.
+  double parity_slack = 0.05;
+};
+
+struct RegistrationChurnReport {
+  std::size_t registrations = 0;  // register events that entered the system
+  std::size_t admitted = 0;       // of those, priced kAdmit (or unpriced)
+  std::size_t degraded = 0;       // admitted only after a host-excluded replan
+  std::size_t parked = 0;         // entered the suspended queue (endpoints down)
+  std::size_t rejections = 0;     // Outcome::kRejected (priced reason, no park)
+  std::size_t unregistrations = 0;
+  std::size_t reuse_deployments = 0;  // admitted plans consuming >=1 derived unit
+  std::string first_rejection;        // sample priced rejection reason
+  /// Dirty-region settle accounting, summed over all settle passes.
+  std::size_t settles = 0;
+  std::size_t settle_replans = 0;
+  std::size_t settle_moves = 0;
+  /// Actives at each settle pass, summed: settle_replans / settle_actives
+  /// is the replanned fraction the churn-plane criterion bounds (< 25%).
+  std::size_t settle_actives = 0;
+  std::size_t violations = 0;  // validator violations across the whole run
+  std::string violation_detail;
+  /// Admitted registrations that left a node over node_capacity or a link
+  /// over its bandwidth headroom (must be zero: admission is a guarantee).
+  std::size_t capacity_violations = 0;
+  /// Modeled planning latency summed over admitted registrations.
+  double deploy_time_ms = 0.0;
+  double final_cost = 0.0;  // after drain + final settle
+  double reopt_cost = 0.0;  // after the terminal reoptimize()
+  bool parity_ok = false;   // reopt_cost >= final_cost * (1 - parity_slack)
+  std::uint64_t resume_failures = 0;
+  bool backoff_bounded = false;
+  /// All invariants hold: no violations, no capacity breaches, parity,
+  /// bounded backoff.
+  bool ok = false;
+  /// One line per event (+ settle lines); bitwise-identical across planner
+  /// thread counts for a fixed seed.
+  std::string digest;
+};
+
+/// Replays `cfg.events` injector-drawn registration-churn events over a
+/// query pool against a Middleware built over copies of `net`/`catalog`.
+/// Pool queries must have distinct ids; an unregistered query may register
+/// again later (including after a rejection).
+RegistrationChurnReport run_registration_churn(
+    net::Network net, query::Catalog catalog,
+    const std::vector<query::Query>& pool, int max_cs, Algorithm algorithm,
+    std::uint64_t seed, const RegistrationChurnConfig& cfg = {});
+
+/// Replays a FIXED registration script (see workload::make_churn_script).
+/// Register/unregister events that are inapplicable because an earlier
+/// register was rejected by admission are skipped (scripts cannot predict
+/// admission outcomes); fault events must be applicable in order, exactly
+/// as in run_scripted.
+RegistrationChurnReport run_registration_script(
+    net::Network net, query::Catalog catalog,
+    const std::vector<query::Query>& pool, int max_cs, Algorithm algorithm,
+    std::uint64_t seed, const std::vector<RegistrationEvent>& script,
+    const RegistrationChurnConfig& cfg = {});
+
 }  // namespace iflow::engine

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <tuple>
 
 #include "opt/in_network.h"
 #include "opt/plan_then_deploy.h"
@@ -46,6 +47,7 @@ const char* to_string(Outcome o) {
     case Outcome::kAccepted: return "accepted";
     case Outcome::kSuspended: return "suspended";
     case Outcome::kResumed: return "resumed";
+    case Outcome::kRejected: return "rejected";
   }
   return "?";
 }
@@ -57,6 +59,7 @@ Middleware::Middleware(net::Network& net, query::Catalog& catalog,
       seed_(seed), drift_threshold_(drift_threshold) {
   IFLOW_CHECK(drift_threshold > 1.0);
   rebuild_views();
+  ledger_.reset(net_->node_count(), net_->link_count());
 }
 
 void Middleware::rebuild_routing() {
@@ -229,8 +232,108 @@ opt::OptimizerEnv Middleware::env() {
       if (!excluded(n)) e.processing_nodes.push_back(n);
     }
   }
+  e.excluded_sites = admission_excluded_;  // sorted by the degraded path
   e.workspace = &workspace_;
   return e;
+}
+
+void Middleware::ledger_add(Active& a) {
+  query::RateModel rates(*catalog_, a.q);
+  a.footprint = footprint(a.deployment, rates, *routing_, *net_);
+  ledger_.apply(a.footprint, a.q.tenant, +1);
+}
+
+void Middleware::ledger_remove(Active& a) {
+  ledger_.apply(a.footprint, a.q.tenant, -1);
+  a.footprint = DeploymentFootprint{};
+}
+
+void Middleware::on_migrated(Active& a) {
+  registry_.remove_origin(a.q.id);
+  query::RateModel rates(*catalog_, a.q);
+  advert::advertise_deployment(registry_, a.deployment, rates);
+  ledger_add(a);
+}
+
+void Middleware::mark_dirty(query::QueryId id) {
+  const auto it = std::lower_bound(dirty_.begin(), dirty_.end(), id);
+  if (it == dirty_.end() || *it != id) dirty_.insert(it, id);
+}
+
+void Middleware::mark_dirty_overlap(const query::Query& q) {
+  // A changed provider can only alter another query's options through the
+  // operator outputs it actually advertises, and a consumer can only adopt
+  // a unit whose stream set is a subset of its own sources. Testing the
+  // registry's real entries (rather than raw source overlap) keeps the
+  // dirty region tight, which is what holds settle's replanned fraction
+  // far under reoptimize()'s. Call this only after the provider's
+  // advertisements are current.
+  std::vector<const advert::DerivedStream*> units;
+  for (const advert::DerivedStream& d : registry_.entries()) {
+    if (d.origin == q.id && d.streams.size() >= 2) units.push_back(&d);
+  }
+  if (units.empty()) return;
+  for (const Active& a : active_) {
+    if (a.q.id == q.id) continue;
+    std::vector<query::StreamId> sorted = a.q.sources;
+    std::sort(sorted.begin(), sorted.end());
+    bool adoptable = false;
+    for (const advert::DerivedStream* d : units) {
+      bool subset = true;
+      for (query::StreamId s : d->streams) {
+        if (!std::binary_search(sorted.begin(), sorted.end(), s)) {
+          subset = false;
+          break;
+        }
+      }
+      if (subset) {
+        adoptable = true;
+        break;
+      }
+    }
+    if (adoptable) mark_dirty(a.q.id);
+  }
+}
+
+void Middleware::debug_check_warm_state() const {
+#ifndef NDEBUG
+  // Warm registry == full rebuild: same (origin, location, streams)
+  // multiset. Rates may lag on entries whose origin was untouched by an
+  // event (harmless — they refresh on the next migration), so only the
+  // identity triple is compared.
+  advert::Registry rebuilt;
+  for (const Active& a : active_) {
+    query::RateModel rates(*catalog_, a.q);
+    advert::advertise_deployment(rebuilt, a.deployment, rates);
+  }
+  const auto key_of = [](const advert::DerivedStream& ds) {
+    return std::make_tuple(ds.origin, ds.location, ds.streams);
+  };
+  std::vector<std::tuple<query::QueryId, net::NodeId,
+                         std::vector<query::StreamId>>>
+      warm, fresh;
+  for (const advert::DerivedStream& ds : registry_.entries()) {
+    warm.push_back(key_of(ds));
+  }
+  for (const advert::DerivedStream& ds : rebuilt.entries()) {
+    fresh.push_back(key_of(ds));
+  }
+  std::sort(warm.begin(), warm.end());
+  std::sort(fresh.begin(), fresh.end());
+  IFLOW_CHECK_MSG(warm == fresh,
+                  "warm registry diverged from rebuild: " << warm.size()
+                  << " vs " << fresh.size() << " entries");
+  // Incremental node loads == from-scratch recompute.
+  const std::vector<double>& inc = ledger_.node_load();
+  const std::vector<double> scratch = node_loads_recomputed();
+  IFLOW_CHECK(inc.size() == scratch.size());
+  for (std::size_t n = 0; n < inc.size(); ++n) {
+    const double tol = 1e-6 * (1.0 + std::abs(scratch[n]));
+    IFLOW_CHECK_MSG(std::abs(inc[n] - scratch[n]) <= tol,
+                    "incremental load drifted on node " << n << ": "
+                    << inc[n] << " vs " << scratch[n]);
+  }
+#endif
 }
 
 opt::OptimizeResult Middleware::replan(const Active& a) {
@@ -280,23 +383,110 @@ std::unique_ptr<opt::Optimizer> Middleware::make_optimizer() {
 }
 
 opt::OptimizeResult Middleware::deploy(const query::Query& q) {
-  if (!endpoints_healthy(q)) {
-    suspended_.push_back(SuspendedQuery{q, 0.0, 0});
-    opt::OptimizeResult res;
+  last_admission_ = AdmissionVerdict{};
+  opt::OptimizeResult res;
+  // Per-tenant query-count quota gates before any planning work.
+  last_admission_ = admission_.precheck(q.tenant, ledger_);
+  if (last_admission_.decision == AdmissionDecision::kReject) {
     res.feasible = false;
     return res;
   }
-  auto optimizer = make_optimizer();
-  opt::OptimizeResult res = optimizer->optimize(q);
-  if (!res.feasible || !std::isfinite(res.actual_cost)) {
+  if (!endpoints_healthy(q)) {
     suspended_.push_back(SuspendedQuery{q, 0.0, 0});
+    ledger_.count_query(q.tenant, +1);
     res.feasible = false;
     return res;
+  }
+  {
+    auto optimizer = make_optimizer();
+    res = optimizer->optimize(q);
+  }
+  if (!res.feasible || !std::isfinite(res.actual_cost)) {
+    suspended_.push_back(SuspendedQuery{q, 0.0, 0});
+    ledger_.count_query(q.tenant, +1);
+    res.feasible = false;
+    return res;
+  }
+  const AdmissionConfig& cfg = admission_.config();
+  const bool priced = cfg.node_capacity > 0.0 ||
+                      cfg.link_utilization_cap > 0.0 ||
+                      !admission_.quotas().empty();
+  if (priced) {
+    query::RateModel rates(*catalog_, q);
+    DeploymentFootprint fp = footprint(res.deployment, rates, *routing_,
+                                       *net_);
+    last_admission_ = admission_.price(fp, q.tenant, ledger_, *net_,
+                                       /*degraded=*/false);
+    if (last_admission_.decision == AdmissionDecision::kReject &&
+        !last_admission_.saturated_nodes.empty()) {
+      // Capacity rejection: one degraded attempt planning AROUND the
+      // saturated hosts into the remaining headroom.
+      admission_excluded_ = last_admission_.saturated_nodes;
+      opt::OptimizeResult degraded;
+      {
+        auto optimizer = make_optimizer();
+        degraded = optimizer->optimize(q);
+      }
+      admission_excluded_.clear();
+      if (degraded.feasible && std::isfinite(degraded.actual_cost)) {
+        fp = footprint(degraded.deployment, rates, *routing_, *net_);
+        const AdmissionVerdict second =
+            admission_.price(fp, q.tenant, ledger_, *net_, /*degraded=*/true);
+        if (second.decision != AdmissionDecision::kReject) {
+          last_admission_ = second;
+          res = std::move(degraded);
+        }
+      }
+    }
+    if (last_admission_.decision == AdmissionDecision::kReject) {
+      // Rejected — not parked: a rejection is a priced policy answer, not
+      // a transient fault, and retrying it via the resume queue would
+      // amount to quota evasion.
+      res.feasible = false;
+      return res;
+    }
   }
   query::RateModel rates(*catalog_, q);
   advert::advertise_deployment(registry_, res.deployment, rates);
-  active_.push_back(Active{q, res.deployment, res.actual_cost});
+  active_.push_back(Active{q, res.deployment, res.actual_cost, {}});
+  ledger_add(active_.back());
+  ledger_.count_query(q.tenant, +1);
+  // A new provider changes the reuse landscape for its stream neighborhood.
+  mark_dirty_overlap(q);
   return res;
+}
+
+bool Middleware::undeploy(query::QueryId id,
+                          std::vector<Redeployment>* repairs) {
+  for (std::size_t i = 0; i < suspended_.size(); ++i) {
+    if (suspended_[i].q.id != id) continue;
+    ledger_.count_query(suspended_[i].q.tenant, -1);
+    suspended_.erase(suspended_.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i].q.id != id) continue;
+    // Consumers transitively drawing on this provider's operators must be
+    // repaired after the teardown — reconcile() migrates or suspends them,
+    // never leaves them ungrounded. Snapshot the set first: it also seeds
+    // the dirty region. A departure removes reuse options but never
+    // creates them, so non-dependents stay clean.
+    const std::vector<bool> dep = transitive_dependents(active_[i]);
+    for (std::size_t j = 0; j < active_.size(); ++j) {
+      if (dep[j] && j != i) mark_dirty(active_[j].q.id);
+    }
+    ledger_remove(active_[i]);
+    ledger_.count_query(active_[i].q.tenant, -1);
+    registry_.remove_origin(id);
+    active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+    const std::vector<Redeployment> out = reconcile(false);
+    if (repairs != nullptr) {
+      repairs->insert(repairs->end(), out.begin(), out.end());
+    }
+    debug_check_warm_state();
+    return true;
+  }
+  return false;  // unknown or already undeployed: clean error
 }
 
 void Middleware::set_link_cost(net::NodeId a, net::NodeId b,
@@ -321,7 +511,27 @@ void Middleware::set_link_jitter(net::NodeId a, net::NodeId b,
 }
 
 void Middleware::set_stream_rate(query::StreamId stream, double tuple_rate) {
+  // Retract affected actives at the OLD rates (their recorded footprints
+  // are exact), move the catalog, then re-price and re-advertise at the
+  // new rates — the ledger and the warm registry track live volumes the
+  // way the old full recomputes did.
+  std::vector<std::size_t> affected;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const std::vector<query::StreamId>& src = active_[i].q.sources;
+    if (std::find(src.begin(), src.end(), stream) != src.end()) {
+      affected.push_back(i);
+    }
+  }
+  for (std::size_t i : affected) ledger_remove(active_[i]);
   catalog_->set_tuple_rate(stream, tuple_rate);
+  for (std::size_t i : affected) {
+    Active& a = active_[i];
+    ledger_add(a);
+    registry_.remove_origin(a.q.id);
+    query::RateModel rates(*catalog_, a.q);
+    advert::advertise_deployment(registry_, a.deployment, rates);
+    mark_dirty(a.q.id);
+  }
 }
 
 void Middleware::refresh_registry() {
@@ -339,10 +549,21 @@ void Middleware::resume_pass(std::vector<Redeployment>& out) {
       ++i;
       continue;
     }
+    if (s.skip > 0) {
+      // Exponential backoff: sit out this pass instead of burning a
+      // failed replan on a world that has not changed (restores clear
+      // the counter, so recovery still resumes immediately).
+      --s.skip;
+      ++i;
+      continue;
+    }
     auto optimizer = make_optimizer();
     const opt::OptimizeResult res = optimizer->optimize(s.q);
     if (!res.feasible || !std::isfinite(res.actual_cost)) {
       ++s.attempts;
+      ++resume_failures_total_;
+      // After the k-th failure, skip the next 2^k - 1 eligible passes.
+      s.skip = (1 << std::min(s.attempts, 16)) - 1;
       ++i;
       continue;
     }
@@ -353,9 +574,12 @@ void Middleware::resume_pass(std::vector<Redeployment>& out) {
     r.adapted_cost = res.actual_cost;
     r.outcome = Outcome::kResumed;
     out.push_back(r);
-    active_.push_back(Active{std::move(s.q), res.deployment, res.actual_cost});
+    active_.push_back(
+        Active{std::move(s.q), res.deployment, res.actual_cost, {}});
     query::RateModel rates(*catalog_, active_.back().q);
     advert::advertise_deployment(registry_, active_.back().deployment, rates);
+    ledger_add(active_.back());
+    mark_dirty_overlap(active_.back().q);
     suspended_.erase(suspended_.begin() + static_cast<std::ptrdiff_t>(i));
   }
 }
@@ -388,24 +612,31 @@ std::vector<Redeployment> Middleware::reconcile(bool try_resume) {
       if (healthy && res.feasible && std::isfinite(res.actual_cost)) {
         r.adapted_cost = res.actual_cost;
         r.outcome = Outcome::kMigrated;
+        ledger_remove(a);
         a.deployment = res.deployment;
         a.planned_cost = res.actual_cost;
+        // Swap this query's advertisements in place; everyone else's stay
+        // warm (no full registry rebuild per event). The query itself was
+        // just replanned to its optimum, so only the neighborhood that can
+        // see its new advertisements needs a settle visit.
+        on_migrated(a);
+        mark_dirty_overlap(a.q);
         ++i;
       } else {
         r.adapted_cost = kInf;
         r.outcome = Outcome::kSuspended;
+        ledger_remove(a);
+        registry_.remove_origin(a.q.id);
         suspended_.push_back(
             SuspendedQuery{std::move(a.q), a.planned_cost, 0});
         active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
       }
       out.push_back(r);
     }
-    // Advertisements referencing down hosts or moved operators are stale:
-    // rebuild from the surviving deployments (resume planning needs them).
-    refresh_registry();
     if (!changed) break;
   }
   if (try_resume) resume_pass(out);
+  debug_check_warm_state();
   return out;
 }
 
@@ -454,8 +685,11 @@ std::vector<Redeployment> Middleware::restore_node(net::NodeId n) {
     hierarchy_->add_node(n, *routing_, fork);
   }
   // Recovery resets the retry budget: everything suspended gets a fresh
-  // chance now that the world improved.
-  for (SuspendedQuery& s : suspended_) s.attempts = 0;
+  // chance now that the world improved (backoff clears with it).
+  for (SuspendedQuery& s : suspended_) {
+    s.attempts = 0;
+    s.skip = 0;
+  }
   return reconcile(true);
 }
 
@@ -471,7 +705,10 @@ std::vector<Redeployment> Middleware::restore_link(net::NodeId a,
   net_->restore_link(a, b);
   rebuild_routing();
   hierarchy_->refresh(*routing_);
-  for (SuspendedQuery& s : suspended_) s.attempts = 0;
+  for (SuspendedQuery& s : suspended_) {
+    s.attempts = 0;
+    s.skip = 0;
+  }
   return reconcile(true);
 }
 
@@ -514,9 +751,41 @@ std::vector<Middleware::ActiveView> Middleware::active_views() const {
 void Middleware::set_node_capacity(double max_input_bytes_per_s) {
   IFLOW_CHECK(max_input_bytes_per_s >= 0.0);
   node_capacity_ = max_input_bytes_per_s;
+  // One knob: the admission controller prices against the same budget the
+  // rebalancer sheds against.
+  AdmissionConfig cfg = admission_.config();
+  cfg.node_capacity = max_input_bytes_per_s;
+  admission_.set_config(cfg);
+}
+
+void Middleware::set_admission_config(const AdmissionConfig& cfg) {
+  IFLOW_CHECK(cfg.node_capacity >= 0.0);
+  admission_.set_config(cfg);
+  node_capacity_ = cfg.node_capacity;
+}
+
+void Middleware::set_tenant_quota(std::uint32_t tenant,
+                                  const TenantQuota& quota) {
+  admission_.set_quota(tenant, quota);
 }
 
 std::vector<double> Middleware::node_loads() const {
+#ifndef NDEBUG
+  // The incremental ledger must agree with a from-scratch recompute.
+  const std::vector<double> scratch = node_loads_recomputed();
+  const std::vector<double>& inc = ledger_.node_load();
+  IFLOW_CHECK(inc.size() == scratch.size());
+  for (std::size_t n = 0; n < inc.size(); ++n) {
+    const double tol = 1e-6 * (1.0 + std::abs(scratch[n]));
+    IFLOW_CHECK_MSG(std::abs(inc[n] - scratch[n]) <= tol,
+                    "incremental load drifted on node " << n << ": "
+                    << inc[n] << " vs " << scratch[n]);
+  }
+#endif
+  return ledger_.node_load();
+}
+
+std::vector<double> Middleware::node_loads_recomputed() const {
   std::vector<double> load(net_->node_count(), 0.0);
   for (const Active& a : active_) {
     const query::Deployment& d = a.deployment;
@@ -593,6 +862,8 @@ std::vector<Redeployment> Middleware::rebalance_load() {
         r.adapted_cost = kInf;
         r.outcome = Outcome::kSuspended;
         redeployed.push_back(r);
+        ledger_remove(a);
+        registry_.remove_origin(a.q.id);
         suspended_.push_back(SuspendedQuery{std::move(a.q), a.planned_cost,
                                             max_resume_attempts_});
         active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
@@ -601,7 +872,6 @@ std::vector<Redeployment> Middleware::rebalance_load() {
       if (!suspended_any) {
         break;  // already shed and its remaining load cannot move
       }
-      refresh_registry();
       continue;
     }
     overloaded_nodes_.push_back(worst);
@@ -619,12 +889,13 @@ std::vector<Redeployment> Middleware::rebalance_load() {
       query::RateModel rates(*catalog_, a.q);
       r.drifted_cost = query::deployment_cost(a.deployment, rates, *routing_);
       r.adapted_cost = res.actual_cost;
+      ledger_remove(a);
       a.deployment = res.deployment;
       a.planned_cost = res.actual_cost;
+      on_migrated(a);
+      mark_dirty_overlap(a.q);
       redeployed.push_back(r);
     }
-    // Refresh advertisements after migrations.
-    refresh_registry();
   }
   // Migrations (and overload suspensions) can strand derived units of
   // queries that reused the moved operators; repair before returning.
@@ -660,14 +931,15 @@ std::vector<Redeployment> Middleware::reoptimize(int max_rounds) {
       r.drifted_cost = current;
       r.adapted_cost = res.actual_cost;
       r.outcome = Outcome::kMigrated;
+      ledger_remove(a);
       a.deployment = res.deployment;
       a.planned_cost = res.actual_cost;
+      // The next replans must see the moved operators (warm swap).
+      on_migrated(a);
       redeployed.push_back(r);
       moved = true;
     }
     if (!moved) break;
-    // The next round's replans must see the moved operators.
-    refresh_registry();
   }
 
   // Per-query replanning moves one deployment at a time, so a reuse chain
@@ -715,16 +987,77 @@ std::vector<Redeployment> Middleware::reoptimize(int max_rounds) {
         r.drifted_cost = query::deployment_cost(a.deployment, rates, *routing_);
         r.adapted_cost = cand_cost[i];
         r.outcome = Outcome::kMigrated;
+        ledger_remove(a);
         a.deployment = std::move(cand[i]);
         a.planned_cost = cand_cost[i];
+        ledger_add(a);
         redeployed.push_back(r);
       }
+      // Joint adoption replaced every deployment at once; this is the one
+      // place a full registry rebuild is the natural operation.
       refresh_registry();
     }
   }
   // Single-query moves can strand reuse consumers; repair at a fixpoint.
   const std::vector<Redeployment> repaired = reconcile(false);
   redeployed.insert(redeployed.end(), repaired.begin(), repaired.end());
+  // The full pass subsumes any pending incremental settle.
+  dirty_.clear();
+  return redeployed;
+}
+
+std::vector<Redeployment> Middleware::settle(int max_rounds) {
+  IFLOW_CHECK(max_rounds >= 1);
+  settle_stats_ = SettleStats{};
+  settle_stats_.dirty = dirty_.size();
+  std::vector<Redeployment> redeployed;
+  if (dirty_.empty()) return redeployed;
+  for (int round = 0; round < max_rounds; ++round) {
+    // Work the current dirty set in query-id order (dirty_ is sorted);
+    // adopting a move re-dirties its reuse neighborhood for the next
+    // round. Everything else — hierarchy, registry, undisturbed plans —
+    // stays warm, which is the whole point versus reoptimize().
+    const std::vector<query::QueryId> work = std::move(dirty_);
+    dirty_.clear();
+    bool moved_any = false;
+    for (query::QueryId id : work) {
+      const auto it =
+          std::find_if(active_.begin(), active_.end(),
+                       [&](const Active& a) { return a.q.id == id; });
+      if (it == active_.end()) continue;  // left the system meanwhile
+      Active& a = *it;
+      query::RateModel rates(*catalog_, a.q);
+      const double current =
+          query::deployment_cost(a.deployment, rates, *routing_);
+      ++settle_stats_.replanned;
+      const opt::OptimizeResult res = replan(a);
+      if (!res.feasible || !std::isfinite(res.actual_cost)) continue;
+      // Same strict-improvement rule as reoptimize()'s per-query rounds.
+      if (res.actual_cost >= current * (1.0 - 1e-9)) continue;
+      Redeployment r;
+      r.query = a.q.id;
+      r.planned_cost = a.planned_cost;
+      r.drifted_cost = current;
+      r.adapted_cost = res.actual_cost;
+      r.outcome = Outcome::kMigrated;
+      ledger_remove(a);
+      a.deployment = res.deployment;
+      a.planned_cost = res.actual_cost;
+      on_migrated(a);
+      mark_dirty_overlap(a.q);
+      redeployed.push_back(r);
+      moved_any = true;
+      ++settle_stats_.moved;
+    }
+    if (!moved_any) break;
+  }
+  dirty_.clear();
+  if (!redeployed.empty()) {
+    // Moves can strand reuse consumers exactly like adapt()'s migrations.
+    const std::vector<Redeployment> repaired = reconcile(false);
+    redeployed.insert(redeployed.end(), repaired.begin(), repaired.end());
+  }
+  debug_check_warm_state();
   return redeployed;
 }
 
@@ -756,8 +1089,11 @@ std::vector<Redeployment> Middleware::adapt() {
     // Only migrate when re-optimization actually helps.
     if (res.actual_cost < current) {
       r.outcome = Outcome::kMigrated;
+      ledger_remove(a);
       a.deployment = res.deployment;
       a.planned_cost = res.actual_cost;
+      on_migrated(a);
+      mark_dirty_overlap(a.q);
     } else {
       r.outcome = Outcome::kAccepted;
       r.adapted_cost = current;
@@ -766,10 +1102,9 @@ std::vector<Redeployment> Middleware::adapt() {
     redeployed.push_back(r);
   }
   if (!redeployed.empty()) {
-    // Advertisements may reference moved operators: rebuild them all.
-    refresh_registry();
     // A migration can strand the derived units of a query that reused the
-    // moved operators; repair before resuming.
+    // moved operators; repair before resuming (advertisements were swapped
+    // warm as each move was adopted).
     const std::vector<Redeployment> repaired = reconcile(false);
     redeployed.insert(redeployed.end(), repaired.begin(), repaired.end());
   }

@@ -25,11 +25,22 @@
 // sit in a retry queue with bounded redeploy attempts; every restore_*
 // re-admits the host to the hierarchy + registry, resets the attempt
 // budget, and resumes whatever has become plannable (kResumed).
+//
+// Churn plane (DESIGN.md §14). Queries also LEAVE: undeploy() tears one
+// down (ledger retraction, warm-registry eviction, stranded reuse-consumer
+// repair via the transitive-dependents machinery). Arrivals pass through
+// admission control (engine/admission.h): plans are priced against per-node
+// and per-link headroom and per-tenant quotas, and are admitted, admitted
+// degraded (replanned around saturated hosts), or rejected with
+// Outcome::kRejected and a priced reason — never silently overloaded.
+// Registration churn marks dirty queries; settle() replans only those,
+// where reoptimize() re-clusters and replans the world.
 #pragma once
 
 #include <memory>
 #include <utility>
 
+#include "engine/admission.h"
 #include "engine/simulation.h"
 #include "opt/bottom_up.h"
 #include "opt/exhaustive.h"
@@ -60,6 +71,7 @@ enum class Outcome : std::uint8_t {
   kAccepted,   // drifted, but re-planning could not beat the current cost
   kSuspended,  // endpoints down or no feasible plan; parked in retry queue
   kResumed,    // previously suspended, successfully re-deployed
+  kRejected,   // admission control refused the query (priced reason)
 };
 
 const char* to_string(Outcome o);
@@ -83,8 +95,23 @@ class Middleware {
   /// Optimizes and records a query; reuse is on (advertisements flow).
   /// When the query's source/sink is currently down — or no feasible plan
   /// exists — the query is parked in the suspended queue instead and the
-  /// result reports feasible = false.
+  /// result reports feasible = false. With admission constraints configured
+  /// (set_admission_config / set_tenant_quota) the plan is priced first:
+  /// over-capacity plans get one degraded replanning attempt around the
+  /// saturated hosts, and queries that still do not fit are REJECTED —
+  /// feasible = false, not parked, last_admission() carries the priced
+  /// reason (Outcome::kRejected in churn-harness records).
   opt::OptimizeResult deploy(const query::Query& q);
+
+  /// Tears down a query by id, wherever it lives: an active deployment
+  /// (ledger retraction + warm-registry eviction + repair of any reuse
+  /// consumer the removed provider strands — migrated or suspended, never
+  /// left ungrounded) or a parked suspended entry. Returns false — a clean
+  /// error, no state change — when no such query exists (double undeploy).
+  /// Repairs performed on stranded consumers are appended to `repairs`
+  /// when non-null.
+  bool undeploy(query::QueryId id,
+                std::vector<Redeployment>* repairs = nullptr);
 
   /// Applies a network condition change and refreshes routing + hierarchy.
   void set_link_cost(net::NodeId a, net::NodeId b, double cost_per_byte);
@@ -129,10 +156,27 @@ class Middleware {
 
   /// Per-node processing capacity, expressed as the total operator INPUT
   /// byte rate a node may host (the paper's §1.1: "node N2 may be
-  /// overloaded"). 0 = unlimited (default).
+  /// overloaded"). 0 = unlimited (default). Also the admission
+  /// controller's node budget.
   void set_node_capacity(double max_input_bytes_per_s);
 
-  /// Operator input load currently hosted by each node.
+  /// Full admission policy: node capacity, link utilization cap, fairness.
+  /// Overrides set_node_capacity's budget (they share one knob).
+  void set_admission_config(const AdmissionConfig& cfg);
+
+  /// Registers a per-tenant quota (query count, byte budget, fairness
+  /// weight). Queries carry their tenant in Query::tenant.
+  void set_tenant_quota(std::uint32_t tenant, const TenantQuota& quota);
+
+  /// Verdict of the most recent deploy() admission decision.
+  const AdmissionVerdict& last_admission() const { return last_admission_; }
+
+  /// Incremental per-node/per-link/per-tenant load accounting.
+  const ResourceLedger& ledger() const { return ledger_; }
+
+  /// Operator input load currently hosted by each node. Maintained
+  /// incrementally by the ledger on deploy/undeploy/migrate/rate-change;
+  /// Debug builds cross-check it against a from-scratch recompute.
   std::vector<double> node_loads() const;
 
   /// Detects nodes over capacity, excludes them from hosting further
@@ -163,6 +207,32 @@ class Middleware {
   /// settle the system.
   std::vector<Redeployment> reoptimize(int max_rounds = 3);
 
+  /// Incremental settle: replans ONLY the dirty queries — those touched by
+  /// registration churn (overlapping stream sets with an arrival or
+  /// departure, rate changes, repaired consumers) — against the warm
+  /// registry and hierarchy, adopting strict improvements. The cheap
+  /// steady-state alternative to reoptimize()'s full re-cluster; run
+  /// reoptimize() only to settle after major episodes. Clears the dirty
+  /// set.
+  std::vector<Redeployment> settle(int max_rounds = 2);
+
+  struct SettleStats {
+    std::size_t replanned = 0;  // replan() calls issued by the last settle
+    std::size_t moved = 0;      // improvements adopted
+    std::size_t dirty = 0;      // dirty-set size entering the last settle
+  };
+  const SettleStats& last_settle_stats() const { return settle_stats_; }
+
+  /// Queries currently marked dirty for the next settle().
+  std::size_t dirty_queries() const { return dirty_.size(); }
+
+  /// Cumulative failed resume attempts (bounded-retry invariant: between
+  /// two restores each suspended query fails at most max_resume_attempts
+  /// times, with exponentially backed-off retries in between).
+  std::uint64_t resume_failures_total() const {
+    return resume_failures_total_;
+  }
+
   /// Current total cost of all active deployments under current routing.
   double total_current_cost() const;
 
@@ -176,11 +246,15 @@ class Middleware {
   /// A query parked by a failure, waiting for recovery. `attempts` counts
   /// failed resume attempts since the last restore_* (each restore resets
   /// the budget); once it reaches the max the query only retries on the
-  /// next restore.
+  /// next restore. `skip` is the exponential-backoff counter: after the
+  /// k-th failure the query sits out the next 2^k - 1 resume passes, so a
+  /// flapping region does not turn every adapt() into O(suspended) failed
+  /// replans. Restores clear both.
   struct SuspendedQuery {
     query::Query q;
     double last_planned_cost = 0.0;
     int attempts = 0;
+    int skip = 0;
   };
 
   const std::vector<SuspendedQuery>& suspended() const { return suspended_; }
@@ -188,6 +262,7 @@ class Middleware {
 
   /// Max resume attempts between restores (default 3, >= 1).
   void set_max_resume_attempts(int attempts);
+  int max_resume_attempts() const { return max_resume_attempts_; }
 
   /// Nodes currently excluded from hosting operators: processing-failed,
   /// crashed, or load-shed. Sorted ascending.
@@ -228,6 +303,10 @@ class Middleware {
     query::Query q;
     query::Deployment deployment;
     double planned_cost = 0.0;
+    /// The footprint this deployment currently holds in the ledger (the
+    /// exact amounts to retract on undeploy/migrate even after rates or
+    /// routes moved).
+    DeploymentFootprint footprint;
   };
 
   opt::OptimizerEnv env();
@@ -263,7 +342,30 @@ class Middleware {
   std::vector<bool> transitive_dependents(const Active& root) const;
 
   /// Rebuilds the advertisement registry from the active deployments.
+  /// Only reoptimize()'s joint adoption uses this; steady-state churn
+  /// maintains the registry warm (advertise on deploy/resume,
+  /// remove_origin + re-advertise on migrate, remove_origin on
+  /// suspend/undeploy) and Debug builds cross-check the warm contents
+  /// against this rebuild.
   void refresh_registry();
+
+  /// Prices a's deployment under current rates/routes, applies it to the
+  /// ledger and records the footprint on the Active.
+  void ledger_add(Active& a);
+  /// Retracts a's recorded footprint from the ledger.
+  void ledger_remove(Active& a);
+  /// Swaps a's registry advertisements and ledger footprint after its
+  /// deployment changed (migration).
+  void on_migrated(Active& a);
+  /// Marks every active whose source-stream set intersects q's as dirty
+  /// for the next settle() — the reuse neighborhood a registration or
+  /// unregistration can improve or degrade.
+  void mark_dirty_overlap(const query::Query& q);
+  void mark_dirty(query::QueryId id);
+  /// Debug-only consistency checks: warm registry vs full rebuild and
+  /// ledger node loads vs from-scratch recompute.
+  void debug_check_warm_state() const;
+  std::vector<double> node_loads_recomputed() const;
 
   /// Post-fault sweep: migrates or suspends broken actives, refreshes the
   /// registry, and (on recovery paths) retries the suspended queue.
@@ -294,6 +396,16 @@ class Middleware {
   std::vector<net::NodeId> overloaded_nodes_;  // load-shed, still forwarding
   double node_capacity_ = 0.0;                 // 0 = unlimited
   int max_resume_attempts_ = 3;
+
+  AdmissionController admission_;
+  ResourceLedger ledger_;
+  AdmissionVerdict last_admission_;
+  /// Extra exclusions for the degraded admission replan only (env() adds
+  /// them to OptimizerEnv::excluded_sites). Empty outside deploy().
+  std::vector<net::NodeId> admission_excluded_;
+  std::vector<query::QueryId> dirty_;  // sorted unique
+  SettleStats settle_stats_;
+  std::uint64_t resume_failures_total_ = 0;
 };
 
 }  // namespace iflow::engine

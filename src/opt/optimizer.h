@@ -49,6 +49,13 @@ struct OptimizerEnv {
   /// (cluster, zone) contains no processing node, the scope falls back to
   /// all of its nodes so planning never becomes infeasible.
   std::vector<net::NodeId> processing_nodes;
+  /// Hosts the current search must avoid (degraded admission plans around
+  /// saturated nodes; failed/overloaded hosts use the complement form in
+  /// `processing_nodes`). Sorted. Same fallback contract as
+  /// `processing_nodes`: a scope whose every node is excluded keeps all of
+  /// its nodes rather than going infeasible — the validator's capacity and
+  /// exclusion invariants are the backstop, not the search scope.
+  std::vector<net::NodeId> excluded_sites;
   /// Planner scratch + worker pool shared by every search this environment
   /// issues. Non-owning; null = the thread-local default workspace (see
   /// workspace_for).

@@ -10,6 +10,19 @@ namespace iflow::opt {
 
 std::vector<net::NodeId> restrict_sites(const OptimizerEnv& env,
                                         std::vector<net::NodeId> sites) {
+  if (!env.excluded_sites.empty()) {
+    std::vector<net::NodeId> kept;
+    for (net::NodeId n : sites) {
+      if (!std::binary_search(env.excluded_sites.begin(),
+                              env.excluded_sites.end(), n)) {
+        kept.push_back(n);
+      }
+    }
+    // Fully-excluded scope: keep its nodes so the search stays feasible;
+    // the validator's kExcludedHost check decides whether the final plan
+    // is acceptable.
+    if (!kept.empty()) sites = std::move(kept);
+  }
   if (env.processing_nodes.empty()) return sites;
   std::vector<net::NodeId> kept;
   for (net::NodeId n : sites) {

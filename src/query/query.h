@@ -56,6 +56,9 @@ struct Query {
   std::string name;
   std::vector<StreamId> sources;  // distinct catalog streams, K >= 1
   net::NodeId sink = net::kInvalidNode;
+  /// Owning tenant for quota accounting and admission fairness; 0 = the
+  /// default tenant (single-tenant workloads never set this).
+  std::uint32_t tenant = 0;
   /// Per-source selection selectivity (the "select" of select-project-join):
   /// the fraction of the stream's tuples passing the query's filter
   /// predicates on that stream. Parallel to `sources`; empty = no filters.

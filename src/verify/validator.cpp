@@ -65,6 +65,33 @@ bool fallback_excuses(const opt::OptimizerEnv& env, net::NodeId n) {
   return false;
 }
 
+/// Mirror of `fallback_excuses` for env.excluded_sites: an excluded host is
+/// a legitimate placement only when some scope containing it consists
+/// entirely of excluded nodes (restrict_sites then kept the scope as-is).
+bool exclusion_excuses(const opt::OptimizerEnv& env, net::NodeId n) {
+  const auto is_excluded = [&env](net::NodeId m) {
+    return std::binary_search(env.excluded_sites.begin(),
+                              env.excluded_sites.end(), m);
+  };
+  if (env.network != nullptr) {
+    bool any_open = false;
+    for (net::NodeId m = 0; m < env.network->node_count() && !any_open; ++m) {
+      any_open = !is_excluded(m);
+    }
+    if (!any_open) return true;  // everything excluded: global fallback
+  }
+  if (env.hierarchy == nullptr) return false;
+  const cluster::Hierarchy& h = *env.hierarchy;
+  for (int l = 1; l <= h.height(); ++l) {
+    if (h.representative(n, l) != n) break;  // n is not a level-l node
+    const cluster::Cluster& cl = h.level(l)[h.cluster_of(n, l)];
+    if (std::all_of(cl.members.begin(), cl.members.end(), is_excluded)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 const char* to_string(ViolationCode code) {
@@ -214,6 +241,33 @@ std::vector<Violation> validate(const query::Deployment& d,
         report.add(ViolationCode::kNonProcessingNode, "op ", i,
                    " on non-processing node ", op.node,
                    " with no processing-free scope containing it");
+      }
+    }
+    if (!env.excluded_sites.empty() &&
+        std::binary_search(env.excluded_sites.begin(),
+                           env.excluded_sites.end(), op.node)) {
+      const auto is_excluded = [&env](net::NodeId m) {
+        return std::binary_search(env.excluded_sites.begin(),
+                                  env.excluded_sites.end(), m);
+      };
+      if (opts.op_scopes != nullptr && i < opts.op_scopes->size()) {
+        const std::vector<net::NodeId>& scope = (*opts.op_scopes)[i];
+        const bool in_scope =
+            std::find(scope.begin(), scope.end(), op.node) != scope.end();
+        const bool scope_has_open =
+            std::any_of(scope.begin(), scope.end(),
+                        [&](net::NodeId m) { return !is_excluded(m); });
+        if (!in_scope || scope_has_open) {
+          report.add(ViolationCode::kExcludedHost, "op ", i,
+                     " on excluded site ", op.node,
+                     in_scope ? " though its recorded scope holds an"
+                                " open node"
+                              : " outside its recorded scope");
+        }
+      } else if (!exclusion_excuses(env, op.node)) {
+        report.add(ViolationCode::kExcludedHost, "op ", i,
+                   " on excluded site ", op.node,
+                   " with no fully-excluded scope containing it");
       }
     }
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 #include <utility>
 
 #include "sql/binder.h"
@@ -453,6 +454,140 @@ Scenario build_scenario(const ScenarioSpec& spec) {
   append_rate_samples(s, s.script);
   append_failure_script(spec, s, script_prng, s.script);
   return s;
+}
+
+std::vector<engine::RegistrationEvent> make_churn_script(
+    const net::Network& net, const query::Catalog& catalog,
+    std::size_t pool_size, std::uint64_t seed, int steady_events) {
+  IFLOW_CHECK(pool_size > 0);
+  using engine::RegistrationEvent;
+  using engine::RegistrationEventKind;
+  Prng prng(seed);
+  std::vector<RegistrationEvent> script;
+
+  // The builder's own applicability model. in-system assumes every register
+  // is admitted: an unregister of a rejected registration is a benign skip
+  // in the runner, never a malformed script.
+  std::vector<char> in(pool_size, 0);
+  net::NodeId down_node = net::kInvalidNode;
+  std::pair<net::NodeId, net::NodeId> down_link{net::kInvalidNode,
+                                                net::kInvalidNode};
+
+  std::vector<std::pair<net::NodeId, net::NodeId>> link_pairs;
+  {
+    std::unordered_set<std::uint64_t> seen;
+    for (const net::Link& l : net.links()) {
+      const net::NodeId a = std::min(l.a, l.b);
+      const net::NodeId b = std::max(l.a, l.b);
+      if (seen.insert((static_cast<std::uint64_t>(a) << 32) | b).second) {
+        link_pairs.emplace_back(a, b);
+      }
+    }
+  }
+
+  const auto reg = [&](std::size_t q) {
+    RegistrationEvent e;
+    e.kind = RegistrationEventKind::kRegister;
+    e.query = q;
+    in[q] = 1;
+    script.push_back(e);
+  };
+  const auto unreg = [&](std::size_t q) {
+    RegistrationEvent e;
+    e.kind = RegistrationEventKind::kUnregister;
+    e.query = q;
+    in[q] = 0;
+    script.push_back(e);
+  };
+  const auto members = [&](char want) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      if (in[i] == want) out.push_back(i);
+    }
+    return out;
+  };
+
+  // Phase 1: ramp-up — the whole pool arrives in index order.
+  for (std::size_t i = 0; i < pool_size; ++i) reg(i);
+
+  // Phase 2: steady churn with interleaved faults and spikes.
+  for (int i = 0; i < steady_events; ++i) {
+    const double r = prng.uniform(0.0, 1.0);
+    if (r < 0.08 && net.node_count() >= 4) {
+      RegistrationEvent e;
+      if (down_node == net::kInvalidNode) {
+        e.kind = RegistrationEventKind::kFailNode;
+        e.a = static_cast<net::NodeId>(prng.index(net.node_count()));
+        down_node = e.a;
+      } else {
+        e.kind = RegistrationEventKind::kRestoreNode;
+        e.a = down_node;
+        down_node = net::kInvalidNode;
+      }
+      script.push_back(e);
+      continue;
+    }
+    if (r < 0.14 && !link_pairs.empty()) {
+      RegistrationEvent e;
+      if (down_link.first == net::kInvalidNode) {
+        const auto& p = link_pairs[prng.index(link_pairs.size())];
+        e.kind = RegistrationEventKind::kFailLink;
+        e.a = p.first;
+        e.b = p.second;
+        down_link = p;
+      } else {
+        e.kind = RegistrationEventKind::kRestoreLink;
+        e.a = down_link.first;
+        e.b = down_link.second;
+        down_link = {net::kInvalidNode, net::kInvalidNode};
+      }
+      script.push_back(e);
+      continue;
+    }
+    if (r < 0.24 && catalog.stream_count() > 0) {
+      RegistrationEvent e;
+      e.kind = RegistrationEventKind::kRateSpike;
+      e.stream =
+          static_cast<query::StreamId>(prng.index(catalog.stream_count()));
+      e.rate = catalog.stream(e.stream).tuple_rate * prng.uniform(0.25, 4.0);
+      script.push_back(e);
+      continue;
+    }
+    const std::vector<std::size_t> present = members(1);
+    const std::vector<std::size_t> absent = members(0);
+    const bool leave =
+        !present.empty() && (absent.empty() || prng.chance(0.5));
+    if (leave) {
+      unreg(present[prng.index(present.size())]);
+    } else {
+      reg(absent[prng.index(absent.size())]);
+    }
+  }
+
+  // Phase 3: flash crowd — everything absent re-registers back to back,
+  // the admission-pressure moment capacity configs are sized against.
+  for (const std::size_t q : members(0)) reg(q);
+
+  // Phase 4: drain half the pool; leftover faults heal first so the drain
+  // exercises teardown on a healthy network.
+  if (down_node != net::kInvalidNode) {
+    RegistrationEvent e;
+    e.kind = RegistrationEventKind::kRestoreNode;
+    e.a = down_node;
+    script.push_back(e);
+  }
+  if (down_link.first != net::kInvalidNode) {
+    RegistrationEvent e;
+    e.kind = RegistrationEventKind::kRestoreLink;
+    e.a = down_link.first;
+    e.b = down_link.second;
+    script.push_back(e);
+  }
+  const std::vector<std::size_t> present = members(1);
+  for (std::size_t i = 0; i < present.size() / 2; ++i) {
+    unreg(present[i * 2]);
+  }
+  return script;
 }
 
 }  // namespace iflow::workload

@@ -131,4 +131,15 @@ ScenarioSpec scenario_spec(const std::string& name);
 /// scenarios (networks, catalogs, scripts).
 Scenario build_scenario(const ScenarioSpec& spec);
 
+/// Seeded registration-churn script over a pool of `pool_size` queries for
+/// engine::run_registration_script. Four phases: a ramp-up registering the
+/// whole pool, `steady_events` of mixed register/unregister churn with
+/// interleaved node/link faults and rate spikes, a flash-crowd burst
+/// re-registering everything absent, and a half-pool drain. Fault events are
+/// applicable by construction; register/unregister events assume every
+/// register was admitted (the runner skips the ones admission rejected).
+std::vector<engine::RegistrationEvent> make_churn_script(
+    const net::Network& net, const query::Catalog& catalog,
+    std::size_t pool_size, std::uint64_t seed, int steady_events = 32);
+
 }  // namespace iflow::workload

@@ -1,0 +1,198 @@
+// Teardown edge cases for Middleware::undeploy (DESIGN.md §14): registry
+// retraction, ledger retraction, stranded-consumer repair, suspended-queue
+// removal, teardown during an active fault, and the double-undeploy error.
+#include <gtest/gtest.h>
+
+#include "engine/middleware.h"
+#include "net/gtitm.h"
+#include "verify/validator.h"
+#include "workload/generator.h"
+
+namespace iflow::engine {
+namespace {
+
+struct World {
+  net::Network net;
+  workload::Workload wl;
+
+  explicit World(std::uint64_t seed, int queries = 4) {
+    Prng prng(seed);
+    net::TransitStubParams p;
+    p.transit_count = 2;
+    p.stub_domains_per_transit = 2;
+    p.stub_domain_size = 4;
+    net = net::make_transit_stub(p, prng);
+    workload::WorkloadParams wp;
+    wp.num_streams = 6;
+    wp.min_joins = 2;
+    wp.max_joins = 3;
+    Prng wprng(seed + 1);
+    wl = workload::make_workload(net, wp, queries, wprng);
+  }
+};
+
+std::size_t validate_all(Middleware& mw) {
+  opt::OptimizerEnv env = mw.planning_env();
+  const std::vector<net::NodeId> excluded = mw.excluded_hosts();
+  std::size_t violations = 0;
+  for (const Middleware::ActiveView& v : mw.active_views()) {
+    verify::ValidateOptions vopts;
+    vopts.excluded_hosts = &excluded;
+    violations += verify::validate(*v.deployment, env, vopts).size();
+  }
+  return violations;
+}
+
+TEST(UndeployTest, RemovesActiveRetractsRegistryAndLedger) {
+  World w(21);
+  Middleware mw(w.net, w.wl.catalog, 4, Algorithm::kTopDown, 7);
+  for (const query::Query& q : w.wl.queries) {
+    ASSERT_TRUE(mw.deploy(q).feasible);
+  }
+  const std::size_t before = mw.active_queries();
+  const double bytes_before = mw.ledger().total_bytes();
+  const query::QueryId victim = w.wl.queries[1].id;
+
+  EXPECT_TRUE(mw.undeploy(victim));
+  EXPECT_EQ(mw.active_queries(), before - 1);
+  EXPECT_LT(mw.ledger().total_bytes(), bytes_before);
+  for (const advert::DerivedStream& ds : mw.registry().entries()) {
+    EXPECT_NE(ds.origin, victim);
+  }
+  EXPECT_EQ(validate_all(mw), 0u);
+}
+
+TEST(UndeployTest, LedgerRetractionIsExact) {
+  World w(22);
+  Middleware mw(w.net, w.wl.catalog, 4, Algorithm::kTopDown, 7);
+  for (const query::Query& q : w.wl.queries) {
+    ASSERT_TRUE(mw.deploy(q).feasible);
+  }
+  const std::vector<double> loads_before = mw.node_loads();
+
+  query::Query extra = w.wl.queries[0];
+  extra.id = 900;
+  extra.name = "extra";
+  ASSERT_TRUE(mw.deploy(extra).feasible);
+  ASSERT_TRUE(mw.undeploy(extra.id));
+
+  const std::vector<double> loads_after = mw.node_loads();
+  ASSERT_EQ(loads_after.size(), loads_before.size());
+  for (std::size_t i = 0; i < loads_after.size(); ++i) {
+    EXPECT_NEAR(loads_after[i], loads_before[i],
+                1e-6 * (1.0 + loads_before[i]));
+  }
+}
+
+TEST(UndeployTest, ProviderWithReuseConsumersRepairsThem) {
+  World w(23);
+  Middleware mw(w.net, w.wl.catalog, 4, Algorithm::kExhaustive, 7);
+  const query::Query& provider = w.wl.queries[0];
+  ASSERT_TRUE(mw.deploy(provider).feasible);
+
+  // An identical query (new id) reuses the provider's advertised operator
+  // output — the exhaustive planner always finds the zero-cost derived leaf.
+  query::Query consumer = provider;
+  consumer.id = 901;
+  consumer.name = "consumer";
+  const opt::OptimizeResult cres = mw.deploy(consumer);
+  ASSERT_TRUE(cres.feasible);
+  bool reused = false;
+  for (const query::LeafUnit& u : cres.deployment.units) {
+    reused = reused || u.derived;
+  }
+  ASSERT_TRUE(reused);
+
+  // Tearing down the provider must migrate or suspend the consumer, never
+  // leave it drawing on removed operators.
+  std::vector<Redeployment> repairs;
+  ASSERT_TRUE(mw.undeploy(provider.id, &repairs));
+  bool consumer_repaired = false;
+  for (const Redeployment& r : repairs) {
+    if (r.query == consumer.id) consumer_repaired = true;
+  }
+  EXPECT_TRUE(consumer_repaired);
+  EXPECT_EQ(mw.active_queries() + mw.suspended_queries(), 1u);
+  EXPECT_EQ(validate_all(mw), 0u);
+  // Whatever the consumer's new plan is, its derived units (if any) must
+  // sit where some still-active deployment runs an operator.
+  for (const Middleware::ActiveView& v : mw.active_views()) {
+    for (const query::LeafUnit& u : v.deployment->units) {
+      if (!u.derived) continue;
+      bool grounded = false;
+      for (const Middleware::ActiveView& o : mw.active_views()) {
+        if (o.query->id == v.query->id) continue;
+        for (const query::DeployedOp& op : o.deployment->ops) {
+          grounded = grounded || op.node == u.location;
+        }
+      }
+      EXPECT_TRUE(grounded);
+    }
+  }
+}
+
+TEST(UndeployTest, SuspendedQueryLeavesQueue) {
+  World w(24);
+  Middleware mw(w.net, w.wl.catalog, 4, Algorithm::kTopDown, 7);
+  for (const query::Query& q : w.wl.queries) {
+    ASSERT_TRUE(mw.deploy(q).feasible);
+  }
+  // Failing the sink's processing suspends every query anchored there.
+  const net::NodeId sink = w.wl.queries[0].sink;
+  mw.fail_node(sink);
+  ASSERT_GT(mw.suspended_queries(), 0u);
+  const std::size_t suspended = mw.suspended_queries();
+
+  EXPECT_TRUE(mw.undeploy(w.wl.queries[0].id));
+  EXPECT_EQ(mw.suspended_queries(), suspended - 1);
+  // The slot is released: the same id can register again after recovery.
+  mw.restore_node(sink);
+  EXPECT_TRUE(mw.deploy(w.wl.queries[0]).feasible);
+}
+
+TEST(UndeployTest, DuringActiveFaultKeepsSurvivorsValid) {
+  World w(25);
+  Middleware mw(w.net, w.wl.catalog, 4, Algorithm::kTopDown, 7);
+  for (const query::Query& q : w.wl.queries) {
+    ASSERT_TRUE(mw.deploy(q).feasible);
+  }
+  // Fault a non-endpoint node so deployments re-plan around it, then tear
+  // one down while the exclusion is still in force.
+  net::NodeId target = net::kInvalidNode;
+  for (net::NodeId n = 0; n < static_cast<net::NodeId>(w.net.node_count());
+       ++n) {
+    bool endpoint = false;
+    for (const query::Query& q : w.wl.queries) {
+      endpoint = endpoint || q.sink == n;
+      for (const query::StreamId s : q.sources) {
+        endpoint = endpoint || w.wl.catalog.stream(s).source == n;
+      }
+    }
+    if (!endpoint) {
+      target = n;
+      break;
+    }
+  }
+  ASSERT_NE(target, net::kInvalidNode);
+  mw.fail_node(target);
+
+  const std::size_t population = mw.active_queries() + mw.suspended_queries();
+  EXPECT_TRUE(mw.undeploy(w.wl.queries[2].id));
+  EXPECT_EQ(mw.active_queries() + mw.suspended_queries(), population - 1);
+  EXPECT_EQ(validate_all(mw), 0u);
+  mw.restore_node(target);
+  EXPECT_EQ(validate_all(mw), 0u);
+}
+
+TEST(UndeployTest, DoubleUndeployIsACleanError) {
+  World w(26);
+  Middleware mw(w.net, w.wl.catalog, 4, Algorithm::kTopDown, 7);
+  ASSERT_TRUE(mw.deploy(w.wl.queries[0]).feasible);
+  EXPECT_TRUE(mw.undeploy(w.wl.queries[0].id));
+  EXPECT_FALSE(mw.undeploy(w.wl.queries[0].id));
+  EXPECT_FALSE(mw.undeploy(4242));  // never registered
+  EXPECT_EQ(mw.active_queries(), 0u);
+}
+
+}  // namespace
+}  // namespace iflow::engine

@@ -92,6 +92,7 @@ struct Options {
   bool verbose = false;
   bool digest = false;
   bool churn = false;
+  bool register_churn = false;
   bool loss = false;
   bool scenario = false;
   bool oracle = false;
@@ -449,6 +450,97 @@ void check_churn_instance(std::uint64_t seed, const Options& opt,
   }
 }
 
+/// One registration-churn iteration: random world and query pool spread
+/// over three tenants, a seeded register/unregister schedule through
+/// admission control (roughly half the iterations run capacity-bound, and
+/// some replay a scenario churn script instead of injector draws), with the
+/// validator sweeping every event inside run_registration_churn. Fails on
+/// any validator violation, on an admitted plan raising the over-capacity
+/// count, and on the resume-backoff bound.
+void check_register_churn_instance(std::uint64_t seed, const Options& opt,
+                                   IterationLog& log) {
+  Prng prng(seed);
+  net::TransitStubParams p;
+  p.transit_count = 1 + static_cast<int>(prng.index(2));
+  p.stub_domains_per_transit = 2;
+  p.stub_domain_size = 3 + static_cast<int>(prng.index(3));
+  net::Network net = net::make_transit_stub(p, prng);
+  workload::WorkloadParams wp;
+  wp.num_streams = 5 + static_cast<int>(prng.index(4));
+  wp.min_joins = 2;
+  wp.max_joins = 3;
+  Prng wprng(seed + 1);
+  const int queries = 4 + static_cast<int>(prng.index(4));
+  workload::Workload wl = workload::make_workload(net, wp, queries, wprng);
+  for (std::size_t i = 0; i < wl.queries.size(); ++i) {
+    wl.queries[i].tenant = static_cast<std::uint32_t>(i % 3);
+  }
+
+  engine::RegistrationChurnConfig cfg;
+  cfg.events = 32 + static_cast<int>(prng.index(17));
+  cfg.settle_every = 4 + static_cast<int>(prng.index(5));
+  cfg.quota_probability = 0.05;
+  cfg.threads = opt.threads;
+  if (prng.chance(0.5)) {
+    // Capacity-bound iteration: learn the uncapacitated peak, then churn
+    // with a budget below it so admission must price, degrade and reject.
+    engine::Middleware probe(net, wl.catalog, 4, engine::Algorithm::kTopDown,
+                             seed);
+    bool all = true;
+    for (const query::Query& q : wl.queries) {
+      all = probe.deploy(q).feasible && all;
+    }
+    double peak = 0.0;
+    for (const double l : probe.node_loads()) peak = std::max(peak, l);
+    if (all && peak > 0.0) {
+      cfg.node_capacity = peak * prng.uniform(0.5, 0.9);
+    }
+  }
+
+  const bool scripted = prng.chance(0.3);
+  const engine::RegistrationChurnReport report =
+      scripted ? engine::run_registration_script(
+                     net, wl.catalog, wl.queries, 4,
+                     engine::Algorithm::kTopDown, seed,
+                     workload::make_churn_script(net, wl.catalog,
+                                                 wl.queries.size(), seed ^ 0x5C,
+                                                 cfg.events),
+                     cfg)
+               : engine::run_registration_churn(net, wl.catalog, wl.queries, 4,
+                                                engine::Algorithm::kTopDown,
+                                                seed, cfg);
+  if (opt.digest) {
+    std::istringstream lines(report.digest);
+    std::string line;
+    while (std::getline(lines, line)) {
+      std::cout << "register-churn " << seed << ' ' << line << '\n';
+    }
+  }
+  if (report.violations != 0) {
+    log.fail("register-churn: validator violations: " +
+             report.violation_detail);
+  }
+  if (report.capacity_violations != 0) {
+    std::ostringstream os;
+    os << "register-churn: " << report.capacity_violations
+       << " admitted plans raised the over-capacity count";
+    log.fail(os.str());
+  }
+  if (!report.backoff_bounded) {
+    std::ostringstream os;
+    os << "register-churn: " << report.resume_failures
+       << " resume failures exceed the backoff bound";
+    log.fail(os.str());
+  }
+  if (opt.verbose) {
+    std::cout << "seed " << seed << ": reg " << report.registrations
+              << " rej " << report.rejections << " unreg "
+              << report.unregistrations << (scripted ? " scripted" : "")
+              << " parity " << (report.parity_ok ? 1 : 0)
+              << (log.failures ? " FAIL" : " ok") << '\n';
+  }
+}
+
 /// One loss-fuzz iteration: a seeded loss-rate sweep through the chaos
 /// harness with the delivery contract armed. Each iteration draws its own
 /// per-link loss ceiling in [0.5%, 5%] — always within what the default
@@ -695,6 +787,8 @@ int run(const Options& opt) {
         check_scenario_instance(seed, opt, log);
       } else if (opt.loss) {
         check_loss_instance(seed, opt, log);
+      } else if (opt.register_churn) {
+        check_register_churn_instance(seed, opt, log);
       } else if (opt.churn) {
         check_churn_instance(seed, opt, log);
       } else {
@@ -750,6 +844,8 @@ int main(int argc, char** argv) {
       opt.digest = true;
     } else if (arg == "--churn") {
       opt.churn = true;
+    } else if (arg == "--register-churn") {
+      opt.register_churn = true;
     } else if (arg == "--loss") {
       opt.loss = true;
     } else if (arg == "--scenario") {
@@ -758,7 +854,8 @@ int main(int argc, char** argv) {
       opt.oracle = true;
     } else {
       std::cerr << "usage: differential_fuzz [--iterations N] [--seed S] "
-                   "[--threads T] [--digest] [--churn] [--loss] [--scenario] "
+                   "[--threads T] [--digest] [--churn] [--register-churn] "
+                   "[--loss] [--scenario] "
                    "[--oracle] [--verbose]\n";
       return 2;
     }
