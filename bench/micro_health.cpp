@@ -1,0 +1,149 @@
+// Gray-failure detection microbenchmark: detection latency, goodput
+// recovery and false-positive rate as a function of gray-failure intensity.
+//
+// The harness builds a dual-relay star world (every endpoint reaches a
+// cheap primary relay and a slightly dearer backup, so the join lands on
+// the primary and quarantine can take every data path off it), then sweeps
+// the degradation intensity through engine::run_gray. Each sweep point
+// reports the three sub-run goodputs (detector on, detector off, healthy
+// twin), the first detection epoch, the recovery ratio and the
+// healthy-twin quarantine count. Results land in BENCH_health.json
+// (machine-readable, uploaded by the CI perf-smoke job alongside
+// BENCH_reliability.json and friends).
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "engine/health.h"
+
+namespace {
+
+using namespace iflow;
+
+constexpr std::uint64_t kSeed = 20070806;
+constexpr int kMaxCs = 8;
+constexpr double kRate = 30.0;
+constexpr double kSelectivity = 0.05;
+
+struct World {
+  net::Network net;
+  query::Catalog catalog;
+  std::vector<query::Query> queries;
+};
+
+/// Dual-relay star: three sources and the sink each reach both relays, the
+/// primary strictly cheaper. The 3-way join lands on the primary for every
+/// optimizer, so the gray harness has a non-endpoint host to degrade and
+/// the planner a clean detour once it is quarantined.
+World make_world() {
+  World w;
+  const net::NodeId primary = w.net.add_node();
+  const net::NodeId backup = w.net.add_node();
+  std::vector<net::NodeId> srcs;
+  for (int i = 0; i < 3; ++i) srcs.push_back(w.net.add_node());
+  const net::NodeId sink = w.net.add_node();
+  for (const net::NodeId n : srcs) {
+    w.net.add_link(primary, n, 1.0, 1.0, 1e6);
+    w.net.add_link(backup, n, 1.3, 1.0, 1e6);
+  }
+  w.net.add_link(primary, sink, 1.0, 1.0, 1e6);
+  w.net.add_link(backup, sink, 1.3, 1.0, 1e6);
+  std::vector<query::StreamId> streams;
+  for (int i = 0; i < 3; ++i) {
+    streams.push_back(w.catalog.add_stream(
+        "S" + std::to_string(i), srcs[static_cast<std::size_t>(i)], kRate,
+        100.0));
+  }
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    for (std::size_t j = i + 1; j < streams.size(); ++j) {
+      w.catalog.set_selectivity(streams[i], streams[j], kSelectivity);
+    }
+  }
+  query::Query q;
+  q.id = 1;
+  q.sources = streams;
+  q.sink = sink;
+  w.queries.push_back(q);
+  return w;
+}
+
+struct IntensityRow {
+  double loss = 0.0;
+  double slowdown = 0.0;
+  int detection_epoch = -1;
+  double goodput_on = 0.0;
+  double goodput_off = 0.0;
+  double goodput_healthy = 0.0;
+  double recovery_ratio = 0.0;
+  std::size_t false_positives = 0;
+  std::size_t quarantined = 0;
+  std::size_t violations = 0;
+  bool contract_ok = false;
+};
+
+void write_json(const std::string& path, const std::vector<IntensityRow>& rows,
+                const engine::GrayConfig& cfg) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"world\": {\"shape\": \"dual-relay-star\", \"sources\": 3"
+      << ", \"rate_tps\": " << kRate << ", \"selectivity\": " << kSelectivity
+      << ", \"max_cs\": " << kMaxCs << ", \"epochs\": " << cfg.epochs
+      << ", \"epoch_s\": " << cfg.epoch_s << "},\n";
+  out << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const IntensityRow& r = rows[i];
+    out << "    {\"loss\": " << r.loss << ", \"slowdown\": " << r.slowdown
+        << ", \"detection_epoch\": " << r.detection_epoch
+        << ", \"goodput_on\": " << r.goodput_on
+        << ", \"goodput_off\": " << r.goodput_off
+        << ", \"goodput_healthy\": " << r.goodput_healthy
+        << ", \"recovery_ratio\": " << r.recovery_ratio
+        << ", \"false_positives\": " << r.false_positives
+        << ", \"quarantined\": " << r.quarantined
+        << ", \"violations\": " << r.violations
+        << ", \"contract_ok\": " << (r.contract_ok ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main() {
+  const World w = make_world();
+  const std::vector<double> intensities = {0.2, 0.4, 0.6, 0.8};
+  engine::GrayConfig cfg;  // default epochs/epoch_s/health knobs
+  std::vector<IntensityRow> rows;
+  for (const double loss : intensities) {
+    engine::GrayConfig c = cfg;
+    c.degradation.loss = loss;
+    c.degradation.slowdown = 3.0;
+    const engine::GrayReport rep =
+        engine::run_gray(w.net, w.catalog, w.queries, kMaxCs,
+                         engine::Algorithm::kTopDown, kSeed, c);
+    IntensityRow r;
+    r.loss = loss;
+    r.slowdown = c.degradation.slowdown;
+    r.detection_epoch = rep.detection_epoch;
+    r.goodput_on = rep.goodput_on;
+    r.goodput_off = rep.goodput_off;
+    r.goodput_healthy = rep.goodput_healthy;
+    r.recovery_ratio = rep.recovery_ratio;
+    r.false_positives = rep.false_positives;
+    r.quarantined = rep.quarantined;
+    r.violations = rep.violations;
+    r.contract_ok = rep.contract_ok;
+    rows.push_back(r);
+    std::cout << "loss " << loss << ": detection_epoch " << r.detection_epoch
+              << ", goodput on/off/healthy " << r.goodput_on << "/"
+              << r.goodput_off << "/" << r.goodput_healthy << ", recovery "
+              << r.recovery_ratio << ", false_positives " << r.false_positives
+              << (r.contract_ok ? " [contract ok]" : "") << "\n";
+  }
+  write_json("BENCH_health.json", rows, cfg);
+  std::cout << "wrote BENCH_health.json\n";
+  return 0;
+}

@@ -25,6 +25,10 @@ const char* to_string(ChaosEventKind k) {
     case ChaosEventKind::kSetLinkLoss: return "set-link-loss";
     case ChaosEventKind::kSetLinkJitter: return "set-link-jitter";
     case ChaosEventKind::kQueuePressure: return "queue-pressure";
+    case ChaosEventKind::kDegradeNode: return "degrade-node";
+    case ChaosEventKind::kDegradeLink: return "degrade-link";
+    case ChaosEventKind::kClearNode: return "clear-node";
+    case ChaosEventKind::kClearLink: return "clear-link";
   }
   return "?";
 }
@@ -88,6 +92,78 @@ ChaosEvent FaultInjector::next() {
     // backpressure queues stay shallow and event-time results unaffected.
     e.rate = prng_.uniform(0.0001, 0.0005);
     return e;
+  }
+  if (prng_.chance(cfg_.gray_probability)) {
+    // Gray failures live outside the down-budget bookkeeping: a degraded
+    // element stays administratively up. The injector still budgets how
+    // many are sick at once and heals restore-biased, like real faults.
+    const std::size_t degraded =
+        degraded_nodes_.size() + degraded_links_.size();
+    const bool budget =
+        degraded < static_cast<std::size_t>(std::max(cfg_.max_degraded, 0));
+    if (degraded > 0 && (!budget || prng_.chance(cfg_.restore_bias))) {
+      const std::size_t pick = prng_.index(degraded);
+      if (pick < degraded_nodes_.size()) {
+        e.kind = ChaosEventKind::kClearNode;
+        e.a = degraded_nodes_[pick];
+        degraded_nodes_.erase(degraded_nodes_.begin() +
+                              static_cast<std::ptrdiff_t>(pick));
+      } else {
+        const std::size_t li = pick - degraded_nodes_.size();
+        e.kind = ChaosEventKind::kClearLink;
+        e.a = degraded_links_[li].first;
+        e.b = degraded_links_[li].second;
+        degraded_links_.erase(degraded_links_.begin() +
+                              static_cast<std::ptrdiff_t>(li));
+      }
+      return e;
+    }
+    if (budget) {
+      // Three gray families: slow element, lossy element, flapper (slow
+      // AND lossy, gated by an on/off wave).
+      const std::size_t family = prng_.index(3);
+      if (family == 0 || family == 2) {
+        e.slowdown = prng_.uniform(1.5, std::max(1.5, cfg_.max_gray_slowdown));
+      }
+      if (family == 1 || family == 2) {
+        e.rate = prng_.uniform(0.05, std::max(0.05, cfg_.max_gray_loss));
+      }
+      if (family == 2) {
+        e.flap_hz = prng_.uniform(0.05, std::max(0.05, cfg_.max_gray_flap_hz));
+      }
+      std::vector<net::NodeId> well_nodes;
+      for (net::NodeId n = 0; n < static_cast<net::NodeId>(node_count_);
+           ++n) {
+        if (std::find(degraded_nodes_.begin(), degraded_nodes_.end(), n) ==
+            degraded_nodes_.end()) {
+          well_nodes.push_back(n);
+        }
+      }
+      std::vector<std::pair<net::NodeId, net::NodeId>> well_links;
+      for (const auto& p : link_pairs_) {
+        if (std::find(degraded_links_.begin(), degraded_links_.end(), p) ==
+            degraded_links_.end()) {
+          well_links.push_back(p);
+        }
+      }
+      const bool pick_node =
+          !well_nodes.empty() && (well_links.empty() || prng_.chance(0.5));
+      if (pick_node) {
+        e.kind = ChaosEventKind::kDegradeNode;
+        e.a = prng_.pick(well_nodes);
+        degraded_nodes_.push_back(e.a);
+        return e;
+      }
+      if (!well_links.empty()) {
+        const auto& p = prng_.pick(well_links);
+        e.kind = ChaosEventKind::kDegradeLink;
+        e.a = p.first;
+        e.b = p.second;
+        degraded_links_.push_back(p);
+        return e;
+      }
+      e = ChaosEvent{};  // everything already degraded; fall through
+    }
   }
 
   // Never take down more than half the nodes: the hierarchy keeps a
@@ -222,6 +298,12 @@ void digest_line(std::ostringstream& os, std::size_t step,
        << std::defaultfloat;
   } else if (e.kind == ChaosEventKind::kQueuePressure) {
     os << std::hexfloat << e.rate << std::defaultfloat;
+  } else if (e.kind == ChaosEventKind::kDegradeNode ||
+             e.kind == ChaosEventKind::kDegradeLink) {
+    os << e.a;
+    if (e.b != net::kInvalidNode) os << '-' << e.b;
+    os << ' ' << std::hexfloat << e.slowdown << ' ' << e.rate << ' '
+       << e.flap_hz << std::defaultfloat;
   } else {
     os << e.a;
     if (e.b != net::kInvalidNode) os << '-' << e.b;
@@ -309,6 +391,41 @@ class ScriptSource final : public EventSource {
         down_links_.erase(it);
         break;
       }
+      case ChaosEventKind::kDegradeNode:
+        IFLOW_CHECK_MSG(std::find(degraded_nodes_.begin(),
+                                  degraded_nodes_.end(),
+                                  e.a) == degraded_nodes_.end(),
+                        "script double-degrades a node");
+        degraded_nodes_.push_back(e.a);
+        break;
+      case ChaosEventKind::kClearNode: {
+        const auto it = std::find(degraded_nodes_.begin(),
+                                  degraded_nodes_.end(), e.a);
+        IFLOW_CHECK_MSG(it != degraded_nodes_.end(),
+                        "script clears an undegraded node");
+        degraded_nodes_.erase(it);
+        break;
+      }
+      case ChaosEventKind::kDegradeLink: {
+        const auto pair =
+            std::make_pair(std::min(e.a, e.b), std::max(e.a, e.b));
+        IFLOW_CHECK_MSG(std::find(degraded_links_.begin(),
+                                  degraded_links_.end(),
+                                  pair) == degraded_links_.end(),
+                        "script double-degrades a link pair");
+        degraded_links_.push_back(pair);
+        break;
+      }
+      case ChaosEventKind::kClearLink: {
+        const auto pair =
+            std::make_pair(std::min(e.a, e.b), std::max(e.a, e.b));
+        const auto it = std::find(degraded_links_.begin(),
+                                  degraded_links_.end(), pair);
+        IFLOW_CHECK_MSG(it != degraded_links_.end(),
+                        "script clears an undegraded link pair");
+        degraded_links_.erase(it);
+        break;
+      }
       default:
         break;  // rate/loss/jitter/queue events change nothing that is down
     }
@@ -327,6 +444,8 @@ class ScriptSource final : public EventSource {
   std::size_t i_ = 0;
   std::vector<net::NodeId> down_nodes_;
   std::vector<std::pair<net::NodeId, net::NodeId>> down_links_;
+  std::vector<net::NodeId> degraded_nodes_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> degraded_links_;
 };
 
 ChaosReport run_impl(net::Network net, query::Catalog catalog,
@@ -379,6 +498,19 @@ ChaosReport run_impl(net::Network net, query::Catalog catalog,
       case ChaosEventKind::kQueuePressure:
         queue_service_s = e.rate;
         break;
+      case ChaosEventKind::kDegradeNode:
+        mw.degrade_node(e.a, net::Degradation{e.slowdown, e.rate, e.flap_hz});
+        break;
+      case ChaosEventKind::kDegradeLink:
+        mw.degrade_link(e.a, e.b,
+                        net::Degradation{e.slowdown, e.rate, e.flap_hz});
+        break;
+      case ChaosEventKind::kClearNode:
+        mw.degrade_node(e.a, net::Degradation{});
+        break;
+      case ChaosEventKind::kClearLink:
+        mw.degrade_link(e.a, e.b, net::Degradation{});
+        break;
     }
     step.violations = validate_actives(mw, replanned_ids(step.redeployments),
                                        &step.violation_detail);
@@ -408,6 +540,27 @@ ChaosReport run_impl(net::Network net, query::Catalog catalog,
   }
   for (const net::NodeId n : src.down_nodes()) {
     validate_after(mw.restore_node(n));
+  }
+  // Gray degradations heal too. Quality-only, so no replanning happens —
+  // but the delivery twins compare lossy vs loss-free counts EXACTLY, and
+  // a still-degraded hop would push residual loss past the retry budget.
+  for (net::NodeId n = 0; n < mw.network().node_count(); ++n) {
+    if (mw.network().node_degradation(n).degraded()) {
+      mw.degrade_node(n, net::Degradation{});
+    }
+  }
+  {
+    std::vector<std::pair<net::NodeId, net::NodeId>> sick;
+    std::unordered_set<std::uint64_t> seen;
+    for (const net::Link& l : mw.network().links()) {
+      if (!l.degradation.degraded()) continue;
+      const net::NodeId a = std::min(l.a, l.b);
+      const net::NodeId b = std::max(l.a, l.b);
+      if (seen.insert((static_cast<std::uint64_t>(a) << 32) | b).second) {
+        sick.emplace_back(a, b);
+      }
+    }
+    for (const auto& [a, b] : sick) mw.degrade_link(a, b, net::Degradation{});
   }
   for (int round = 0; round < 5; ++round) {
     const std::vector<Redeployment> r = mw.adapt();

@@ -55,6 +55,20 @@ struct ChaosConfig {
   /// runs with bounded per-operator queues (kBackpressure) and the drawn
   /// per-tuple service time, so retransmission interacts with queueing.
   double queue_probability = 0.0;
+  /// Probability of a gray-failure event: a node or link degrades — slow,
+  /// lossy or flapping while staying administratively up — or, restore-
+  /// biased, an existing degradation heals. Quality-only mutations: routing
+  /// and planning costs are untouched (the incremental sync is free); the
+  /// reliable delivery layer feels them. The restoration sweep heals every
+  /// degradation before the delivery twins and the fresh baseline run.
+  double gray_probability = 0.0;
+  /// Concurrently degraded elements (nodes plus link pairs).
+  int max_degraded = 2;
+  /// Upper bounds of drawn degradations: delay multiplier, extra loss
+  /// probability, and flap frequency (Hz of the on/off square wave).
+  double max_gray_slowdown = 3.0;
+  double max_gray_loss = 0.3;
+  double max_gray_flap_hz = 0.5;
   /// Upper bound of drawn per-link loss probabilities. Kept well under the
   /// default retry budget's tolerance (12 retries at <= 5% per-hop loss
   /// makes residual loss negligible over a bounded run).
@@ -97,6 +111,10 @@ enum class ChaosEventKind : std::uint8_t {
   kSetLinkLoss,    // link loss probability re-drawn (delivery layer)
   kSetLinkJitter,  // link delay jitter re-drawn (delivery layer)
   kQueuePressure,  // delivery check runs with bounded queues + service time
+  kDegradeNode,    // gray failure: node slow/lossy/flapping, still up
+  kDegradeLink,    // gray failure on every parallel (a, b) link
+  kClearNode,      // node degradation heals
+  kClearLink,      // link degradation heals
 };
 
 const char* to_string(ChaosEventKind k);
@@ -108,8 +126,12 @@ struct ChaosEvent {
   query::StreamId stream = query::kInvalidStream;  // rate spikes only
   /// Overloaded by kind: new tuple rate (kRateSpike), loss probability
   /// (kSetLinkLoss), jitter in ms (kSetLinkJitter), per-tuple service time
-  /// in seconds (kQueuePressure).
+  /// in seconds (kQueuePressure), extra loss probability (kDegrade*).
   double rate = 0.0;
+  /// Gray-failure degradation (kDegrade* only): delay multiplier and flap
+  /// frequency; `rate` doubles as the degradation's extra loss.
+  double slowdown = 1.0;
+  double flap_hz = 0.0;
 };
 
 /// One replayed event plus the system state it left behind.
@@ -177,6 +199,8 @@ class FaultInjector {
   std::vector<double> base_rates_;
   std::vector<net::NodeId> down_nodes_;
   std::vector<std::pair<net::NodeId, net::NodeId>> down_links_;
+  std::vector<net::NodeId> degraded_nodes_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> degraded_links_;
 };
 
 /// Replays `cfg.events` injector-drawn events against a Middleware built

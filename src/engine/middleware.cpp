@@ -56,7 +56,8 @@ Middleware::Middleware(net::Network& net, query::Catalog& catalog,
                        int max_cs, Algorithm algorithm, std::uint64_t seed,
                        double drift_threshold)
     : net_(&net), catalog_(&catalog), max_cs_(max_cs), algorithm_(algorithm),
-      seed_(seed), drift_threshold_(drift_threshold) {
+      seed_(seed), drift_threshold_(drift_threshold),
+      backoff_prng_(Prng(seed).fork(0xBACC0FFULL)) {
   IFLOW_CHECK(drift_threshold > 1.0);
   rebuild_views();
   ledger_.reset(net_->node_count(), net_->link_count());
@@ -99,6 +100,23 @@ bool Middleware::host_down(net::NodeId n) const {
   return !net_->node_alive(n) ||
          std::find(failed_nodes_.begin(), failed_nodes_.end(), n) !=
              failed_nodes_.end();
+}
+
+bool Middleware::deployment_on_excluded(const query::Deployment& d) const {
+  const auto excluded = [this](net::NodeId n) {
+    return host_down(n) ||
+           std::find(overloaded_nodes_.begin(), overloaded_nodes_.end(), n) !=
+               overloaded_nodes_.end() ||
+           std::find(quarantined_nodes_.begin(), quarantined_nodes_.end(),
+                     n) != quarantined_nodes_.end();
+  };
+  for (const query::DeployedOp& op : d.ops) {
+    if (excluded(op.node)) return true;
+  }
+  for (const query::LeafUnit& u : d.units) {
+    if (u.derived && excluded(u.location)) return true;
+  }
+  return false;
 }
 
 bool Middleware::endpoints_healthy(const query::Query& q) const {
@@ -218,7 +236,8 @@ opt::OptimizerEnv Middleware::env() {
   e.hierarchy = hierarchy_.get();
   e.registry = &registry_;
   e.reuse = true;
-  bool any_excluded = !failed_nodes_.empty() || !overloaded_nodes_.empty();
+  bool any_excluded = !failed_nodes_.empty() || !overloaded_nodes_.empty() ||
+                      !quarantined_nodes_.empty();
   for (net::NodeId n = 0; n < net_->node_count() && !any_excluded; ++n) {
     any_excluded = !net_->node_alive(n);
   }
@@ -226,13 +245,16 @@ opt::OptimizerEnv Middleware::env() {
     const auto excluded = [this](net::NodeId n) {
       return host_down(n) ||
              std::find(overloaded_nodes_.begin(), overloaded_nodes_.end(),
-                       n) != overloaded_nodes_.end();
+                       n) != overloaded_nodes_.end() ||
+             std::find(quarantined_nodes_.begin(), quarantined_nodes_.end(),
+                       n) != quarantined_nodes_.end();
     };
     for (net::NodeId n = 0; n < net_->node_count(); ++n) {
       if (!excluded(n)) e.processing_nodes.push_back(n);
     }
   }
   e.excluded_sites = admission_excluded_;  // sorted by the degraded path
+  if (!health_penalty_.empty()) e.node_penalty = &health_penalty_;
   e.workspace = &workspace_;
   return e;
 }
@@ -510,6 +532,29 @@ void Middleware::set_link_jitter(net::NodeId a, net::NodeId b,
   rebuild_routing();
 }
 
+void Middleware::degrade_link(net::NodeId a, net::NodeId b,
+                              const net::Degradation& d) {
+  net_->degrade_link(a, b, d);
+  // Quality-only, like loss/jitter: sync() just advances the version stamp.
+  rebuild_routing();
+}
+
+void Middleware::degrade_node(net::NodeId n, const net::Degradation& d) {
+  net_->degrade_node(n, d);
+  rebuild_routing();
+}
+
+void Middleware::set_health_penalty(std::vector<double> penalty) {
+  if (!penalty.empty()) {
+    IFLOW_CHECK_MSG(penalty.size() == net_->node_count(),
+                    "penalty vector must cover every node");
+    for (double p : penalty) {
+      IFLOW_CHECK_MSG(p >= 1.0, "health penalty must be >= 1");
+    }
+  }
+  health_penalty_ = std::move(penalty);
+}
+
 void Middleware::set_stream_rate(query::StreamId stream, double tuple_rate) {
   // Retract affected actives at the OLD rates (their recorded footprints
   // are exact), move the catalog, then re-price and re-advertise at the
@@ -559,11 +604,21 @@ void Middleware::resume_pass(std::vector<Redeployment>& out) {
     }
     auto optimizer = make_optimizer();
     const opt::OptimizeResult res = optimizer->optimize(s.q);
-    if (!res.feasible || !std::isfinite(res.actual_cost)) {
+    // A resumed plan on an excluded host (the restricted search's
+    // unrestricted fallback) counts as a failed attempt: staying parked
+    // beats resuming onto a host the planner must avoid.
+    if (!res.feasible || !std::isfinite(res.actual_cost) ||
+        deployment_on_excluded(res.deployment)) {
       ++s.attempts;
       ++resume_failures_total_;
-      // After the k-th failure, skip the next 2^k - 1 eligible passes.
-      s.skip = (1 << std::min(s.attempts, 16)) - 1;
+      // After the k-th failure, skip the next 2^k - 1 eligible passes plus
+      // a seeded jitter of up to 2^min(k, 8) more, so queries suspended by
+      // the same episode retry across different settle rounds instead of
+      // stampeding the planner together. Deterministic (the jitter stream
+      // is seeded), and the attempt budget is untouched.
+      s.skip = (1 << std::min(s.attempts, 16)) - 1 +
+               static_cast<int>(
+                   backoff_prng_.index(1u << std::min(s.attempts, 8)));
       ++i;
       continue;
     }
@@ -609,7 +664,8 @@ std::vector<Redeployment> Middleware::reconcile(bool try_resume) {
       r.drifted_cost = kInf;
       opt::OptimizeResult res;
       if (healthy) res = replan(a);
-      if (healthy && res.feasible && std::isfinite(res.actual_cost)) {
+      if (healthy && res.feasible && std::isfinite(res.actual_cost) &&
+          !deployment_on_excluded(res.deployment)) {
         r.adapted_cost = res.actual_cost;
         r.outcome = Outcome::kMigrated;
         ledger_remove(a);
@@ -722,10 +778,96 @@ std::vector<net::NodeId> Middleware::excluded_hosts() const {
   for (net::NodeId n = 0; n < net_->node_count(); ++n) {
     if (host_down(n) ||
         std::find(overloaded_nodes_.begin(), overloaded_nodes_.end(), n) !=
-            overloaded_nodes_.end()) {
+            overloaded_nodes_.end() ||
+        std::find(quarantined_nodes_.begin(), quarantined_nodes_.end(), n) !=
+            quarantined_nodes_.end()) {
       out.push_back(n);
     }
   }
+  return out;
+}
+
+std::vector<Redeployment> Middleware::quarantine_node(net::NodeId n) {
+  IFLOW_CHECK(n < net_->node_count());
+  std::vector<Redeployment> out;
+  if (std::find(quarantined_nodes_.begin(), quarantined_nodes_.end(), n) !=
+      quarantined_nodes_.end()) {
+    return out;  // already quarantined
+  }
+  quarantined_nodes_.push_back(n);
+  // Hosting-only exclusion, like a load-shed node: the element keeps
+  // forwarding, sourcing and sinking — it is sick, not dead. Migrate every
+  // active hosting operators there; a query that cannot vacate (replan
+  // infeasible, or the restricted fallback placed back on the sick node) is
+  // suspended rather than left draining tuples into the degradation — it
+  // retries when release_quarantine resets the attempt budget.
+  for (std::size_t i = 0; i < active_.size();) {
+    Active& a = active_[i];
+    bool hosted = false;
+    for (const query::DeployedOp& op : a.deployment.ops) {
+      hosted |= (op.node == n);
+    }
+    // Derived units bound at the node are subscriptions to an operator
+    // executing there; they must vacate with it.
+    for (const query::LeafUnit& u : a.deployment.units) {
+      hosted |= (u.derived && u.location == n);
+    }
+    if (!hosted) {
+      ++i;
+      continue;
+    }
+    const opt::OptimizeResult res = replan(a);
+    Redeployment r;
+    r.query = a.q.id;
+    r.planned_cost = a.planned_cost;
+    query::RateModel rates(*catalog_, a.q);
+    r.drifted_cost = query::deployment_cost(a.deployment, rates, *routing_);
+    // deployment_on_excluded subsumes the vacated node (n is quarantined
+    // already) and catches the fallback landing on *another* excluded host.
+    if (res.feasible && std::isfinite(res.actual_cost) &&
+        !deployment_on_excluded(res.deployment)) {
+      r.adapted_cost = res.actual_cost;
+      r.outcome = Outcome::kMigrated;
+      ledger_remove(a);
+      a.deployment = res.deployment;
+      a.planned_cost = res.actual_cost;
+      on_migrated(a);
+      mark_dirty_overlap(a.q);
+      out.push_back(r);
+      ++i;
+    } else {
+      r.adapted_cost = kInf;
+      r.outcome = Outcome::kSuspended;
+      out.push_back(r);
+      ledger_remove(a);
+      registry_.remove_origin(a.q.id);
+      suspended_.push_back(SuspendedQuery{std::move(a.q), a.planned_cost,
+                                          max_resume_attempts_});
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  // Migrations can strand derived units of queries that reused the moved
+  // operators (same tail as rebalance_load); repair before returning.
+  const std::vector<Redeployment> repaired = reconcile(false);
+  out.insert(out.end(), repaired.begin(), repaired.end());
+  return out;
+}
+
+std::vector<Redeployment> Middleware::release_quarantine(net::NodeId n) {
+  std::vector<Redeployment> out;
+  const auto it =
+      std::find(quarantined_nodes_.begin(), quarantined_nodes_.end(), n);
+  if (it == quarantined_nodes_.end()) return out;  // not quarantined
+  quarantined_nodes_.erase(it);
+  // The node is placeable again: reset attempt budgets (the world improved,
+  // same as a restore) and retry whatever is parked. Actives drift back
+  // through the normal adapt()/settle() machinery when beneficial.
+  for (SuspendedQuery& s : suspended_) {
+    s.attempts = 0;
+    s.skip = 0;
+  }
+  resume_pass(out);
+  debug_check_warm_state();
   return out;
 }
 

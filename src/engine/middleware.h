@@ -123,6 +123,14 @@ class Middleware {
   void set_link_loss(net::NodeId a, net::NodeId b, double loss);
   void set_link_jitter(net::NodeId a, net::NodeId b, double jitter_ms);
 
+  /// Gray-failure condition changes: a link or node becomes slow, lossy or
+  /// flapping while staying administratively up. Quality-only (routing and
+  /// planning costs unchanged — the incremental sync is free); the engine's
+  /// reliable delivery layer and the health plane's probes read the state.
+  /// Pass a default-constructed Degradation to clear.
+  void degrade_link(net::NodeId a, net::NodeId b, const net::Degradation& d);
+  void degrade_node(net::NodeId n, const net::Degradation& d);
+
   /// Applies a data condition change: a stream's observed rate moved.
   /// Deployed operators keep carrying the new volume; adapt() re-plans the
   /// queries whose cost drifted.
@@ -185,6 +193,28 @@ class Middleware {
   /// are load-shedding only: the node stays in the hierarchy and keeps
   /// forwarding, sourcing and sinking.
   std::vector<Redeployment> rebalance_load();
+
+  /// Health-plane quarantine: the node is excluded from hosting operators
+  /// exactly like a load-shed node — it keeps forwarding, sourcing and
+  /// sinking — and every active with an operator there is migrated off (a
+  /// replan that would place back on the quarantined node is not adopted).
+  /// Idempotent: quarantining twice returns no redeployments.
+  std::vector<Redeployment> quarantine_node(net::NodeId n);
+
+  /// Lifts a quarantine (the element survived its probation probe budget)
+  /// and retries the suspended queue. Idempotent.
+  std::vector<Redeployment> release_quarantine(net::NodeId n);
+
+  const std::vector<net::NodeId>& quarantined_nodes() const {
+    return quarantined_nodes_;
+  }
+
+  /// Per-node multiplicative pricing penalty from the health plane
+  /// (>= 1 per node, indexed by NodeId; empty = none). Every subsequent
+  /// planning environment carries it, so all optimizers steer around
+  /// suspect elements before quarantine ever triggers. Optimizers planning
+  /// under a penalty report planned_cost = actual (true) cost.
+  void set_health_penalty(std::vector<double> penalty);
 
   /// Re-optimizes every active query whose cost drifted beyond the
   /// threshold, then retries the suspended queue; returns what was
@@ -324,6 +354,13 @@ class Middleware {
   /// No element on a down host and every data edge still routable.
   bool deployment_intact(const Active& a) const;
 
+  /// True when the deployment hosts an op or derived unit on a host the
+  /// planner is supposed to avoid (down, overloaded or quarantined). The
+  /// restricted search's unrestricted fallback can hand such plans back;
+  /// adoption sites must reject them or the validator's excluded-host
+  /// sweep flags the adopted deployment.
+  bool deployment_on_excluded(const query::Deployment& d) const;
+
   /// Every derived leaf unit still has a live provider among the *other*
   /// actives: an operator (or re-exported non-aggregated result) with the
   /// same global stream set at the unit's node. Migrating a provider can
@@ -394,8 +431,15 @@ class Middleware {
   std::vector<SuspendedQuery> suspended_;
   std::vector<net::NodeId> failed_nodes_;
   std::vector<net::NodeId> overloaded_nodes_;  // load-shed, still forwarding
+  std::vector<net::NodeId> quarantined_nodes_;  // health plane, hosting-only
+  /// Health-plane pricing penalty (empty = none); env() hands a pointer to
+  /// this vector to every planning environment.
+  std::vector<double> health_penalty_;
   double node_capacity_ = 0.0;                 // 0 = unlimited
   int max_resume_attempts_ = 3;
+  /// Seeded jitter for the suspended-resume exponential backoff, so a
+  /// cluster-wide restore staggers the retry stampede deterministically.
+  Prng backoff_prng_;
 
   AdmissionController admission_;
   ResourceLedger ledger_;

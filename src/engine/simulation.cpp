@@ -412,6 +412,23 @@ void Simulation::channel_send(double now, std::uint32_t ch,
   transmit(now, ch, seq, /*is_retransmit=*/false);
 }
 
+void Simulation::hop_degradation(const net::Link& link, double now,
+                                 double* extra_loss, double* slowdown) const {
+  double keep = 1.0;
+  double slow = 1.0;
+  const net::Network& n = cur_net();
+  const auto fold = [&](const net::Degradation& d) {
+    if (!net::degraded_at(d, now)) return;
+    keep *= 1.0 - d.loss;
+    slow = std::max(slow, d.slowdown);
+  };
+  fold(link.degradation);
+  fold(n.node_degradation(link.a));
+  fold(n.node_degradation(link.b));
+  *extra_loss = 1.0 - keep;
+  *slowdown = slow;
+}
+
 void Simulation::transmit(double now, std::uint32_t ch, std::uint64_t seq,
                           bool is_retransmit) {
   Channel& c = channels_[ch];
@@ -421,8 +438,10 @@ void Simulation::transmit(double now, std::uint32_t ch, std::uint64_t seq,
   const net::NodeId from = instances_[c.producer].node;
   const net::NodeId dest = instances_[c.consumer].node;
   double arrive = now;
+  double expected_rtt = 0.0;  // clean-network data path + ack return
   std::vector<std::uint32_t> links;
   bool lost = false;
+  ++c.sent;
   if (fnet_ && !fnet_->node_alive(dest)) {
     // Nothing reaches a dead node; the timeout below will replay the tuple
     // once the node (or a route to it) comes back — or give up after the
@@ -447,10 +466,21 @@ void Simulation::transmit(double now, std::uint32_t ch, std::uint64_t seq,
           c.data_bytes += tuple->width;
         }
         links.push_back(static_cast<std::uint32_t>(li->second));
-        arrive +=
+        const double hop_s =
             link.delay_ms / 1000.0 + tuple->width * 8.0 / link.bandwidth_bps;
+        // Expected RTT uses the clean model: the data hop plus the ack's
+        // delay-only return, no degradation, no jitter.
+        expected_rtt += hop_s + link.delay_ms / 1000.0;
+        double extra_loss = 0.0;
+        double slowdown = 1.0;
+        hop_degradation(link, now, &extra_loss, &slowdown);
+        arrive += hop_s * slowdown;
         if (link.loss > 0.0 && net_prng_.chance(link.loss)) {
           lost = true;
+          break;
+        }
+        if (extra_loss > 0.0 && net_prng_.chance(extra_loss)) {
+          lost = true;  // gray hop dropped the tuple
           break;
         }
         if (link.jitter_ms > 0.0) {
@@ -459,6 +489,8 @@ void Simulation::transmit(double now, std::uint32_t ch, std::uint64_t seq,
       }
     }
   }
+  it->second.sent_at = now;
+  it->second.expected_rtt_s = expected_rtt;
   if (!lost) {
     schedule(Event{arrive, next_seq_++, c.consumer, c.port, tuple,
                    std::move(links), ch, seq});
@@ -493,8 +525,12 @@ void Simulation::send_ack(double now, std::uint32_t ch, std::uint64_t seq) {
       const net::Link& link = cur_net().links()[li->second];
       // Acks are a few bytes — not charged to link totals.
       links.push_back(static_cast<std::uint32_t>(li->second));
-      arrive += link.delay_ms / 1000.0;
+      double extra_loss = 0.0;
+      double slowdown = 1.0;
+      hop_degradation(link, now, &extra_loss, &slowdown);
+      arrive += link.delay_ms / 1000.0 * slowdown;
       if (link.loss > 0.0 && net_prng_.chance(link.loss)) return;  // ack lost
+      if (extra_loss > 0.0 && net_prng_.chance(extra_loss)) return;
       if (link.jitter_ms > 0.0) {
         arrive += net_prng_.uniform(0.0, link.jitter_ms / 1000.0);
       }
@@ -508,6 +544,9 @@ void Simulation::handle_ack(double now, std::uint32_t ch, std::uint64_t seq) {
   Channel& c = channels_[ch];
   const auto it = c.pending.find(seq);
   if (it == c.pending.end()) return;  // duplicate ack
+  c.rtt_sum_ms += (now - it->second.sent_at) * 1000.0;
+  c.expected_rtt_sum_ms += it->second.expected_rtt_s * 1000.0;
+  ++c.rtt_samples;
   c.pending.erase(it);
   pump_backlog(now, ch);
 }
@@ -939,6 +978,27 @@ DeliveryStats Simulation::delivery_stats(query::QueryId q) const {
     s.goodput_tps = static_cast<double>(s.delivered) / horizon;
   }
   return s;
+}
+
+std::vector<ChannelTelemetry> Simulation::channel_telemetry() const {
+  std::vector<ChannelTelemetry> out;
+  out.reserve(channels_.size());
+  for (const Channel& c : channels_) {
+    ChannelTelemetry t;
+    t.from = instances_[c.producer].node;
+    t.to = instances_[c.consumer].node;
+    t.query = c.query;
+    if (t.from != t.to) t.path = cur_rt().cost_path(t.from, t.to);
+    t.sent = c.sent;
+    t.retransmits = c.retransmits;
+    t.lost = c.lost;
+    t.rtt_samples = c.rtt_samples;
+    t.rtt_sum_ms = c.rtt_sum_ms;
+    t.expected_rtt_sum_ms = c.expected_rtt_sum_ms;
+    t.max_queue_depth = instances_[c.consumer].max_queue_depth;
+    out.push_back(std::move(t));
+  }
+  return out;
 }
 
 double Simulation::downtime_s(query::QueryId q) const {

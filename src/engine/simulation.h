@@ -112,6 +112,29 @@ struct ReliabilityConfig {
   double drain_s = 5.0;
 };
 
+/// Per-channel reliability telemetry (reliable mode only) — the health
+/// plane's raw signal. Every counter is per producer→consumer data edge:
+/// ack round-trip samples measured against the clean-network expectation
+/// (propagation + serialisation + ack return with no degradation, no
+/// jitter, no queueing), retransmission counts, and the cost-optimal path
+/// the channel's tuples currently cross. In a clean run measured RTT
+/// equals the expectation exactly, so every derived signal is zero — the
+/// foundation of the detector's zero-false-positive contract.
+struct ChannelTelemetry {
+  net::NodeId from = net::kInvalidNode;
+  net::NodeId to = net::kInvalidNode;
+  query::QueryId query = 0;
+  /// Cost-optimal from→to route, inclusive; empty for co-located edges.
+  std::vector<net::NodeId> path;
+  std::uint64_t sent = 0;         // transmissions (first + re)
+  std::uint64_t retransmits = 0;  // retransmissions among `sent`
+  std::uint64_t lost = 0;         // lost after exhausting the retry budget
+  std::uint64_t rtt_samples = 0;  // acked transmissions
+  double rtt_sum_ms = 0.0;
+  double expected_rtt_sum_ms = 0.0;  // clean-network model of the same acks
+  std::size_t max_queue_depth = 0;   // consumer's input-queue high-water
+};
+
 /// Per-query delivery-semantics accounting (reliable mode only).
 struct DeliveryStats {
   std::uint64_t delivered = 0;    // results accepted at the sink
@@ -220,6 +243,11 @@ class Simulation {
   /// queries are attributed to the query that deployed them first.
   DeliveryStats delivery_stats(query::QueryId q) const;
 
+  /// Per-channel reliability telemetry, one entry per data edge in channel
+  /// creation order (reliable mode; empty otherwise). Feed to
+  /// HealthMonitor::observe.
+  std::vector<ChannelTelemetry> channel_telemetry() const;
+
  private:
   using InstanceId = std::uint32_t;
 
@@ -242,6 +270,11 @@ class Simulation {
   struct PendingTuple {
     TuplePtr tuple;
     int retries = 0;
+    /// Departure time of the latest transmission and the clean-network RTT
+    /// it should see (data path + ack return, no degradation/jitter) — the
+    /// pair behind each ChannelTelemetry RTT sample.
+    double sent_at = 0.0;
+    double expected_rtt_s = 0.0;
   };
   struct Channel {
     InstanceId producer = 0;
@@ -256,11 +289,16 @@ class Simulation {
     std::uint64_t seen_floor = 0;
     std::unordered_set<std::uint64_t> seen;
     // Counters.
+    std::uint64_t sent = 0;  // transmissions, first and re alike
     std::uint64_t retransmits = 0;
     std::uint64_t duplicates = 0;
     std::uint64_t lost = 0;
     double data_bytes = 0.0;
     double retransmit_bytes = 0.0;
+    // Ack RTT telemetry (see ChannelTelemetry).
+    std::uint64_t rtt_samples = 0;
+    double rtt_sum_ms = 0.0;
+    double expected_rtt_sum_ms = 0.0;
   };
 
   enum class Kind : std::uint8_t {
@@ -370,6 +408,12 @@ class Simulation {
   void receive(double now, std::uint32_t ch, std::uint64_t seq, int port,
                const TuplePtr& tuple);
   void pump_backlog(double now, std::uint32_t ch);
+  /// Combined gray-failure state of one hop at time `now`: extra drop
+  /// probability (link degradation and both endpoint nodes, multiplicative)
+  /// and delay multiplier (max of the three), flap waves evaluated at
+  /// `now`. Identity when nothing on the hop is degraded.
+  void hop_degradation(const net::Link& link, double now, double* extra_loss,
+                       double* slowdown) const;
   /// Deterministic content-hash replacement for prng_.chance in reliable
   /// mode: the pass/fail decision depends only on the tuple and the filter
   /// instance, so it is identical across lossy and loss-free runs.

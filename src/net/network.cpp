@@ -13,6 +13,13 @@ namespace {
 /// rebuild, never correctness.
 constexpr std::size_t kMutationLogCapacity = 4096;
 
+void check_degradation(const Degradation& d) {
+  IFLOW_CHECK_MSG(d.slowdown >= 1.0, "slowdown must be >= 1");
+  IFLOW_CHECK_MSG(d.loss >= 0.0 && d.loss < 1.0,
+                  "degradation loss must be in [0, 1)");
+  IFLOW_CHECK_MSG(d.flap_hz >= 0.0, "negative flap frequency");
+}
+
 }  // namespace
 
 void Network::record(MutationKind kind, NodeId a, NodeId b, bool relaxing) {
@@ -38,6 +45,7 @@ std::optional<std::vector<Mutation>> Network::mutations_since(
 NodeId Network::add_node(NodeKind kind) {
   kinds_.push_back(kind);
   alive_.push_back(1);
+  node_degradation_.emplace_back();
   incident_.emplace_back();
   return static_cast<NodeId>(kinds_.size() - 1);
 }
@@ -49,7 +57,13 @@ void Network::add_link(NodeId a, NodeId b, double cost_per_byte,
   IFLOW_CHECK_MSG(cost_per_byte > 0.0, "link cost must be positive");
   IFLOW_CHECK_MSG(delay_ms >= 0.0, "negative delay");
   IFLOW_CHECK_MSG(bandwidth_bps > 0.0, "bandwidth must be positive");
-  links_.push_back(Link{a, b, cost_per_byte, delay_ms, bandwidth_bps});
+  Link l;
+  l.a = a;
+  l.b = b;
+  l.cost_per_byte = cost_per_byte;
+  l.delay_ms = delay_ms;
+  l.bandwidth_bps = bandwidth_bps;
+  links_.push_back(l);
   const auto idx = static_cast<std::uint32_t>(links_.size() - 1);
   incident_[a].push_back(idx);
   incident_[b].push_back(idx);
@@ -96,6 +110,32 @@ void Network::set_link_jitter(NodeId a, NodeId b, double jitter_ms) {
   }
   IFLOW_CHECK_MSG(found, "no link between " << a << " and " << b);
   record(MutationKind::kQuality, a, b, /*relaxing=*/false);
+}
+
+void Network::degrade_link(NodeId a, NodeId b, const Degradation& d) {
+  check_degradation(d);
+  bool found = false;
+  for (auto idx : incident(a)) {
+    Link& l = links_[idx];
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+      l.degradation = d;
+      found = true;
+    }
+  }
+  IFLOW_CHECK_MSG(found, "no link between " << a << " and " << b);
+  record(MutationKind::kQuality, a, b, /*relaxing=*/false);
+}
+
+void Network::degrade_node(NodeId n, const Degradation& d) {
+  IFLOW_CHECK(n < node_count());
+  check_degradation(d);
+  node_degradation_[n] = d;
+  record(MutationKind::kQuality, n, kInvalidNode, /*relaxing=*/false);
+}
+
+const Degradation& Network::node_degradation(NodeId n) const {
+  IFLOW_CHECK(n < node_count());
+  return node_degradation_[n];
 }
 
 void Network::fail_link(NodeId a, NodeId b) {

@@ -19,6 +19,7 @@
 // transition bumps version() so dependent tables can detect staleness.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -62,6 +63,40 @@ struct Mutation {
   bool relaxing = false;
 };
 
+/// Continuous gray-failure state of a node or link: the element stays
+/// administratively up — routing, planning costs and paths are unchanged —
+/// but traffic touching it is slowed, dropped, or both. Distinct from
+/// fail/crash (binary down). Journaled as kQuality mutations, so derived
+/// tables' incremental sync() treats a degradation like a loss change:
+/// nothing to recompute. Only the engine's reliable delivery plane and the
+/// health plane's probes read it.
+struct Degradation {
+  /// Multiplier (>= 1) on the propagation + serialisation time of every
+  /// traversal touching the element. 1 = full speed.
+  double slowdown = 1.0;
+  /// Extra per-traversal drop probability in [0, 1), combined
+  /// multiplicatively with link loss and other degradations on the hop.
+  double loss = 0.0;
+  /// Flap frequency in Hz. > 0 makes the element alternate between clean
+  /// and degraded in a deterministic square wave of simulation time: the
+  /// degraded half applies `slowdown` and `loss`, the clean half neither.
+  /// 0 = the degradation applies continuously.
+  double flap_hz = 0.0;
+
+  bool degraded() const {
+    return slowdown > 1.0 || loss > 0.0 || flap_hz > 0.0;
+  }
+};
+
+/// True when a degradation is in effect at simulation time `t`: always for
+/// a non-flapping degradation, and during the down half of the square wave
+/// for a flapping one.
+inline bool degraded_at(const Degradation& d, double t) {
+  if (!d.degraded()) return false;
+  if (d.flap_hz <= 0.0) return true;
+  return std::fmod(t * d.flap_hz, 1.0) < 0.5;
+}
+
 /// Undirected physical link between two nodes.
 struct Link {
   NodeId a = kInvalidNode;
@@ -79,6 +114,9 @@ struct Link {
   /// Administrative state: false after fail_link until restore_link. A link
   /// that is `up` may still be unusable if an endpoint node is crashed.
   bool up = true;
+  /// Gray-failure state of this link (identity when healthy). Like `loss`,
+  /// only the engine's delivery layer reads it.
+  Degradation degradation;
 };
 
 /// Node classification produced by the topology generator; purely
@@ -112,6 +150,22 @@ class Network {
   /// Sets the delay-jitter bound of every (a, b) link. Requires
   /// jitter_ms >= 0; throws if no such link exists.
   void set_link_jitter(NodeId a, NodeId b, double jitter_ms);
+
+  /// Sets the gray-failure state of every (a, b) link (parallel links model
+  /// one degraded adjacency). Requires slowdown >= 1, 0 <= loss < 1 and
+  /// flap_hz >= 0; throws if no such link exists. Pass a default-constructed
+  /// Degradation to clear. Quality-only: routing and planning costs are
+  /// unaffected, so incremental sync() stays free.
+  void degrade_link(NodeId a, NodeId b, const Degradation& d);
+
+  /// Sets the gray-failure state of a node: every traversal of an incident
+  /// link (and the health plane's direct probes) sees the degradation. The
+  /// node stays alive and keeps hosting — this is slow/lossy, not crashed.
+  /// Same validation and journaling as degrade_link.
+  void degrade_node(NodeId n, const Degradation& d);
+
+  /// Current gray-failure state of a node (identity when healthy).
+  const Degradation& node_degradation(NodeId n) const;
 
   /// Takes the (a, b) link down. With parallel links, all of them go down —
   /// a fault between two nodes severs the whole adjacency. Throws if no such
@@ -172,6 +226,8 @@ class Network {
 
   std::vector<NodeKind> kinds_;
   std::vector<char> alive_;
+  /// Per-node gray-failure state, parallel to kinds_.
+  std::vector<Degradation> node_degradation_;
   std::vector<Link> links_;
   std::vector<std::vector<std::uint32_t>> incident_;
   std::uint64_t version_ = 0;

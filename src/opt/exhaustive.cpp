@@ -35,9 +35,11 @@ OptimizeResult ExhaustiveOptimizer::optimize(const query::Query& q) {
     infeasible.feasible = false;
     return infeasible;
   }
-  // Under the sparse oracle the planner's objective is an estimate, not the
-  // exact deployed cost the validator reproduces.
-  out.planned_cost = env_.sparse != nullptr ? out.actual_cost : res.cost;
+  // Under the sparse oracle (or a health pricing penalty) the planner's
+  // objective is not the exact deployed cost the validator reproduces.
+  out.planned_cost = env_.sparse != nullptr || env_.node_penalty != nullptr
+                         ? out.actual_cost
+                         : res.cost;
   out.plans_considered = res.plans_considered;
   out.levels_used = 1;
   // Centralised search: all statistics are at one node; deployment time is

@@ -66,6 +66,13 @@ struct OptimizerEnv {
   /// their internal objective is an estimate the validator should not be
   /// asked to reproduce. Non-owning.
   const SparseOracle* sparse = nullptr;
+  /// Health plane: multiplicative per-node pricing penalty (indexed by
+  /// NodeId, every entry >= 1, healthy = 1) applied to the planning
+  /// oracles' distances, so searches steer around suspect elements while
+  /// routing stays unchanged. Like `sparse`, a penalized objective is not
+  /// the true deployed cost, so optimizers planning under it report
+  /// planned_cost = actual_cost. Non-owning; null = no penalty.
+  const std::vector<double>* node_penalty = nullptr;
 };
 
 /// The distance source whole-network searches should plan with: the sparse

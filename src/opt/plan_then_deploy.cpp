@@ -48,8 +48,11 @@ OptimizeResult PlanThenDeployOptimizer::optimize(const query::Query& q) {
     infeasible.feasible = false;
     return infeasible;
   }
-  // Sparse-oracle placements optimise an estimate; report the exact cost.
-  out.planned_cost = env_.sparse != nullptr ? out.actual_cost : placement.cost;
+  // Sparse-oracle (or health-penalized) placements optimise an estimate;
+  // report the exact cost.
+  out.planned_cost = env_.sparse != nullptr || env_.node_penalty != nullptr
+                         ? out.actual_cost
+                         : placement.cost;
   // Plan phase enumerates covers × trees; the deployment phase, done
   // exhaustively, examines |N|^ops assignments of the fixed tree.
   out.plans_considered =

@@ -112,7 +112,11 @@ OptimizeResult RelaxationOptimizer::optimize(const query::Query& q) {
     net::NodeId best = snap_targets.front();
     double best_d = std::numeric_limits<double>::infinity();
     for (net::NodeId n : snap_targets) {
-      const double d = CostSpace::distance(space_.position(n), op_pos[v]);
+      // The health penalty inflates a suspect node's attractiveness the
+      // same way it inflates oracle distances elsewhere.
+      const double d = CostSpace::distance(space_.position(n), op_pos[v]) *
+                       (env_.node_penalty != nullptr ? (*env_.node_penalty)[n]
+                                                     : 1.0);
       if (d < best_d) {
         best_d = d;
         best = n;

@@ -73,9 +73,46 @@ class DistanceOracle {
     return o;
   }
 
+  /// Returns a copy whose distances are inflated by the per-node health
+  /// penalty of both endpoints: d'(a, b) = d(a, b) · pen[a] · pen[b], with
+  /// pen indexed by NodeId and every entry >= 1 (healthy nodes carry 1).
+  /// This is the health plane's pricing hook: a suspect node's adjacencies
+  /// look expensive to every search, so placements steer around sick-but-
+  /// alive elements without any routing change. The vector is non-owning
+  /// and must outlive the oracle; null or empty is a no-op.
+  DistanceOracle with_node_penalty(const std::vector<double>* penalty) const {
+    DistanceOracle o = *this;
+    o.penalty_ = (penalty != nullptr && !penalty->empty()) ? penalty : nullptr;
+    return o;
+  }
+
   bool valid() const { return kind_ != Kind::kInvalid; }
 
   double operator()(net::NodeId a, net::NodeId b) const {
+    const double d = raw(a, b);
+    return penalty_ == nullptr ? d : d * (*penalty_)[a] * (*penalty_)[b];
+  }
+
+  /// Bulk row read: out[i] = (*this)(src, dst[i]). Routing oracles pin the
+  /// source row once (one lock + one potential Dijkstra on the sparse
+  /// routing tier) instead of paying per-entry; the planner materializes
+  /// its per-source matrix rows through this.
+  void fill_from(net::NodeId src, const net::NodeId* dst, std::size_t count,
+                 double* out) const {
+    if (kind_ == Kind::kRouting) {
+      IFLOW_DCHECK(routing_->built_against() == stamp_);
+      routing_->fill_costs(src, dst, count, out);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) out[i] = raw(src, dst[i]);
+    }
+    if (penalty_ != nullptr) {
+      const double ps = (*penalty_)[src];
+      for (std::size_t i = 0; i < count; ++i) out[i] *= ps * (*penalty_)[dst[i]];
+    }
+  }
+
+ private:
+  double raw(net::NodeId a, net::NodeId b) const {
     switch (kind_) {
       case Kind::kRouting:
         IFLOW_DCHECK(routing_->built_against() == stamp_);
@@ -95,21 +132,6 @@ class DistanceOracle {
                          "distance query on an invalid DistanceOracle");
   }
 
-  /// Bulk row read: out[i] = (*this)(src, dst[i]). Routing oracles pin the
-  /// source row once (one lock + one potential Dijkstra on the sparse
-  /// routing tier) instead of paying per-entry; the planner materializes
-  /// its per-source matrix rows through this.
-  void fill_from(net::NodeId src, const net::NodeId* dst, std::size_t count,
-                 double* out) const {
-    if (kind_ == Kind::kRouting) {
-      IFLOW_DCHECK(routing_->built_against() == stamp_);
-      routing_->fill_costs(src, dst, count, out);
-      return;
-    }
-    for (std::size_t i = 0; i < count; ++i) out[i] = (*this)(src, dst[i]);
-  }
-
- private:
   enum class Kind : std::uint8_t {
     kInvalid,
     kRouting,
@@ -123,6 +145,8 @@ class DistanceOracle {
   const cluster::Hierarchy* hierarchy_ = nullptr;
   const CostSpace* space_ = nullptr;
   const SparseOracle* sparse_ = nullptr;
+  /// Health-plane pricing penalty (see with_node_penalty); null = none.
+  const std::vector<double>* penalty_ = nullptr;
   std::uint64_t stamp_ = 0;
   int level_ = 0;
 };

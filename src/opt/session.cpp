@@ -46,9 +46,14 @@ PlanWorkspace& workspace_for(const OptimizerEnv& env) {
 }
 
 DistanceOracle planning_oracle(const OptimizerEnv& env) {
-  if (env.sparse != nullptr) return DistanceOracle::sparse(*env.sparse);
-  IFLOW_CHECK(env.routing != nullptr);
-  return DistanceOracle::routing(*env.routing);
+  DistanceOracle o;
+  if (env.sparse != nullptr) {
+    o = DistanceOracle::sparse(*env.sparse);
+  } else {
+    IFLOW_CHECK(env.routing != nullptr);
+    o = DistanceOracle::routing(*env.routing);
+  }
+  return o.with_node_penalty(env.node_penalty);
 }
 
 double delivery_rate_for(const query::Query& q,

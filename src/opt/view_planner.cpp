@@ -34,9 +34,10 @@ int plan_view_recursive(const OptimizerEnv& env, int level,
   // Physical-level refinement can price through the tiered sparse oracle
   // (leaf sketches instead of exact routing rows); coarser levels are
   // already Theorem-1 estimates by construction.
-  in.dist = (level == 1 && env.sparse != nullptr)
-                ? DistanceOracle::sparse(*env.sparse)
-                : DistanceOracle::hierarchy(h, level);
+  in.dist = ((level == 1 && env.sparse != nullptr)
+                 ? DistanceOracle::sparse(*env.sparse)
+                 : DistanceOracle::hierarchy(h, level))
+                .with_node_penalty(env.node_penalty);
   in.query_id = qid;
   if (delivery != net::kInvalidNode) {
     in.delivery_bytes_rate = delivery_bytes_rate;

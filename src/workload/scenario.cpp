@@ -323,6 +323,56 @@ void append_failure_script(const ScenarioSpec& spec, const Scenario& s,
       }
       break;
     }
+    case FailureProfile::kGraySlowNode:
+    case FailureProfile::kGrayFlapper: {
+      // A node turns gray — slow (and, flapping, intermittently lossy) but
+      // administratively up. Quality-only mutations: no replanning, free
+      // incremental routing sync, digest-stable. Rounds of sicken/heal,
+      // then one final degradation left for the restoration sweep.
+      const auto gray = [&](net::NodeId n, bool clear) {
+        ChaosEvent e;
+        e.kind = clear ? ChaosEventKind::kClearNode
+                       : ChaosEventKind::kDegradeNode;
+        e.a = n;
+        if (!clear) {
+          if (spec.failures == FailureProfile::kGraySlowNode) {
+            e.slowdown = 3.0;
+            e.rate = 0.15;
+          } else {
+            e.slowdown = 2.0;
+            e.rate = 0.4;
+            e.flap_hz = 0.2;
+          }
+        }
+        return e;
+      };
+      const auto victim = static_cast<net::NodeId>(
+          prng.index(s.net.node_count()));
+      for (int r = 0; r < spec.failure_rounds; ++r) {
+        script.push_back(gray(victim, /*clear=*/false));
+        script.push_back(gray(victim, /*clear=*/true));
+      }
+      script.push_back(gray(victim, /*clear=*/false));
+      break;
+    }
+    case FailureProfile::kGrayLossyLink: {
+      // Link pairs silently dropping tuples while staying up: the delivery
+      // layer retransmits through them; planning never notices.
+      auto pairs = distinct_link_pairs(s.net);
+      prng.shuffle(pairs);
+      const std::size_t sick =
+          std::min<std::size_t>(static_cast<std::size_t>(spec.failure_rounds),
+                                pairs.size());
+      for (std::size_t i = 0; i < sick; ++i) {
+        ChaosEvent e = link_event(ChaosEventKind::kDegradeLink, pairs[i], 0.3);
+        script.push_back(e);
+      }
+      for (std::size_t i = 0; i + 1 < sick; ++i) {
+        script.push_back(link_event(ChaosEventKind::kClearLink, pairs[i]));
+      }
+      // The last pair stays sick for the restoration sweep to heal.
+      break;
+    }
   }
 }
 
@@ -362,6 +412,8 @@ const std::vector<std::string>& scenario_names() {
       "geo-clustered",     "deep-chains",     "shared-sources",
       "union-fanin",       "cluster-outage",  "flapping-region",
       "loss-storm",
+      // Gray-failure family (appended: catalogue seeds are index-derived).
+      "gray-slow-node",    "gray-lossy-link", "gray-flapper",
   };
   return kNames;
 }
@@ -412,6 +464,12 @@ ScenarioSpec scenario_spec(const std::string& name) {
     spec.failures = FailureProfile::kFlappingRegion;
   } else if (name == "loss-storm") {
     spec.failures = FailureProfile::kLossStorm;
+  } else if (name == "gray-slow-node") {
+    spec.failures = FailureProfile::kGraySlowNode;
+  } else if (name == "gray-lossy-link") {
+    spec.failures = FailureProfile::kGrayLossyLink;
+  } else if (name == "gray-flapper") {
+    spec.failures = FailureProfile::kGrayFlapper;
   }
   return spec;
 }

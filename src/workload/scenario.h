@@ -77,6 +77,9 @@ enum class FailureProfile : std::uint8_t {
   kClusterOutage,   // whole stub domains crash and recover together
   kFlappingRegion,  // one domain's nodes flap down/up repeatedly
   kLossStorm,       // loss + jitter re-drawn across many links, then a storm
+  kGraySlowNode,    // gray failure: a node runs slow but stays up
+  kGrayLossyLink,   // gray failure: a link pair silently drops tuples
+  kGrayFlapper,     // gray failure: a node cycles sick/healthy sub-epoch
 };
 
 /// Complete recipe for one scenario. `scenario_spec(name)` returns the

@@ -172,8 +172,12 @@ TEST(ChaosTest, InjectorNeverDrawsInvalidEvents) {
   ChaosConfig cfg;
   cfg.max_down_nodes = 3;
   cfg.max_down_links = 4;
+  cfg.gray_probability = 0.3;  // exercise the gray-failure families too
   FaultInjector inj(s.net, s.wl.catalog, cfg, 42);
   std::vector<char> node_down(s.net.node_count(), 0);
+  std::vector<char> node_gray(s.net.node_count(), 0);
+  std::size_t degraded = 0;
+  std::size_t gray_events = 0;
   for (int i = 0; i < 500; ++i) {
     const ChaosEvent e = inj.next();
     switch (e.kind) {
@@ -188,17 +192,48 @@ TEST(ChaosTest, InjectorNeverDrawsInvalidEvents) {
         break;
       case ChaosEventKind::kFailLink:
       case ChaosEventKind::kRestoreLink:
+      case ChaosEventKind::kSetLinkLoss:
+      case ChaosEventKind::kSetLinkJitter:
         ASSERT_NE(e.a, e.b);
         break;
       case ChaosEventKind::kRateSpike:
         ASSERT_LT(e.stream, s.wl.catalog.stream_count());
         ASSERT_GT(e.rate, 0.0);
         break;
+      case ChaosEventKind::kQueuePressure:
+        break;
+      case ChaosEventKind::kDegradeNode:
+        ASSERT_FALSE(node_gray[e.a]) << "double degradation at event " << i;
+        // Every family carries a visible symptom.
+        ASSERT_TRUE(e.slowdown >= 1.5 || e.rate > 0.0) << "event " << i;
+        node_gray[e.a] = 1;
+        ++degraded;
+        ++gray_events;
+        break;
+      case ChaosEventKind::kDegradeLink:
+        ASSERT_NE(e.a, e.b);
+        ASSERT_TRUE(e.slowdown >= 1.5 || e.rate > 0.0) << "event " << i;
+        ++degraded;
+        ++gray_events;
+        break;
+      case ChaosEventKind::kClearNode:
+        ASSERT_TRUE(node_gray[e.a]) << "clear of a well node at " << i;
+        node_gray[e.a] = 0;
+        ASSERT_GT(degraded, 0u);
+        --degraded;
+        break;
+      case ChaosEventKind::kClearLink:
+        ASSERT_NE(e.a, e.b);
+        ASSERT_GT(degraded, 0u);
+        --degraded;
+        break;
     }
     ASSERT_LE(inj.down_nodes().size(), 3u);
     ASSERT_LE(inj.down_links().size(), 4u);
     ASSERT_LE(inj.down_nodes().size() * 2, s.net.node_count());
+    ASSERT_LE(degraded, static_cast<std::size_t>(cfg.max_degraded));
   }
+  EXPECT_GT(gray_events, 0u);  // the gray families actually fired
 }
 
 TEST(ChaosTest, CrashPartitionSuspendsAndHealsOnRestore) {

@@ -55,6 +55,16 @@
 // the tiered SparseOracle. Feasibility must be identical, sparse-planned
 // deployments must validate, and the sparse exhaustive optimum must stay
 // within the Theorem-1 slack budget of the dense optimum.
+//
+// --gray fuzzes the gray-failure health plane: each iteration builds a
+// seeded relay-shaped world (a cheap star hub is the strictly optimal
+// meeting point, so it hosts operators without being any query's
+// endpoint), draws a gray intensity, and replays engine::run_gray's three
+// sub-runs (detector on, detector off, healthy twin). Fails on any
+// validator violation, on a quarantine in the healthy twin (false
+// positive), and on the detector-on run undercutting the detector-off
+// goodput. With --digest the per-epoch transcript must be identical
+// across --threads values.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -68,6 +78,7 @@
 #include "cluster/hierarchy.h"
 #include "cluster/theory.h"
 #include "engine/chaos.h"
+#include "engine/health.h"
 #include "net/gtitm.h"
 #include "opt/bottom_up.h"
 #include "opt/exhaustive.h"
@@ -96,6 +107,7 @@ struct Options {
   bool loss = false;
   bool scenario = false;
   bool oracle = false;
+  bool gray = false;
 };
 
 /// One self-contained random instance. Everything is derived from the seed,
@@ -659,6 +671,101 @@ void check_scenario_instance(std::uint64_t seed, const Options& opt,
   }
 }
 
+/// One gray-failure iteration: a seeded relay-shaped star world, a drawn
+/// gray intensity, and engine::run_gray's three sub-runs. The soft goodput
+/// floor here (on >= 0.95 * off) keeps the fuzz flake-free across drawn
+/// intensities; the strict 1.5x detection contract is asserted under the
+/// controlled defaults in health_test.cpp and measured by micro_health.
+void check_gray_instance(std::uint64_t seed, const Options& opt,
+                         IterationLog& log) {
+  Prng prng(seed);
+  // Dual-relay star: every endpoint reaches both relays directly, with the
+  // primary strictly cheaper. Joining at the primary is optimal, so it
+  // hosts operators without being any query's endpoint — and once the gray
+  // harness degrades it, replanning onto the backup relay takes every data
+  // path off the sick element entirely (a single-hub star could only move
+  // the operators; the traffic would still cross the degraded hub).
+  net::Network net;
+  const net::NodeId primary = net.add_node();
+  const net::NodeId backup = net.add_node();
+  // Exactly three sources: the 3-way join at the relay is optimal for all
+  // three exercised optimizers (wider worlds tip the heuristics toward
+  // endpoint placements, leaving nothing degradable off the endpoints).
+  const int sources = 3;
+  std::vector<net::NodeId> src_nodes;
+  for (int i = 0; i < sources; ++i) src_nodes.push_back(net.add_node());
+  const net::NodeId sink = net.add_node();
+  for (net::NodeId n : src_nodes) {
+    net.add_link(primary, n, 1.0, 1.0, 1e6);
+    net.add_link(backup, n, 1.3, 1.0, 1e6);
+  }
+  net.add_link(primary, sink, 1.0, 1.0, 1e6);
+  net.add_link(backup, sink, 1.3, 1.0, 1e6);
+
+  query::Catalog catalog;
+  std::vector<query::StreamId> streams;
+  // Equal rates keep the hub an optimal join site: an unequal pair makes
+  // shipping the lighter stream to the heavier source strictly cheaper
+  // (2*min < min+max), which would strand every operator on endpoints and
+  // leave the gray harness nothing to degrade.
+  const double rate = 15.0 + prng.uniform(0.0, 10.0);
+  const double sel = 0.005 + prng.uniform(0.0, 0.045);
+  for (int i = 0; i < sources; ++i) {
+    streams.push_back(catalog.add_stream(
+        "S" + std::to_string(i), src_nodes[static_cast<std::size_t>(i)], rate,
+        100.0));
+  }
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    for (std::size_t j = i + 1; j < streams.size(); ++j) {
+      catalog.set_selectivity(streams[i], streams[j], sel);
+    }
+  }
+  std::vector<query::Query> queries;
+  query::Query q;
+  q.id = 1;
+  q.sources = {streams[0], streams[1], streams[2]};
+  q.sink = sink;
+  queries.push_back(q);
+
+  const engine::Algorithm algs[] = {engine::Algorithm::kTopDown,
+                                    engine::Algorithm::kBottomUp,
+                                    engine::Algorithm::kExhaustive};
+  const engine::Algorithm alg = algs[prng.index(3)];
+
+  engine::GrayConfig cfg;
+  cfg.epochs = 4;
+  cfg.epoch_s = 8.0;
+  cfg.threads = opt.threads;
+  cfg.degradation.slowdown = 1.0 + prng.uniform(1.0, 3.0);
+  cfg.degradation.loss = prng.uniform(0.4, 0.7);
+  // max_cs covers the whole world: a single-cluster hierarchy keeps the
+  // heuristics' relay placement independent of the clustering seed.
+  const engine::GrayReport report =
+      engine::run_gray(net, catalog, queries, 8, alg, seed, cfg);
+  if (opt.digest) {
+    std::istringstream lines(report.digest);
+    std::string line;
+    while (std::getline(lines, line)) {
+      std::cout << "gray " << seed << ' ' << line << '\n';
+    }
+  }
+  if (report.violations != 0) {
+    log.fail("gray: validator violations: " + report.violation_detail);
+  }
+  if (report.false_positives != 0) {
+    std::ostringstream os;
+    os << "gray: " << report.false_positives
+       << " quarantines in the healthy twin";
+    log.fail(os.str());
+  }
+  if (report.goodput_on < 0.95 * report.goodput_off) {
+    std::ostringstream os;
+    os << "gray: detector-on goodput " << report.goodput_on
+       << " undercuts detector-off " << report.goodput_off;
+    log.fail(os.str());
+  }
+}
+
 /// One oracle-fuzz iteration: estimate-vs-exact sweep plus dense-vs-sparse
 /// differential planning over a partitioned hierarchy.
 void check_oracle_instance(std::uint64_t seed, const Options& opt,
@@ -781,7 +888,9 @@ int run(const Options& opt) {
     const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
     IterationLog log{seed};
     try {
-      if (opt.oracle) {
+      if (opt.gray) {
+        check_gray_instance(seed, opt, log);
+      } else if (opt.oracle) {
         check_oracle_instance(seed, opt, ws, log);
       } else if (opt.scenario) {
         check_scenario_instance(seed, opt, log);
@@ -852,11 +961,13 @@ int main(int argc, char** argv) {
       opt.scenario = true;
     } else if (arg == "--oracle") {
       opt.oracle = true;
+    } else if (arg == "--gray") {
+      opt.gray = true;
     } else {
       std::cerr << "usage: differential_fuzz [--iterations N] [--seed S] "
                    "[--threads T] [--digest] [--churn] [--register-churn] "
                    "[--loss] [--scenario] "
-                   "[--oracle] [--verbose]\n";
+                   "[--oracle] [--gray] [--verbose]\n";
       return 2;
     }
   }

@@ -226,6 +226,61 @@ TEST(IncrementalRoutingTest, SparseSyncRetainsRowsOffTheFailedLink) {
   expect_equivalent(net, rt);
 }
 
+TEST(IncrementalRoutingTest, JournalTruncationBoundaryIsExact) {
+  // Pins the overflow boundary of the bounded mutation journal: at exactly
+  // capacity every entry is retained and a version-0 reader replays the
+  // whole history; one entry past it the oldest is dropped, version-0
+  // readers get nullopt, and the replay window is exactly capacity wide.
+  constexpr std::size_t kCapacity = 4096;  // network.cpp kMutationLogCapacity
+  Network net;
+  for (int i = 0; i < 3; ++i) net.add_node();
+  net.add_link(0, 1, 1.0, 10.0, 1e6);
+  net.add_link(1, 2, 1.0, 10.0, 1e6);
+  RoutingTables rt = RoutingTables::build(net);
+
+  // Quality-only churn up to EXACTLY capacity (the two add_link entries
+  // already sit in the journal).
+  auto logged = net.mutations_since(0);
+  ASSERT_TRUE(logged.has_value());
+  for (std::size_t i = logged->size(); i < kCapacity; ++i) {
+    net.degrade_link(0, 1,
+                     Degradation{1.0 + 0.001 * static_cast<double>(i % 7),
+                                 0.0, 0.0});
+  }
+  logged = net.mutations_since(0);
+  ASSERT_TRUE(logged.has_value());
+  EXPECT_EQ(logged->size(), kCapacity);
+
+  // Inside the window the whole batch replays as quality-only patches: no
+  // rebuild (degradations never change link costs, so routes stand).
+  RoutingSyncStats st = rt.sync(net);
+  EXPECT_FALSE(st.full_rebuild);
+  EXPECT_TRUE(st.quality_only);
+  const double cost_before = rt.cost(0, 2);
+
+  // One more entry crosses the boundary: the version-0 reader falls off,
+  // the retained window is exactly kCapacity entries starting past the
+  // dropped one, and the just-synced table still patches incrementally.
+  net.degrade_link(1, 2, Degradation{2.0, 0.1, 0.0});
+  EXPECT_FALSE(net.mutations_since(0).has_value());
+  const auto tail = net.mutations_since(1);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->size(), kCapacity);
+  st = rt.sync(net);
+  EXPECT_FALSE(st.full_rebuild);
+  EXPECT_TRUE(st.quality_only);
+  EXPECT_EQ(rt.cost(0, 2), cost_before);
+
+  // Slide the window entirely past the table's sync point: replay is no
+  // longer possible and sync must fall back to a full rebuild.
+  for (std::size_t i = 0; i <= kCapacity; ++i) {
+    net.degrade_link(0, 1, Degradation{});
+  }
+  st = rt.sync(net);
+  EXPECT_TRUE(st.full_rebuild);
+  expect_equivalent(net, rt);
+}
+
 TEST(IncrementalRoutingTest, SparseSyncSurvivesLogTruncation) {
   // More mutations than the journal holds: sync must fall back to a clean
   // reset instead of applying a partial batch.
