@@ -1249,4 +1249,275 @@ RegistrationChurnReport run_registration_script(
                                max_cs, algorithm, seed, cfg, src);
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint/recovery contract.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Operator-hosting nodes that are no query's source or sink. Crashing one
+/// of these exercises stateful rollback without silencing a source: a dead
+/// source node skips emissions drawn from the main engine Prng, so its
+/// faulted run and the fault-free twin would diverge in what was EMITTED,
+/// not in what was preserved — exactly the confusion the contract must
+/// exclude.
+std::vector<net::NodeId> recovery_targets(
+    const net::Network& net, const query::Catalog& catalog,
+    const std::vector<query::Query>& queries, const Middleware& mw) {
+  std::vector<char> endpoint(net.node_count(), 0);
+  for (const query::Query& q : queries) {
+    endpoint[q.sink] = 1;
+    for (const query::StreamId s : q.sources) {
+      endpoint[catalog.stream(s).source] = 1;
+    }
+  }
+  std::vector<char> hosting(net.node_count(), 0);
+  for (const Middleware::ActiveView& v : mw.active_views()) {
+    for (const query::DeployedOp& op : v.deployment->ops) {
+      hosting[op.node] = 1;
+    }
+  }
+  std::vector<net::NodeId> out;
+  for (net::NodeId n = 0; n < net.node_count(); ++n) {
+    if (hosting[n] != 0 && endpoint[n] == 0) out.push_back(n);
+  }
+  IFLOW_CHECK_MSG(!out.empty(),
+                  "recovery harness needs an operator host that is not a "
+                  "query endpoint (use a relay-shaped topology)");
+  return out;
+}
+
+}  // namespace
+
+RecoveryReport run_recovery(net::Network net, query::Catalog catalog,
+                            const std::vector<query::Query>& queries,
+                            int max_cs, Algorithm algorithm,
+                            std::uint64_t seed, const RecoveryConfig& cfg) {
+  RecoveryReport report;
+  std::ostringstream digest;
+
+  Middleware mw(net, catalog, max_cs, algorithm, seed);
+  mw.workspace().set_threads(cfg.threads);
+  for (const query::Query& q : queries) mw.deploy(q);
+
+  const auto validate_after = [&](const std::vector<Redeployment>& reds) {
+    report.violations +=
+        validate_actives(mw, replanned_ids(reds), &report.violation_detail);
+  };
+
+  // Control-plane churn: alternate fault (crash or quarantine of a
+  // deterministically drawn operator host) and heal, so every event either
+  // migrates operators off a node or settles them back — each adoption is
+  // recorded as a state migration the data-plane phase replays as a warm
+  // kMigrateOps handoff.
+  const std::vector<net::NodeId> targets =
+      recovery_targets(mw.network(), mw.catalog(), queries, mw);
+  Prng ev_prng(seed ^ 0x2ECC0DE5EEDULL);
+  net::NodeId down = net::kInvalidNode;
+  net::NodeId held = net::kInvalidNode;  // quarantined
+  for (int i = 0; i < cfg.events; ++i) {
+    const char* what = nullptr;
+    net::NodeId n = net::kInvalidNode;
+    if (down != net::kInvalidNode) {
+      n = down;
+      what = "restore-node";
+      validate_after(mw.restore_node(n));
+      down = net::kInvalidNode;
+    } else if (held != net::kInvalidNode) {
+      n = held;
+      what = "release-quarantine";
+      validate_after(mw.release_quarantine(n));
+      held = net::kInvalidNode;
+    } else if (ev_prng.chance(0.5)) {
+      n = targets[ev_prng.index(targets.size())];
+      what = "crash-node";
+      validate_after(mw.crash_node(n));
+      down = n;
+    } else {
+      n = targets[ev_prng.index(targets.size())];
+      what = "quarantine-node";
+      validate_after(mw.quarantine_node(n));
+      held = n;
+    }
+    ++report.events;
+    digest << "recovery step " << i << ' ' << what << ' ' << n << " cost "
+           << std::hexfloat << mw.total_current_cost() << std::defaultfloat
+           << " active " << mw.active_queries() << " suspended "
+           << mw.suspended_queries() << " viol " << report.violations << '\n';
+  }
+  if (down != net::kInvalidNode) validate_after(mw.restore_node(down));
+  if (held != net::kInvalidNode) validate_after(mw.release_quarantine(held));
+  validate_after(mw.reoptimize());
+
+  // Warm handoffs the planner performed; deduped (from, to) pairs become
+  // forced kMigrateOps faults in the data-plane phase. Cold resumes (empty
+  // before-deployment) record no moves and inject nothing.
+  std::vector<std::pair<net::NodeId, net::NodeId>> moves;
+  for (const StateMigration& m : mw.state_migrations()) {
+    if (!m.warm || m.moves.empty()) continue;
+    ++report.migrations;
+    for (const StateMigration::OpMove& mv : m.moves) {
+      const auto p = std::make_pair(mv.from, mv.to);
+      if (std::find(moves.begin(), moves.end(), p) == moves.end()) {
+        moves.push_back(p);
+      }
+    }
+  }
+  // The crash target must come from the *settled* placement: churn plus the
+  // final replan may have moved every operator off the pre-churn hosts, and
+  // crashing a now-stateless node would exercise nothing (the volatile arm
+  // would lose no results and the contract's teeth check would be vacuous).
+  const std::vector<net::NodeId> after =
+      recovery_targets(mw.network(), mw.catalog(), queries, mw);
+  const net::NodeId crash_target = after[ev_prng.index(after.size())];
+  // The data-plane phase needs at least one forced migration even when the
+  // churn phase happened to replan without moving anything: hand the crash
+  // target's ops to another live host mid-window.
+  if (moves.empty()) {
+    for (const net::NodeId n : after) {
+      if (n != crash_target) {
+        moves.emplace_back(n, crash_target);
+        break;
+      }
+    }
+    if (moves.empty()) moves.emplace_back(crash_target, targets.front());
+  }
+  if (moves.size() > 4) moves.resize(4);
+
+  // Data-plane phase: three reliable-mode simulations of the settled
+  // deployment under one engine seed. Sources draw only from the main
+  // engine Prng, so all three emit identical tuples; the checkpoint plane
+  // must make the faulted run indistinguishable from the twin at the sinks.
+  EngineConfig ec;
+  ec.duration_s = cfg.duration_s + cfg.drain_s;
+  ec.reliability.enabled = true;
+  ec.reliability.ack_timeout_s = cfg.ack_timeout_s;
+  ec.reliability.max_backoff_s = cfg.max_backoff_s;
+  ec.reliability.window = 1024;
+  ec.reliability.lateness_s = ec.duration_s;
+  ec.reliability.drain_s = cfg.drain_s;
+
+  EngineConfig ec_ckpt = ec;
+  ec_ckpt.checkpoint.enabled = true;
+  ec_ckpt.checkpoint.volatile_state = true;
+  ec_ckpt.checkpoint.interval_s = cfg.checkpoint_interval_s;
+  ec_ckpt.checkpoint.replicas = cfg.replicas;
+
+  EngineConfig ec_vol = ec;
+  ec_vol.checkpoint.enabled = false;
+  ec_vol.checkpoint.volatile_state = true;
+
+  const std::uint64_t sim_seed = seed ^ 0x2ECC0DE5ULL;
+  const net::Network& final_net = mw.network();
+  const net::RoutingTables final_rt = net::RoutingTables::build(final_net);
+  const std::vector<Middleware::ActiveView> views = mw.active_views();
+
+  const auto deploy_all = [&](Simulation& sim) {
+    std::vector<bool> done(views.size(), false);
+    std::size_t remaining = views.size();
+    bool progress = true;
+    while (remaining > 0 && progress) {
+      progress = false;
+      for (std::size_t i = 0; i < views.size(); ++i) {
+        if (done[i]) continue;
+        try {
+          sim.deploy(*views[i].deployment,
+                     query::RateModel(mw.catalog(), *views[i].query));
+          done[i] = true;
+          --remaining;
+          progress = true;
+        } catch (const CheckError&) {
+          // Provider not deployed yet; retry next sweep.
+        }
+      }
+    }
+    IFLOW_CHECK_MSG(remaining == 0, "reuse chain failed to deploy");
+  };
+
+  const auto schedule_faults = [&](Simulation& sim) {
+    sim.schedule_fault(SimFault{cfg.crash_at_s, SimFault::Kind::kCrashNode,
+                                crash_target, net::kInvalidNode, 0.0});
+    sim.schedule_fault(SimFault{cfg.crash_at_s + cfg.crash_len_s,
+                                SimFault::Kind::kRestoreNode, crash_target,
+                                net::kInvalidNode, 0.0});
+    double t = cfg.migrate_at_s;
+    for (const auto& [from, to] : moves) {
+      sim.schedule_fault(
+          SimFault{t, SimFault::Kind::kMigrateOps, from, to, 0.0});
+      t += 0.5;
+    }
+  };
+
+  // Fault-free twin. Checkpoints stay ON so the barrier/alignment schedule
+  // is identical to the faulted run — the only difference is the faults.
+  Simulation twin(final_net, final_rt, mw.catalog(), ec_ckpt, sim_seed);
+  deploy_all(twin);
+  twin.run();
+
+  // Faulted run: crash + rollback recovery + warm migrations, snapshots on.
+  Simulation faulted(final_net, final_rt, mw.catalog(), ec_ckpt, sim_seed);
+  deploy_all(faulted);
+  schedule_faults(faulted);
+  faulted.run();
+
+  // Teeth: same faults, snapshots off, volatile operator state. Crashes
+  // wipe windows with nothing to roll back to and migrations start cold,
+  // so results MUST go missing — otherwise the contract is vacuous.
+  Simulation volatile_arm(final_net, final_rt, mw.catalog(), ec_vol,
+                          sim_seed);
+  deploy_all(volatile_arm);
+  schedule_faults(volatile_arm);
+  volatile_arm.run();
+
+  bool counts_match = true;
+  for (const Middleware::ActiveView& v : views) {
+    const query::QueryId q = v.query->id;
+    const std::uint64_t tw = twin.tuples_delivered(q);
+    const std::uint64_t fa = faulted.tuples_delivered(q);
+    const std::uint64_t vo = volatile_arm.tuples_delivered(q);
+    if (tw != fa) counts_match = false;
+    report.twin_delivered += tw;
+    report.faulted_delivered += fa;
+    report.volatile_delivered += vo;
+    const DeliveryStats ds = faulted.delivery_stats(q);
+    report.faulted_lost += ds.lost;
+    report.seen_high_water = std::max(report.seen_high_water,
+                                      ds.seen_high_water);
+    digest << "query " << q << " twin " << tw << " faulted " << fa
+           << " volatile " << vo << " lost " << ds.lost << " snapbytes "
+           << std::hexfloat << ds.snapshot_bytes << std::defaultfloat
+           << '\n';
+  }
+  report.counts_match = counts_match;
+  report.loss_without_snapshots =
+      report.volatile_delivered < report.twin_delivered;
+
+  const SnapshotStats ss = faulted.snapshot_stats();
+  report.epochs_committed = ss.epochs_committed;
+  report.snapshot_bytes_total = ss.bytes_total;
+  report.snapshot_bytes_max = ss.bytes_max;
+  report.barrier_latency_max_s = ss.barrier_latency_max_s;
+  if (ss.epochs_committed > 0) {
+    report.barrier_latency_mean_s =
+        ss.barrier_latency_sum_s / static_cast<double>(ss.epochs_committed);
+  }
+  report.retained_high_water = ss.retained_high_water;
+  report.recovery_latency_s = ss.recovery_latency_max_s;
+
+  report.contract_ok = report.counts_match && report.faulted_lost == 0 &&
+                       report.loss_without_snapshots &&
+                       report.violations == 0 && report.epochs_committed >= 1;
+
+  digest << "recovery summary match " << (report.counts_match ? 1 : 0)
+         << " teeth " << (report.loss_without_snapshots ? 1 : 0)
+         << " epochs " << report.epochs_committed << " recoveries "
+         << ss.recoveries << " replayed " << ss.replayed_tuples << " bytes "
+         << std::hexfloat << report.snapshot_bytes_total << " barrier "
+         << report.barrier_latency_max_s << " rollback "
+         << report.recovery_latency_s << std::defaultfloat << " migrations "
+         << moves.size() << " viol " << report.violations << '\n';
+  report.digest = digest.str();
+  return report;
+}
+
 }  // namespace iflow::engine

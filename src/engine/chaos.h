@@ -359,4 +359,87 @@ RegistrationChurnReport run_registration_script(
     std::uint64_t seed, const std::vector<RegistrationEvent>& script,
     const RegistrationChurnConfig& cfg = {});
 
+// ---------------------------------------------------------------------------
+// Checkpoint/recovery contract (stateful checkpoint plane, DESIGN.md §16).
+// ---------------------------------------------------------------------------
+
+/// One seeded recovery episode (see run_recovery).
+struct RecoveryConfig {
+  /// Control-plane churn events (crash/restore/quarantine/release pairs)
+  /// replayed through the middleware before the data-plane phase, so the
+  /// faulted simulation also exercises state-preserving migration: every
+  /// operator move the planner performed becomes a kMigrateOps fault.
+  int events = 6;
+  /// Emission window of the data-plane simulations; drain_s of settle time
+  /// (sources quiet, retry chains complete) is added on top.
+  double duration_s = 60.0;
+  double drain_s = 20.0;
+  /// Barrier period of the checkpoint plane in the faulted run.
+  double checkpoint_interval_s = 5.0;
+  /// Snapshot-store replicas (byte accounting).
+  int replicas = 2;
+  /// Mid-stream crash window [crash_at_s, crash_at_s + crash_len_s) on a
+  /// deterministically chosen operator-hosting non-source node. The window
+  /// must stay well under the retry chain (~15 s at the defaults below) so
+  /// in-flight tuples survive on the retry budget.
+  double crash_at_s = 18.0;
+  double crash_len_s = 5.0;
+  /// When the recorded planner migrations are injected into the faulted run.
+  double migrate_at_s = 32.0;
+  /// Planner threads (digests must be bitwise-stable across counts).
+  int threads = 1;
+  /// Reliability knobs of the data-plane simulations.
+  double ack_timeout_s = 0.05;
+  double max_backoff_s = 2.0;
+};
+
+struct RecoveryReport {
+  /// Headline contract: the faulted run (mid-stream crash + recovery +
+  /// planner-recorded migrations, checkpoints on) delivered per-query
+  /// result counts identical to the fault-free twin under the same engine
+  /// seed, with zero tuples lost after retries.
+  bool counts_match = false;
+  /// Teeth: the same faults with snapshots OFF and volatile operator state
+  /// lose results (fewer delivered than the twin) — proving the snapshot
+  /// plane, not slack in the workload, is what preserves the counts.
+  bool loss_without_snapshots = false;
+  /// counts_match && faulted_lost == 0 && loss_without_snapshots &&
+  /// violations == 0 && epochs_committed >= 1.
+  bool contract_ok = false;
+  std::size_t events = 0;      // control-plane events replayed
+  std::size_t migrations = 0;  // recorded state migrations (warm handoffs)
+  std::size_t violations = 0;  // validator violations across the run
+  std::string violation_detail;
+  std::uint64_t twin_delivered = 0;
+  std::uint64_t faulted_delivered = 0;
+  std::uint64_t volatile_delivered = 0;  // snapshots off, volatile state
+  std::uint64_t faulted_lost = 0;
+  /// Checkpoint-plane overhead accounting (faulted run).
+  std::int64_t epochs_committed = 0;
+  double snapshot_bytes_total = 0.0;
+  double snapshot_bytes_max = 0.0;
+  double barrier_latency_mean_s = 0.0;
+  double barrier_latency_max_s = 0.0;
+  std::size_t retained_high_water = 0;
+  std::size_t seen_high_water = 0;
+  double recovery_latency_s = 0.0;  // max rollback depth across recoveries
+  /// Control-plane event lines + per-query delivery lines (hexfloat);
+  /// bitwise-identical across planner thread counts for a fixed seed.
+  std::string digest;
+};
+
+/// Runs the checkpoint/recovery contract over copies of `net`/`catalog`:
+/// deploys the workload, replays a control-plane churn phase (crash /
+/// restore / quarantine / release, recording the planner's warm state
+/// migrations), then drives three reliable-mode simulations of the settled
+/// deployment under one engine seed — a fault-free twin, a faulted run with
+/// coordinated snapshots (mid-stream crash + rollback recovery + the
+/// recorded migrations as kMigrateOps), and a faulted run with snapshots
+/// off and volatile operator state (the teeth). Throws (IFLOW_CHECK) when
+/// the deployed workload hosts no operator on a crashable non-source node.
+RecoveryReport run_recovery(net::Network net, query::Catalog catalog,
+                            const std::vector<query::Query>& queries,
+                            int max_cs, Algorithm algorithm,
+                            std::uint64_t seed, const RecoveryConfig& cfg = {});
+
 }  // namespace iflow::engine

@@ -229,6 +229,25 @@ double HealthMonitor::phi(net::NodeId n) const {
   return nodes_[n].phi;
 }
 
+void HealthMonitor::on_restore(net::NodeId n) {
+  IFLOW_CHECK(n < nodes_.size());
+  // The suspicion accrued before the restore described an element that was
+  // just repaired or replaced; carrying it into probation would price (and
+  // in the worst case re-quarantine) the recovered node off stale evidence.
+  nodes_[n] = ElementHealth{};
+  node_signal_[n] = 0.0;
+  node_observed_[n] = 0;
+  for (auto it = link_phi_.begin(); it != link_phi_.end();) {
+    it = (it->first.first == n || it->first.second == n) ? link_phi_.erase(it)
+                                                         : std::next(it);
+  }
+  for (auto it = link_signal_.begin(); it != link_signal_.end();) {
+    it = (it->first.first == n || it->first.second == n)
+             ? link_signal_.erase(it)
+             : std::next(it);
+  }
+}
+
 std::vector<net::NodeId> HealthMonitor::quarantined() const {
   std::vector<net::NodeId> out;
   for (net::NodeId n = 0; n < nodes_.size(); ++n) {
@@ -424,6 +443,9 @@ SubRun gray_run(net::Network net, query::Catalog catalog,
         } else if (t.from == HealthState::kProbation &&
                    t.to == HealthState::kHealthy) {
           reds = mw.release_quarantine(t.node);
+          // Telemetry baselines reset with the release: probation starts
+          // from zero suspicion instead of the pre-quarantine accrual.
+          hm.on_restore(t.node);
         }
         for (const Redeployment& r : reds) {
           if (r.outcome == Outcome::kMigrated ||

@@ -128,6 +128,13 @@ class HealthMonitor {
   /// (probation re-admits only after the probe budget). Sorted.
   std::vector<net::NodeId> quarantined() const;
 
+  /// Restore/release hook: clears node `n`'s accrued suspicion, streaks and
+  /// epoch accumulators and drops every link-suspicion entry touching it.
+  /// Without this, φ accrued before a restore_node/release_quarantine leaks
+  /// into the recovered element's probation window as stale suspicion —
+  /// the telemetry that produced it described hardware that was replaced.
+  void on_restore(net::NodeId n);
+
   /// Multiplicative per-node pricing penalty (>= 1 each, healthy = 1) for
   /// Middleware::set_health_penalty / OptimizerEnv::node_penalty.
   std::vector<double> node_penalty() const;

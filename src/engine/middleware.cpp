@@ -270,11 +270,35 @@ void Middleware::ledger_remove(Active& a) {
   a.footprint = DeploymentFootprint{};
 }
 
-void Middleware::on_migrated(Active& a) {
+void Middleware::record_migration(query::QueryId q,
+                                  const query::Deployment& before,
+                                  const query::Deployment& after, bool warm) {
+  StateMigration m;
+  m.query = q;
+  m.warm = warm;
+  // Per-op moves only where the join shape survived: an op keeps its state
+  // identity when the same mask sits at the same arena index. A replan that
+  // restructured the tree contributes no moves (no state-compatible
+  // predecessor exists) but is still recorded so harnesses see the event.
+  const std::size_t n = std::min(before.ops.size(), after.ops.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (before.ops[i].mask != after.ops[i].mask) continue;
+    if (before.ops[i].node == after.ops[i].node) continue;
+    StateMigration::OpMove mv;
+    mv.op = static_cast<int>(i);
+    mv.from = before.ops[i].node;
+    mv.to = after.ops[i].node;
+    m.moves.push_back(mv);
+  }
+  state_migrations_.push_back(std::move(m));
+}
+
+void Middleware::on_migrated(Active& a, const query::Deployment& before) {
   registry_.remove_origin(a.q.id);
   query::RateModel rates(*catalog_, a.q);
   advert::advertise_deployment(registry_, a.deployment, rates);
   ledger_add(a);
+  record_migration(a.q.id, before, a.deployment, /*warm=*/true);
 }
 
 void Middleware::mark_dirty(query::QueryId id) {
@@ -635,6 +659,10 @@ void Middleware::resume_pass(std::vector<Redeployment>& out) {
     advert::advertise_deployment(registry_, active_.back().deployment, rates);
     ledger_add(active_.back());
     mark_dirty_overlap(active_.back().q);
+    // Resume-from-suspension: a cold start by construction — whatever state
+    // the old placement had died with the suspension.
+    record_migration(active_.back().q.id, query::Deployment{},
+                     active_.back().deployment, /*warm=*/false);
     suspended_.erase(suspended_.begin() + static_cast<std::ptrdiff_t>(i));
   }
 }
@@ -669,13 +697,14 @@ std::vector<Redeployment> Middleware::reconcile(bool try_resume) {
         r.adapted_cost = res.actual_cost;
         r.outcome = Outcome::kMigrated;
         ledger_remove(a);
+        const query::Deployment before = std::move(a.deployment);
         a.deployment = res.deployment;
         a.planned_cost = res.actual_cost;
         // Swap this query's advertisements in place; everyone else's stay
         // warm (no full registry rebuild per event). The query itself was
         // just replanned to its optimum, so only the neighborhood that can
         // see its new advertisements needs a settle visit.
-        on_migrated(a);
+        on_migrated(a, before);
         mark_dirty_overlap(a.q);
         ++i;
       } else {
@@ -829,9 +858,10 @@ std::vector<Redeployment> Middleware::quarantine_node(net::NodeId n) {
       r.adapted_cost = res.actual_cost;
       r.outcome = Outcome::kMigrated;
       ledger_remove(a);
+      const query::Deployment before = std::move(a.deployment);
       a.deployment = res.deployment;
       a.planned_cost = res.actual_cost;
-      on_migrated(a);
+      on_migrated(a, before);
       mark_dirty_overlap(a.q);
       out.push_back(r);
       ++i;
@@ -1032,9 +1062,10 @@ std::vector<Redeployment> Middleware::rebalance_load() {
       r.drifted_cost = query::deployment_cost(a.deployment, rates, *routing_);
       r.adapted_cost = res.actual_cost;
       ledger_remove(a);
+      const query::Deployment before = std::move(a.deployment);
       a.deployment = res.deployment;
       a.planned_cost = res.actual_cost;
-      on_migrated(a);
+      on_migrated(a, before);
       mark_dirty_overlap(a.q);
       redeployed.push_back(r);
     }
@@ -1074,10 +1105,11 @@ std::vector<Redeployment> Middleware::reoptimize(int max_rounds) {
       r.adapted_cost = res.actual_cost;
       r.outcome = Outcome::kMigrated;
       ledger_remove(a);
+      const query::Deployment before = std::move(a.deployment);
       a.deployment = res.deployment;
       a.planned_cost = res.actual_cost;
       // The next replans must see the moved operators (warm swap).
-      on_migrated(a);
+      on_migrated(a, before);
       redeployed.push_back(r);
       moved = true;
     }
@@ -1130,9 +1162,11 @@ std::vector<Redeployment> Middleware::reoptimize(int max_rounds) {
         r.adapted_cost = cand_cost[i];
         r.outcome = Outcome::kMigrated;
         ledger_remove(a);
+        const query::Deployment before = std::move(a.deployment);
         a.deployment = std::move(cand[i]);
         a.planned_cost = cand_cost[i];
         ledger_add(a);
+        record_migration(a.q.id, before, a.deployment, /*warm=*/true);
         redeployed.push_back(r);
       }
       // Joint adoption replaced every deployment at once; this is the one
@@ -1183,9 +1217,10 @@ std::vector<Redeployment> Middleware::settle(int max_rounds) {
       r.adapted_cost = res.actual_cost;
       r.outcome = Outcome::kMigrated;
       ledger_remove(a);
+      const query::Deployment before = std::move(a.deployment);
       a.deployment = res.deployment;
       a.planned_cost = res.actual_cost;
-      on_migrated(a);
+      on_migrated(a, before);
       mark_dirty_overlap(a.q);
       redeployed.push_back(r);
       moved_any = true;
@@ -1232,9 +1267,10 @@ std::vector<Redeployment> Middleware::adapt() {
     if (res.actual_cost < current) {
       r.outcome = Outcome::kMigrated;
       ledger_remove(a);
+      const query::Deployment before = std::move(a.deployment);
       a.deployment = res.deployment;
       a.planned_cost = res.actual_cost;
-      on_migrated(a);
+      on_migrated(a, before);
       mark_dirty_overlap(a.q);
     } else {
       r.outcome = Outcome::kAccepted;

@@ -84,6 +84,25 @@ struct Redeployment {
   Outcome outcome = Outcome::kMigrated;
 };
 
+/// One placement change of an active query, recorded at every adoption site
+/// (reconcile/quarantine/rebalance/reoptimize/settle/adapt) so a running
+/// engine can be told to hand operator state to the new placement instead
+/// of restarting it cold (Simulation's kMigrateOps fault). `warm` is false
+/// only for resume-from-suspension, where the state is legitimately gone.
+struct StateMigration {
+  query::QueryId query = 0;
+  bool warm = true;
+  struct OpMove {
+    int op = 0;  // operator index in the deployment's arena order
+    net::NodeId from = net::kInvalidNode;
+    net::NodeId to = net::kInvalidNode;
+  };
+  /// Ops whose join mask survived the replan at a different node. A replan
+  /// that restructured the join tree contributes no per-op moves (the new
+  /// shape has no state-compatible predecessor) but is still recorded.
+  std::vector<OpMove> moves;
+};
+
 class Middleware {
  public:
   /// Takes ownership of nothing: `net` and `catalog` must outlive the
@@ -320,6 +339,14 @@ class Middleware {
   std::vector<std::pair<query::QueryId, DeliveryStats>> collect_delivery_stats(
       const Simulation& sim) const;
 
+  /// Placement changes recorded since the last clear, in adoption order —
+  /// the feed a harness replays into the engine as state-handoff (warm) or
+  /// cold-restart migrations.
+  const std::vector<StateMigration>& state_migrations() const {
+    return state_migrations_;
+  }
+  void clear_state_migrations() { state_migrations_.clear(); }
+
   /// Current deployments of all active queries (monitoring, diagnostics).
   std::vector<const query::Deployment*> deployments() const {
     std::vector<const query::Deployment*> out;
@@ -392,8 +419,13 @@ class Middleware {
   /// Retracts a's recorded footprint from the ledger.
   void ledger_remove(Active& a);
   /// Swaps a's registry advertisements and ledger footprint after its
-  /// deployment changed (migration).
-  void on_migrated(Active& a);
+  /// deployment changed (migration), and records the placement diff against
+  /// `before` as a warm StateMigration.
+  void on_migrated(Active& a, const query::Deployment& before);
+  /// Appends the placement diff of one adopted replan to the migration
+  /// feed.
+  void record_migration(query::QueryId q, const query::Deployment& before,
+                        const query::Deployment& after, bool warm);
   /// Marks every active whose source-stream set intersects q's as dirty
   /// for the next settle() — the reuse neighborhood a registration or
   /// unregistration can improve or degrade.
@@ -450,6 +482,7 @@ class Middleware {
   std::vector<query::QueryId> dirty_;  // sorted unique
   SettleStats settle_stats_;
   std::uint64_t resume_failures_total_ = 0;
+  std::vector<StateMigration> state_migrations_;
 };
 
 }  // namespace iflow::engine

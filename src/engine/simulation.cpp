@@ -41,6 +41,13 @@ Simulation::Simulation(const net::Network& net, const net::RoutingTables& rt,
     IFLOW_CHECK(r.max_backoff_s >= r.ack_timeout_s);
     IFLOW_CHECK(r.max_retries >= 0 && r.window > 0);
   }
+  if (cfg.checkpoint.enabled) {
+    IFLOW_CHECK_MSG(cfg.reliability.enabled,
+                    "checkpointing requires the reliable data plane "
+                    "(barriers are cuts in channel sequence space)");
+    IFLOW_CHECK(cfg.checkpoint.interval_s > 0.0);
+    IFLOW_CHECK(cfg.checkpoint.replicas >= 1);
+  }
   link_bytes_.assign(net.link_count(), 0.0);
   for (std::size_t i = 0; i < net.link_count(); ++i) {
     link_index_.emplace(link_key(net.links()[i].a, net.links()[i].b), i);
@@ -280,12 +287,31 @@ void Simulation::apply_fault(double now, const SimFault& f) {
     case SimFault::Kind::kSetLinkJitter:
       fnet_->set_link_jitter(f.a, f.b, f.value);
       break;
+    case SimFault::Kind::kMigrateOps:
+      break;  // handled below, after routing reflects the current world
   }
   if (frt_ == nullptr) {
     frt_ = std::make_unique<net::RoutingTables>(
         net::RoutingTables::build(*fnet_));
   } else {
     frt_->sync(*fnet_);
+  }
+  // Checkpoint-plane reactions run after the routing sync so replayed
+  // retention and migrated edges see the post-fault routes.
+  if (f.kind == SimFault::Kind::kCrashNode) {
+    if (cfg_.checkpoint.enabled) abort_epoch(now);
+    if (cfg_.checkpoint.volatile_state) {
+      // Volatile model: a crash loses the node's operator state (windows,
+      // queues). Channel protocol state survives — transport endpoints
+      // re-handshake, they do not forget what was delivered.
+      for (Instance& inst : instances_) {
+        if (inst.node == f.a) wipe_operator_state(inst);
+      }
+    }
+  } else if (f.kind == SimFault::Kind::kRestoreNode) {
+    if (cfg_.checkpoint.enabled) recover_node(now, f.a);
+  } else if (f.kind == SimFault::Kind::kMigrateOps) {
+    migrate_ops(now, f.a, f.b);
   }
   update_watches(now);
 }
@@ -409,6 +435,12 @@ void Simulation::channel_send(double now, std::uint32_t ch,
   }
   const std::uint64_t seq = c.next_seq++;
   c.pending.emplace(seq, PendingTuple{tuple, 0});
+  if (cfg_.checkpoint.enabled) {
+    // Retention: keep everything sent at or past the last committed cut so
+    // a downstream rollback can be replayed. Trimmed at epoch commit.
+    c.retained.emplace(seq, tuple);
+    c.retained_high_water = std::max(c.retained_high_water, c.retained.size());
+  }
   transmit(now, ch, seq, /*is_retransmit=*/false);
 }
 
@@ -493,7 +525,7 @@ void Simulation::transmit(double now, std::uint32_t ch, std::uint64_t seq,
   it->second.expected_rtt_s = expected_rtt;
   if (!lost) {
     schedule(Event{arrive, next_seq_++, c.consumer, c.port, tuple,
-                   std::move(links), ch, seq});
+                   std::move(links), ch, seq, c.incarnation});
   }
   // Always arm the retransmit timer; a timely ack disarms it by erasing the
   // pending entry before it fires.
@@ -505,7 +537,7 @@ void Simulation::transmit(double now, std::uint32_t ch, std::uint64_t seq,
                r.max_backoff_s);
   schedule(
       Event{now + timeout, next_seq_++, c.producer, kTimeoutPort, nullptr, {},
-            ch, seq});
+            ch, seq, c.incarnation});
 }
 
 void Simulation::send_ack(double now, std::uint32_t ch, std::uint64_t seq) {
@@ -537,7 +569,7 @@ void Simulation::send_ack(double now, std::uint32_t ch, std::uint64_t seq) {
     }
   }
   schedule(Event{arrive, next_seq_++, c.producer, kAckPort, nullptr,
-                 std::move(links), ch, seq});
+                 std::move(links), ch, seq, c.incarnation});
 }
 
 void Simulation::handle_ack(double now, std::uint32_t ch, std::uint64_t seq) {
@@ -575,8 +607,26 @@ void Simulation::pump_backlog(double now, std::uint32_t ch) {
     c.backlog.pop_front();
     const std::uint64_t seq = c.next_seq++;
     c.pending.emplace(seq, PendingTuple{tuple, 0});
+    if (cfg_.checkpoint.enabled) {
+      c.retained.emplace(seq, tuple);
+      c.retained_high_water =
+          std::max(c.retained_high_water, c.retained.size());
+    }
     transmit(now, ch, seq, /*is_retransmit=*/false);
   }
+}
+
+void Simulation::mark_seen(Channel& c, std::uint64_t s) {
+  if (s == c.seen_floor) {
+    // In-order arrival: advance the floor directly instead of bouncing the
+    // sequence through the out-of-order set.
+    ++c.seen_floor;
+  } else {
+    c.seen.insert(s);
+    c.seen_high_water = std::max(c.seen_high_water, c.seen.size());
+  }
+  // Compact: fold any contiguous run above the (possibly advanced) floor.
+  while (c.seen.erase(c.seen_floor)) ++c.seen_floor;
 }
 
 void Simulation::receive(double now, std::uint32_t ch, std::uint64_t seq,
@@ -590,17 +640,24 @@ void Simulation::receive(double now, std::uint32_t ch, std::uint64_t seq,
     return;
   }
   Instance& inst = instances_[c.consumer];
+  if (epoch_open_ && c.cut != Channel::kNoCut && seq >= c.cut &&
+      !inst.snapped) {
+    // Barrier alignment: a post-cut arrival before the receiver has
+    // snapshotted. Ack it (so the sender's window keeps moving) but park it
+    // in the alignment buffer without touching the dedup state — the floor
+    // must meet the cut exactly for the snapshot to reduce to the cut.
+    c.align[seq] = tuple;
+    send_ack(now, ch, seq);
+    return;
+  }
   const ReliabilityConfig& r = cfg_.reliability;
   const bool queued = r.queue_capacity > 0 && r.service_s > 0.0 &&
                       inst.kind != Kind::kSource;
-  auto mark_seen = [&c] (std::uint64_t s) {
-    c.seen.insert(s);
-    while (c.seen.erase(c.seen_floor)) ++c.seen_floor;
-  };
   if (!queued) {
-    mark_seen(seq);
+    mark_seen(c, seq);
     send_ack(now, ch, seq);
     arrive_at(now, c.consumer, port, tuple);
+    if (epoch_open_) maybe_snap(now, c.consumer);
     return;
   }
   if (inst.inbox.size() >= r.queue_capacity) {
@@ -613,8 +670,9 @@ void Simulation::receive(double now, std::uint32_t ch, std::uint64_t seq,
         return;
       case OverflowPolicy::kDropNewest:
         ++inst.shed;
-        mark_seen(seq);
+        mark_seen(c, seq);
         send_ack(now, ch, seq);  // shed deliberately: ack so nobody replays
+        if (epoch_open_) maybe_snap(now, c.consumer);
         return;
       case OverflowPolicy::kDropOldest:
         ++inst.shed;
@@ -622,7 +680,7 @@ void Simulation::receive(double now, std::uint32_t ch, std::uint64_t seq,
         break;
     }
   }
-  mark_seen(seq);
+  mark_seen(c, seq);
   send_ack(now, ch, seq);
   inst.inbox.emplace_back(port, tuple);
   inst.max_queue_depth = std::max(inst.max_queue_depth, inst.inbox.size());
@@ -631,6 +689,7 @@ void Simulation::receive(double now, std::uint32_t ch, std::uint64_t seq,
     schedule(Event{now + r.service_s, next_seq_++, c.consumer, kServicePort,
                    nullptr, {}});
   }
+  if (epoch_open_) maybe_snap(now, c.consumer);
 }
 
 void Simulation::handle_service(double now, InstanceId id) {
@@ -647,6 +706,300 @@ void Simulation::handle_service(double now, InstanceId id) {
   } else {
     schedule(Event{now + cfg_.reliability.service_s, next_seq_++, id,
                    kServicePort, nullptr, {}});
+  }
+}
+
+// --- Checkpoint/recovery plane ---------------------------------------------
+
+void Simulation::schedule_barrier(double after) {
+  const double iv = cfg_.checkpoint.interval_s;
+  double next = (std::floor(after / iv) + 1.0) * iv;
+  // floor(after / iv) can round down one whole step when `after` sits exactly
+  // on a barrier instant (e.g. a commit at the barrier timestamp with
+  // 19.6 / 4.9 -> 3.9999...), which would schedule a zero-advance barrier and
+  // loop forever at a frozen clock. Force strictly-future scheduling.
+  while (next <= after) next += iv;
+  if (next >= cfg_.duration_s) return;
+  schedule(Event{next, next_seq_++, 0, kBarrierPort, nullptr, {}});
+}
+
+void Simulation::begin_epoch(double now) {
+  IFLOW_CHECK(!epoch_open_);
+  // A dead host cannot participate in a coordinated snapshot — and worse,
+  // its volatile state has already been wiped, so snapping it would commit
+  // the post-crash emptiness as ground truth and recovery would "restore"
+  // the loss (a crash fault and a barrier landing on the same timestamp
+  // process fault-first). Skip the barrier and re-arm for the next interval.
+  if (fnet_ != nullptr) {
+    for (const Instance& i : instances_) {
+      if (!fnet_->node_alive(i.node)) {
+        schedule_barrier(now);
+        return;
+      }
+    }
+  }
+  epoch_open_ = true;
+  building_ = EpochSnapshot{};
+  building_.epoch = next_epoch_++;
+  building_.barrier_time = now;
+  building_.inst.resize(instances_.size());
+  building_.cuts.assign(channels_.size(), Channel::kNoCut);
+  for (Channel& c : channels_) c.cut = Channel::kNoCut;
+  for (Instance& i : instances_) i.snapped = false;
+  unsnapped_ = instances_.size();
+  // Barriers are injected at the sources; cuts cascade downstream from
+  // there as each consumer's dedup floor reaches the cut on every input.
+  for (InstanceId id = 0; id < instances_.size(); ++id) {
+    if (epoch_open_ && instances_[id].kind == Kind::kSource) {
+      snap_instance(now, id);
+    }
+  }
+}
+
+void Simulation::maybe_snap(double now, InstanceId id) {
+  if (!epoch_open_ || instances_[id].snapped) return;
+  for (const Channel& c : channels_) {
+    if (c.consumer != id) continue;
+    if (c.cut == Channel::kNoCut || c.seen_floor < c.cut) return;
+  }
+  snap_instance(now, id);
+}
+
+void Simulation::snap_instance(double now, InstanceId id) {
+  Instance& inst = instances_[id];
+  IFLOW_CHECK(epoch_open_ && !inst.snapped);
+  inst.snapped = true;
+  --unsnapped_;
+  InstState st;
+  st.window[0] = inst.window[0];
+  st.window[1] = inst.window[1];
+  st.max_born = inst.max_born;
+  st.window_index = inst.window_index;
+  st.groups_seen = inst.groups_seen;
+  st.agg_windows = inst.agg_windows;
+  st.inbox = inst.inbox;
+  st.delivered = inst.delivered;
+  st.latency_sum_s = inst.latency_sum_s;
+  building_.inst[id] = std::move(st);
+  // Stamp the cut on every output channel before anything else can flow:
+  // all sequences below it belong to this epoch, everything at or above it
+  // to the next.
+  for (const Consumer& con : inst.consumers) {
+    if (con.channel == kNoChannel) continue;
+    Channel& ch = channels_[con.channel];
+    IFLOW_CHECK(ch.cut == Channel::kNoCut);
+    ch.cut = ch.next_seq;
+    building_.cuts[con.channel] = ch.cut;
+  }
+  // Drain the alignment buffers of this instance's inputs in sequence
+  // order. Outputs produced by the drain carry post-cut sequences, so
+  // downstream alignment stays correct.
+  for (std::uint32_t ci = 0; ci < channels_.size(); ++ci) {
+    if (channels_[ci].consumer != id || channels_[ci].align.empty()) continue;
+    std::map<std::uint64_t, TuplePtr> drained;
+    drained.swap(channels_[ci].align);
+    for (const auto& [s, t] : drained) {
+      mark_seen(channels_[ci], s);
+      arrive_at(now, id, channels_[ci].port, t);
+    }
+  }
+  // The freshly stamped cuts may already be met on idle channels.
+  for (const Consumer& con : inst.consumers) {
+    if (!epoch_open_) break;
+    if (con.channel != kNoChannel) maybe_snap(now, con.instance);
+  }
+  if (epoch_open_ && unsnapped_ == 0) commit_epoch(now);
+}
+
+double Simulation::instance_state_bytes(const InstState& s) const {
+  double b = 64.0;  // descriptor: kind, node, watermark, counters
+  for (const auto* w : {&s.window[0], &s.window[1]}) {
+    for (const auto& [born, t] : *w) b += 16.0 + t->width;
+  }
+  b += 8.0 * static_cast<double>(s.groups_seen.size());
+  for (const auto& [w, groups] : s.agg_windows) {
+    b += 16.0 + 8.0 * static_cast<double>(groups.size());
+  }
+  for (const auto& [port, t] : s.inbox) b += 16.0 + t->width;
+  return b;
+}
+
+void Simulation::commit_epoch(double now) {
+  IFLOW_CHECK(epoch_open_ && unsnapped_ == 0);
+  epoch_open_ = false;
+  const double replicas = static_cast<double>(cfg_.checkpoint.replicas);
+  double total = 0.0;
+  for (InstanceId id = 0; id < instances_.size(); ++id) {
+    const double b = instance_state_bytes(building_.inst[id]) * replicas;
+    snapshot_bytes_by_query_[instances_[id].owner] += b;
+    total += b;
+  }
+  for (const Channel& c : channels_) {
+    const double b = 16.0 * replicas;  // cut + incarnation
+    snapshot_bytes_by_query_[c.query] += b;
+    total += b;
+  }
+  building_.bytes = total;
+  committed_ = std::move(building_);
+  building_ = EpochSnapshot{};
+  // The committed cut releases retention below it on every channel.
+  for (std::uint32_t ci = 0; ci < channels_.size(); ++ci) {
+    Channel& c = channels_[ci];
+    const std::uint64_t cut = committed_.cuts[ci];
+    IFLOW_CHECK(cut != Channel::kNoCut);
+    c.retained.erase(c.retained.begin(), c.retained.lower_bound(cut));
+  }
+  ++snap_stats_.epochs_committed;
+  snap_stats_.bytes_last = committed_.bytes;
+  snap_stats_.bytes_total += committed_.bytes;
+  snap_stats_.bytes_max = std::max(snap_stats_.bytes_max, committed_.bytes);
+  const double lat = now - committed_.barrier_time;
+  snap_stats_.barrier_latency_sum_s += lat;
+  snap_stats_.barrier_latency_max_s =
+      std::max(snap_stats_.barrier_latency_max_s, lat);
+  schedule_barrier(now);
+}
+
+void Simulation::abort_epoch(double now) {
+  if (!epoch_open_) return;
+  epoch_open_ = false;
+  ++snap_stats_.epochs_aborted;
+  // Release the alignment buffers: their tuples were acked, so nobody will
+  // replay them — deliver them now or lose them.
+  for (Channel& c : channels_) {
+    c.cut = Channel::kNoCut;
+    if (c.align.empty()) continue;
+    std::map<std::uint64_t, TuplePtr> drained;
+    drained.swap(c.align);
+    for (const auto& [s, t] : drained) {
+      mark_seen(c, s);
+      arrive_at(now, c.consumer, c.port, t);
+    }
+  }
+  building_ = EpochSnapshot{};
+  schedule_barrier(now);
+}
+
+void Simulation::wipe_operator_state(Instance& inst) {
+  if (inst.kind == Kind::kSource || inst.kind == Kind::kSink) return;
+  inst.window[0].clear();
+  inst.window[1].clear();
+  inst.max_born = -std::numeric_limits<double>::infinity();
+  inst.window_index = -1;
+  inst.groups_seen.clear();
+  inst.agg_windows.clear();
+  inst.inbox.clear();
+}
+
+void Simulation::recover_node(double now, net::NodeId n) {
+  if (committed_.epoch < 0) return;  // nothing committed to roll back to
+  abort_epoch(now);  // an in-flight barrier cannot survive a rollback
+  // Rollback region: the restored node's instances plus their transitive
+  // downstream closure. Partial rollback is unsound (see CheckpointConfig):
+  // replay re-interleaves join inputs, so everything the restored state
+  // feeds must rewind to the same cut — sinks included (their delivery
+  // counters revert and re-earn the replayed results).
+  std::vector<char> region(instances_.size(), 0);
+  std::deque<InstanceId> work;
+  for (InstanceId id = 0; id < instances_.size(); ++id) {
+    if (instances_[id].node == n) {
+      region[id] = 1;
+      work.push_back(id);
+    }
+  }
+  while (!work.empty()) {
+    const InstanceId u = work.front();
+    work.pop_front();
+    for (const Consumer& con : instances_[u].consumers) {
+      if (!region[con.instance]) {
+        region[con.instance] = 1;
+        work.push_back(con.instance);
+      }
+    }
+  }
+  for (InstanceId id = 0; id < instances_.size(); ++id) {
+    if (!region[id]) continue;
+    Instance& inst = instances_[id];
+    const InstState& st = committed_.inst[id];
+    inst.window[0] = st.window[0];
+    inst.window[1] = st.window[1];
+    inst.max_born = st.max_born;
+    inst.window_index = st.window_index;
+    inst.groups_seen = st.groups_seen;
+    inst.agg_windows = st.agg_windows;
+    inst.inbox = st.inbox;
+    inst.delivered = st.delivered;
+    inst.latency_sum_s = st.latency_sum_s;
+    inst.busy = false;
+    if (!inst.inbox.empty() && cfg_.reliability.queue_capacity > 0 &&
+        cfg_.reliability.service_s > 0.0) {
+      inst.busy = true;
+      schedule(Event{now + cfg_.reliability.service_s, next_seq_++, id,
+                     kServicePort, nullptr, {}});
+    }
+  }
+  std::uint64_t replayed = 0;
+  for (std::uint32_t ci = 0; ci < channels_.size(); ++ci) {
+    Channel& c = channels_[ci];
+    const bool s_in = region[c.producer] != 0;
+    const bool r_in = region[c.consumer] != 0;
+    if (!s_in && !r_in) continue;
+    // Downstream closure: a region sender always has a region receiver.
+    IFLOW_CHECK(r_in);
+    const std::uint64_t cut = committed_.cuts[ci];
+    IFLOW_CHECK(cut != Channel::kNoCut);
+    // Invalidate everything in flight before restarting the sequence space.
+    ++c.incarnation;
+    c.align.clear();
+    c.seen_floor = cut;
+    c.seen.clear();
+    if (s_in) {
+      // Both ends rewound: the sender regenerates post-cut output from its
+      // restored state, so drop the stale retention tail.
+      c.next_seq = cut;
+      c.pending.clear();
+      c.backlog.clear();
+      c.retained.erase(c.retained.lower_bound(cut), c.retained.end());
+    } else {
+      // Boundary channel: the live sender replays its retention past the
+      // cut. Pre-cut pending entries are known-delivered (the floor met the
+      // cut when the epoch committed), so rebuild pending from retention.
+      c.pending.clear();
+      for (const auto& [s, t] : c.retained) {
+        if (s < cut) continue;
+        c.pending.emplace(s, PendingTuple{t, 0});
+        ++c.retransmits;
+        ++replayed;
+        transmit(now, ci, s, /*is_retransmit=*/true);
+      }
+    }
+  }
+  ++snap_stats_.recoveries;
+  snap_stats_.replayed_tuples += replayed;
+  const double lat = now - committed_.barrier_time;
+  snap_stats_.recovery_latency_sum_s += lat;
+  snap_stats_.recovery_latency_max_s =
+      std::max(snap_stats_.recovery_latency_max_s, lat);
+}
+
+void Simulation::migrate_ops(double now, net::NodeId from, net::NodeId to) {
+  IFLOW_CHECK_MSG(!fnet_ || fnet_->node_alive(to),
+                  "migration target node " << to << " is down");
+  // Cuts stamped for the old placement stay valid (alignment is pure
+  // sequence arithmetic), but an in-flight barrier would charge the moved
+  // state to the wrong epoch boundary — abort and re-arm instead.
+  abort_epoch(now);
+  const bool warm = cfg_.checkpoint.enabled;
+  for (Instance& inst : instances_) {
+    if (inst.node != from) continue;
+    if (inst.kind != Kind::kJoin && inst.kind != Kind::kFilter &&
+        inst.kind != Kind::kAggregate) {
+      continue;  // sources and sinks are pinned placements
+    }
+    inst.node = to;
+    // Warm handoff ships the operator state with the move; a cold move
+    // restarts the operator empty (mid-window join partners are lost).
+    if (!warm) wipe_operator_state(inst);
   }
 }
 
@@ -831,12 +1184,20 @@ void Simulation::arrive_at(double now, InstanceId id, int port,
 void Simulation::run() {
   IFLOW_CHECK_MSG(!ran_, "run() may only be called once");
   ran_ = true;
+  if (cfg_.checkpoint.enabled) schedule_barrier(0.0);
   while (!events_.empty()) {
     const Event e = events_.top();
     events_.pop();
     if (e.time >= cfg_.duration_s) break;
     if (e.port == kFaultPort) {
       apply_fault(e.time, faults_[e.instance]);
+    } else if (e.channel != kNoChannel &&
+               e.inc != channels_[e.channel].incarnation) {
+      // Stale incarnation: the channel was rolled back while this event
+      // (data, ack, or timer) was in flight; its sequence number belongs to
+      // the restarted epoch now, so the event must die instead of colliding.
+    } else if (e.port == kBarrierPort) {
+      begin_epoch(e.time);
     } else if (e.port == kTimeoutPort) {
       // Timers are local to the sender and never dropped — they are what
       // drives recovery when everything else is.
@@ -960,7 +1321,12 @@ DeliveryStats Simulation::delivery_stats(query::QueryId q) const {
     s.lost += c.lost;
     s.data_bytes += c.data_bytes;
     s.retransmit_bytes += c.retransmit_bytes;
+    s.seen_high_water = std::max(s.seen_high_water, c.seen_high_water);
+    s.retained_high_water =
+        std::max(s.retained_high_water, c.retained_high_water);
   }
+  const auto sb = snapshot_bytes_by_query_.find(q);
+  if (sb != snapshot_bytes_by_query_.end()) s.snapshot_bytes = sb->second;
   for (const Instance& inst : instances_) {
     if (inst.kind == Kind::kSink && inst.query == q) {
       s.delivered += inst.delivered;
@@ -976,6 +1342,15 @@ DeliveryStats Simulation::delivery_stats(query::QueryId q) const {
                              : cfg_.duration_s;
   if (horizon > 0.0) {
     s.goodput_tps = static_cast<double>(s.delivered) / horizon;
+  }
+  return s;
+}
+
+SnapshotStats Simulation::snapshot_stats() const {
+  SnapshotStats s = snap_stats_;
+  for (const Channel& c : channels_) {
+    s.retained_high_water = std::max(s.retained_high_water,
+                                     c.retained_high_water);
   }
   return s;
 }

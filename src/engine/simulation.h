@@ -59,12 +59,69 @@ struct SimFault {
     kRestoreNode,
     kSetLinkLoss,    // sets the (a, b) loss probability to `value`
     kSetLinkJitter,  // sets the (a, b) jitter bound to `value` ms
+    kMigrateOps,     // moves join/filter/aggregate instances from a to b
   };
   double time = 0.0;
   Kind kind = Kind::kCrashNode;
   net::NodeId a = net::kInvalidNode;  // the node, or the link's first end
   net::NodeId b = net::kInvalidNode;  // the link's second end (links only)
   double value = 0.0;                 // loss probability or jitter ms
+};
+
+/// Coordinated checkpoint/recovery plane (DESIGN.md §16). Requires the
+/// reliable data plane: epoch barriers are cuts in each channel's sequence
+/// space, and recovery replays the channels' ack-trimmed retention buffers.
+///
+/// Protocol: at every `interval_s` boundary a barrier event snapshots all
+/// sources, which stamps a cut (= next_seq) on their output channels; an
+/// operator snapshots once every input channel has delivered exactly its
+/// cut prefix (tuples at or past a cut are acked but buffered aside until
+/// the operator snapshots, so the dedup floor meets the cut bit-exactly),
+/// then stamps cuts on its own outputs — the barrier cascades to the sinks
+/// and the epoch commits when every instance has snapshotted. At the cut
+/// the receiver's out-of-order set is empty and the sender's next_seq
+/// equals the floor, so the per-channel snapshot is the cut alone.
+/// Channels retain every tuple sent at or past the last committed cut
+/// (acked or not); commit trims the retention to the new cuts.
+///
+/// Recovery on kRestoreNode rolls the crashed node's instances plus all
+/// transitive downstream consumers (through the sinks, whose delivery
+/// counters revert) back to the committed epoch. Channels inside the
+/// region restart their sequence space at the cut; boundary channels
+/// (live sender, rolled-back receiver) replay their retention. Partial
+/// rollback is unsound here: replay re-interleaves join inputs, so a
+/// non-rolled-back consumer would dedup replayed sequence numbers whose
+/// content differs from the original delivery.
+struct CheckpointConfig {
+  /// Coordinated snapshots + rollback recovery + warm migration state.
+  bool enabled = false;
+  /// Crashes wipe on-node operator state (join/aggregate windows, queues).
+  /// Off by default: the legacy model assumes short crashes keep state.
+  bool volatile_state = false;
+  /// Barrier period; one epoch is in flight at a time.
+  double interval_s = 5.0;
+  /// Replicas of the in-memory snapshot store (byte accounting only).
+  int replicas = 2;
+};
+
+/// Checkpoint-plane accounting: committed epochs, snapshot bytes (replica
+///-multiplied), barrier latency (commit minus barrier injection), and the
+/// rollback/replay work done by recoveries.
+struct SnapshotStats {
+  std::int64_t epochs_committed = 0;
+  std::int64_t epochs_aborted = 0;  // barrier in flight when a fault hit
+  double bytes_last = 0.0;
+  double bytes_total = 0.0;
+  double bytes_max = 0.0;
+  double barrier_latency_sum_s = 0.0;
+  double barrier_latency_max_s = 0.0;
+  std::int64_t recoveries = 0;
+  std::uint64_t replayed_tuples = 0;  // retention re-transmissions
+  /// Rollback depth: restore time minus the committed barrier time — the
+  /// work a recovery has to redo.
+  double recovery_latency_sum_s = 0.0;
+  double recovery_latency_max_s = 0.0;
+  std::size_t retained_high_water = 0;  // max retention entries, any channel
 };
 
 /// What a bounded operator input queue does when an admitted tuple would
@@ -146,6 +203,13 @@ struct DeliveryStats {
   double data_bytes = 0.0;        // link bytes of first transmissions
   double retransmit_bytes = 0.0;  // link bytes of retransmissions
   std::size_t max_queue_depth = 0;
+  /// High-water of the receiver dedup out-of-order set (max over the
+  /// query's channels) — bounded by the sliding window when compaction
+  /// against the floor works.
+  std::size_t seen_high_water = 0;
+  /// Checkpoint overhead attributed to this query (zeros when disabled).
+  std::size_t retained_high_water = 0;  // max retention entries per channel
+  double snapshot_bytes = 0.0;          // replica-multiplied, all epochs
 };
 
 struct EngineConfig {
@@ -165,6 +229,8 @@ struct EngineConfig {
   /// Null = constant catalog rates.
   std::function<double(query::StreamId, double)> rate_factor;
   ReliabilityConfig reliability;
+  /// Checkpoint/recovery plane; `enabled` requires reliability.enabled.
+  CheckpointConfig checkpoint;
 };
 
 /// A tuple flowing through the system: the base streams it joins and, per
@@ -248,6 +314,9 @@ class Simulation {
   /// HealthMonitor::observe.
   std::vector<ChannelTelemetry> channel_telemetry() const;
 
+  /// Checkpoint-plane accounting (zeros when cfg.checkpoint disabled).
+  SnapshotStats snapshot_stats() const;
+
  private:
   using InstanceId = std::uint32_t;
 
@@ -285,9 +354,24 @@ class Simulation {
     std::unordered_map<std::uint64_t, PendingTuple> pending;
     std::deque<TuplePtr> backlog;  // waiting for window space
     // Receiver dedup: every seq < seen_floor was delivered, plus the
-    // out-of-order set above the floor (kept small by floor advancement).
+    // out-of-order set above the floor (compacted on every floor advance;
+    // seen_high_water tracks the worst burst).
     std::uint64_t seen_floor = 0;
     std::unordered_set<std::uint64_t> seen;
+    std::size_t seen_high_water = 0;
+    // Checkpoint plane: this epoch's barrier cut (kNoCut until the sender
+    // snapshots), the alignment buffer holding post-cut arrivals until the
+    // receiver snapshots, and the retention buffer of everything sent at
+    // or past the last committed cut. A rollback bumps the incarnation so
+    // stale in-flight data/ack/timeout events die instead of colliding
+    // with the restarted sequence space.
+    static constexpr std::uint64_t kNoCut =
+        std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t cut = kNoCut;
+    std::map<std::uint64_t, TuplePtr> align;
+    std::map<std::uint64_t, TuplePtr> retained;
+    std::size_t retained_high_water = 0;
+    std::uint32_t incarnation = 0;
     // Counters.
     std::uint64_t sent = 0;  // transmissions, first and re alike
     std::uint64_t retransmits = 0;
@@ -346,6 +430,31 @@ class Simulation {
     double max_born = -std::numeric_limits<double>::infinity();
     // Event-time aggregate windows (reliable mode): window index -> groups.
     std::map<std::int64_t, std::set<std::uint64_t>> agg_windows;
+    // Checkpoint plane: snapshotted in the epoch currently in flight.
+    bool snapped = false;
+  };
+
+  /// Serialized operator state of one instance at a barrier cut.
+  struct InstState {
+    std::deque<std::pair<double, TuplePtr>> window[2];
+    double max_born = -std::numeric_limits<double>::infinity();
+    std::int64_t window_index = -1;
+    std::set<std::uint64_t> groups_seen;
+    std::map<std::int64_t, std::set<std::uint64_t>> agg_windows;
+    std::deque<std::pair<int, TuplePtr>> inbox;
+    std::uint64_t delivered = 0;
+    double latency_sum_s = 0.0;
+  };
+
+  /// One epoch of the replicated in-memory snapshot store: per-instance
+  /// operator state plus the per-channel cut (receiver floor == sender
+  /// next_seq == cut at the snapshot instant, see CheckpointConfig).
+  struct EpochSnapshot {
+    std::int64_t epoch = -1;  // -1 = nothing committed yet
+    double barrier_time = 0.0;
+    std::vector<InstState> inst;
+    std::vector<std::uint64_t> cuts;
+    double bytes = 0.0;  // replica-multiplied serialized size
   };
 
   struct Event {
@@ -361,6 +470,9 @@ class Simulation {
     /// ack, timeout) and the channel sequence number it refers to.
     std::uint32_t channel = kNoChannel;
     std::uint64_t tseq = 0;
+    /// Channel incarnation the event was stamped with; a rollback bumps
+    /// the channel's incarnation, invalidating everything in flight.
+    std::uint32_t inc = 0;
     bool operator>(const Event& o) const {
       return std::tie(time, seq) > std::tie(o.time, o.seq);
     }
@@ -370,6 +482,7 @@ class Simulation {
   static constexpr int kAckPort = -3;      // ack arriving back at the sender
   static constexpr int kTimeoutPort = -4;  // retransmit timer firing
   static constexpr int kServicePort = -5;  // queued operator finishes a tuple
+  static constexpr int kBarrierPort = -6;  // checkpoint barrier injection
 
   /// Per-deployment health watch for availability/downtime accounting.
   struct QueryWatch {
@@ -408,6 +521,20 @@ class Simulation {
   void receive(double now, std::uint32_t ch, std::uint64_t seq, int port,
                const TuplePtr& tuple);
   void pump_backlog(double now, std::uint32_t ch);
+  /// Records `s` in the receiver dedup state, compacting the out-of-order
+  /// set against the floor on every advance.
+  void mark_seen(Channel& c, std::uint64_t s);
+  // Checkpoint plane (cfg_.checkpoint.enabled).
+  void begin_epoch(double now);
+  void snap_instance(double now, InstanceId id);
+  void maybe_snap(double now, InstanceId id);
+  void commit_epoch(double now);
+  void abort_epoch(double now);
+  void schedule_barrier(double after);
+  void wipe_operator_state(Instance& inst);
+  double instance_state_bytes(const InstState& s) const;
+  void recover_node(double now, net::NodeId n);
+  void migrate_ops(double now, net::NodeId from, net::NodeId to);
   /// Combined gray-failure state of one hop at time `now`: extra drop
   /// probability (link degradation and both endpoint nodes, multiplicative)
   /// and delay multiplier (max of the three), flap waves evaluated at
@@ -458,6 +585,15 @@ class Simulation {
   std::unique_ptr<net::RoutingTables> frt_;
   std::vector<QueryWatch> watches_;
   std::uint64_t tuples_dropped_ = 0;
+  // Checkpoint plane: the last committed epoch (the rollback target), the
+  // epoch being built (one in flight at a time), and the running stats.
+  EpochSnapshot committed_;
+  EpochSnapshot building_;
+  bool epoch_open_ = false;
+  std::int64_t next_epoch_ = 1;
+  std::size_t unsnapped_ = 0;
+  SnapshotStats snap_stats_;
+  std::unordered_map<query::QueryId, double> snapshot_bytes_by_query_;
 };
 
 }  // namespace iflow::engine

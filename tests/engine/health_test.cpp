@@ -141,6 +141,42 @@ TEST(HealthMonitorTest, LifecycleConfirmsQuarantinesAndReadmitsViaProbes) {
   EXPECT_EQ(hm.quarantines_total(), 1u);  // probation return did not count
 }
 
+TEST(HealthMonitorTest, OnRestoreClearsAccruedSuspicion) {
+  // A restored node is (modelled) replacement hardware: the φ accrued
+  // against the old incarnation must not leak into its probation window as
+  // stale suspicion. on_restore resets the lifecycle, the penalty and every
+  // link-suspicion entry touching the node.
+  net::Network net;
+  for (int i = 0; i < 4; ++i) net.add_node();
+  net.add_link(0, 1, 1.0, 1.0, 1e6);
+  net.add_link(1, 2, 1.0, 1.0, 1e6);
+  net.add_link(1, 3, 1.0, 1.0, 1e6);
+  HealthConfig cfg;
+  HealthMonitor hm(4, cfg, 7);
+  net.degrade_node(1, net::Degradation{3.0, 0.6, 0.0});
+  hm.observe({channel({0, 1, 2}, true), channel({3, 1, 2}, true)});
+  hm.step(net, 10.0, 10.0);
+  hm.observe({channel({0, 1, 2}, true), channel({3, 1, 2}, true)});
+  hm.step(net, 20.0, 10.0);
+  ASSERT_EQ(hm.state(1), HealthState::kQuarantined);
+  ASSERT_GT(hm.phi(1), 0.0);
+  ASSERT_FALSE(hm.link_suspicion().empty());
+
+  hm.on_restore(1);
+  EXPECT_EQ(hm.state(1), HealthState::kHealthy);
+  EXPECT_EQ(hm.phi(1), 0.0);
+  EXPECT_EQ(hm.node_penalty()[1], 1.0);
+  EXPECT_TRUE(hm.quarantined().empty());
+  for (const HealthMonitor::LinkSuspicion& l : hm.link_suspicion()) {
+    EXPECT_NE(l.a, 1u);
+    EXPECT_NE(l.b, 1u);
+  }
+  // Mid-epoch accumulators are gone too: a clean step raises nothing.
+  const auto trans = hm.step(net, 30.0, 10.0);
+  EXPECT_TRUE(trans.empty());
+  EXPECT_EQ(hm.state(1), HealthState::kHealthy);
+}
+
 TEST(HealthMonitorTest, DirtyProbeSendsProbationBackToQuarantine) {
   net::Network net;
   for (int i = 0; i < 4; ++i) net.add_node();

@@ -65,6 +65,12 @@
 // positive), and on the detector-on run undercutting the detector-off
 // goodput. With --digest the per-epoch transcript must be identical
 // across --threads values.
+//
+// --recovery fuzzes the checkpoint/recovery plane over the same relay
+// geometry with drawn checkpoint intervals and fault timing: a faulted
+// checkpointed run (mid-stream crash + rollback recovery + forced warm
+// migrations) must deliver the fault-free twin's per-query counts exactly,
+// with zero tuples lost after retries and at least one committed epoch.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -108,6 +114,7 @@ struct Options {
   bool scenario = false;
   bool oracle = false;
   bool gray = false;
+  bool recovery = false;
 };
 
 /// One self-contained random instance. Everything is derived from the seed,
@@ -766,6 +773,101 @@ void check_gray_instance(std::uint64_t seed, const Options& opt,
   }
 }
 
+/// One recovery iteration: a seeded relay-shaped star world (same geometry
+/// as --gray, so the join lands on a crashable non-endpoint relay), drawn
+/// stream rates, checkpoint interval and fault timing, and
+/// engine::run_recovery's three arms. The result-transparency contract is
+/// asserted strictly — a faulted checkpointed run must deliver the
+/// fault-free twin's per-query counts bit for bit with zero loss — while
+/// the volatile teeth stay a one-sided sanity bound (a drawn crash window
+/// can land where little state was at stake).
+void check_recovery_instance(std::uint64_t seed, const Options& opt,
+                             IterationLog& log) {
+  Prng prng(seed);
+  net::Network net;
+  const net::NodeId primary = net.add_node();
+  const net::NodeId backup = net.add_node();
+  const int sources = 3;
+  std::vector<net::NodeId> src_nodes;
+  for (int i = 0; i < sources; ++i) src_nodes.push_back(net.add_node());
+  const net::NodeId sink = net.add_node();
+  for (net::NodeId n : src_nodes) {
+    net.add_link(primary, n, 1.0, 1.0, 1e6);
+    net.add_link(backup, n, 1.3, 1.0, 1e6);
+  }
+  net.add_link(primary, sink, 1.0, 1.0, 1e6);
+  net.add_link(backup, sink, 1.3, 1.0, 1e6);
+
+  query::Catalog catalog;
+  std::vector<query::StreamId> streams;
+  const double rate = 15.0 + prng.uniform(0.0, 10.0);
+  const double sel = 0.01 + prng.uniform(0.0, 0.04);
+  for (int i = 0; i < sources; ++i) {
+    streams.push_back(catalog.add_stream(
+        "S" + std::to_string(i), src_nodes[static_cast<std::size_t>(i)], rate,
+        100.0));
+  }
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    for (std::size_t j = i + 1; j < streams.size(); ++j) {
+      catalog.set_selectivity(streams[i], streams[j], sel);
+    }
+  }
+  std::vector<query::Query> queries;
+  query::Query q;
+  q.id = 1;
+  q.sources = {streams[0], streams[1], streams[2]};
+  q.sink = sink;
+  queries.push_back(q);
+
+  const engine::Algorithm algs[] = {engine::Algorithm::kTopDown,
+                                    engine::Algorithm::kBottomUp,
+                                    engine::Algorithm::kExhaustive};
+  const engine::Algorithm alg = algs[prng.index(3)];
+
+  engine::RecoveryConfig cfg;
+  cfg.threads = opt.threads;
+  cfg.events = 4 + static_cast<int>(prng.index(5));
+  cfg.checkpoint_interval_s = 2.0 + prng.uniform(0.0, 6.0);
+  cfg.crash_at_s = 12.0 + prng.uniform(0.0, 8.0);
+  // Crash windows stay well inside the retry chain's reach so in-flight
+  // tuples survive on the retry budget (lost-after-retries would be a
+  // harness artefact, not a checkpoint bug).
+  cfg.crash_len_s = 2.0 + prng.uniform(0.0, 3.0);
+  cfg.migrate_at_s = 28.0 + prng.uniform(0.0, 8.0);
+  const engine::RecoveryReport report =
+      engine::run_recovery(net, catalog, queries, 8, alg, seed, cfg);
+  if (opt.digest) {
+    std::istringstream lines(report.digest);
+    std::string line;
+    while (std::getline(lines, line)) {
+      std::cout << "recovery " << seed << ' ' << line << '\n';
+    }
+  }
+  if (report.violations != 0) {
+    log.fail("recovery: validator violations: " + report.violation_detail);
+  }
+  if (!report.counts_match) {
+    std::ostringstream os;
+    os << "recovery: faulted run delivered " << report.faulted_delivered
+       << ", twin " << report.twin_delivered;
+    log.fail(os.str());
+  }
+  if (report.faulted_lost != 0) {
+    std::ostringstream os;
+    os << "recovery: " << report.faulted_lost << " tuples lost after retries";
+    log.fail(os.str());
+  }
+  if (report.epochs_committed < 1) {
+    log.fail("recovery: no epoch ever committed");
+  }
+  if (report.volatile_delivered > report.twin_delivered) {
+    std::ostringstream os;
+    os << "recovery: volatile arm over-delivered (" << report.volatile_delivered
+       << " > " << report.twin_delivered << ")";
+    log.fail(os.str());
+  }
+}
+
 /// One oracle-fuzz iteration: estimate-vs-exact sweep plus dense-vs-sparse
 /// differential planning over a partitioned hierarchy.
 void check_oracle_instance(std::uint64_t seed, const Options& opt,
@@ -888,7 +990,9 @@ int run(const Options& opt) {
     const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
     IterationLog log{seed};
     try {
-      if (opt.gray) {
+      if (opt.recovery) {
+        check_recovery_instance(seed, opt, log);
+      } else if (opt.gray) {
         check_gray_instance(seed, opt, log);
       } else if (opt.oracle) {
         check_oracle_instance(seed, opt, ws, log);
@@ -963,11 +1067,13 @@ int main(int argc, char** argv) {
       opt.oracle = true;
     } else if (arg == "--gray") {
       opt.gray = true;
+    } else if (arg == "--recovery") {
+      opt.recovery = true;
     } else {
       std::cerr << "usage: differential_fuzz [--iterations N] [--seed S] "
                    "[--threads T] [--digest] [--churn] [--register-churn] "
                    "[--loss] [--scenario] "
-                   "[--oracle] [--gray] [--verbose]\n";
+                   "[--oracle] [--gray] [--recovery] [--verbose]\n";
       return 2;
     }
   }
